@@ -1,0 +1,78 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench can drive its experiment from two trace sources:
+//   * "synthetic": the generator calibrated to the thesis' published
+//     per-workload statistics (lengths, mixes, shapes, chaining) — the
+//     default, since it matches the thesis' scales exactly;
+//   * "workload": real traces produced by running the five Lisp workload
+//     programs under the tracing interpreter (pass --workload).
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/synthetic.hpp"
+#include "workloads/driver.hpp"
+
+namespace small::benchutil {
+
+inline bool hasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+struct NamedTrace {
+  std::string name;
+  trace::Trace raw;
+};
+
+/// The Chapter 3 suite (five workloads at thesis §3.3.1 lengths).
+inline std::vector<NamedTrace> chapter3Traces(bool fromWorkloads,
+                                              double scale = 1.0) {
+  std::vector<NamedTrace> traces;
+  if (fromWorkloads) {
+    for (const workloads::Workload w : workloads::kAllWorkloads) {
+      workloads::RunOptions options;
+      options.scale = std::max(1, static_cast<int>(scale));
+      traces.push_back({workloads::workloadName(w),
+                        workloads::runWorkload(w, options)});
+    }
+    return traces;
+  }
+  support::Rng rng(2026);
+  for (const auto& profile :
+       {trace::slangProfile(scale), trace::plagenProfile(scale),
+        trace::lyraProfile(scale), trace::editorProfile(scale),
+        trace::pearlProfile(scale)}) {
+    traces.push_back({profile.name, trace::generate(profile, rng)});
+  }
+  return traces;
+}
+
+/// The Chapter 5 simulation suite (four workloads at Table 5.1 lengths).
+inline std::vector<NamedTrace> chapter5Traces(bool fromWorkloads) {
+  std::vector<NamedTrace> traces;
+  if (fromWorkloads) {
+    for (const workloads::Workload w :
+         {workloads::Workload::kLyra, workloads::Workload::kPlagen,
+          workloads::Workload::kSlang, workloads::Workload::kEditor}) {
+      traces.push_back(
+          {workloads::workloadName(w), workloads::runWorkload(w)});
+    }
+    return traces;
+  }
+  support::Rng rng(2026);
+  for (const auto& profile :
+       {trace::lyraSimProfile(), trace::plagenSimProfile(),
+        trace::slangSimProfile(), trace::editorSimProfile()}) {
+    traces.push_back({profile.name, trace::generate(profile, rng)});
+  }
+  return traces;
+}
+
+}  // namespace small::benchutil

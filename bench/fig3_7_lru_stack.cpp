@@ -1,0 +1,42 @@
+// Fig 3.7 — Distribution of List Set LRU Stack Distances.
+//
+// Paper shape: "a stack depth of 4 list sets captures from 70-90% of all
+// accesses" — list sets are objects of high temporal reference locality.
+#include <cstdio>
+
+#include "analysis/list_sets.hpp"
+#include "bench_util.hpp"
+#include "support/table.hpp"
+#include "trace/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace small;
+  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+
+  std::puts("Fig 3.7: LRU stack distances over list sets");
+  support::TextTable table(
+      {"Benchmark", "depth<=1", "depth<=2", "depth<=4", "depth<=8",
+       "depth<=16"});
+  std::vector<support::Series> curves;
+  for (const auto& [name, raw] :
+       benchutil::chapter3Traces(fromWorkloads)) {
+    const auto pre = trace::preprocess(raw);
+    const analysis::ListSetPartition partition =
+        analysis::partitionListSets(pre);
+    const support::Series cdf = partition.lruDepthCdf(16);
+    auto at = [&](std::size_t depth) -> std::string {
+      if (cdf.y.size() < depth) return "-";
+      return support::formatPercent(cdf.y[depth - 1], 1);
+    };
+    table.addRow({name, at(1), at(2), at(4), at(8), at(16)});
+    support::Series series = cdf;
+    series.name = name;
+    curves.push_back(std::move(series));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\ncumulative fraction of references vs list-set LRU depth:");
+  std::fputs(support::asciiPlot(curves).c_str(), stdout);
+  std::puts("paper: depth 4 captures 70-90% of all accesses across the "
+            "suite.");
+  return 0;
+}

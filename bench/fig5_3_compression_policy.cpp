@@ -1,0 +1,58 @@
+// Fig 5.3 — LPT Behaviour and Pseudo Overflow Policies.
+//
+// Paper shape: with table sizes below the knee, Compress-One keeps the
+// *average* occupancy higher than Compress-All, but the mean difference
+// is small — which justifies Compress-One (bounded work per overflow)
+// and the hybrid scheme.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "small/simulator.hpp"
+#include "support/table.hpp"
+#include "trace/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace small;
+  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+
+  std::puts("Fig 5.3: average LPT occupancy, Compress-One vs Compress-All");
+  support::TextTable table({"Trace", "table size", "avg occ (One)",
+                            "avg occ (All)", "avg occ (Hybrid)",
+                            "pseudo ovfl (One)", "pseudo ovfl (All)"});
+
+  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
+    // The paper plots Slang and Editor; we run all four.
+    const auto pre = trace::preprocess(raw);
+    core::SimConfig big;
+    big.tableSize = 1u << 18;
+    big.seed = 17;
+    const std::uint32_t knee = core::simulateTrace(big, pre).peakOccupancy;
+
+    for (const double fraction : {0.5, 0.75}) {
+      const auto size = std::max<std::uint32_t>(
+          8, static_cast<std::uint32_t>(knee * fraction));
+      auto runWith = [&](core::CompressionPolicy policy) {
+        core::SimConfig config;
+        config.tableSize = size;
+        config.compression = policy;
+        config.seed = 17;
+        return core::simulateTrace(config, pre);
+      };
+      const auto one = runWith(core::CompressionPolicy::kCompressOne);
+      const auto all = runWith(core::CompressionPolicy::kCompressAll);
+      const auto hybrid = runWith(core::CompressionPolicy::kHybrid);
+      table.addRow({name, std::to_string(size),
+                    support::formatDouble(one.averageOccupancy, 1),
+                    support::formatDouble(all.averageOccupancy, 1),
+                    support::formatDouble(hybrid.averageOccupancy, 1),
+                    std::to_string(one.lpStats.pseudoOverflows),
+                    std::to_string(all.lpStats.pseudoOverflows)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper: Compress-One rides at higher average occupancy than "
+            "Compress-All, but the\nmean difference is modest — so the "
+            "bounded-work policy wins; a hybrid is conceivable.");
+  return 0;
+}

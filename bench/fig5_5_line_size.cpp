@@ -1,0 +1,65 @@
+// Fig 5.5 — Ratio of Cache Misses to LPT Misses versus Line Size.
+//
+// Modified cache model: same total size as the LPT but each cache entry
+// half the size of an LPT entry (so 2x the cells), line sizes 1..16.
+// Paper shape: the ratio spans ~0.7 to ~2.8; it *falls* with line size
+// while prefetching captures structural locality, then flattens/recovers
+// once lines outgrow the useful locality; larger tables favour the cache.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "small/simulator.hpp"
+#include "support/table.hpp"
+#include "trace/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace small;
+  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+
+  std::puts("Fig 5.5: cache-miss / LPT-miss ratio vs cache line size "
+            "(cache entries are half LPT-entry size => 2x cells)");
+  std::vector<support::Series> curves;
+  support::TextTable table(
+      {"Trace", "table", "L=1", "L=2", "L=4", "L=8", "L=16"});
+
+  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
+    if (name == "PlaGen") continue;  // the paper plots Lyra/Slang/Editor
+    const auto pre = trace::preprocess(raw);
+    core::SimConfig big;
+    big.tableSize = 1u << 18;
+    big.seed = 47;
+    const std::uint32_t knee = core::simulateTrace(big, pre).peakOccupancy;
+
+    for (const double fraction : {0.5, 0.9}) {
+      const auto tableSize = std::max<std::uint32_t>(
+          16, static_cast<std::uint32_t>(knee * fraction));
+      support::Series series{
+          name + "/" + std::to_string(tableSize), {}, {}};
+      std::vector<std::string> row{name, std::to_string(tableSize)};
+      for (const std::uint32_t lineSize : {1u, 2u, 4u, 8u, 16u}) {
+        core::SimConfig config;
+        config.tableSize = tableSize;
+        config.driveCache = true;
+        config.cacheEntries = tableSize * 2;  // half-size cache entries
+        config.cacheLineSize = lineSize;
+        config.seed = 47;
+        const core::SimResult result = core::simulateTrace(config, pre);
+        const double ratio =
+            result.lptMisses == 0
+                ? 0.0
+                : static_cast<double>(result.cacheMisses) /
+                      static_cast<double>(result.lptMisses);
+        series.add(lineSize, ratio);
+        row.push_back(support::formatDouble(ratio, 2));
+      }
+      table.addRow(row);
+      curves.push_back(std::move(series));
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::fputs(support::asciiPlot(curves).c_str(), stdout);
+  std::puts("paper: ratios span ~0.7-2.8 with several points below 1 "
+            "(the doubled entry count\nhelps the cache); prefetching pays "
+            "only while lines match the trace's structural locality.");
+  return 0;
+}

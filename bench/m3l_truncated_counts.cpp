@@ -1,0 +1,59 @@
+// The M3L truncated-reference-count study (§2.3.4).
+//
+// "The Machine for Lisp Like Languages, M3L, Project uses a 3 bit
+//  reference count field... studies which suggest that this reference
+//  count suffices to reclaim about 98% of all inaccessible list cells."
+//
+// With k-bit *sticky* counters an object is reclaimable iff its count
+// never exceeded 2^k - 1 during its lifetime. The SMALL simulator records
+// each LPT entry's lifetime maximum count at free time; the CDF of that
+// distribution is the reclaimable fraction per counter width — evaluated
+// here for every trace. (Note the LPT's counts already exclude most stack
+// traffic in split mode, the same trick M3L's separate 1-bit reference
+// flag plays.)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "small/simulator.hpp"
+#include "support/table.hpp"
+#include "trace/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace small;
+  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+
+  std::puts("M3L §2.3.4: garbage reclaimable with k-bit sticky reference "
+            "counts");
+  support::TextTable table({"Trace", "mode", "1 bit", "2 bits", "3 bits",
+                            "4 bits", "max count seen"});
+
+  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
+    const auto pre = trace::preprocess(raw);
+    for (const bool split : {false, true}) {
+      core::SimConfig config;
+      config.tableSize = 4096;
+      config.splitRefCounts = split;
+      config.seed = 61;
+      // Run via the Simulator but read the histogram off the LP's table:
+      // re-run internals directly for access to the Lpt.
+      core::Simulator simulator(config, pre);
+      const core::SimResult result = simulator.run();
+      (void)result;
+      // The histogram lives in the Lpt; re-derive via a fresh simulation
+      // is unnecessary — expose through SimResult instead.
+      std::vector<std::string> row{name, split ? "split" : "combined"};
+      for (const int bits : {1, 2, 3, 4}) {
+        const double fraction = result.lifetimeMaxCounts.cumulativeFraction(
+            (1 << bits) - 1);
+        row.push_back(support::formatPercent(fraction, 1));
+      }
+      row.push_back(std::to_string(result.lptStats.maxRefCount));
+      table.addRow(row);
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper (M3L): 3 bits reclaim ~98% of inaccessible cells when "
+            "stack references are\ncounted separately — the 'split' rows "
+            "are the comparable configuration.");
+  return 0;
+}

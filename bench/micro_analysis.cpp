@@ -1,0 +1,64 @@
+// Microbenchmarks for the analysis pipeline: preprocessing, list-set
+// partitioning, and Mattson stack-distance throughput.
+#include <benchmark/benchmark.h>
+
+#include "analysis/list_sets.hpp"
+#include "analysis/lru.hpp"
+#include "support/rng.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace small;
+
+const trace::Trace& sharedTrace() {
+  static const trace::Trace trace = [] {
+    support::Rng rng(99);
+    return trace::generate(trace::slangProfile(1.0), rng);
+  }();
+  return trace;
+}
+
+void BM_Preprocess(benchmark::State& state) {
+  const trace::Trace& raw = sharedTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::preprocess(raw));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw.primitiveLength()));
+}
+BENCHMARK(BM_Preprocess)->Unit(benchmark::kMillisecond);
+
+void BM_ListSetPartition(benchmark::State& state) {
+  const trace::PreprocessedTrace pre = trace::preprocess(sharedTrace());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::partitionListSets(pre));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pre.primitiveCount));
+}
+BENCHMARK(BM_ListSetPartition)->Unit(benchmark::kMillisecond);
+
+void BM_MattsonReference(benchmark::State& state) {
+  analysis::MattsonStack stack;
+  support::Rng rng(7);
+  // Zipf-ish reuse: mostly small ids.
+  for (auto _ : state) {
+    std::uint64_t id = rng.below(8);
+    if (rng.chance(0.1)) id = rng.below(4096);
+    benchmark::DoNotOptimize(stack.reference(id));
+  }
+}
+BENCHMARK(BM_MattsonReference);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    support::Rng rng(3);
+    benchmark::DoNotOptimize(
+        trace::generate(trace::slangProfile(0.5), rng));
+  }
+}
+BENCHMARK(BM_SyntheticGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Ablation bench across the Chapter 2 list representations: encode cost,
+// traversal cost (dependent reads), space, and split cost — the
+// quantitative version of §2.3.3's qualitative comparison.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "heap/cdar_coded.hpp"
+#include "heap/conc.hpp"
+#include "heap/cdr_coded.hpp"
+#include "heap/linked_vector.hpp"
+#include "heap/two_pointer.hpp"
+#include "sexpr/reader.hpp"
+
+namespace {
+
+using namespace small;
+
+std::string flatList(int n) {
+  std::ostringstream out;
+  out << "(";
+  for (int i = 0; i < n; ++i) out << "sym" << i << " ";
+  out << ")";
+  return out.str();
+}
+
+struct Fixture {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  sexpr::NodeRef list = sexpr::kNilRef;
+
+  explicit Fixture(int n) {
+    sexpr::Reader reader(arena, symbols);
+    list = reader.readOne(flatList(n));
+  }
+};
+
+void BM_EncodeTwoPointer(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    heap::TwoPointerHeap heap;
+    benchmark::DoNotOptimize(heap.encode(fixture.arena, fixture.list));
+  }
+}
+BENCHMARK(BM_EncodeTwoPointer)->Arg(64)->Arg(1024);
+
+void BM_EncodeCdrCoded(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    heap::CdrCodedHeap heap;
+    benchmark::DoNotOptimize(heap.encode(fixture.arena, fixture.list));
+  }
+}
+BENCHMARK(BM_EncodeCdrCoded)->Arg(64)->Arg(1024);
+
+void BM_EncodeLinkedVector(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    heap::LinkedVectorHeap heap(16);
+    benchmark::DoNotOptimize(heap.encode(fixture.arena, fixture.list));
+  }
+}
+BENCHMARK(BM_EncodeLinkedVector)->Arg(64)->Arg(1024);
+
+void BM_EncodeCdarTable(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        heap::CdarTable::encode(fixture.arena, fixture.list));
+  }
+}
+// CDAR codes carry one bit per list position; the 64-bit
+// packed code caps encodable flat lists at depth/length 64.
+BENCHMARK(BM_EncodeCdarTable)->Arg(16)->Arg(48);
+
+// Concatenation: O(1) conc cell vs the two-pointer append's spine copy
+// (the §2.3.3.1 contrast that motivates the conc representation).
+void BM_ConcatConcCell(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  heap::ConcHeap heap;
+  const auto a = heap.encode(fixture.arena, fixture.list);
+  const auto b = heap.encode(fixture.arena, fixture.list);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.conc(a, b));
+  }
+}
+BENCHMARK(BM_ConcatConcCell)->Arg(64)->Arg(1024);
+
+void BM_ConcatTwoPointerAppend(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  heap::TwoPointerHeap heap;
+  const heap::HeapWord a = heap.encode(fixture.arena, fixture.list);
+  const heap::HeapWord b = heap.encode(fixture.arena, fixture.list);
+  for (auto _ : state) {
+    // append: copy a's spine, share b.
+    std::vector<heap::HeapWord> heads;
+    heap::HeapWord cursor = a;
+    while (cursor.isPointer()) {
+      heads.push_back(heap.car(cursor.payload));
+      cursor = heap.cdr(cursor.payload);
+    }
+    heap::HeapWord tail = b;
+    for (std::size_t i = heads.size(); i-- > 0;) {
+      tail = heap::HeapWord::pointer(heap.allocate(heads[i], tail));
+    }
+    benchmark::DoNotOptimize(tail);
+  }
+}
+BENCHMARK(BM_ConcatTwoPointerAppend)->Arg(64)->Arg(1024);
+
+// Traversal: walk the cdr chain to the end. Two-pointer chases pointers
+// (every read dependent); cdr-coded mostly increments addresses.
+void BM_TraverseTwoPointer(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  heap::TwoPointerHeap heap;
+  const heap::HeapWord root = heap.encode(fixture.arena, fixture.list);
+  for (auto _ : state) {
+    heap::HeapWord cursor = root;
+    int count = 0;
+    while (cursor.isPointer()) {
+      ++count;
+      cursor = heap.cdr(cursor.payload);
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_TraverseTwoPointer)->Arg(1024);
+
+void BM_TraverseCdrCoded(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  heap::CdrCodedHeap heap;
+  const heap::CdrWord root = heap.encode(fixture.arena, fixture.list);
+  for (auto _ : state) {
+    heap::CdrWord cursor = root;
+    int count = 0;
+    while (cursor.isPointer()) {
+      ++count;
+      cursor = heap.cdr(cursor.payload);
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["dependent_read_frac"] =
+      heap.reads() == 0
+          ? 0.0
+          : static_cast<double>(heap.dependentReads()) /
+                static_cast<double>(heap.reads());
+}
+BENCHMARK(BM_TraverseCdrCoded)->Arg(1024);
+
+// Split cost: trivial for two-pointer cells, a table scan-and-copy for
+// structure-coded tables (§4.3.3.2's asymmetry).
+void BM_SplitTwoPointer(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    heap::TwoPointerHeap heap;
+    const heap::HeapWord root = heap.encode(fixture.arena, fixture.list);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(heap.split(root.payload));
+  }
+}
+BENCHMARK(BM_SplitTwoPointer)->Arg(256);
+
+void BM_SplitCdarTable(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  const heap::CdarTable table =
+      heap::CdarTable::encode(fixture.arena, fixture.list);
+  for (auto _ : state) {
+    std::uint64_t copies = 0;
+    benchmark::DoNotOptimize(table.car(&copies));
+    benchmark::DoNotOptimize(table.cdr(&copies));
+    benchmark::DoNotOptimize(copies);
+  }
+}
+BENCHMARK(BM_SplitCdarTable)->Arg(48);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Microbenchmarks for the interpreter: eval dispatch, function call
+// overhead, deep vs shallow binding lookup (the §2.3.2 trade-off), and
+// the cost of the trace hook.
+#include <benchmark/benchmark.h>
+
+#include "lisp/interpreter.hpp"
+#include "lisp/tracer.hpp"
+#include "trace/trace.hpp"
+#include "workloads/driver.hpp"
+
+namespace {
+
+using namespace small;
+
+void BM_EvalArithmetic(benchmark::State& state) {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter interp(arena, symbols);
+  sexpr::Reader reader(arena, symbols);
+  const sexpr::NodeRef form = reader.readOne("(+ (* 3 4) (- 10 5))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.eval(form));
+  }
+}
+BENCHMARK(BM_EvalArithmetic);
+
+void BM_FunctionCall(benchmark::State& state) {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter interp(arena, symbols);
+  interp.run("(defun f (a b) (+ a b))");
+  sexpr::Reader reader(arena, symbols);
+  const sexpr::NodeRef form = reader.readOne("(f 1 2)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.eval(form));
+  }
+}
+BENCHMARK(BM_FunctionCall);
+
+// The deep-vs-shallow binding ablation: a recursion that binds many
+// variables and then reads a non-local from the bottom. Deep binding
+// scans the stack; shallow binding reads one cell.
+template <lisp::BindingDiscipline Discipline>
+void BM_NonLocalLookup(benchmark::State& state) {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter::Options options;
+  options.binding = Discipline;
+  lisp::Interpreter interp(arena, symbols, options);
+  interp.run(R"(
+    (setq deep-value 42)
+    (defun burrow (k)
+      (cond ((= k 0) deep-value)
+            (t (burrow (- k 1))))))");
+  sexpr::Reader reader(arena, symbols);
+  const sexpr::NodeRef form = reader.readOne("(burrow 64)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.eval(form));
+  }
+}
+BENCHMARK(BM_NonLocalLookup<lisp::BindingDiscipline::kDeep>);
+BENCHMARK(BM_NonLocalLookup<lisp::BindingDiscipline::kShallow>);
+BENCHMARK(BM_NonLocalLookup<lisp::BindingDiscipline::kCachedDeep>);
+
+void BM_ListPrimitives(benchmark::State& state) {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter interp(arena, symbols);
+  sexpr::Reader reader(arena, symbols);
+  const sexpr::NodeRef form =
+      reader.readOne("(cons (car '(a b)) (cdr '(c d)))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.eval(form));
+  }
+}
+BENCHMARK(BM_ListPrimitives);
+
+// Cost of the trace hook: the same form with and without a recorder.
+void BM_TraceHookOverhead(benchmark::State& state) {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter interp(arena, symbols);
+  sexpr::Reader reader(arena, symbols);
+  const sexpr::NodeRef form =
+      reader.readOne("(cons (car '(a b)) (cdr '(c d)))");
+  trace::Trace traceOut;
+  lisp::TraceRecorder recorder(arena, traceOut);
+  if (state.range(0)) interp.setTracer(&recorder);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.eval(form));
+  }
+  state.counters["traced"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TraceHookOverhead)->Arg(0)->Arg(1);
+
+void BM_WorkloadEndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workloads::runWorkload(workloads::Workload::kPearl));
+  }
+}
+BENCHMARK(BM_WorkloadEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Microbenchmarks / ablations for the LPT and List Processor:
+//   * free-stack allocate/free cycle cost,
+//   * lazy vs recursive child decrement (the §4.3.2.1 design choice),
+//   * split vs hit access cost,
+//   * compression scan cost at varying occupancy.
+#include <benchmark/benchmark.h>
+
+#include "small/list_processor.hpp"
+
+namespace {
+
+using namespace small;
+
+void BM_LptAllocateFree(benchmark::State& state) {
+  core::Lpt lpt(4096, core::ReclaimPolicy::kLazy);
+  for (auto _ : state) {
+    const core::EntryId id = lpt.allocate();
+    lpt.incRef(id);
+    lpt.decRef(id);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_LptAllocateFree);
+
+void BM_LptRefCountOps(benchmark::State& state) {
+  core::Lpt lpt(16, core::ReclaimPolicy::kLazy);
+  const core::EntryId id = lpt.allocate();
+  lpt.incRef(id);
+  for (auto _ : state) {
+    lpt.incRef(id);
+    lpt.decRef(id);
+  }
+}
+BENCHMARK(BM_LptRefCountOps);
+
+// Ablation: cost of freeing a k-deep chain under the two reclaim
+// policies. Lazy is O(1) per free; recursive cascades.
+template <core::ReclaimPolicy Policy>
+void BM_ChainFree(benchmark::State& state) {
+  const auto depth = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Lpt lpt(depth + 8, Policy);
+    std::vector<core::EntryId> chain(depth);
+    for (auto& id : chain) {
+      id = lpt.allocate();
+      lpt.incRef(id);
+    }
+    for (std::uint32_t i = 0; i + 1 < depth; ++i) {
+      lpt.entry(chain[i]).car = chain[i + 1];
+      lpt.incRef(chain[i + 1]);
+    }
+    for (std::uint32_t i = 1; i < depth; ++i) lpt.decRef(chain[i]);
+    state.ResumeTiming();
+    lpt.decRef(chain[0]);  // the timed root free
+    benchmark::DoNotOptimize(lpt.inUseCount());
+  }
+}
+BENCHMARK(BM_ChainFree<core::ReclaimPolicy::kLazy>)->Arg(64)->Arg(512);
+BENCHMARK(BM_ChainFree<core::ReclaimPolicy::kRecursive>)->Arg(64)->Arg(512);
+
+void BM_AccessHit(benchmark::State& state) {
+  support::Rng rng(1);
+  core::SimConfig config;
+  config.tableSize = 4096;
+  core::ListProcessor lp(config, rng);
+  const core::EntryId id = lp.readList(std::nullopt, 8, 2);
+  const core::AccessResult first = lp.car(id);  // forces the split
+  benchmark::DoNotOptimize(first);
+  for (auto _ : state) {
+    const core::AccessResult result = lp.car(id);
+    lp.unbind(result.id);  // keep counts bounded
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AccessHit);
+
+void BM_AccessSplit(benchmark::State& state) {
+  support::Rng rng(2);
+  core::SimConfig config;
+  config.tableSize = 1u << 16;
+  core::ListProcessor lp(config, rng);
+  core::EntryId cursor = lp.readList(std::nullopt, 1u << 12, 1u << 6);
+  for (auto _ : state) {
+    const core::AccessResult result = lp.cdr(cursor);
+    benchmark::DoNotOptimize(result);
+    if (result.id == core::kNoEntry ||
+        lp.lpt().entry(result.id).isAtom) {
+      state.PauseTiming();
+      cursor = lp.readList(cursor, 1u << 12, 1u << 6);
+      state.ResumeTiming();
+    } else {
+      cursor = result.id;
+    }
+  }
+}
+BENCHMARK(BM_AccessSplit);
+
+void BM_Cons(benchmark::State& state) {
+  support::Rng rng(3);
+  core::SimConfig config;
+  config.tableSize = 1u << 16;
+  core::ListProcessor lp(config, rng);
+  const core::EntryId x = lp.readList(std::nullopt, 3, 0);
+  const core::EntryId y = lp.readList(std::nullopt, 3, 0);
+  for (auto _ : state) {
+    const core::EntryId z = lp.cons(x, y);
+    lp.unbind(z);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_Cons);
+
+void BM_CompressionScan(benchmark::State& state) {
+  // Cost of one Compress-One scan as table occupancy grows.
+  const auto entries = static_cast<std::uint32_t>(state.range(0));
+  support::Rng rng(4);
+  core::SimConfig config;
+  config.tableSize = entries * 4;
+  core::ListProcessor lp(config, rng);
+  std::vector<core::EntryId> held;
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    held.push_back(lp.readList(std::nullopt, 4, 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp.compress(false));
+  }
+  benchmark::DoNotOptimize(held.data());
+}
+BENCHMARK(BM_CompressionScan)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Chapter 6 extension bench — reference-management message traffic in a
+// SMALL Multilisp: plain counting vs reference weighting vs weighting
+// with combining queues, across node counts and queue capacities.
+//
+// Paper shape (Figs 6.2/6.3/6.6): weighting removes all copy messages;
+// combining queues absorb the reference-count bursts of function returns.
+#include <cstdio>
+
+#include "multilisp/nodes.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace small;
+  std::puts("Ch. 6: remote reference-management messages per 100k events");
+  support::TextTable table({"nodes", "queue cap", "events", "plain",
+                            "weighted", "combined", "saving vs plain"});
+  for (const std::uint32_t nodes : {2u, 4u, 8u, 16u}) {
+    for (const std::size_t queueCapacity : {8u, 64u, 512u}) {
+      support::Rng rng(1000 + nodes);
+      multilisp::NodeSystem::Params params;
+      params.nodeCount = nodes;
+      params.queueCapacity = queueCapacity;
+      multilisp::NodeSystem system(params, rng);
+      const multilisp::TrafficReport report = system.run(100000);
+      const double saving =
+          report.plainMessages == 0
+              ? 0.0
+              : 1.0 - static_cast<double>(report.combinedMessages) /
+                          static_cast<double>(report.plainMessages);
+      table.addRow({std::to_string(nodes), std::to_string(queueCapacity),
+                    std::to_string(report.referenceEvents),
+                    std::to_string(report.plainMessages),
+                    std::to_string(report.weightedMessages),
+                    std::to_string(report.combinedMessages),
+                    support::formatPercent(saving, 1)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper: weighting eliminates the copy-message half of the "
+            "traffic outright;\ncombining queues soak up bursty decrements "
+            "— deeper queues combine more.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 5.1 — Content of the 4 Traces.
+//
+// Paper values: Lyra (11907 functions, 160933 primitives, depth 27),
+// PlaGen (8173, 34628, 15), Slang (620, 2304, 14), Editor (342, 1437, 29).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace small;
+  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+
+  std::puts("Table 5.1: content of the 4 simulation traces");
+  support::TextTable table({"Trace", "Functions", "Primitives", "Max Depth",
+                            "paper F", "paper P", "paper D"});
+  struct PaperRow {
+    const char* name;
+    const char* functions;
+    const char* primitives;
+    const char* depth;
+  };
+  constexpr PaperRow kPaper[] = {
+      {"Lyra", "11907", "160933", "27"},
+      {"PlaGen", "8173", "34628", "15"},
+      {"Slang", "620", "2304", "14"},
+      {"Editor", "342", "1437", "29"},
+  };
+  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
+    const trace::TraceContent content = raw.content();
+    const PaperRow* paper = nullptr;
+    for (const PaperRow& row : kPaper) {
+      if (name == row.name) paper = &row;
+    }
+    table.addRow({name, std::to_string(content.functionCalls),
+                  std::to_string(content.primitiveCalls),
+                  std::to_string(content.maxCallDepth),
+                  paper ? paper->functions : "-",
+                  paper ? paper->primitives : "-",
+                  paper ? paper->depth : "-"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table 5.5 — Sensitivity of Simulation to Probability Parameters.
+//
+// Five runs on the Slang trace: Control (0.60/0.30/0.01/0.01), HiArg
+// (0.85/0.125), HiLoc (0.30/0.60), HiRead (ReadProb 0.03), HiBind
+// (BindProb 0.03). Paper shape: the measures fluctuate only by small
+// amounts; the general trends are unchanged.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "small/simulator.hpp"
+#include "support/table.hpp"
+#include "trace/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace small;
+  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+
+  const auto traces = benchutil::chapter5Traces(fromWorkloads);
+  const benchutil::NamedTrace* slang = &traces[0];
+  for (const auto& named : traces) {
+    if (named.name == "Slang") slang = &named;
+  }
+  const auto pre = trace::preprocess(slang->raw);
+
+  struct Setting {
+    const char* name;
+    double argProb, locProb, bindProb, readProb;
+  };
+  constexpr Setting kSettings[] = {
+      {"Control", 0.60, 0.30, 0.01, 0.01},
+      {"HiArg", 0.85, 0.125, 0.01, 0.01},
+      {"HiLoc", 0.30, 0.60, 0.01, 0.01},
+      {"HiRead", 0.60, 0.30, 0.01, 0.03},
+      {"HiBind", 0.60, 0.30, 0.03, 0.01},
+  };
+
+  std::puts("Table 5.5: sensitivity of the Slang simulation to the "
+            "probability parameters");
+  support::TextTable table({"Statistic", "Control", "HiArg", "HiLoc",
+                            "HiRead", "HiBind"});
+  std::vector<core::SimResult> results;
+  for (const Setting& setting : kSettings) {
+    core::SimConfig config;
+    config.tableSize = 64;  // the paper's runs used a small table
+    config.argProb = setting.argProb;
+    config.locProb = setting.locProb;
+    config.bindProb = setting.bindProb;
+    config.readProb = setting.readProb;
+    config.driveCache = true;
+    config.seed = 2026;
+    results.push_back(core::simulateTrace(config, pre));
+  }
+
+  auto row = [&](const char* label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const core::SimResult& result : results) {
+      cells.push_back(std::to_string(getter(result)));
+    }
+    table.addRow(cells);
+  };
+  row("Ave LPT Count", [](const core::SimResult& r) {
+    return static_cast<long long>(r.averageOccupancy + 0.5);
+  });
+  row("Max LPT Count", [](const core::SimResult& r) {
+    return static_cast<long long>(r.peakOccupancy);
+  });
+  row("LPT Hits", [](const core::SimResult& r) {
+    return static_cast<long long>(r.lptHits);
+  });
+  row("Cache Hits", [](const core::SimResult& r) {
+    return static_cast<long long>(r.cacheHits);
+  });
+  row("Max Refcount", [](const core::SimResult& r) {
+    return static_cast<long long>(r.lptStats.maxRefCount);
+  });
+  row("Refops", [](const core::SimResult& r) {
+    return static_cast<long long>(r.lptStats.refOps);
+  });
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper (Table 5.5): Ave 49-52, Max 64 in all runs, "
+            "LPT hits 2622-2783,\nRefops 12060-12229 — small fluctuations, "
+            "same trends.");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// An interactive REPL for the thesis-subset Lisp.
+//
+//   $ ./repl
+//   small> (def fact (lambda (n) (cond ((= n 0) 1) (t (* n (fact (- n 1)))))))
+//   fact
+//   small> (fact 10)
+//   3628800
+//
+// Pass --trace to print the primitive trace of each evaluated form, which
+// makes the instrumentation point of §3.3.1 visible interactively.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lisp/interpreter.hpp"
+#include "lisp/tracer.hpp"
+#include "sexpr/printer.hpp"
+#include "support/error.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+class EchoTracer final : public small::lisp::Tracer {
+ public:
+  EchoTracer(const small::sexpr::Arena& arena,
+             const small::sexpr::SymbolTable& symbols)
+      : arena_(arena), symbols_(symbols) {}
+
+  void onPrimitive(small::trace::Primitive primitive,
+                   std::span<const small::sexpr::NodeRef> args,
+                   small::sexpr::NodeRef result) override {
+    std::cout << "  ; " << small::trace::primitiveName(primitive);
+    for (const auto arg : args) {
+      std::cout << " " << small::sexpr::print(arena_, symbols_, arg, 64);
+    }
+    std::cout << " -> " << small::sexpr::print(arena_, symbols_, result, 64)
+              << "\n";
+  }
+  void onFunctionEnter(std::string_view name, int argCount) override {
+    std::cout << "  ; enter " << name << "/" << argCount << "\n";
+  }
+  void onFunctionExit(std::string_view name) override {
+    std::cout << "  ; exit  " << name << "\n";
+  }
+
+ private:
+  const small::sexpr::Arena& arena_;
+  const small::sexpr::SymbolTable& symbols_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  small::sexpr::SymbolTable symbols;
+  small::sexpr::Arena arena;
+  small::lisp::Interpreter interp(arena, symbols);
+
+  EchoTracer tracer(arena, symbols);
+  const bool traceMode = argc > 1 && std::strcmp(argv[1], "--trace") == 0;
+  if (traceMode) interp.setTracer(&tracer);
+
+  std::cout << "SMALL Lisp REPL (" << (traceMode ? "tracing" : "quiet")
+            << "); empty line or EOF quits.\n";
+  std::string line;
+  std::string pending;
+  while (true) {
+    std::cout << (pending.empty() ? "small> " : "  ...> ") << std::flush;
+    if (!std::getline(std::cin, line) || (line.empty() && pending.empty())) {
+      break;
+    }
+    pending += line;
+    pending += "\n";
+    // Heuristic: try to evaluate; on an unterminated-list parse error keep
+    // reading continuation lines.
+    try {
+      const auto value = interp.run(pending);
+      std::cout << small::sexpr::print(arena, symbols, value) << "\n";
+      for (const auto out : interp.output()) {
+        std::cout << "out: " << small::sexpr::print(arena, symbols, out)
+                  << "\n";
+      }
+      interp.clearOutput();
+      pending.clear();
+    } catch (const small::support::ParseError& error) {
+      if (std::string(error.what()).find("unterminated") ==
+          std::string::npos) {
+        std::cout << "error: " << error.what() << "\n";
+        pending.clear();
+      }
+    } catch (const small::support::Error& error) {
+      std::cout << "error: " << error.what() << "\n";
+      pending.clear();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+// trace_tool — command-line front end for the trace pipeline.
+//
+//   trace_tool generate <workload|synthetic:<name>> [--scale K] [-o FILE]
+//   trace_tool analyze  <FILE> [--separation PCT]
+//   trace_tool simulate <FILE> [--table N] [--seed S] [--cache]
+//
+// Workload names: slang plagen lyra editor pearl. `generate workload:lyra`
+// runs the Lisp program under the tracing interpreter; `synthetic:lyra`
+// uses the generator calibrated to the thesis' statistics.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "analysis/census.hpp"
+#include "analysis/chaining.hpp"
+#include "analysis/list_sets.hpp"
+#include "small/simulator.hpp"
+#include "support/table.hpp"
+#include "trace/io.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/synthetic.hpp"
+#include "workloads/driver.hpp"
+
+namespace {
+
+using namespace small;
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  trace_tool generate <workload:NAME|synthetic:NAME> [--scale K] "
+      "[-o FILE]\n"
+      "  trace_tool analyze  FILE [--separation PCT]\n"
+      "  trace_tool simulate FILE [--table N] [--seed S] [--cache]\n"
+      "names: slang plagen lyra editor pearl\n",
+      stderr);
+  return 2;
+}
+
+std::optional<workloads::Workload> workloadByName(const std::string& name) {
+  for (const workloads::Workload w : workloads::kAllWorkloads) {
+    std::string candidate = workloads::workloadName(w);
+    for (char& c : candidate) c = static_cast<char>(std::tolower(c));
+    if (candidate == name) return w;
+  }
+  return std::nullopt;
+}
+
+std::optional<trace::WorkloadProfile> profileByName(const std::string& name,
+                                                    double scale) {
+  if (name == "slang") return trace::slangProfile(scale);
+  if (name == "plagen") return trace::plagenProfile(scale);
+  if (name == "lyra") return trace::lyraProfile(scale);
+  if (name == "editor") return trace::editorProfile(scale);
+  if (name == "pearl") return trace::pearlProfile(scale);
+  return std::nullopt;
+}
+
+const char* argValue(int argc, char** argv, const char* flag) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool argFlag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int generate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string spec = argv[2];
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return usage();
+  const std::string kind = spec.substr(0, colon);
+  const std::string name = spec.substr(colon + 1);
+  const char* scaleArg = argValue(argc, argv, "--scale");
+  const double scale = scaleArg ? std::atof(scaleArg) : 1.0;
+
+  trace::Trace raw;
+  if (kind == "workload") {
+    const auto workload = workloadByName(name);
+    if (!workload) return usage();
+    workloads::RunOptions options;
+    options.scale = std::max(1, static_cast<int>(scale));
+    raw = workloads::runWorkload(*workload, options);
+  } else if (kind == "synthetic") {
+    const auto profile = profileByName(name, scale);
+    if (!profile) return usage();
+    support::Rng rng(2026);
+    raw = trace::generate(*profile, rng);
+  } else {
+    return usage();
+  }
+
+  const trace::TraceContent content = raw.content();
+  std::printf("generated %s: %llu primitives, %llu function calls, "
+              "max depth %u\n",
+              raw.name.c_str(),
+              (unsigned long long)content.primitiveCalls,
+              (unsigned long long)content.functionCalls,
+              content.maxCallDepth);
+  if (const char* out = argValue(argc, argv, "-o")) {
+    trace::saveFile(raw, out);
+    std::printf("written to %s\n", out);
+  }
+  return 0;
+}
+
+int analyze(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const trace::Trace raw = trace::loadFile(argv[2]);
+  const auto pre = trace::preprocess(raw);
+  const char* sepArg = argValue(argc, argv, "--separation");
+  analysis::ListSetOptions options;
+  if (sepArg) options.separationFraction = std::atof(sepArg) / 100.0;
+
+  const auto census = analysis::censusPrimitives(raw);
+  const auto shapes = analysis::censusShapes(raw);
+  const auto partition = analysis::partitionListSets(pre, options);
+  const auto chaining = analysis::analyzeChaining(pre);
+  const auto cumulative = partition.cumulativeReferencesBySetRank();
+
+  std::printf("trace %s: %llu primitives, %u unique lists\n",
+              raw.name.c_str(), (unsigned long long)pre.primitiveCount,
+              pre.uniqueListCount);
+  std::printf("mix: car %s cdr %s cons %s\n",
+              support::formatPercent(
+                  census.fraction(trace::Primitive::kCar), 1)
+                  .c_str(),
+              support::formatPercent(
+                  census.fraction(trace::Primitive::kCdr), 1)
+                  .c_str(),
+              support::formatPercent(
+                  census.fraction(trace::Primitive::kCons), 1)
+                  .c_str());
+  std::printf("shape: mean n %.2f, mean p %.2f\n", shapes.n.mean(),
+              shapes.p.mean());
+  std::printf("list sets: %zu over %llu references",
+              partition.sets.size(),
+              (unsigned long long)partition.totalReferences);
+  if (!cumulative.y.empty()) {
+    const std::size_t k = std::min<std::size_t>(cumulative.y.size(), 10);
+    std::printf("; top-%zu cover %s", k,
+                support::formatPercent(cumulative.y[k - 1], 1).c_str());
+  }
+  std::printf("\nchaining: car %s cdr %s\n",
+              support::formatPercent(
+                  chaining.chainedFraction(trace::Primitive::kCar), 1)
+                  .c_str(),
+              support::formatPercent(
+                  chaining.chainedFraction(trace::Primitive::kCdr), 1)
+                  .c_str());
+  return 0;
+}
+
+int simulate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const trace::Trace raw = trace::loadFile(argv[2]);
+  const auto pre = trace::preprocess(raw);
+  core::SimConfig config;
+  if (const char* table = argValue(argc, argv, "--table")) {
+    config.tableSize = static_cast<std::uint32_t>(std::atoi(table));
+  }
+  if (const char* seed = argValue(argc, argv, "--seed")) {
+    config.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  config.driveCache = argFlag(argc, argv, "--cache");
+  const core::SimResult result = core::simulateTrace(config, pre);
+  std::printf("simulated %llu primitives on a %u-entry LPT (seed %llu)\n",
+              (unsigned long long)result.primitivesSimulated,
+              config.tableSize, (unsigned long long)config.seed);
+  std::printf("LPT: hit rate %s (%llu hits, %llu misses), peak %u, "
+              "refops %llu\n",
+              support::formatPercent(result.lptHitRate, 2).c_str(),
+              (unsigned long long)result.lptHits,
+              (unsigned long long)result.lptMisses, result.peakOccupancy,
+              (unsigned long long)result.lptStats.refOps);
+  if (config.driveCache) {
+    std::printf("cache: hit rate %s (%llu misses)\n",
+                support::formatPercent(result.cacheHitRate, 2).c_str(),
+                (unsigned long long)result.cacheMisses);
+  }
+  std::printf("overflows: pseudo %llu, true %llu\n",
+              (unsigned long long)result.lpStats.pseudoOverflows,
+              (unsigned long long)result.lpStats.trueOverflows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return generate(argc, argv);
+    if (command == "analyze") return analyze(argc, argv);
+    if (command == "simulate") return simulate(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trace_tool: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

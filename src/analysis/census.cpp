@@ -1,0 +1,30 @@
+#include "analysis/census.hpp"
+
+namespace small::analysis {
+
+PrimitiveCensus censusPrimitives(const trace::Trace& trace) {
+  PrimitiveCensus census;
+  for (const trace::Event& event : trace.events()) {
+    if (event.kind != trace::EventKind::kPrimitive) continue;
+    ++census.counts[static_cast<std::size_t>(event.primitive)];
+    ++census.total;
+  }
+  return census;
+}
+
+ShapeStatistics censusShapes(const trace::Trace& trace) {
+  ShapeStatistics stats;
+  for (const trace::Event& event : trace.events()) {
+    if (event.kind != trace::EventKind::kPrimitive) continue;
+    for (const trace::ObjectRecord& arg : event.args) {
+      if (!arg.isList) continue;
+      stats.n.add(arg.n);
+      stats.p.add(arg.p);
+      stats.nHistogram.add(arg.n);
+      stats.pHistogram.add(arg.p);
+    }
+  }
+  return stats;
+}
+
+}  // namespace small::analysis

@@ -1,0 +1,39 @@
+// Benchmark characterization (§3.3.1): primitive execution frequencies
+// (Fig 3.1) and list shape statistics n and p (Table 3.1, Figs 3.3a/b).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace small::analysis {
+
+/// Fig 3.1: fraction of traced primitive calls per primitive.
+struct PrimitiveCensus {
+  std::array<std::uint64_t, trace::kPrimitiveCount> counts{};
+  std::uint64_t total = 0;
+
+  double fraction(trace::Primitive p) const {
+    if (total == 0) return 0.0;
+    return static_cast<double>(counts[static_cast<std::size_t>(p)]) /
+           static_cast<double>(total);
+  }
+};
+
+PrimitiveCensus censusPrimitives(const trace::Trace& trace);
+
+/// Table 3.1 / Figs 3.3a-b: statistics of n and p over the list arguments
+/// encountered in the trace ("for each list encountered we noted n ... and
+/// p").
+struct ShapeStatistics {
+  support::RunningStats n;
+  support::RunningStats p;
+  support::Histogram nHistogram;
+  support::Histogram pHistogram;
+};
+
+ShapeStatistics censusShapes(const trace::Trace& trace);
+
+}  // namespace small::analysis

@@ -1,0 +1,25 @@
+#include "analysis/chaining.hpp"
+
+namespace small::analysis {
+
+ChainingStats analyzeChaining(const trace::PreprocessedTrace& trace) {
+  ChainingStats stats;
+  for (const trace::PreprocessedEvent& event : trace.events) {
+    if (event.kind != trace::EventKind::kPrimitive) continue;
+    bool hasListArg = false;
+    bool isChained = false;
+    for (const trace::PreprocessedObject& arg : event.args) {
+      if (arg.id == trace::kNoObject) continue;
+      hasListArg = true;
+      if (arg.chained) isChained = true;
+      break;  // the first list argument decides, as in the thesis' traces
+    }
+    if (!hasListArg) continue;
+    const auto i = static_cast<std::size_t>(event.primitive);
+    ++stats.total[i];
+    if (isChained) ++stats.chained[i];
+  }
+  return stats;
+}
+
+}  // namespace small::analysis

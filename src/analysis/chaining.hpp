@@ -1,0 +1,30 @@
+// Primitive function chaining (§3.3.2.3, Table 3.2).
+//
+// "We say that primitive function chaining has occurred if the value
+//  returned by one primitive function is immediately passed to another
+//  primitive function."
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "trace/preprocess.hpp"
+
+namespace small::analysis {
+
+struct ChainingStats {
+  /// Per-primitive: calls whose (first) list argument was the previous
+  /// call's return value, and total calls with a list argument.
+  std::array<std::uint64_t, trace::kPrimitiveCount> chained{};
+  std::array<std::uint64_t, trace::kPrimitiveCount> total{};
+
+  double chainedFraction(trace::Primitive p) const {
+    const auto i = static_cast<std::size_t>(p);
+    if (total[i] == 0) return 0.0;
+    return static_cast<double>(chained[i]) / static_cast<double>(total[i]);
+  }
+};
+
+ChainingStats analyzeChaining(const trace::PreprocessedTrace& trace);
+
+}  // namespace small::analysis

@@ -1,0 +1,287 @@
+#include "analysis/list_sets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace small::analysis {
+
+using trace::EventKind;
+using trace::kNoObject;
+using trace::PreprocessedEvent;
+using trace::Primitive;
+
+namespace {
+
+/// Union-find over unique list identifiers with union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t count)
+      : parent_(count), size_(count, 1) {
+    for (std::uint32_t i = 0; i < count; ++i) parent_[i] = i;
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    std::uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const std::uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Returns the surviving root (and the absorbed one via out-param).
+  std::uint32_t unite(std::uint32_t a, std::uint32_t b,
+                      std::uint32_t& absorbed) {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      absorbed = a;
+      return a;
+    }
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    absorbed = b;
+    return a;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+constexpr std::uint32_t kNoSet = 0xffffffffu;
+
+/// LRU stack of active set ids with linear lookup (set populations are
+/// small: Fig 3.4 shows ~10 sets covering 80% of references).
+class LruStack {
+ public:
+  /// Depth of `set` (1 = most recent), or 0 if absent; moves it to front.
+  std::uint32_t touch(std::uint32_t set) {
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      if (stack_[i] == set) {
+        stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(i));
+        stack_.insert(stack_.begin(), set);
+        return static_cast<std::uint32_t>(i + 1);
+      }
+    }
+    stack_.insert(stack_.begin(), set);
+    return 0;  // first touch / cold miss
+  }
+
+  void remove(std::uint32_t set) {
+    const auto it = std::ranges::find(stack_, set);
+    if (it != stack_.end()) stack_.erase(it);
+  }
+
+ private:
+  std::vector<std::uint32_t> stack_;
+};
+
+}  // namespace
+
+ListSetPartition partitionListSets(const trace::PreprocessedTrace& trace,
+                                   const ListSetOptions& options) {
+  ListSetPartition out;
+  out.traceLength = trace.primitiveCount;
+  if (options.separationAbsolute) {
+    out.window = *options.separationAbsolute;
+  } else {
+    out.window = static_cast<std::uint64_t>(
+        std::llround(options.separationFraction *
+                     static_cast<double>(trace.primitiveCount)));
+  }
+  // Temporally adjacent references are never "separated": a window below
+  // one primitive call would split every chain in a short trace.
+  out.window = std::max<std::uint64_t>(out.window, 1);
+  if (trace.uniqueListCount == 0) return out;
+
+  UnionFind components(trace.uniqueListCount);
+  // Per-component active set (indexed by component root id).
+  std::vector<std::uint32_t> activeSet(trace.uniqueListCount, kNoSet);
+  std::vector<ListSet> sets;
+  LruStack lru;
+
+  auto setIsFresh = [&](std::uint32_t set, std::uint64_t now) {
+    return now - sets[set].lastTouch <= out.window;
+  };
+
+  auto closeSet = [&](std::uint32_t set) { lru.remove(set); };
+
+  // Merge set `loser` into `winner` (both active, both fresh).
+  auto mergeSets = [&](std::uint32_t winner, std::uint32_t loser) {
+    if (winner == loser) return winner;
+    ListSet& w = sets[winner];
+    const ListSet& l = sets[loser];
+    w.references += l.references;
+    w.firstTouch = std::min(w.firstTouch, l.firstTouch);
+    w.lastTouch = std::max(w.lastTouch, l.lastTouch);
+    lru.remove(loser);
+    sets[loser] = ListSet{};  // emptied; filtered out at the end
+    return winner;
+  };
+
+  // Resolve the active set of the component containing `id`, honoring the
+  // separation constraint: a stale set is closed and replaced lazily.
+  auto activeOf = [&](std::uint32_t id, std::uint64_t now,
+                      bool createIfMissing) -> std::uint32_t {
+    const std::uint32_t root = components.find(id);
+    std::uint32_t set = activeSet[root];
+    if (set != kNoSet && !setIsFresh(set, now)) {
+      closeSet(set);
+      set = kNoSet;
+      activeSet[root] = kNoSet;
+    }
+    if (set == kNoSet && createIfMissing) {
+      set = static_cast<std::uint32_t>(sets.size());
+      sets.push_back(ListSet{0, now, now});
+      activeSet[root] = set;
+    }
+    return set;
+  };
+
+  // Structural relation edges contributed by one primitive event.
+  auto relate = [&](std::uint32_t a, std::uint32_t b, std::uint64_t now) {
+    if (a == kNoObject || b == kNoObject) return;
+    const std::uint32_t setA = activeOf(a, now, false);
+    const std::uint32_t setB = activeOf(b, now, false);
+    std::uint32_t absorbedRoot = 0;
+    const std::uint32_t root = components.unite(a, b, absorbedRoot);
+    // Combine the components' active sets.
+    std::uint32_t merged = kNoSet;
+    if (setA != kNoSet && setB != kNoSet) {
+      merged = setA == setB ? setA : mergeSets(setA, setB);
+    } else if (setA != kNoSet) {
+      merged = setA;
+    } else if (setB != kNoSet) {
+      merged = setB;
+    }
+    activeSet[root] = merged;
+    if (absorbedRoot != root) activeSet[absorbedRoot] = kNoSet;
+  };
+
+  // One list reference (argument occurrence) at position `now`.
+  auto reference = [&](std::uint32_t id, std::uint64_t now) {
+    const std::uint32_t set = activeOf(id, now, true);
+    ListSet& s = sets[set];
+    ++s.references;
+    s.lastTouch = now;
+    ++out.totalReferences;
+    const std::uint32_t depth = lru.touch(set);
+    out.lruDepths.add(depth == 0 ? 0 : static_cast<std::int64_t>(depth));
+  };
+
+  // A result flowing out of a primitive refreshes its component's window
+  // without counting as a member reference.
+  auto refreshResult = [&](std::uint32_t id, std::uint64_t now) {
+    const std::uint32_t set = activeOf(id, now, true);
+    sets[set].lastTouch = now;
+  };
+
+  std::uint64_t now = 0;
+  for (const PreprocessedEvent& event : trace.events) {
+    if (event.kind != EventKind::kPrimitive) continue;
+    // Count references first...
+    for (const trace::PreprocessedObject& arg : event.args) {
+      if (arg.id != kNoObject) reference(arg.id, now);
+    }
+    // ...then grow the relation with this event's structural edges.
+    const std::uint32_t result = event.result.id;
+    switch (event.primitive) {
+      case Primitive::kCar:
+      case Primitive::kCdr:
+        if (!event.args.empty()) relate(event.args[0].id, result, now);
+        break;
+      case Primitive::kCons:
+      case Primitive::kAppend:
+        for (const trace::PreprocessedObject& arg : event.args) {
+          relate(arg.id, result, now);
+        }
+        break;
+      case Primitive::kRplaca:
+      case Primitive::kRplacd:
+        if (event.args.size() >= 2) {
+          relate(event.args[0].id, event.args[1].id, now);
+        }
+        break;
+      default:
+        break;
+    }
+    if (result != kNoObject) refreshResult(result, now);
+    ++now;
+  }
+
+  // Drop emptied (merged-away) and referenceless sets.
+  std::erase_if(sets, [](const ListSet& s) { return s.references == 0; });
+  out.sets = std::move(sets);
+  return out;
+}
+
+support::Series ListSetPartition::cumulativeReferencesBySetRank() const {
+  support::Series series{"cumulative reference fraction", {}, {}};
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(sets.size());
+  for (const ListSet& s : sets) sizes.push_back(s.references);
+  std::ranges::sort(sizes, std::greater<>());
+  std::uint64_t cum = 0;
+  for (std::size_t rank = 0; rank < sizes.size(); ++rank) {
+    cum += sizes[rank];
+    series.add(static_cast<double>(rank + 1),
+               totalReferences == 0
+                   ? 0.0
+                   : static_cast<double>(cum) /
+                         static_cast<double>(totalReferences));
+  }
+  return series;
+}
+
+support::Series ListSetPartition::lifetimeCdfOverSets(int points) const {
+  support::Series series{"set fraction", {}, {}};
+  for (int i = 0; i <= points; ++i) {
+    const double x = static_cast<double>(i) / points;
+    std::size_t below = 0;
+    for (const ListSet& s : sets) {
+      if (s.lifetimeFraction(traceLength) <= x) ++below;
+    }
+    series.add(x * 100.0, sets.empty() ? 0.0
+                                       : static_cast<double>(below) /
+                                             static_cast<double>(sets.size()));
+  }
+  return series;
+}
+
+support::Series ListSetPartition::lifetimeCdfOverReferences(int points) const {
+  support::Series series{"reference fraction", {}, {}};
+  for (int i = 0; i <= points; ++i) {
+    const double x = static_cast<double>(i) / points;
+    std::uint64_t below = 0;
+    for (const ListSet& s : sets) {
+      if (s.lifetimeFraction(traceLength) <= x) below += s.references;
+    }
+    series.add(x * 100.0,
+               totalReferences == 0
+                   ? 0.0
+                   : static_cast<double>(below) /
+                         static_cast<double>(totalReferences));
+  }
+  return series;
+}
+
+support::Series ListSetPartition::lruDepthCdf(int maxDepth) const {
+  support::Series series{"reference fraction", {}, {}};
+  const std::uint64_t total = lruDepths.total();
+  if (total == 0) return series;
+  std::uint64_t cum = 0;
+  for (int d = 1; d <= maxDepth; ++d) {
+    cum += lruDepths.countOf(d);
+    series.add(static_cast<double>(d),
+               static_cast<double>(cum) / static_cast<double>(total));
+  }
+  return series;
+}
+
+}  // namespace small::analysis

@@ -1,0 +1,77 @@
+// The list-set partition (§3.3.2) — the thesis' central analytical device.
+//
+// "We say that two list references are related if one is the car or cdr of
+//  the other. A list access reference stream can then be partitioned into
+//  list sets, where each list set is a closure of related list references
+//  with the added constraint that no two temporally adjacent members of the
+//  list set are separated in the access trace by more than 10% of the total
+//  length of the trace."
+//
+// Implementation: a union-find over unique list identifiers tracks the
+// *structural* relation (grown by car/cdr/cons/rplac edges as the trace is
+// replayed); each related component carries at most one *active* list set,
+// and a component whose active set has not been touched for more than the
+// separation window closes that set and opens a fresh one on its next
+// reference. References are argument occurrences of list objects; results
+// refresh their component's window (they are the values flowing into
+// subsequent chained references).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "trace/preprocess.hpp"
+
+namespace small::analysis {
+
+struct ListSetOptions {
+  /// Separation constraint as a fraction of trace length (the thesis
+  /// default is 10%).
+  double separationFraction = 0.10;
+
+  /// If set, an absolute separation window in primitive-call units,
+  /// overriding the fraction (the Figs 3.11-3.13 "fixed constraint" study).
+  std::optional<std::uint64_t> separationAbsolute;
+};
+
+struct ListSet {
+  std::uint64_t references = 0;   ///< member reference count ("size")
+  std::uint64_t firstTouch = 0;   ///< position of first member (primitive idx)
+  std::uint64_t lastTouch = 0;    ///< position of last member
+
+  /// Lifetime as a fraction of the trace length (§3.3.2.1).
+  double lifetimeFraction(std::uint64_t traceLength) const {
+    if (traceLength == 0) return 0.0;
+    return static_cast<double>(lastTouch - firstTouch) /
+           static_cast<double>(traceLength);
+  }
+};
+
+struct ListSetPartition {
+  std::vector<ListSet> sets;          ///< all non-empty list sets
+  std::uint64_t totalReferences = 0;  ///< list references in the stream
+  std::uint64_t traceLength = 0;      ///< primitive calls in the trace
+  std::uint64_t window = 0;           ///< separation window actually used
+  support::Histogram lruDepths;       ///< Fig 3.7: list-set LRU distances
+
+  /// Fig 3.4: cumulative fraction of all list references contained in the k
+  /// largest list sets, for k = 1..sets.size().
+  support::Series cumulativeReferencesBySetRank() const;
+
+  /// Fig 3.5: fraction of list sets with lifetime <= x% of trace length.
+  support::Series lifetimeCdfOverSets(int points = 50) const;
+
+  /// Fig 3.6: fraction of list references belonging to list sets with
+  /// lifetime <= x% of trace length.
+  support::Series lifetimeCdfOverReferences(int points = 50) const;
+
+  /// Fig 3.7: fraction of references at LRU stack depth <= d.
+  support::Series lruDepthCdf(int maxDepth = 32) const;
+};
+
+ListSetPartition partitionListSets(const trace::PreprocessedTrace& trace,
+                                   const ListSetOptions& options = {});
+
+}  // namespace small::analysis

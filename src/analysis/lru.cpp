@@ -1,0 +1,45 @@
+#include "analysis/lru.hpp"
+
+#include <algorithm>
+
+namespace small::analysis {
+
+std::uint32_t MattsonStack::reference(std::uint64_t item) {
+  ++references_;
+  const auto it = std::ranges::find(stack_, item);
+  if (it == stack_.end()) {
+    stack_.insert(stack_.begin(), item);
+    ++coldMisses_;
+    return 0;
+  }
+  const auto distance =
+      static_cast<std::uint32_t>(it - stack_.begin()) + 1;
+  stack_.erase(it);
+  stack_.insert(stack_.begin(), item);
+  distances_.add(distance);
+  return distance;
+}
+
+double MattsonStack::hitRatio(std::uint32_t capacity) const {
+  if (references_ == 0) return 0.0;
+  std::uint64_t hits = 0;
+  for (const auto& [distance, count] : distances_.buckets()) {
+    if (distance <= static_cast<std::int64_t>(capacity)) hits += count;
+  }
+  return static_cast<double>(hits) / static_cast<double>(references_);
+}
+
+support::Series MattsonStack::hitRatioCurve(std::uint32_t maxCapacity) const {
+  support::Series series{"hit ratio", {}, {}};
+  std::uint64_t hits = 0;
+  for (std::uint32_t capacity = 1; capacity <= maxCapacity; ++capacity) {
+    hits += distances_.countOf(capacity);
+    series.add(capacity, references_ == 0
+                             ? 0.0
+                             : static_cast<double>(hits) /
+                                   static_cast<double>(references_));
+  }
+  return series;
+}
+
+}  // namespace small::analysis

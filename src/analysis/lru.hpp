@@ -1,0 +1,40 @@
+// Mattson single-pass LRU stack-distance analysis ([Matt70a], used by both
+// Clark's studies and §3.3.2.3 / Fig 3.7).
+//
+// One pass over a reference stream yields the hit count for *every* LRU
+// buffer size at once: a reference at stack distance d hits in any buffer
+// of capacity >= d.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace small::analysis {
+
+/// Generic Mattson analyser over an arbitrary item-id stream.
+class MattsonStack {
+ public:
+  /// Record a reference to `item`; returns its stack distance (1 = top) or
+  /// 0 on a cold (first-ever) reference.
+  std::uint32_t reference(std::uint64_t item);
+
+  std::uint64_t references() const { return references_; }
+  std::uint64_t coldMisses() const { return coldMisses_; }
+  const support::Histogram& distances() const { return distances_; }
+
+  /// Hit ratio for an LRU buffer holding `capacity` items.
+  double hitRatio(std::uint32_t capacity) const;
+
+  /// Series of hit ratios over capacities 1..maxCapacity (Fig 3.7 shape).
+  support::Series hitRatioCurve(std::uint32_t maxCapacity) const;
+
+ private:
+  std::vector<std::uint64_t> stack_;  // front = most recent
+  support::Histogram distances_;
+  std::uint64_t references_ = 0;
+  std::uint64_t coldMisses_ = 0;
+};
+
+}  // namespace small::analysis

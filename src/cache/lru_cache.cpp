@@ -1,0 +1,37 @@
+#include "cache/lru_cache.hpp"
+
+namespace small::cache {
+
+LruCache::LruCache(std::uint64_t entryCount, std::uint32_t lineSize)
+    : entryCount_(entryCount), lineSize_(lineSize) {
+  if (entryCount == 0) throw support::Error("LruCache: zero entries");
+  if (lineSize == 0) throw support::Error("LruCache: zero line size");
+}
+
+bool LruCache::access(std::uint64_t address) {
+  const std::uint64_t line = address / lineSize_;
+  const auto it = map_.find(line);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= entryCount_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(line);
+  map_[line] = lru_.begin();
+  return false;
+}
+
+void LruCache::reset() {
+  lru_.clear();
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace small::cache

@@ -1,0 +1,57 @@
+// The data-cache comparator (§5.2.5).
+//
+// "We considered a fully associative, LRU replacement data cache with the
+//  same number of entries as the LPT... A 2 pointer list cell was assumed
+//  to be the cachable unit." The Fig 5.5 study varies the line size from 1
+//  to 16 cells while holding total capacity fixed (so entry count shrinks
+//  as lines grow) and halves the per-entry size relative to LPT entries.
+//
+// The implementation keeps an LRU-ordered intrusive list over a hash map of
+// resident lines, so each access is O(1) rather than O(entries).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace small::cache {
+
+class LruCache {
+ public:
+  /// `entryCount` lines of `lineSize` cells each (addresses are in cells).
+  LruCache(std::uint64_t entryCount, std::uint32_t lineSize = 1);
+
+  /// Access the cell at `address`. Returns true on hit. Misses fill the
+  /// containing line, evicting the LRU line if full (prefetching the rest
+  /// of the line "for free" — the Fig 5.5 effect).
+  bool access(std::uint64_t address);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+  double hitRate() const {
+    const std::uint64_t n = accesses();
+    return n == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(n);
+  }
+
+  std::uint64_t entryCount() const { return entryCount_; }
+  std::uint32_t lineSize() const { return lineSize_; }
+  std::uint64_t residentLines() const { return map_.size(); }
+
+  void reset();
+
+ private:
+  std::uint64_t entryCount_;
+  std::uint32_t lineSize_;
+
+  // Most-recent at front. Values in map_ point into lru_.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace small::cache

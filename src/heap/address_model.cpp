@@ -1,0 +1,4 @@
+#include "heap/address_model.hpp"
+
+// AddressModel is header-only today; this translation unit anchors the
+// library target and reserves a home for future out-of-line logic.

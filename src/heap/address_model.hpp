@@ -1,0 +1,59 @@
+// Heap address assignment for the trace-driven studies (§5.2.5).
+//
+// "We maintained a counter that represented the next address to be used...
+//  Whenever a new list reference was encountered in the simulation, a size
+//  was assigned to it based on our n and p distributions... The value of
+//  the counter was assigned as the address of that list reference... When
+//  an object was accessed (split), addresses were assigned to its car and
+//  cdr based on the car or cdr pointer distances listed in Clark's thesis,
+//  and calculated as an offset from the address of the object itself."
+#pragma once
+
+#include <cstdint>
+
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace small::heap {
+
+/// Address and size bookkeeping for simulated heap objects. Addresses are
+/// in units of two-pointer list cells (the cachable unit of §5.2.5).
+class AddressModel {
+ public:
+  struct Params {
+    support::PointerDistanceModel::Params pointerDistances{};
+  };
+
+  AddressModel() : AddressModel(Params{}) {}
+  explicit AddressModel(Params params)
+      : distances_(params.pointerDistances) {}
+
+  /// Allocate a fresh object of `sizeCells` cells at the bump counter.
+  std::uint64_t allocateObject(std::uint32_t sizeCells) {
+    const std::uint64_t address = next_;
+    next_ += sizeCells == 0 ? 1 : sizeCells;
+    return address;
+  }
+
+  /// Address of a child produced by splitting the object at `parent`,
+  /// using Clark's pointer-distance shape. Clamped to [0, next).
+  std::uint64_t childAddress(std::uint64_t parent, support::Rng& rng) {
+    const std::int64_t distance = distances_.sampleDistance(rng);
+    const auto signedParent = static_cast<std::int64_t>(parent);
+    std::int64_t child = signedParent + distance;
+    if (child < 0) child = signedParent - distance;
+    if (child < 0) child = 0;
+    if (next_ > 0 && static_cast<std::uint64_t>(child) >= next_) {
+      child = static_cast<std::int64_t>(next_ - 1);
+    }
+    return static_cast<std::uint64_t>(child);
+  }
+
+  std::uint64_t highWaterMark() const { return next_; }
+
+ private:
+  support::PointerDistanceModel distances_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace small::heap

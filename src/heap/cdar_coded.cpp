@@ -1,0 +1,184 @@
+#include "heap/cdar_coded.hpp"
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace small::heap {
+
+using support::Error;
+using support::EvalError;
+
+CdarCode CdarCode::prepend(bool cdrStep) const {
+  if (length >= 64) throw Error("CdarCode: path too long");
+  CdarCode out;
+  out.length = static_cast<std::uint8_t>(length + 1);
+  // Steps are stored root-first from the MSB end of the window, so a new
+  // root step lands above the current most significant bit.
+  out.bits = bits | (static_cast<std::uint64_t>(cdrStep ? 1u : 0u) << length);
+  return out;
+}
+
+bool CdarCode::firstStep() const {
+  if (length == 0) throw Error("CdarCode: empty path has no first step");
+  return ((bits >> (length - 1)) & 1u) != 0;
+}
+
+CdarCode CdarCode::stripFirst() const {
+  if (length == 0) throw Error("CdarCode: cannot strip empty path");
+  CdarCode out;
+  out.length = static_cast<std::uint8_t>(length - 1);
+  out.bits = bits & ((out.length == 64) ? ~0ull
+                                        : ((1ull << out.length) - 1ull));
+  return out;
+}
+
+std::string CdarCode::toString() const {
+  std::string out;
+  for (int i = length - 1; i >= 0; --i) {
+    out.push_back(((bits >> i) & 1u) ? '1' : '0');
+  }
+  return out;
+}
+
+namespace {
+
+void encodeInto(const sexpr::Arena& arena, sexpr::NodeRef node,
+                CdarCode path, std::vector<CdarTable::Entry>& entries) {
+  switch (arena.kind(node)) {
+    case sexpr::NodeKind::kNil: {
+      CdarTable::Entry entry;
+      entry.code = path;
+      entry.tag = CdarTable::Entry::Tag::kNil;
+      entries.push_back(entry);
+      return;
+    }
+    case sexpr::NodeKind::kSymbol: {
+      CdarTable::Entry entry;
+      entry.code = path;
+      entry.tag = CdarTable::Entry::Tag::kSymbol;
+      entry.payload = arena.symbolId(node);
+      entries.push_back(entry);
+      return;
+    }
+    case sexpr::NodeKind::kInteger: {
+      CdarTable::Entry entry;
+      entry.code = path;
+      entry.tag = CdarTable::Entry::Tag::kInteger;
+      entry.payload = static_cast<std::uint64_t>(arena.integerValue(node));
+      entries.push_back(entry);
+      return;
+    }
+    case sexpr::NodeKind::kCons: {
+      CdarCode carPath = path;
+      CdarCode cdrPath = path;
+      // Codes are built root-first: extend with 0 for car, 1 for cdr.
+      if (path.length >= 64) throw Error("CdarTable: list too deep/long");
+      carPath.bits = path.bits << 1;
+      carPath.length = static_cast<std::uint8_t>(path.length + 1);
+      cdrPath.bits = (path.bits << 1) | 1u;
+      cdrPath.length = static_cast<std::uint8_t>(path.length + 1);
+      encodeInto(arena, arena.car(node), carPath, entries);
+      encodeInto(arena, arena.cdr(node), cdrPath, entries);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+CdarTable CdarTable::encode(const sexpr::Arena& arena, sexpr::NodeRef root) {
+  CdarTable table;
+  encodeInto(arena, root, CdarCode{}, table.entries_);
+  return table;
+}
+
+namespace {
+
+sexpr::NodeRef decodeAt(sexpr::Arena& arena,
+                        const std::vector<CdarTable::Entry>& entries,
+                        const CdarCode& path) {
+  // Exact match → atom entry here.
+  for (const CdarTable::Entry& entry : entries) {
+    if (entry.code == path) {
+      switch (entry.tag) {
+        case CdarTable::Entry::Tag::kNil:
+          return sexpr::kNilRef;
+        case CdarTable::Entry::Tag::kSymbol:
+          return arena.symbol(static_cast<sexpr::SymbolId>(entry.payload));
+        case CdarTable::Entry::Tag::kInteger:
+          return arena.integer(static_cast<std::int64_t>(entry.payload));
+      }
+    }
+  }
+  // Otherwise this path is an internal node: decode both children.
+  CdarCode carPath = path;
+  carPath.bits = path.bits << 1;
+  carPath.length = static_cast<std::uint8_t>(path.length + 1);
+  CdarCode cdrPath = path;
+  cdrPath.bits = (path.bits << 1) | 1u;
+  cdrPath.length = static_cast<std::uint8_t>(path.length + 1);
+  // Check the subtree is nonempty to fail fast on corrupt tables.
+  bool anyChild = false;
+  for (const CdarTable::Entry& entry : entries) {
+    if (entry.code.length > path.length) {
+      const std::uint64_t prefix =
+          entry.code.bits >> (entry.code.length - path.length);
+      if (path.length == 0 || prefix == path.bits) {
+        anyChild = true;
+        break;
+      }
+    }
+  }
+  if (!anyChild) {
+    throw EvalError("CdarTable: decode found no entry under path " +
+                    path.toString());
+  }
+  const sexpr::NodeRef head = decodeAt(arena, entries, carPath);
+  const sexpr::NodeRef tail = decodeAt(arena, entries, cdrPath);
+  return arena.cons(head, tail);
+}
+
+}  // namespace
+
+sexpr::NodeRef CdarTable::decode(sexpr::Arena& arena) const {
+  if (entries_.empty()) return sexpr::kNilRef;
+  return decodeAt(arena, entries_, CdarCode{});
+}
+
+CdarTable CdarTable::car(std::uint64_t* copies) const {
+  CdarTable out;
+  for (const Entry& entry : entries_) {
+    if (entry.code.length == 0) continue;  // the root atom has no car
+    if (!entry.code.firstStep()) {
+      Entry stripped = entry;
+      stripped.code = entry.code.stripFirst();
+      out.entries_.push_back(stripped);
+      if (copies) ++*copies;
+    }
+  }
+  return out;
+}
+
+CdarTable CdarTable::cdr(std::uint64_t* copies) const {
+  CdarTable out;
+  for (const Entry& entry : entries_) {
+    if (entry.code.length == 0) continue;
+    if (entry.code.firstStep()) {
+      Entry stripped = entry;
+      stripped.code = entry.code.stripFirst();
+      out.entries_.push_back(stripped);
+      if (copies) ++*copies;
+    }
+  }
+  return out;
+}
+
+const CdarTable::Entry* CdarTable::probe(const CdarCode& code) const {
+  for (const Entry& entry : entries_) {
+    if (entry.code == code) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace small::heap

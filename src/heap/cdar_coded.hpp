@@ -1,0 +1,70 @@
+// Structure-coded list representation: CDAR coding / BLAST-style exception
+// tables (§2.3.3.2, Fig 2.10).
+//
+// Each symbol of a list is stored as a (code, value) tuple where the code
+// spells the car/cdr path from the list root to the symbol — 0 for car,
+// 1 for cdr, read left to right. Only the n symbols are stored (against
+// n + p cells for pointer representations), and any element is addressable
+// without touching the others; the price is that car/cdr/split become table
+// scans that strip a code prefix (§4.3.3.2: "The more compact a
+// representation scheme is the more difficult it becomes to split").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sexpr/arena.hpp"
+
+namespace small::heap {
+
+/// A car/cdr path of up to 64 steps, most significant step first.
+struct CdarCode {
+  std::uint64_t bits = 0;  ///< 0 = car, 1 = cdr, packed from the LSB end
+  std::uint8_t length = 0;
+
+  /// Prepend a step (used while unwinding the encoder's recursion).
+  CdarCode prepend(bool cdrStep) const;
+  /// First step of the path (false = car, true = cdr).
+  bool firstStep() const;
+  /// Path with the first step removed.
+  CdarCode stripFirst() const;
+
+  bool operator==(const CdarCode&) const = default;
+
+  /// Render as the thesis prints it, e.g. "010111".
+  std::string toString() const;
+};
+
+class CdarTable {
+ public:
+  struct Entry {
+    CdarCode code;
+    // Value payload: a symbol id, an integer, or nil.
+    enum class Tag : std::uint8_t { kNil, kSymbol, kInteger } tag = Tag::kNil;
+    std::uint64_t payload = 0;
+  };
+
+  /// Encode a whole s-expression as one exception table.
+  static CdarTable encode(const sexpr::Arena& arena, sexpr::NodeRef root);
+
+  /// Rebuild the s-expression.
+  sexpr::NodeRef decode(sexpr::Arena& arena) const;
+
+  /// The car (entries whose code starts with 0, prefix stripped) — §4.3.3.2
+  /// split, one half. `copies` accumulates entry-copy work.
+  CdarTable car(std::uint64_t* copies = nullptr) const;
+  /// The cdr (entries whose code starts with 1, prefix stripped).
+  CdarTable cdr(std::uint64_t* copies = nullptr) const;
+
+  /// Associative probe: the entry with exactly `code`, if present. This is
+  /// the BLAST-style O(1)-by-hardware access; here a scan with a counter.
+  const Entry* probe(const CdarCode& code) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace small::heap

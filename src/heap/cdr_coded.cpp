@@ -1,0 +1,182 @@
+#include "heap/cdr_coded.hpp"
+
+#include "support/error.hpp"
+
+namespace small::heap {
+
+using support::Error;
+using support::SimulationError;
+
+const CdrCodedHeap::Cell& CdrCodedHeap::at(CellRef cell) const {
+  if (cell >= cells_.size()) throw Error("CdrCodedHeap: bad cell ref");
+  return cells_[cell];
+}
+
+CdrCodedHeap::Cell& CdrCodedHeap::at(CellRef cell) {
+  if (cell >= cells_.size()) throw Error("CdrCodedHeap: bad cell ref");
+  return cells_[cell];
+}
+
+CdrCodedHeap::CellRef CdrCodedHeap::resolve(CellRef cell) const {
+  // Invisible pointers are dereferenced "by the hardware", i.e. for free in
+  // the programming model but costing a dependent read each.
+  while (at(cell).car.tag == CdrWord::Tag::kInvisible) {
+    ++reads_;
+    ++dependentReads_;
+    cell = at(cell).car.payload;
+  }
+  return cell;
+}
+
+CdrWord CdrCodedHeap::encode(const sexpr::Arena& arena, sexpr::NodeRef root) {
+  switch (arena.kind(root)) {
+    case sexpr::NodeKind::kNil:
+      return CdrWord::nil();
+    case sexpr::NodeKind::kSymbol:
+      return CdrWord::symbol(arena.symbolId(root));
+    case sexpr::NodeKind::kInteger:
+      return CdrWord::integer(arena.integerValue(root));
+    case sexpr::NodeKind::kCons:
+      break;
+  }
+
+  // Gather the spine, then lay the run out in consecutive cells. Element
+  // cars that are themselves lists are encoded first (their runs precede
+  // this one; pointers still work).
+  std::vector<sexpr::NodeRef> spine;
+  sexpr::NodeRef cursor = root;
+  while (arena.kind(cursor) == sexpr::NodeKind::kCons) {
+    spine.push_back(cursor);
+    cursor = arena.cdr(cursor);
+  }
+  const bool properList = arena.isNil(cursor);
+
+  std::vector<CdrWord> heads;
+  heads.reserve(spine.size());
+  for (const sexpr::NodeRef node : spine) {
+    heads.push_back(encode(arena, arena.car(node)));
+  }
+  CdrWord tail = properList ? CdrWord::nil() : encode(arena, cursor);
+
+  const CellRef start = cells_.size();
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    Cell cell;
+    cell.car = heads[i];
+    const bool last = i + 1 == heads.size();
+    if (!last) {
+      cell.code = CdrCode::kNext;
+    } else if (properList) {
+      cell.code = CdrCode::kNil;
+    } else {
+      // Dotted tail: cdr-normal pair.
+      cell.code = CdrCode::kNormal;
+    }
+    cells_.push_back(cell);
+  }
+  if (!properList) {
+    Cell errorCell;
+    errorCell.car = tail;
+    errorCell.code = CdrCode::kError;
+    cells_.push_back(errorCell);
+  }
+  return CdrWord::pointer(start);
+}
+
+CdrWord CdrCodedHeap::car(CellRef cell) const {
+  ++reads_;
+  return at(resolve(cell)).car;
+}
+
+CdrWord CdrCodedHeap::cdr(CellRef cell) const {
+  ++reads_;
+  const CellRef c = resolve(cell);
+  const Cell& slot = at(c);
+  switch (slot.code) {
+    case CdrCode::kNext:
+      // Address generated without reading another cell — this is the
+      // vector-coding win.
+      return CdrWord::pointer(c + 1);
+    case CdrCode::kNil:
+      return CdrWord::nil();
+    case CdrCode::kNormal:
+      ++reads_;
+      ++dependentReads_;
+      return at(c + 1).car;
+    case CdrCode::kError:
+      throw SimulationError("CdrCodedHeap: cdr of a cdr-error cell");
+  }
+  throw Error("CdrCodedHeap: unreachable cdr code");
+}
+
+void CdrCodedHeap::rplaca(CellRef cell, CdrWord value) {
+  at(resolve(cell)).car = value;
+}
+
+void CdrCodedHeap::rplacd(CellRef cell, CdrWord value) {
+  const CellRef c = resolve(cell);
+  Cell& slot = at(c);
+  switch (slot.code) {
+    case CdrCode::kNormal:
+      at(c + 1).car = value;
+      return;
+    case CdrCode::kError:
+      throw SimulationError("CdrCodedHeap: rplacd of a cdr-error cell");
+    case CdrCode::kNext:
+    case CdrCode::kNil: {
+      // Copy out into a cdr-normal pair; forward the old cell. The two
+      // push_backs may reallocate the cell vector, so re-resolve the old
+      // cell afterwards rather than holding `slot` across them.
+      const CellRef fresh = cells_.size();
+      Cell first;
+      first.car = slot.car;
+      first.code = CdrCode::kNormal;
+      Cell second;
+      second.car = value;
+      second.code = CdrCode::kError;
+      cells_.push_back(first);
+      cells_.push_back(second);
+      at(c).car = CdrWord::invisible(fresh);
+      // Keep the old cdr code: readers are forwarded before looking at it.
+      ++invisibles_;
+      return;
+    }
+  }
+}
+
+sexpr::NodeRef CdrCodedHeap::decode(sexpr::Arena& arena, CdrWord root) const {
+  switch (root.tag) {
+    case CdrWord::Tag::kNil:
+      return sexpr::kNilRef;
+    case CdrWord::Tag::kSymbol:
+      return arena.symbol(static_cast<sexpr::SymbolId>(root.payload));
+    case CdrWord::Tag::kInteger:
+      return arena.integer(static_cast<std::int64_t>(root.payload));
+    case CdrWord::Tag::kInvisible:
+      return decode(arena, CdrWord::pointer(resolve(root.payload)));
+    case CdrWord::Tag::kPointer: {
+      // Collect the run, then rebuild back-to-front.
+      std::vector<sexpr::NodeRef> heads;
+      CdrWord cursor = root;
+      CdrWord tail = CdrWord::nil();
+      while (cursor.isPointer()) {
+        const CellRef c = resolve(cursor.payload);
+        heads.push_back(decode(arena, car(c)));
+        const CdrWord next = cdr(c);
+        if (next.isPointer()) {
+          cursor = next;
+        } else {
+          tail = next;
+          break;
+        }
+      }
+      sexpr::NodeRef result = decode(arena, tail);
+      for (std::size_t i = heads.size(); i-- > 0;) {
+        result = arena.cons(heads[i], result);
+      }
+      return result;
+    }
+  }
+  throw Error("CdrCodedHeap: unreachable word tag");
+}
+
+}  // namespace small::heap

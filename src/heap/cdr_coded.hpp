@@ -1,0 +1,93 @@
+// MIT Lisp Machine style cdr-coded list representation (Fig 2.8).
+//
+// Each cell holds one full-width car word plus a 2-bit cdr code:
+//   cdr-next   — the cdr is the next cell,
+//   cdr-nil    — the cdr is nil (last cell of a vectorized run),
+//   cdr-normal — the cdr pointer lives in the *next* cell's car word,
+//   cdr-error  — this cell is the second half of a cdr-normal pair.
+// Destructive rplacd on a vectorized cell forces the cell to be copied out
+// into a cdr-normal/cdr-error pair, reached through an *invisible pointer*
+// that the access hardware dereferences transparently (§2.3.3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sexpr/arena.hpp"
+
+namespace small::heap {
+
+enum class CdrCode : std::uint8_t { kNormal, kError, kNext, kNil };
+
+struct CdrWord {
+  enum class Tag : std::uint8_t {
+    kNil,
+    kPointer,
+    kSymbol,
+    kInteger,
+    kInvisible,  ///< forwarded cell; hardware auto-dereferences
+  };
+  Tag tag = Tag::kNil;
+  std::uint64_t payload = 0;
+
+  static CdrWord nil() { return {}; }
+  static CdrWord pointer(std::uint64_t cell) { return {Tag::kPointer, cell}; }
+  static CdrWord symbol(std::uint64_t id) { return {Tag::kSymbol, id}; }
+  static CdrWord integer(std::int64_t v) {
+    return {Tag::kInteger, static_cast<std::uint64_t>(v)};
+  }
+  static CdrWord invisible(std::uint64_t cell) {
+    return {Tag::kInvisible, cell};
+  }
+
+  bool isPointer() const { return tag == Tag::kPointer; }
+};
+
+class CdrCodedHeap {
+ public:
+  using CellRef = std::uint64_t;
+
+  /// Encode an s-expression; lists become vectorized runs of consecutive
+  /// cells. Returns the root word.
+  CdrWord encode(const sexpr::Arena& arena, sexpr::NodeRef root);
+
+  /// Rebuild an s-expression from the heap.
+  sexpr::NodeRef decode(sexpr::Arena& arena, CdrWord root) const;
+
+  /// car of the cell at `cell` (invisible pointers resolved).
+  CdrWord car(CellRef cell) const;
+
+  /// cdr of the cell at `cell`: nil, a pointer word, or an atom word.
+  CdrWord cdr(CellRef cell) const;
+
+  void rplaca(CellRef cell, CdrWord value);
+
+  /// Destructive cdr replacement; may copy the cell out into a
+  /// cdr-normal pair and leave an invisible pointer behind.
+  void rplacd(CellRef cell, CdrWord value);
+
+  // --- space/time accounting for the representation comparison bench ---
+  std::uint64_t cellsAllocated() const { return cells_.size(); }
+  std::uint64_t invisibleCount() const { return invisibles_; }
+  /// Memory reads performed; `dependent` reads needed a previous read's
+  /// value to form their address (the §2.3.3 addressing bottleneck).
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t dependentReads() const { return dependentReads_; }
+
+ private:
+  struct Cell {
+    CdrWord car;
+    CdrCode code = CdrCode::kNil;
+  };
+
+  CellRef resolve(CellRef cell) const;  ///< chase invisible pointers
+  const Cell& at(CellRef cell) const;
+  Cell& at(CellRef cell);
+
+  std::vector<Cell> cells_;
+  std::uint64_t invisibles_ = 0;
+  mutable std::uint64_t reads_ = 0;
+  mutable std::uint64_t dependentReads_ = 0;
+};
+
+}  // namespace small::heap

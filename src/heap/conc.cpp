@@ -1,0 +1,114 @@
+#include "heap/conc.hpp"
+
+#include "support/error.hpp"
+
+namespace small::heap {
+
+using support::Error;
+using support::EvalError;
+
+const ConcHeap::Descriptor& ConcHeap::at(DescRef ref) const {
+  if (ref >= descriptors_.size()) throw Error("ConcHeap: bad descriptor");
+  return descriptors_[ref];
+}
+
+ConcHeap::DescRef ConcHeap::makeTuple(const std::vector<Element>& elements) {
+  Descriptor desc;
+  desc.isConc = false;
+  desc.start = elements_.size();
+  desc.length = elements.size();
+  elements_.insert(elements_.end(), elements.begin(), elements.end());
+  descriptors_.push_back(desc);
+  ++tuples_;
+  return static_cast<DescRef>(descriptors_.size() - 1);
+}
+
+ConcHeap::DescRef ConcHeap::encode(const sexpr::Arena& arena,
+                                   sexpr::NodeRef list) {
+  if (arena.isAtom(list) && !arena.isNil(list)) {
+    throw EvalError("ConcHeap: encode expects a list");
+  }
+  std::vector<Element> elements;
+  for (sexpr::NodeRef c = list; !arena.isNil(c); c = arena.cdr(c)) {
+    if (arena.isAtom(c)) {
+      throw EvalError("ConcHeap: dotted lists unsupported");
+    }
+    const sexpr::NodeRef head = arena.car(c);
+    Element element;
+    switch (arena.kind(head)) {
+      case sexpr::NodeKind::kNil:
+        element.tag = Element::Tag::kNil;
+        break;
+      case sexpr::NodeKind::kSymbol:
+        element.tag = Element::Tag::kSymbol;
+        element.payload = arena.symbolId(head);
+        break;
+      case sexpr::NodeKind::kInteger:
+        element.tag = Element::Tag::kInteger;
+        element.payload = static_cast<std::uint64_t>(arena.integerValue(head));
+        break;
+      case sexpr::NodeKind::kCons:
+        element.tag = Element::Tag::kList;
+        element.payload = encode(arena, head);
+        break;
+    }
+    elements.push_back(element);
+  }
+  return makeTuple(elements);
+}
+
+ConcHeap::DescRef ConcHeap::conc(DescRef left, DescRef right) {
+  Descriptor desc;
+  desc.isConc = true;
+  desc.left = left;
+  desc.right = right;
+  desc.length = at(left).length + at(right).length;
+  descriptors_.push_back(desc);
+  ++concCells_;
+  return static_cast<DescRef>(descriptors_.size() - 1);
+}
+
+std::uint64_t ConcHeap::length(DescRef ref) const { return at(ref).length; }
+
+ConcHeap::Element ConcHeap::elementAt(DescRef ref,
+                                      std::uint64_t index) const {
+  const Descriptor* desc = &at(ref);
+  if (index >= desc->length) throw Error("ConcHeap: index out of range");
+  while (desc->isConc) {
+    const Descriptor& left = at(desc->left);
+    if (index < left.length) {
+      desc = &left;
+    } else {
+      index -= left.length;
+      desc = &at(desc->right);
+    }
+  }
+  return elements_[desc->start + index];
+}
+
+sexpr::NodeRef ConcHeap::decode(sexpr::Arena& arena, DescRef ref) const {
+  const std::uint64_t n = length(ref);
+  sexpr::NodeRef result = sexpr::kNilRef;
+  for (std::uint64_t i = n; i-- > 0;) {
+    const Element element = elementAt(ref, i);
+    sexpr::NodeRef head = sexpr::kNilRef;
+    switch (element.tag) {
+      case Element::Tag::kNil:
+        head = sexpr::kNilRef;
+        break;
+      case Element::Tag::kSymbol:
+        head = arena.symbol(static_cast<sexpr::SymbolId>(element.payload));
+        break;
+      case Element::Tag::kInteger:
+        head = arena.integer(static_cast<std::int64_t>(element.payload));
+        break;
+      case Element::Tag::kList:
+        head = decode(arena, static_cast<DescRef>(element.payload));
+        break;
+    }
+    result = arena.cons(head, result);
+  }
+  return result;
+}
+
+}  // namespace small::heap

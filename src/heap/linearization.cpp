@@ -1,0 +1,159 @@
+#include "heap/linearization.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace small::heap {
+
+using support::Error;
+
+LinearizingHeap::CellRef LinearizingHeap::allocate(
+    std::optional<CellRef> preferred) {
+  if (preferred && *preferred < cells_.size() && cells_[*preferred].free) {
+    cells_[*preferred].free = false;
+    ++live_;
+    return *preferred;
+  }
+  while (!freeList_.empty()) {
+    const CellRef cell = freeList_.back();
+    freeList_.pop_back();
+    if (cells_[cell].free) {  // skip entries taken via `preferred`
+      cells_[cell].free = false;
+      ++live_;
+      return cell;
+    }
+  }
+  cells_.push_back(Cell{});
+  cells_.back().free = false;
+  ++live_;
+  return static_cast<CellRef>(cells_.size() - 1);
+}
+
+LinearizingHeap::CellRef LinearizingHeap::cons(Word car, Word cdr) {
+  std::optional<CellRef> preferred;
+  if (policy_ == ConsPolicy::kClever && cdr.isPointer && cdr.payload > 0) {
+    // Aim for the cell just before the tail, so this cell's cdr pointer
+    // has distance +1 (linearized in the cdr direction).
+    preferred = static_cast<CellRef>(cdr.payload - 1);
+  }
+  const CellRef cell = allocate(preferred);
+  cells_[cell].car = car;
+  cells_[cell].cdr = cdr;
+  return cell;
+}
+
+LinearizingHeap::Word LinearizingHeap::car(CellRef cell) const {
+  if (cell >= cells_.size() || cells_[cell].free) {
+    throw Error("LinearizingHeap: car of bad cell");
+  }
+  return cells_[cell].car;
+}
+
+LinearizingHeap::Word LinearizingHeap::cdr(CellRef cell) const {
+  if (cell >= cells_.size() || cells_[cell].free) {
+    throw Error("LinearizingHeap: cdr of bad cell");
+  }
+  return cells_[cell].cdr;
+}
+
+void LinearizingHeap::setCar(CellRef cell, Word value) {
+  if (cell >= cells_.size() || cells_[cell].free) {
+    throw Error("LinearizingHeap: setCar of bad cell");
+  }
+  cells_[cell].car = value;
+}
+
+void LinearizingHeap::setCdr(CellRef cell, Word value) {
+  if (cell >= cells_.size() || cells_[cell].free) {
+    throw Error("LinearizingHeap: setCdr of bad cell");
+  }
+  cells_[cell].cdr = value;
+}
+
+void LinearizingHeap::free(CellRef cell) {
+  if (cell >= cells_.size() || cells_[cell].free) {
+    throw Error("LinearizingHeap: double free");
+  }
+  cells_[cell].free = true;
+  --live_;
+  freeList_.push_back(cell);
+}
+
+LinearizingHeap::CellRef LinearizingHeap::buildList(
+    int n, std::uint64_t atomTagBase) {
+  Word tail = Word::atom(~0ull);  // nil sentinel
+  CellRef head = kNil;
+  for (int i = n; i-- > 0;) {
+    head = cons(Word::atom(atomTagBase + static_cast<std::uint64_t>(i)),
+                tail);
+    tail = Word::pointer(head);
+  }
+  return head;
+}
+
+LinearizingHeap::CellRef LinearizingHeap::linearize(CellRef head) {
+  // Collect the spine, allocate a fresh contiguous run at the end of the
+  // store, copy, then free the old cells.
+  std::vector<CellRef> spine;
+  CellRef cursor = head;
+  while (true) {
+    spine.push_back(cursor);
+    const Word next = cdr(cursor);
+    if (!next.isPointer) break;
+    cursor = static_cast<CellRef>(next.payload);
+  }
+  const auto base = static_cast<CellRef>(cells_.size());
+  cells_.resize(cells_.size() + spine.size());
+  live_ += spine.size();
+  for (std::size_t i = 0; i < spine.size(); ++i) {
+    Cell& fresh = cells_[base + i];
+    fresh.free = false;
+    fresh.car = cells_[spine[i]].car;
+    fresh.cdr = i + 1 < spine.size()
+                    ? Word::pointer(base + static_cast<CellRef>(i) + 1)
+                    : cells_[spine[i]].cdr;
+  }
+  for (const CellRef old : spine) free(old);
+  return base;
+}
+
+namespace {
+
+void accumulate(LinearizingHeap::DistanceReport& report,
+                const LinearizingHeap::Word& cdr,
+                LinearizingHeap::CellRef cell) {
+  if (!cdr.isPointer) return;
+  ++report.cdrPointers;
+  const auto distance = static_cast<std::int64_t>(cdr.payload) -
+                        static_cast<std::int64_t>(cell);
+  if (distance == 1) ++report.distanceOne;
+  if (distance == 1 || distance == -1) ++report.adjacent;
+  report.magnitude.add(std::llabs(distance));
+}
+
+}  // namespace
+
+LinearizingHeap::DistanceReport LinearizingHeap::measureDistances() const {
+  DistanceReport report;
+  for (CellRef cell = 0; cell < cells_.size(); ++cell) {
+    if (cells_[cell].free) continue;
+    accumulate(report, cells_[cell].cdr, cell);
+  }
+  return report;
+}
+
+LinearizingHeap::DistanceReport LinearizingHeap::measureList(
+    CellRef head) const {
+  DistanceReport report;
+  CellRef cursor = head;
+  while (true) {
+    const Word next = cdr(cursor);
+    accumulate(report, next, cursor);
+    if (!next.isPointer) break;
+    cursor = static_cast<CellRef>(next.payload);
+  }
+  return report;
+}
+
+}  // namespace small::heap

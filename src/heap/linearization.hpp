@@ -1,0 +1,105 @@
+// Clark's linearization experiments (§3.2.1-3.2.3), the empirical ground
+// under this repository's PointerDistanceModel.
+//
+// Clark found that (a) list-cell pointers typically point a small distance
+// away, (b) "a naive cons algorithm performed almost as well as a more
+// clever one in keeping pointer distances small, indicating that this is
+// an inherent feature of Lisp list behaviour", and (c) "once a list was
+// linearized it tended to stay fairly well linearized".
+//
+// `LinearizingHeap` is a purpose-built cell store for reproducing those
+// findings: cons with a selectable allocation policy, cdr-direction
+// linearization (relocation), destructive mutation, and pointer-distance
+// metrics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace small::heap {
+
+/// How cons picks the new cell's address.
+enum class ConsPolicy : std::uint8_t {
+  kNaive,   ///< first free cell (LIFO free list, else bump)
+  kClever,  ///< try the cell just before the cdr operand, so the new
+            ///< cell's cdr pointer has distance +1; fall back to naive
+};
+
+class LinearizingHeap {
+ public:
+  using CellRef = std::uint32_t;
+  static constexpr CellRef kNil = 0xffffffffu;
+
+  struct Word {
+    bool isPointer = false;
+    std::uint64_t payload = 0;  ///< cell index or atom tag
+
+    static Word atom(std::uint64_t tag) { return {false, tag}; }
+    static Word pointer(CellRef cell) { return {true, cell}; }
+  };
+
+  explicit LinearizingHeap(ConsPolicy policy) : policy_(policy) {}
+
+  /// cons: allocate a cell per the policy and fill it.
+  CellRef cons(Word car, Word cdr);
+
+  Word car(CellRef cell) const;
+  Word cdr(CellRef cell) const;
+  void setCar(CellRef cell, Word value);
+  void setCdr(CellRef cell, Word value);
+  void free(CellRef cell);
+
+  /// Build an n-element list of atoms the way programs usually do: by
+  /// consing onto the accumulator back to front. Returns the head.
+  CellRef buildList(int n, std::uint64_t atomTagBase = 0);
+
+  /// Relocate the list at `head` so consecutive cells are adjacent in the
+  /// cdr direction (Clark's linearization); returns the new head. Old
+  /// cells are freed.
+  CellRef linearize(CellRef head);
+
+  /// Fraction of cdr pointers in the whole heap with distance exactly +1,
+  /// and summary statistics of |distance| (§3.2's headline metrics).
+  struct DistanceReport {
+    std::uint64_t cdrPointers = 0;
+    std::uint64_t adjacent = 0;     ///< |distance| == 1 (neighbouring cell)
+    std::uint64_t distanceOne = 0;  ///< distance == +1 (cdr-linearized)
+    support::RunningStats magnitude;
+
+    double adjacentFraction() const {
+      return cdrPointers == 0 ? 0.0
+                              : static_cast<double>(adjacent) /
+                                    static_cast<double>(cdrPointers);
+    }
+    double distanceOneFraction() const {
+      return cdrPointers == 0 ? 0.0
+                              : static_cast<double>(distanceOne) /
+                                    static_cast<double>(cdrPointers);
+    }
+  };
+  DistanceReport measureDistances() const;
+
+  /// Distance report restricted to the cells reachable from `head`.
+  DistanceReport measureList(CellRef head) const;
+
+  std::uint64_t cellsLive() const { return live_; }
+
+ private:
+  struct Cell {
+    Word car;
+    Word cdr;
+    bool free = true;
+  };
+
+  CellRef allocate(std::optional<CellRef> preferred);
+
+  ConsPolicy policy_;
+  std::vector<Cell> cells_;
+  std::vector<CellRef> freeList_;  // may contain stale entries; checked
+  std::uint64_t live_ = 0;
+};
+
+}  // namespace small::heap

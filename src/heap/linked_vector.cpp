@@ -1,0 +1,154 @@
+#include "heap/linked_vector.hpp"
+
+#include "support/error.hpp"
+
+namespace small::heap {
+
+using support::Error;
+using support::EvalError;
+
+LinkedVectorHeap::LinkedVectorHeap(std::uint32_t vectorSize)
+    : vectorSize_(vectorSize) {
+  if (vectorSize < 2) {
+    throw Error("LinkedVectorHeap: vector size must be >= 2");
+  }
+}
+
+const LinkedVectorHeap::Element& LinkedVectorHeap::at(ElementRef ref) const {
+  if (ref >= elements_.size()) throw Error("LinkedVectorHeap: bad ref");
+  return elements_[ref];
+}
+
+LinkedVectorHeap::Root LinkedVectorHeap::encode(const sexpr::Arena& arena,
+                                                sexpr::NodeRef root) {
+  if (arena.isNil(root)) return Root{};
+  if (arena.isAtom(root)) {
+    throw EvalError("LinkedVectorHeap: encode expects a list");
+  }
+
+  // Gather the spine values first (sublists encode recursively and come
+  // out as list-pointer values).
+  std::vector<Value> values;
+  sexpr::NodeRef cursor = root;
+  while (!arena.isNil(cursor)) {
+    if (arena.isAtom(cursor)) {
+      throw EvalError("LinkedVectorHeap: dotted lists unsupported");
+    }
+    const sexpr::NodeRef head = arena.car(cursor);
+    Value value;
+    switch (arena.kind(head)) {
+      case sexpr::NodeKind::kNil:
+        value.tag = Value::Tag::kNil;
+        break;
+      case sexpr::NodeKind::kSymbol:
+        value.tag = Value::Tag::kSymbol;
+        value.payload = arena.symbolId(head);
+        break;
+      case sexpr::NodeKind::kInteger:
+        value.tag = Value::Tag::kInteger;
+        value.payload = static_cast<std::uint64_t>(arena.integerValue(head));
+        break;
+      case sexpr::NodeKind::kCons: {
+        const Root sub = encode(arena, head);
+        value.tag = Value::Tag::kListPointer;
+        value.payload = sub.first;
+        break;
+      }
+    }
+    values.push_back(value);
+    cursor = arena.cdr(cursor);
+  }
+
+  // Lay the values out, starting a fresh vector (and an indirection
+  // element) whenever the current one fills up.
+  Root result;
+  result.isNil = false;
+  ElementRef previousIndirect = 0;
+  bool needBackpatch = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Start a new vector if needed; reserve one slot for a possible
+    // trailing indirection.
+    if (!haveVector_ || slotInCurrentVector_ >= vectorSize_) {
+      elements_.resize(elements_.size() + vectorSize_);
+      ++vectors_;
+      slotInCurrentVector_ = 0;
+      haveVector_ = true;
+    }
+    const ElementRef ref = elements_.size() - vectorSize_ +
+                           slotInCurrentVector_;
+    if (i == 0) result.first = ref;
+    if (needBackpatch) {
+      elements_[previousIndirect].indirect = ref;
+      needBackpatch = false;
+    }
+    Element& element = elements_[ref];
+    element.value = values[i];
+    ++used_;
+    ++slotInCurrentVector_;
+    const bool last = i + 1 == values.size();
+    if (last) {
+      element.tag = ElementTag::kCdrNil;
+    } else if (slotInCurrentVector_ + 1 >= vectorSize_) {
+      // The next slot must be an indirection to the continuation.
+      element.tag = ElementTag::kNext;
+      const ElementRef indirectRef = ref + 1;
+      Element& indirect = elements_[indirectRef];
+      indirect.tag = ElementTag::kIndirect;
+      ++used_;
+      ++indirections_;
+      ++slotInCurrentVector_;
+      previousIndirect = indirectRef;
+      needBackpatch = true;
+    } else {
+      element.tag = ElementTag::kNext;
+    }
+  }
+  return result;
+}
+
+sexpr::NodeRef LinkedVectorHeap::decode(sexpr::Arena& arena,
+                                        Root root) const {
+  if (root.isNil) return sexpr::kNilRef;
+  std::vector<sexpr::NodeRef> heads;
+  ElementRef ref = root.first;
+  while (true) {
+    const Element& element = at(ref);
+    if (element.tag == ElementTag::kIndirect) {
+      ref = element.indirect;
+      continue;
+    }
+    if (element.tag == ElementTag::kUnused) {
+      throw Error("LinkedVectorHeap: decode hit an unused slot");
+    }
+    sexpr::NodeRef head = sexpr::kNilRef;
+    switch (element.value.tag) {
+      case Value::Tag::kNil:
+        head = sexpr::kNilRef;
+        break;
+      case Value::Tag::kSymbol:
+        head = arena.symbol(
+            static_cast<sexpr::SymbolId>(element.value.payload));
+        break;
+      case Value::Tag::kInteger:
+        head = arena.integer(static_cast<std::int64_t>(element.value.payload));
+        break;
+      case Value::Tag::kListPointer: {
+        Root sub;
+        sub.isNil = false;
+        sub.first = element.value.payload;
+        head = decode(arena, sub);
+        break;
+      }
+    }
+    heads.push_back(head);
+    if (element.tag == ElementTag::kCdrNil) break;
+    ++ref;
+  }
+  sexpr::NodeRef result = sexpr::kNilRef;
+  for (std::size_t i = heads.size(); i-- > 0;) {
+    result = arena.cons(heads[i], result);
+  }
+  return result;
+}
+
+}  // namespace small::heap

@@ -1,0 +1,74 @@
+// Linked-vector list representation (Fig 2.7, [Li85a]).
+//
+// Lists are stored in fixed-size vectors whose elements carry a 2-bit tag:
+//   default/next — element value, cdr is the next element,
+//   cdr-nil      — element value, cdr is nil,
+//   indirect     — the element holds a pointer to an element in another
+//                  vector (the exception condition),
+//   unused       — free slot (avoids frequent compaction).
+// The fixed vector size trades internal fragmentation (too large) against
+// indirection-cell overhead (too small) — the tension §2.3.3.1 describes
+// and the representation bench measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sexpr/arena.hpp"
+
+namespace small::heap {
+
+class LinkedVectorHeap {
+ public:
+  enum class ElementTag : std::uint8_t { kNext, kCdrNil, kIndirect, kUnused };
+
+  struct Value {
+    enum class Tag : std::uint8_t { kNil, kSymbol, kInteger, kListPointer };
+    Tag tag = Tag::kNil;
+    std::uint64_t payload = 0;
+  };
+
+  /// Global element index = vector * vectorSize + slot.
+  using ElementRef = std::uint64_t;
+
+  explicit LinkedVectorHeap(std::uint32_t vectorSize);
+
+  /// Encode a proper list (dotted tails are not representable in the basic
+  /// scheme and throw). Returns the first element's ref, or nil for ().
+  struct Root {
+    bool isNil = true;
+    ElementRef first = 0;
+  };
+  Root encode(const sexpr::Arena& arena, sexpr::NodeRef root);
+
+  sexpr::NodeRef decode(sexpr::Arena& arena, Root root) const;
+
+  // --- accounting ---
+  std::uint64_t vectorsAllocated() const { return vectors_; }
+  std::uint64_t elementsUsed() const { return used_; }
+  std::uint64_t indirections() const { return indirections_; }
+  std::uint64_t unusedSlots() const {
+    return vectors_ * vectorSize_ - used_;
+  }
+  std::uint32_t vectorSize() const { return vectorSize_; }
+
+ private:
+  struct Element {
+    ElementTag tag = ElementTag::kUnused;
+    Value value;
+    ElementRef indirect = 0;
+  };
+
+  ElementRef allocateRun(std::size_t hint);
+  const Element& at(ElementRef ref) const;
+
+  std::uint32_t vectorSize_;
+  std::vector<Element> elements_;
+  std::uint64_t vectors_ = 0;
+  std::uint64_t used_ = 0;
+  std::uint64_t indirections_ = 0;
+  std::uint32_t slotInCurrentVector_ = 0;
+  bool haveVector_ = false;
+};
+
+}  // namespace small::heap

@@ -1,0 +1,143 @@
+#include "heap/two_pointer.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace small::heap {
+
+using support::Error;
+using support::SimulationError;
+
+TwoPointerHeap::Cell& TwoPointerHeap::at(CellRef cell) {
+  if (cell >= cells_.size()) throw Error("TwoPointerHeap: bad cell ref");
+  return cells_[cell];
+}
+
+const TwoPointerHeap::Cell& TwoPointerHeap::at(CellRef cell) const {
+  if (cell >= cells_.size()) throw Error("TwoPointerHeap: bad cell ref");
+  return cells_[cell];
+}
+
+TwoPointerHeap::CellRef TwoPointerHeap::allocate(HeapWord car, HeapWord cdr) {
+  if (!freeList_.empty()) {
+    const CellRef cell = freeList_.back();
+    freeList_.pop_back();
+    at(cell) = Cell{car, cdr, false};
+    return cell;
+  }
+  cells_.push_back(Cell{car, cdr, false});
+  return cells_.size() - 1;
+}
+
+void TwoPointerHeap::free(CellRef cell) {
+  Cell& slot = at(cell);
+  if (slot.free) throw SimulationError("TwoPointerHeap: double free");
+  slot.free = true;
+  slot.car = HeapWord::nil();
+  slot.cdr = HeapWord::nil();
+  freeList_.push_back(cell);
+}
+
+std::uint64_t TwoPointerHeap::freeObject(CellRef root) {
+  // Iterative traversal with an explicit stack, as the heap controller
+  // would do while servicing its free-request queue.
+  std::uint64_t reclaimed = 0;
+  std::vector<CellRef> stack{root};
+  while (!stack.empty()) {
+    const CellRef cell = stack.back();
+    stack.pop_back();
+    if (cell == kNull || cell >= cells_.size()) continue;
+    Cell& slot = cells_[cell];
+    if (slot.free) continue;  // shared substructure already reclaimed
+    if (slot.car.isPointer()) stack.push_back(slot.car.payload);
+    if (slot.cdr.isPointer()) stack.push_back(slot.cdr.payload);
+    free(cell);
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+const HeapWord& TwoPointerHeap::car(CellRef cell) const {
+  const Cell& slot = at(cell);
+  if (slot.free) throw SimulationError("TwoPointerHeap: car of freed cell");
+  return slot.car;
+}
+
+const HeapWord& TwoPointerHeap::cdr(CellRef cell) const {
+  const Cell& slot = at(cell);
+  if (slot.free) throw SimulationError("TwoPointerHeap: cdr of freed cell");
+  return slot.cdr;
+}
+
+void TwoPointerHeap::setCar(CellRef cell, HeapWord value) {
+  Cell& slot = at(cell);
+  if (slot.free) throw SimulationError("TwoPointerHeap: write to freed cell");
+  slot.car = value;
+}
+
+void TwoPointerHeap::setCdr(CellRef cell, HeapWord value) {
+  Cell& slot = at(cell);
+  if (slot.free) throw SimulationError("TwoPointerHeap: write to freed cell");
+  slot.cdr = value;
+}
+
+TwoPointerHeap::SplitResult TwoPointerHeap::split(CellRef cell) {
+  const Cell snapshot = at(cell);
+  if (snapshot.free) throw SimulationError("TwoPointerHeap: split freed cell");
+  free(cell);
+  return {snapshot.car, snapshot.cdr};
+}
+
+HeapWord TwoPointerHeap::encode(const sexpr::Arena& arena,
+                                sexpr::NodeRef root) {
+  switch (arena.kind(root)) {
+    case sexpr::NodeKind::kNil:
+      return HeapWord::nil();
+    case sexpr::NodeKind::kSymbol:
+      return HeapWord::symbol(arena.symbolId(root));
+    case sexpr::NodeKind::kInteger:
+      return HeapWord::integer(arena.integerValue(root));
+    case sexpr::NodeKind::kCons: {
+      // Encode the spine iteratively, building cells back-to-front so cdr
+      // pointers are known when each cell is allocated.
+      std::vector<sexpr::NodeRef> spine;
+      sexpr::NodeRef cursor = root;
+      while (arena.kind(cursor) == sexpr::NodeKind::kCons) {
+        spine.push_back(cursor);
+        cursor = arena.cdr(cursor);
+      }
+      HeapWord tail = encode(arena, cursor);
+      for (std::size_t i = spine.size(); i-- > 0;) {
+        const HeapWord head = encode(arena, arena.car(spine[i]));
+        tail = HeapWord::pointer(allocate(head, tail));
+      }
+      return tail;
+    }
+  }
+  throw Error("TwoPointerHeap: unreachable node kind");
+}
+
+sexpr::NodeRef TwoPointerHeap::decode(sexpr::Arena& arena,
+                                      HeapWord root) const {
+  switch (root.tag) {
+    case HeapWord::Tag::kNil:
+      return sexpr::kNilRef;
+    case HeapWord::Tag::kSymbol:
+      return arena.symbol(static_cast<sexpr::SymbolId>(root.payload));
+    case HeapWord::Tag::kInteger:
+      return arena.integer(static_cast<std::int64_t>(root.payload));
+    case HeapWord::Tag::kPointer: {
+      const Cell& slot = at(root.payload);
+      if (slot.free) {
+        throw SimulationError("TwoPointerHeap: decode of freed cell");
+      }
+      const sexpr::NodeRef head = decode(arena, slot.car);
+      const sexpr::NodeRef tail = decode(arena, slot.cdr);
+      return arena.cons(head, tail);
+    }
+  }
+  throw Error("TwoPointerHeap: unreachable word tag");
+}
+
+}  // namespace small::heap

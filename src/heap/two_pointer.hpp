@@ -1,0 +1,93 @@
+// The classical two-pointer list-cell heap (Fig 2.6) with a free list,
+// object encode/decode, and the split/merge operations the SMALL heap
+// controller performs (§4.3.3.2).
+//
+// "Splitting objects represented using two pointer list cells is simple. To
+//  split the object at address X the heap controller simply returns the
+//  values of the 2 pointers and frees the list cell at address X."
+// "A simple merging algorithm would allocate a new heap cell ... set its
+//  car and cdr fields to X and Y respectively and return Z."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sexpr/arena.hpp"
+
+namespace small::heap {
+
+/// A tagged word in a heap cell: a pointer to another cell, an atom
+/// (symbol/integer payload), or nil.
+struct HeapWord {
+  enum class Tag : std::uint8_t { kNil, kPointer, kSymbol, kInteger };
+  Tag tag = Tag::kNil;
+  std::uint64_t payload = 0;
+
+  static HeapWord nil() { return {}; }
+  static HeapWord pointer(std::uint64_t cell) {
+    return {Tag::kPointer, cell};
+  }
+  static HeapWord symbol(std::uint64_t id) { return {Tag::kSymbol, id}; }
+  static HeapWord integer(std::int64_t v) {
+    return {Tag::kInteger, static_cast<std::uint64_t>(v)};
+  }
+
+  bool isPointer() const { return tag == Tag::kPointer; }
+};
+
+class TwoPointerHeap {
+ public:
+  /// Cell index; kNull means "no cell".
+  using CellRef = std::uint64_t;
+  static constexpr CellRef kNull = ~0ull;
+
+  /// Allocate one cell (from the free list if possible).
+  CellRef allocate(HeapWord car, HeapWord cdr);
+
+  /// Return a cell to the free list.
+  void free(CellRef cell);
+
+  /// Recursively free the whole structure rooted at `cell` (the §4.3.3.1
+  /// queue-serviced object-free operation). Returns cells reclaimed.
+  std::uint64_t freeObject(CellRef cell);
+
+  const HeapWord& car(CellRef cell) const;
+  const HeapWord& cdr(CellRef cell) const;
+  void setCar(CellRef cell, HeapWord value);
+  void setCdr(CellRef cell, HeapWord value);
+
+  /// §4.3.3.2 split: returns the two halves and frees the parent cell.
+  struct SplitResult {
+    HeapWord car;
+    HeapWord cdr;
+  };
+  SplitResult split(CellRef cell);
+
+  /// §4.3.3.2 merge: inverse of split.
+  CellRef merge(HeapWord car, HeapWord cdr) { return allocate(car, cdr); }
+
+  /// Copy an s-expression into the heap; returns the root word.
+  HeapWord encode(const sexpr::Arena& arena, sexpr::NodeRef root);
+
+  /// Rebuild an s-expression in `arena` from heap structure.
+  sexpr::NodeRef decode(sexpr::Arena& arena, HeapWord root) const;
+
+  std::uint64_t cellsAllocated() const { return cells_.size(); }
+  std::uint64_t cellsLive() const { return cells_.size() - freeList_.size(); }
+  std::uint64_t freeListLength() const { return freeList_.size(); }
+
+ private:
+  struct Cell {
+    HeapWord car;
+    HeapWord cdr;
+    bool free = false;
+  };
+
+  Cell& at(CellRef cell);
+  const Cell& at(CellRef cell) const;
+
+  std::vector<Cell> cells_;
+  std::vector<CellRef> freeList_;  // LIFO: most recently freed reused first
+};
+
+}  // namespace small::heap

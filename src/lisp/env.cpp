@@ -1,0 +1,76 @@
+#include "lisp/env.hpp"
+
+#include "support/error.hpp"
+
+namespace small::lisp {
+
+void DeepBindingEnv::ensureGlobalSlot(SymbolId name) {
+  if (globals_.size() <= name) globals_.resize(name + 1);
+}
+
+void DeepBindingEnv::bind(SymbolId name, NodeRef value) {
+  stack_.push_back({name, value});
+}
+
+std::optional<NodeRef> DeepBindingEnv::lookup(SymbolId name) const {
+  for (std::size_t i = stack_.size(); i-- > 0;) {
+    ++lookupScans_;
+    if (stack_[i].name == name) return stack_[i].value;
+  }
+  if (name < globals_.size()) return globals_[name];
+  return std::nullopt;
+}
+
+void DeepBindingEnv::assign(SymbolId name, NodeRef value) {
+  for (std::size_t i = stack_.size(); i-- > 0;) {
+    if (stack_[i].name == name) {
+      stack_[i].value = value;
+      return;
+    }
+  }
+  ensureGlobalSlot(name);
+  globals_[name] = value;
+}
+
+void DeepBindingEnv::unwindTo(Mark mark) {
+  if (mark > stack_.size()) {
+    throw support::Error("DeepBindingEnv: unwind past top of stack");
+  }
+  stack_.resize(mark);
+}
+
+void ShallowBindingEnv::ensureCell(SymbolId name) {
+  if (cells_.size() <= name) cells_.resize(name + 1);
+}
+
+void ShallowBindingEnv::bind(SymbolId name, NodeRef value) {
+  ensureCell(name);
+  saved_.push_back({name, cells_[name]});
+  cells_[name] = value;
+  ++cellWrites_;
+}
+
+std::optional<NodeRef> ShallowBindingEnv::lookup(SymbolId name) const {
+  if (name < cells_.size()) return cells_[name];
+  return std::nullopt;
+}
+
+void ShallowBindingEnv::assign(SymbolId name, NodeRef value) {
+  ensureCell(name);
+  cells_[name] = value;
+  ++cellWrites_;
+}
+
+void ShallowBindingEnv::unwindTo(Mark mark) {
+  if (mark > saved_.size()) {
+    throw support::Error("ShallowBindingEnv: unwind past top of stack");
+  }
+  while (saved_.size() > mark) {
+    const Saved& saved = saved_.back();
+    cells_[saved.name] = saved.previous;
+    ++cellWrites_;
+    saved_.pop_back();
+  }
+}
+
+}  // namespace small::lisp

@@ -1,0 +1,48 @@
+#include "lisp/tracer.hpp"
+
+#include "sexpr/metrics.hpp"
+
+namespace small::lisp {
+
+trace::ObjectRecord TraceRecorder::record(sexpr::NodeRef ref) const {
+  trace::ObjectRecord rec;
+  if (arena_.kind(ref) == sexpr::NodeKind::kCons) {
+    rec.isList = true;
+    rec.fingerprint = sexpr::structuralHash(arena_, ref);
+    const sexpr::ListShape shape = sexpr::measureShape(arena_, ref);
+    rec.n = static_cast<std::uint32_t>(shape.n);
+    rec.p = static_cast<std::uint32_t>(shape.p);
+  }
+  return rec;
+}
+
+void TraceRecorder::onPrimitive(trace::Primitive primitive,
+                                std::span<const sexpr::NodeRef> args,
+                                sexpr::NodeRef result) {
+  trace::Event event;
+  event.kind = trace::EventKind::kPrimitive;
+  event.primitive = primitive;
+  event.args.reserve(args.size());
+  for (const sexpr::NodeRef arg : args) {
+    event.args.push_back(record(arg));
+  }
+  event.result = record(result);
+  out_.append(std::move(event));
+}
+
+void TraceRecorder::onFunctionEnter(std::string_view name, int argCount) {
+  trace::Event event;
+  event.kind = trace::EventKind::kFunctionEnter;
+  event.functionId = out_.internFunction(name);
+  event.argCount = static_cast<std::uint8_t>(argCount);
+  out_.append(std::move(event));
+}
+
+void TraceRecorder::onFunctionExit(std::string_view name) {
+  trace::Event event;
+  event.kind = trace::EventKind::kFunctionExit;
+  event.functionId = out_.internFunction(name);
+  out_.append(std::move(event));
+}
+
+}  // namespace small::lisp

@@ -1,0 +1,50 @@
+// The interpreter's trace hook (§3.3.1).
+//
+// "The programs were run on a Franz Lisp interpreter modified such that on
+//  the call of a list access or modify function, the function name and its
+//  arguments (in s-expression form) were written to a trace file."
+//
+// `Tracer` is that hook; `TraceRecorder` is the standard implementation
+// that fingerprints arguments/results and appends `trace::Event`s.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "sexpr/arena.hpp"
+#include "trace/trace.hpp"
+
+namespace small::lisp {
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  virtual void onPrimitive(trace::Primitive primitive,
+                           std::span<const sexpr::NodeRef> args,
+                           sexpr::NodeRef result) = 0;
+  virtual void onFunctionEnter(std::string_view name, int argCount) = 0;
+  virtual void onFunctionExit(std::string_view name) = 0;
+};
+
+/// Records a `trace::Trace` by fingerprinting every traced argument and
+/// result at call time.
+class TraceRecorder final : public Tracer {
+ public:
+  TraceRecorder(const sexpr::Arena& arena, trace::Trace& out)
+      : arena_(arena), out_(out) {}
+
+  void onPrimitive(trace::Primitive primitive,
+                   std::span<const sexpr::NodeRef> args,
+                   sexpr::NodeRef result) override;
+  void onFunctionEnter(std::string_view name, int argCount) override;
+  void onFunctionExit(std::string_view name) override;
+
+ private:
+  trace::ObjectRecord record(sexpr::NodeRef ref) const;
+
+  const sexpr::Arena& arena_;
+  trace::Trace& out_;
+};
+
+}  // namespace small::lisp

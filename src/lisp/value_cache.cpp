@@ -1,0 +1,94 @@
+#include "lisp/value_cache.hpp"
+
+#include "support/error.hpp"
+
+namespace small::lisp {
+
+ValueCachedDeepEnv::ValueCachedDeepEnv(std::size_t cacheEntries)
+    : cache_(cacheEntries) {
+  if (cacheEntries == 0) {
+    throw support::Error("ValueCachedDeepEnv: zero cache entries");
+  }
+}
+
+ValueCachedDeepEnv::CacheEntry& ValueCachedDeepEnv::slotFor(
+    SymbolId name) const {
+  // Direct-mapped stand-in for the Alpha's associative array.
+  return cache_[name % cache_.size()];
+}
+
+void ValueCachedDeepEnv::invalidate(SymbolId name) {
+  CacheEntry& slot = slotFor(name);
+  if (slot.valid && slot.name == name) slot.valid = false;
+}
+
+void ValueCachedDeepEnv::pushFrame() { ++currentFrame_; }
+
+void ValueCachedDeepEnv::popFrame() {
+  // "On function return, the value cache is again searched, and all
+  //  entries whose frame numbers are the same as that of the current
+  //  function are invalidated."
+  for (CacheEntry& slot : cache_) {
+    if (slot.valid && slot.frame == currentFrame_) slot.valid = false;
+  }
+  if (currentFrame_ > 0) --currentFrame_;
+}
+
+void ValueCachedDeepEnv::bind(SymbolId name, NodeRef value) {
+  stack_.push_back({name, value, currentFrame_});
+  // The new binding shadows whatever the cache holds for this name.
+  invalidate(name);
+}
+
+std::optional<NodeRef> ValueCachedDeepEnv::lookup(SymbolId name) const {
+  CacheEntry& slot = slotFor(name);
+  if (slot.valid && slot.name == name) {
+    ++hits_;
+    return slot.value;
+  }
+  ++misses_;
+  // Fall back to the association-list scan, then install.
+  for (std::size_t i = stack_.size(); i-- > 0;) {
+    ++listScans_;
+    if (stack_[i].name == name) {
+      slot.valid = true;
+      slot.name = name;
+      slot.value = stack_[i].value;
+      slot.frame = currentFrame_;
+      return stack_[i].value;
+    }
+  }
+  if (name < globals_.size() && globals_[name]) {
+    slot.valid = true;
+    slot.name = name;
+    slot.value = *globals_[name];
+    slot.frame = 0;  // top-level bindings are never re-bound below
+    return globals_[name];
+  }
+  return std::nullopt;
+}
+
+void ValueCachedDeepEnv::assign(SymbolId name, NodeRef value) {
+  for (std::size_t i = stack_.size(); i-- > 0;) {
+    if (stack_[i].name == name) {
+      stack_[i].value = value;
+      invalidate(name);
+      return;
+    }
+  }
+  if (globals_.size() <= name) globals_.resize(name + 1);
+  globals_[name] = value;
+  invalidate(name);
+}
+
+void ValueCachedDeepEnv::unwindTo(Mark mark) {
+  if (mark > stack_.size()) {
+    throw support::Error("ValueCachedDeepEnv: unwind past top of stack");
+  }
+  while (stack_.size() > mark) {
+    invalidate(stack_.back().name);
+    stack_.pop_back();
+  }
+}
+
+}  // namespace small::lisp

@@ -1,0 +1,112 @@
+#include "multilisp/distributed.hpp"
+
+#include "support/error.hpp"
+
+namespace small::multilisp {
+
+using core::SmallMachine;
+using support::SimulationError;
+
+DistributedSmall::DistributedSmall(Params params) : params_(params) {
+  if (params_.nodeCount == 0) {
+    throw SimulationError("DistributedSmall: zero nodes");
+  }
+  nodes_.resize(params_.nodeCount);
+  for (Node& node : nodes_) {
+    node.machine = std::make_unique<SmallMachine>(params_.machine);
+    node.queue = CombiningQueue(params_.queueCapacity);
+  }
+}
+
+SmallMachine& DistributedSmall::node(NodeId id) {
+  if (id >= nodes_.size()) throw SimulationError("DistributedSmall: bad node");
+  return *nodes_[id].machine;
+}
+
+DistributedSmall::RemoteRef DistributedSmall::exportObject(
+    NodeId owner, SmallMachine::Value value) {
+  Node& n = nodes_.at(owner);
+  Export exported;
+  exported.value = value;  // takes over the caller's EP reference
+  exported.weight = kInitialWeight;
+  exported.live = true;
+  n.exports.push_back(exported);
+  RemoteRef ref;
+  ref.owner = owner;
+  ref.exportId = static_cast<ExportId>(n.exports.size() - 1);
+  ref.weight = kInitialWeight;
+  return ref;
+}
+
+DistributedSmall::RemoteRef DistributedSmall::copyRef(RemoteRef& ref) {
+  if (ref.weight < 2) {
+    // Weight exhausted: in a full system an indirection object restarts
+    // the weight (see WeightedObjectTable::copy); here the distributed
+    // layer keeps handles plentiful by construction, so this is an error
+    // the tests assert on rather than silently absorbing.
+    throw SimulationError("DistributedSmall: handle weight exhausted");
+  }
+  const std::uint32_t half = ref.weight / 2;
+  RemoteRef clone = ref;
+  clone.weight = half;
+  ref.weight -= half;
+  return clone;
+}
+
+void DistributedSmall::dropRef(NodeId holder, RemoteRef ref) {
+  Node& n = nodes_.at(holder);
+  ++traffic_.decrementsEnqueued;
+  n.queue.add(WeightUpdate{ref.owner, ref.exportId, ref.weight});
+  if (n.queue.full()) {
+    n.queue.flush([&](const WeightUpdate& update) {
+      ++traffic_.decrementMessages;
+      applyDecrement(update.node, update.object, update.weight);
+    });
+  }
+}
+
+void DistributedSmall::flushAll() {
+  for (Node& n : nodes_) {
+    n.queue.flush([&](const WeightUpdate& update) {
+      ++traffic_.decrementMessages;
+      applyDecrement(update.node, update.object, update.weight);
+    });
+  }
+}
+
+void DistributedSmall::applyDecrement(NodeId owner, ExportId exportId,
+                                      std::uint64_t weight) {
+  Node& n = nodes_.at(owner);
+  Export& exported = n.exports.at(exportId);
+  if (!exported.live || exported.weight < weight) {
+    throw SimulationError("DistributedSmall: export weight underflow");
+  }
+  exported.weight -= weight;
+  if (exported.weight == 0) {
+    exported.live = false;
+    // The export held the owner's EP reference; releasing it lets the
+    // local machine reclaim the structure.
+    n.machine->release(exported.value);
+  }
+}
+
+bool DistributedSmall::exportLive(NodeId owner, ExportId exportId) const {
+  return nodes_.at(owner).exports.at(exportId).live;
+}
+
+SmallMachine::Value DistributedSmall::fetch(NodeId requester,
+                                            const RemoteRef& ref) {
+  const Node& ownerNode = nodes_.at(ref.owner);
+  const Export& exported = ownerNode.exports.at(ref.exportId);
+  if (!exported.live) {
+    throw SimulationError("DistributedSmall: fetch of a dead export");
+  }
+  // Request + reply. The reply's payload is the materialized structure;
+  // the shared arena stands in for the wire format.
+  traffic_.fetchMessages += 2;
+  const sexpr::NodeRef wire =
+      ownerNode.machine->writeList(arena_, exported.value);
+  return nodes_.at(requester).machine->readList(arena_, wire);
+}
+
+}  // namespace small::multilisp

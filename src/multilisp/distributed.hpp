@@ -1,0 +1,120 @@
+// The SMALL Multilisp memory system (Ch. 6, Figs 6.1, 6.4, 6.5, 6.6).
+//
+// Each node is a full SMALL memory system (a functional machine: LPT +
+// heap). A node makes one of its objects visible to the others by
+// *exporting* it: the export slot holds the object's total reference
+// weight (Fig 6.4's new LPT organization keeps weights beside the local
+// counts), and remote holders carry `WeightedRef`-style handles:
+//   * copying a handle splits its weight locally — no message;
+//   * dropping a handle enqueues a decrement in the holder node's
+//     combining queue (Fig 6.6) — combined per target, flushed in
+//     batches;
+//   * when an export's weight returns to zero the owner releases its EP
+//     reference, letting the local machine reclaim the structure;
+//   * `fetch` materializes a *local copy* of a remote object on the
+//     requesting node (Fig 6.5's non-local copying): one request and one
+//     reply message, after which access is purely local.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "multilisp/nodes.hpp"
+#include "sexpr/arena.hpp"
+#include "small/machine.hpp"
+
+namespace small::multilisp {
+
+class DistributedSmall {
+ public:
+  using NodeId = std::uint32_t;
+  using ExportId = std::uint32_t;
+
+  /// A weighted handle to an exported object.
+  struct RemoteRef {
+    NodeId owner = 0;
+    ExportId exportId = 0;
+    std::uint32_t weight = 0;
+  };
+
+  struct Traffic {
+    std::uint64_t exportMessages = 0;   ///< handle shipped to another node
+    std::uint64_t copyMessages = 0;     ///< always 0 under weighting
+    std::uint64_t decrementMessages = 0;///< flushed (combined) decrements
+    std::uint64_t decrementsEnqueued = 0;
+    std::uint64_t fetchMessages = 0;    ///< request + reply per fetch
+  };
+
+  struct Params {
+    NodeId nodeCount = 4;
+    std::size_t queueCapacity = 64;
+    core::SmallMachine::Config machine{};
+  };
+
+  DistributedSmall() : DistributedSmall(Params{}) {}
+  explicit DistributedSmall(Params params);
+
+  core::SmallMachine& node(NodeId id);
+  sexpr::Arena& arena() { return arena_; }
+  sexpr::SymbolTable& symbols() { return symbols_; }
+
+  /// Export `value` (an object on `owner`); the export takes over one EP
+  /// reference on the owner and hands back the initial weighted handle.
+  RemoteRef exportObject(NodeId owner, core::SmallMachine::Value value);
+
+  /// Ship a handle to another node: counts one message (the handle's
+  /// bits cross the network); the weight MOVES with it — the caller's
+  /// original handle is spent and must not be copied or dropped again.
+  RemoteRef ship(RemoteRef ref) {
+    ++traffic_.exportMessages;
+    return ref;
+  }
+
+  /// Copy a handle locally: weight split, no message (Fig 6.3).
+  RemoteRef copyRef(RemoteRef& ref);
+
+  /// Drop a handle from `holder`: enqueues a combined decrement.
+  void dropRef(NodeId holder, RemoteRef ref);
+
+  /// Flush every node's combining queue, applying the decrements.
+  void flushAll();
+
+  /// Fetch a local copy of the exported object onto `requester`
+  /// (Fig 6.5): request + reply messages; returns a local value holding
+  /// one EP reference on the requester's machine.
+  core::SmallMachine::Value fetch(NodeId requester, const RemoteRef& ref);
+
+  /// Is the exported object still live (weight outstanding)?
+  bool exportLive(NodeId owner, ExportId exportId) const;
+
+  const Traffic& traffic() const { return traffic_; }
+
+  static constexpr std::uint32_t kInitialWeight = 1u << 16;
+
+ private:
+  struct Export {
+    core::SmallMachine::Value value;
+    std::uint64_t weight = 0;
+    bool live = false;
+  };
+  struct Node {
+    std::unique_ptr<core::SmallMachine> machine;
+    std::vector<Export> exports;
+    CombiningQueue queue{64};
+  };
+
+  void applyDecrement(NodeId owner, ExportId exportId, std::uint64_t weight);
+
+  // Shared symbol space: the nodes exchange printed structure, which in a
+  // real system would be a wire format; here one arena plays the network.
+  sexpr::SymbolTable symbols_;
+  sexpr::Arena arena_;
+  Params params_;
+  std::vector<Node> nodes_;
+  Traffic traffic_;
+};
+
+}  // namespace small::multilisp

@@ -1,0 +1,44 @@
+#include "multilisp/futures.hpp"
+
+#include <algorithm>
+
+namespace small::multilisp {
+
+TaskPool::TaskPool(unsigned workers) {
+  const unsigned count = std::max(1u, workers);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TaskPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++executed_;
+    }
+    task();
+  }
+}
+
+std::uint64_t TaskPool::tasksExecuted() const {
+  std::lock_guard lock(mutex_);
+  return executed_;
+}
+
+}  // namespace small::multilisp

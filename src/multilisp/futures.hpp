@@ -1,0 +1,96 @@
+// Multilisp futures and pcall (Ch. 6, §6.2.1.2).
+//
+// Halstead's Multilisp adds (future X) — begin evaluating X and return a
+// placeholder immediately — and pcall for parallel argument evaluation.
+// This module provides that evaluation model over a fixed worker pool:
+//   * Future<T>: a placeholder that blocks on touch (force),
+//   * TaskPool: the processor pool (Class P machine, Fig 2.2),
+//   * pcall: evaluate a set of thunks in parallel, then apply.
+// Determinism note: tasks are side-effect-free value computations here;
+// the sequential-Lisp-consistency argument of §6.2.1.1 is enforced by
+// construction rather than by dataflow analysis.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace small::multilisp {
+
+/// Fixed pool of worker threads consuming a FIFO of tasks.
+class TaskPool {
+ public:
+  explicit TaskPool(unsigned workers = std::thread::hardware_concurrency());
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Schedule `fn`; returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    ready_.notify_one();
+    return future;
+  }
+
+  unsigned workerCount() const { return static_cast<unsigned>(workers_.size()); }
+  std::uint64_t tasksExecuted() const;
+
+ private:
+  void workerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+/// A Multilisp future: schedule on construction, block on touch().
+template <typename T>
+class Future {
+ public:
+  template <typename Fn>
+  Future(TaskPool& pool, Fn&& fn) : future_(pool.submit(std::forward<Fn>(fn))) {}
+
+  /// Touching a future blocks until its value is determined.
+  T touch() { return future_.get(); }
+
+ private:
+  std::future<T> future_;
+};
+
+/// pcall: evaluate every argument thunk in parallel, then apply `fn` to
+/// the results — the EXPR-tuple evaluation of §6.2.1.2.
+template <typename Fn, typename ArgFn>
+auto pcall(TaskPool& pool, Fn&& fn, const std::vector<ArgFn>& argThunks) {
+  using Arg = std::invoke_result_t<ArgFn>;
+  std::vector<std::future<Arg>> futures;
+  futures.reserve(argThunks.size());
+  for (const ArgFn& thunk : argThunks) {
+    futures.push_back(pool.submit(thunk));
+  }
+  std::vector<Arg> args;
+  args.reserve(futures.size());
+  for (auto& future : futures) {
+    args.push_back(future.get());
+  }
+  return fn(std::move(args));
+}
+
+}  // namespace small::multilisp

@@ -1,0 +1,99 @@
+// The SMALL Multilisp node system (Ch. 6, Figs 6.1, 6.4, 6.6).
+//
+// A Multilisp SMALL machine is a set of nodes, each an (EP, LP, heap)
+// triple, exchanging messages for remote list references. This module
+// models the *memory-management* traffic of such a system: remote
+// references are weighted (see ref_weight.hpp), and each node batches its
+// outgoing weight updates in a **combining queue** — updates addressed to
+// the same remote object combine into one message (Fig 6.6), cutting bus
+// traffic during reference-count bursts at function return.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "multilisp/ref_weight.hpp"
+#include "support/rng.hpp"
+
+namespace small::multilisp {
+
+/// A weight-update destined for (node, object).
+struct WeightUpdate {
+  std::uint32_t node = 0;
+  ObjectId object = kNoObjectId;
+  std::uint64_t weight = 0;
+};
+
+/// Per-node outgoing queue that combines updates to the same target.
+class CombiningQueue {
+ public:
+  explicit CombiningQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue an update; combines with a pending update to the same object
+  /// when present. Returns true if it combined.
+  bool add(const WeightUpdate& update);
+
+  /// Drain everything, invoking `send` per (combined) message.
+  template <typename Fn>
+  void flush(Fn&& send) {
+    for (auto& [key, update] : pending_) send(update);
+    pending_.clear();
+  }
+
+  bool full() const { return pending_.size() >= capacity_; }
+  std::size_t pendingCount() const { return pending_.size(); }
+  std::uint64_t combinedCount() const { return combined_; }
+  std::uint64_t enqueuedCount() const { return enqueued_; }
+
+ private:
+  static std::uint64_t key(std::uint32_t node, ObjectId object) {
+    return (static_cast<std::uint64_t>(node) << 32) | object;
+  }
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, WeightUpdate> pending_;
+  std::uint64_t combined_ = 0;
+  std::uint64_t enqueued_ = 0;
+};
+
+/// Traffic report from one system run.
+struct TrafficReport {
+  std::uint64_t referenceEvents = 0;   ///< copies + destroys performed
+  std::uint64_t plainMessages = 0;     ///< messages plain counting would send
+  std::uint64_t weightedMessages = 0;  ///< messages weighting sent (no queue)
+  std::uint64_t combinedMessages = 0;  ///< messages after queue combining
+};
+
+/// A closed multi-node simulation: nodes create objects, share references
+/// with random peers, copy and destroy them; the three accounting schemes
+/// (plain counting, weighting, weighting + combining queues) are measured
+/// over the identical event stream.
+class NodeSystem {
+ public:
+  struct Params {
+    std::uint32_t nodeCount = 4;
+    std::size_t queueCapacity = 64;
+    double copyFraction = 0.55;  ///< of reference events, rest are destroys
+    std::uint32_t objectsPerNode = 64;
+  };
+
+  NodeSystem(Params params, support::Rng& rng);
+
+  /// Run `events` reference events and return the traffic comparison.
+  TrafficReport run(std::uint64_t events);
+
+ private:
+  struct HeldRef {
+    std::uint32_t ownerNode = 0;
+    WeightedRef ref;
+  };
+
+  Params params_;
+  support::Rng& rng_;
+  std::vector<WeightedObjectTable> tables_;  // one per node
+  std::vector<CombiningQueue> queues_;       // one per node
+  std::vector<std::vector<HeldRef>> held_;   // refs held by each node
+};
+
+}  // namespace small::multilisp

@@ -1,0 +1,104 @@
+#include "multilisp/ref_weight.hpp"
+
+namespace small::multilisp {
+
+using support::SimulationError;
+
+WeightedObjectTable::Object& WeightedObjectTable::at(ObjectId id) {
+  if (id >= objects_.size()) {
+    throw SimulationError("WeightedObjectTable: bad object id");
+  }
+  return objects_[id];
+}
+
+const WeightedObjectTable::Object& WeightedObjectTable::at(
+    ObjectId id) const {
+  if (id >= objects_.size()) {
+    throw SimulationError("WeightedObjectTable: bad object id");
+  }
+  return objects_[id];
+}
+
+WeightedRef WeightedObjectTable::create() {
+  Object object;
+  object.weight = kInitialWeight;
+  object.live = true;
+  objects_.push_back(object);
+  ++liveCount_;
+  WeightedRef ref;
+  ref.object = static_cast<ObjectId>(objects_.size() - 1);
+  ref.weight = kInitialWeight;
+  return ref;
+}
+
+WeightedRef WeightedObjectTable::copy(WeightedRef& ref) {
+  if (ref.weight == 0) {
+    throw SimulationError("WeightedObjectTable: copy of a dead reference");
+  }
+  if (ref.weight > 1) {
+    // The whole point: a local split, no message to the owner.
+    const std::uint32_t half = ref.weight / 2;
+    WeightedRef clone = ref;
+    clone.weight = half;
+    ref.weight -= half;
+    return clone;
+  }
+  // Weight exhausted: interpose an indirection object with fresh weight
+  // (Fig 6.5's non-local copy). The original reference moves into the
+  // indirection; both outgoing references point at the indirection.
+  Object indirection;
+  indirection.weight = kInitialWeight;
+  indirection.live = true;
+  indirection.indirectTo = ref.object;
+  indirection.indirectWeight = ref.weight;
+  objects_.push_back(indirection);
+  ++liveCount_;
+  ++stats_.indirectionsCreated;
+  const auto indirectionId = static_cast<ObjectId>(objects_.size() - 1);
+
+  const std::uint32_t half = kInitialWeight / 2;
+  ref.object = indirectionId;
+  ref.weight = kInitialWeight - half;
+  ref.throughIndirection = true;
+  WeightedRef clone;
+  clone.object = indirectionId;
+  clone.weight = half;
+  clone.throughIndirection = true;
+  return clone;
+}
+
+void WeightedObjectTable::destroy(const WeightedRef& ref) {
+  if (ref.weight == 0) {
+    throw SimulationError("WeightedObjectTable: destroy of a dead reference");
+  }
+  ++stats_.deleteMessages;  // the one message weighting still pays
+  applyDecrement(ref.object, ref.weight);
+}
+
+void WeightedObjectTable::applyDecrement(ObjectId id, std::uint32_t weight) {
+  Object& object = at(id);
+  if (!object.live) {
+    throw SimulationError("WeightedObjectTable: decrement of dead object");
+  }
+  if (object.weight < weight) {
+    throw SimulationError("WeightedObjectTable: weight underflow");
+  }
+  object.weight -= weight;
+  if (object.weight == 0) {
+    object.live = false;
+    --liveCount_;
+    if (object.indirectTo != kNoObjectId) {
+      // The indirection held weight on the real target; release it.
+      ++stats_.deleteMessages;
+      applyDecrement(object.indirectTo, object.indirectWeight);
+    }
+  }
+}
+
+bool WeightedObjectTable::isLive(ObjectId id) const { return at(id).live; }
+
+std::uint32_t WeightedObjectTable::storedWeight(ObjectId id) const {
+  return static_cast<std::uint32_t>(at(id).weight);
+}
+
+}  // namespace small::multilisp

@@ -1,0 +1,88 @@
+// Reference weighting (Ch. 6, Figs 6.2-6.3).
+//
+// Plain reference counting in a message-passing multiprocessor costs a
+// message on *every* remote pointer copy and delete. Reference weighting
+// removes the copy messages: each pointer carries a weight, the object
+// stores the total outstanding weight, copying a pointer splits its weight
+// locally (no message), and only deletion sends a decrement. An object is
+// garbage when its stored weight returns to zero.
+//
+// Pointers whose weight has decayed to 1 cannot split; they go through an
+// *indirection object* that starts a fresh weight (the standard
+// weighted-reference-counting escape, matching the thesis' discussion of
+// non-local copying, Fig 6.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace small::multilisp {
+
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kNoObjectId = 0xffffffffu;
+
+/// A remote pointer: target object plus carried weight.
+struct WeightedRef {
+  ObjectId object = kNoObjectId;
+  std::uint32_t weight = 0;
+  bool throughIndirection = false;  ///< reaches the target via an indirection
+};
+
+/// Message kinds on the inter-node bus (counted, not transported).
+struct WeightMessageStats {
+  std::uint64_t copyMessages = 0;    ///< plain counting: increment on copy
+  std::uint64_t deleteMessages = 0;  ///< decrement on delete (both schemes)
+  std::uint64_t indirectionsCreated = 0;
+};
+
+/// A node-local table of weighted objects. One instance models the objects
+/// owned by a single node; WeightedRefs may be held anywhere.
+class WeightedObjectTable {
+ public:
+  /// Initial weight handed to a new object's first reference.
+  static constexpr std::uint32_t kInitialWeight = 1u << 16;
+
+  /// Create an object; returns its first reference.
+  WeightedRef create();
+
+  /// Copy a reference locally: splits the weight, **no message**. When the
+  /// weight is 1, an indirection object is created instead (one local
+  /// allocation, still no remote message).
+  WeightedRef copy(WeightedRef& ref);
+
+  /// Delete a reference: sends one decrement message to the owner (here:
+  /// applied immediately). May cascade through indirections.
+  void destroy(const WeightedRef& ref);
+
+  bool isLive(ObjectId id) const;
+  std::uint32_t storedWeight(ObjectId id) const;
+  std::size_t liveObjects() const { return liveCount_; }
+
+  const WeightMessageStats& stats() const { return stats_; }
+
+  /// Baseline comparator: what plain reference counting would have cost
+  /// for the same copy/destroy sequence (one message per copy + delete).
+  std::uint64_t plainCountingMessages() const {
+    return stats_.copyMessages + stats_.deleteMessages;
+  }
+
+ private:
+  struct Object {
+    std::uint64_t weight = 0;  ///< total outstanding reference weight
+    bool live = false;
+    ObjectId indirectTo = kNoObjectId;  ///< set for indirection objects
+    std::uint32_t indirectWeight = 0;   ///< weight the indirection holds
+  };
+
+  Object& at(ObjectId id);
+  const Object& at(ObjectId id) const;
+  void applyDecrement(ObjectId id, std::uint32_t weight);
+
+  std::vector<Object> objects_;
+  std::size_t liveCount_ = 0;
+  WeightMessageStats stats_;
+};
+
+}  // namespace small::multilisp

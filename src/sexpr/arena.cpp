@@ -1,0 +1,175 @@
+#include "sexpr/arena.hpp"
+
+namespace small::sexpr {
+
+using support::Error;
+using support::EvalError;
+
+SymbolTable::SymbolTable() {
+  intern("nil");  // SymbolId 0
+  intern("t");    // SymbolId 1
+}
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+  if (id >= names_.size()) throw Error("SymbolTable: bad symbol id");
+  return names_[id];
+}
+
+bool SymbolTable::contains(std::string_view name) const {
+  return index_.contains(std::string(name));
+}
+
+Arena::Arena() {
+  Node nil{};
+  nil.kind = NodeKind::kNil;
+  nodes_.push_back(nil);
+}
+
+NodeRef Arena::symbol(SymbolId id) {
+  if (id == SymbolTable::kNil) return kNilRef;
+  const auto it = symbolNodes_.find(id);
+  if (it != symbolNodes_.end()) return it->second;
+  Node node{};
+  node.kind = NodeKind::kSymbol;
+  node.symbol = id;
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back(node);
+  symbolNodes_.emplace(id, ref);
+  return ref;
+}
+
+NodeRef Arena::integer(std::int64_t value) {
+  constexpr std::int64_t kCacheLo = -128, kCacheHi = 1024;
+  const bool cacheable = value >= kCacheLo && value <= kCacheHi;
+  if (cacheable) {
+    const auto it = smallInts_.find(value);
+    if (it != smallInts_.end()) return it->second;
+  }
+  Node node{};
+  node.kind = NodeKind::kInteger;
+  node.integer = value;
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back(node);
+  if (cacheable) smallInts_.emplace(value, ref);
+  return ref;
+}
+
+NodeRef Arena::cons(NodeRef carRef, NodeRef cdrRef) {
+  at(carRef);  // validate handles before allocating
+  at(cdrRef);
+  Node node{};
+  node.kind = NodeKind::kCons;
+  node.pair = {carRef, cdrRef};
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back(node);
+  return ref;
+}
+
+NodeKind Arena::kind(NodeRef ref) const { return at(ref).kind; }
+
+SymbolId Arena::symbolId(NodeRef ref) const {
+  const Node& node = at(ref);
+  if (node.kind == NodeKind::kNil) return SymbolTable::kNil;
+  if (node.kind != NodeKind::kSymbol) {
+    throw EvalError("symbolId of non-symbol node");
+  }
+  return node.symbol;
+}
+
+std::int64_t Arena::integerValue(NodeRef ref) const {
+  const Node& node = at(ref);
+  if (node.kind != NodeKind::kInteger) {
+    throw EvalError("integerValue of non-integer node");
+  }
+  return node.integer;
+}
+
+NodeRef Arena::car(NodeRef ref) const {
+  const Node& node = at(ref);
+  if (node.kind == NodeKind::kNil) return kNilRef;  // (car nil) == nil
+  if (node.kind != NodeKind::kCons) throw EvalError("car of an atom");
+  return node.pair.car;
+}
+
+NodeRef Arena::cdr(NodeRef ref) const {
+  const Node& node = at(ref);
+  if (node.kind == NodeKind::kNil) return kNilRef;  // (cdr nil) == nil
+  if (node.kind != NodeKind::kCons) throw EvalError("cdr of an atom");
+  return node.pair.cdr;
+}
+
+void Arena::setCar(NodeRef ref, NodeRef value) {
+  at(value);
+  Node& node = at(ref);
+  if (node.kind != NodeKind::kCons) throw EvalError("rplaca of an atom");
+  node.pair.car = value;
+}
+
+void Arena::setCdr(NodeRef ref, NodeRef value) {
+  at(value);
+  Node& node = at(ref);
+  if (node.kind != NodeKind::kCons) throw EvalError("rplacd of an atom");
+  node.pair.cdr = value;
+}
+
+NodeRef Arena::list(std::initializer_list<NodeRef> elements) {
+  NodeRef result = kNilRef;
+  const NodeRef* data = elements.begin();
+  for (std::size_t i = elements.size(); i-- > 0;) {
+    result = cons(data[i], result);
+  }
+  return result;
+}
+
+bool Arena::equal(NodeRef a, NodeRef b, int depthLimit) const {
+  if (depthLimit <= 0) throw EvalError("equal: structure too deep");
+  if (a == b) return true;
+  const Node& na = at(a);
+  const Node& nb = at(b);
+  if (na.kind != nb.kind) return false;
+  switch (na.kind) {
+    case NodeKind::kNil:
+      return true;
+    case NodeKind::kSymbol:
+      return na.symbol == nb.symbol;
+    case NodeKind::kInteger:
+      return na.integer == nb.integer;
+    case NodeKind::kCons:
+      return equal(na.pair.car, nb.pair.car, depthLimit - 1) &&
+             equal(na.pair.cdr, nb.pair.cdr, depthLimit - 1);
+  }
+  return false;
+}
+
+std::size_t Arena::listLength(NodeRef ref) const {
+  std::size_t n = 0;
+  while (!isNil(ref)) {
+    if (kind(ref) != NodeKind::kCons) {
+      throw EvalError("listLength of dotted list");
+    }
+    ++n;
+    ref = cdr(ref);
+  }
+  return n;
+}
+
+const Arena::Node& Arena::at(NodeRef ref) const {
+  if (ref >= nodes_.size()) throw Error("Arena: bad node handle");
+  return nodes_[ref];
+}
+
+Arena::Node& Arena::at(NodeRef ref) {
+  if (ref >= nodes_.size()) throw Error("Arena: bad node handle");
+  return nodes_[ref];
+}
+
+}  // namespace small::sexpr

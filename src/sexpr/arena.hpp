@@ -1,0 +1,119 @@
+// The s-expression substrate: interned symbols and an arena of tagged nodes
+// addressed by 32-bit handles.
+//
+// Every layer above (the interpreter, the trace machinery, the heap
+// representations) talks about list structure through `NodeRef` handles into
+// one `Arena`. Handles rather than pointers keep nodes at 12 bytes, make
+// traces serializable, and let the simulators reason about object identity
+// the same way the paper's LPT does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace small::sexpr {
+
+/// Interned symbol identifier. Symbol 0 is always "nil".
+using SymbolId = std::uint32_t;
+
+/// Handle to a node in an `Arena`. `kNilRef` designates the nil atom.
+using NodeRef = std::uint32_t;
+inline constexpr NodeRef kNilRef = 0;
+
+enum class NodeKind : std::uint8_t {
+  kNil,     ///< the empty list / false
+  kSymbol,  ///< an interned name
+  kInteger, ///< a fixnum
+  kCons,    ///< a pair of NodeRefs
+};
+
+/// Symbol interning table shared by a whole Lisp system.
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  SymbolId intern(std::string_view name);
+  const std::string& name(SymbolId id) const;
+  bool contains(std::string_view name) const;
+  std::size_t size() const { return names_.size(); }
+
+  /// The id "nil" interned to at construction (always 0).
+  static constexpr SymbolId kNil = 0;
+  /// The id "t" interned to at construction (always 1).
+  static constexpr SymbolId kT = 1;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> index_;
+};
+
+/// Arena of s-expression nodes. Node 0 is the distinguished nil node.
+///
+/// The arena is append-only from the caller's point of view; the Lisp
+/// interpreter's heap management story lives in the SMALL simulator, not
+/// here (Chapter 3's studies are representation-independent and need stable
+/// node identity across a whole run).
+class Arena {
+ public:
+  Arena();
+
+  NodeRef nil() const { return kNilRef; }
+  NodeRef symbol(SymbolId id);
+  NodeRef integer(std::int64_t value);
+  NodeRef cons(NodeRef car, NodeRef cdr);
+
+  NodeKind kind(NodeRef ref) const;
+  bool isAtom(NodeRef ref) const { return kind(ref) != NodeKind::kCons; }
+  bool isNil(NodeRef ref) const { return kind(ref) == NodeKind::kNil; }
+
+  SymbolId symbolId(NodeRef ref) const;
+  std::int64_t integerValue(NodeRef ref) const;
+  NodeRef car(NodeRef ref) const;
+  NodeRef cdr(NodeRef ref) const;
+
+  /// Destructive update, as performed by rplaca/rplacd.
+  void setCar(NodeRef ref, NodeRef value);
+  void setCdr(NodeRef ref, NodeRef value);
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+  /// Build a proper list from the given elements (left to right).
+  NodeRef list(std::initializer_list<NodeRef> elements);
+
+  /// Structural equality (Lisp `equal`): atoms compare by kind and payload,
+  /// conses recursively. Handles shared structure; cyclic structures are
+  /// bounded by a depth guard.
+  bool equal(NodeRef a, NodeRef b, int depthLimit = 10000) const;
+
+  /// Number of elements in a proper list spine; throws on dotted lists.
+  std::size_t listLength(NodeRef ref) const;
+
+ private:
+  struct Node {
+    NodeKind kind;
+    union {
+      struct {
+        NodeRef car;
+        NodeRef cdr;
+      } pair;
+      SymbolId symbol;
+      std::int64_t integer;
+    };
+  };
+
+  const Node& at(NodeRef ref) const;
+  Node& at(NodeRef ref);
+
+  std::vector<Node> nodes_;
+  // Small-integer and symbol-node caches keep repeated atoms from bloating
+  // the arena during long interpreter runs.
+  std::unordered_map<SymbolId, NodeRef> symbolNodes_;
+  std::unordered_map<std::int64_t, NodeRef> smallInts_;
+};
+
+}  // namespace small::sexpr

@@ -1,0 +1,113 @@
+#include "sexpr/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace small::sexpr {
+
+namespace {
+
+struct Frame {
+  NodeRef ref;
+  std::size_t depth;
+};
+
+}  // namespace
+
+ListShape measureShape(const Arena& arena, NodeRef ref,
+                       std::size_t nodeLimit) {
+  ListShape shape{};
+  if (arena.isAtom(ref)) {
+    if (!arena.isNil(ref)) shape.n = 0;  // an atom alone is not a list
+    return shape;
+  }
+
+  // Iterative traversal over the list spine; each cons cell met along a
+  // spine contributes one cell, each non-nil atom one symbol, each sublist
+  // one internal parenthesis pair plus its own spine.
+  std::vector<Frame> stack;
+  stack.push_back({ref, 1});
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    NodeRef cursor = frame.ref;
+    while (!arena.isNil(cursor)) {
+      if (++visited > nodeLimit) {
+        throw support::EvalError("measureShape: node limit exceeded");
+      }
+      if (arena.isAtom(cursor)) {
+        // Dotted tail: counts as an atom occupant of the last cell.
+        ++shape.n;
+        break;
+      }
+      ++shape.cells;
+      shape.depth = std::max(shape.depth, frame.depth);
+      const NodeRef head = arena.car(cursor);
+      if (arena.isNil(head)) {
+        // nil in car position is an atom occurrence (prints as `nil`).
+        ++shape.n;
+      } else if (arena.isAtom(head)) {
+        ++shape.n;
+      } else {
+        ++shape.p;
+        stack.push_back({head, frame.depth + 1});
+      }
+      cursor = arena.cdr(cursor);
+    }
+  }
+  return shape;
+}
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hashInto(const Arena& arena, NodeRef ref, std::size_t& budget) {
+  if (budget == 0) {
+    throw support::EvalError("structuralHash: node limit exceeded");
+  }
+  --budget;
+  switch (arena.kind(ref)) {
+    case NodeKind::kNil:
+      return 0x2545f4914f6cdd1dull;
+    case NodeKind::kSymbol:
+      return mix(0x9ddfea08eb382d69ull, arena.symbolId(ref));
+    case NodeKind::kInteger:
+      return mix(0xc2b2ae3d27d4eb4full,
+                 static_cast<std::uint64_t>(arena.integerValue(ref)));
+    case NodeKind::kCons: {
+      std::uint64_t h = 0x165667b19e3779f9ull;
+      // Iterate the spine to keep stack depth proportional to nesting, not
+      // list length.
+      NodeRef cursor = ref;
+      while (arena.kind(cursor) == NodeKind::kCons) {
+        h = mix(h, hashInto(arena, arena.car(cursor), budget));
+        cursor = arena.cdr(cursor);
+        if (budget == 0) {
+          throw support::EvalError("structuralHash: node limit exceeded");
+        }
+        --budget;
+      }
+      h = mix(h, hashInto(arena, cursor, budget));
+      return h;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t structuralHash(const Arena& arena, NodeRef ref,
+                             std::size_t nodeLimit) {
+  std::size_t budget = nodeLimit;
+  const std::uint64_t h = hashInto(arena, ref, budget);
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace small::sexpr

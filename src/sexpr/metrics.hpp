@@ -1,0 +1,41 @@
+// List-shape metrics from Chapter 3.
+//
+// The thesis characterizes a list by two numbers (§3.3.1, Fig 3.2):
+//   n — the number of symbols (atoms) in the list, and
+//   p — the number of *internal* parenthesis pairs (sublists).
+// A list with n symbols and p internal pairs occupies n + p two-pointer (or
+// cdr-coded) list cells, versus n cells under a structure-coded
+// representation; the thesis also uses n+p to derive tree-node counts for
+// the §5.3.1 ordered-traversal analysis (n + p internal nodes, n + p + 1
+// leaves).
+#pragma once
+
+#include <cstddef>
+
+#include "sexpr/arena.hpp"
+
+namespace small::sexpr {
+
+struct ListShape {
+  std::size_t n = 0;      ///< atoms (symbols + integers) contained
+  std::size_t p = 0;      ///< internal parenthesis pairs (proper sublists)
+  std::size_t cells = 0;  ///< two-pointer list cells needed (== n + p for
+                          ///< proper lists, counted directly for generality)
+  std::size_t depth = 0;  ///< maximum nesting depth (a flat list has 1)
+};
+
+/// Measure the shape of the s-expression `ref`. Atoms yield all-zero shapes
+/// with depth 0. Shared substructure is counted each time it is reachable
+/// (the thesis counts parentheses in the printed form).
+ListShape measureShape(const Arena& arena, NodeRef ref,
+                       std::size_t nodeLimit = 1u << 22);
+
+/// Structural fingerprint: two s-expressions that print identically hash
+/// identically. This reproduces the ambiguity of the thesis' textual
+/// traces, where "two list arguments that look identical ... would be
+/// mistaken for each other" (§5.2.1). Never returns 0 (0 is the trace
+/// modules' atom placeholder).
+std::uint64_t structuralHash(const Arena& arena, NodeRef ref,
+                             std::size_t nodeLimit = 1u << 22);
+
+}  // namespace small::sexpr

@@ -1,0 +1,64 @@
+#include "sexpr/printer.hpp"
+
+#include <sstream>
+
+namespace small::sexpr {
+
+namespace {
+
+void printInto(const Arena& arena, const SymbolTable& symbols, NodeRef ref,
+               std::ostringstream& out, std::size_t& budget) {
+  if (budget == 0) {
+    out << "...";
+    return;
+  }
+  --budget;
+  switch (arena.kind(ref)) {
+    case NodeKind::kNil:
+      out << "nil";
+      return;
+    case NodeKind::kSymbol:
+      out << symbols.name(arena.symbolId(ref));
+      return;
+    case NodeKind::kInteger:
+      out << arena.integerValue(ref);
+      return;
+    case NodeKind::kCons: {
+      out << "(";
+      NodeRef cursor = ref;
+      bool first = true;
+      while (true) {
+        if (!first) out << " ";
+        first = false;
+        printInto(arena, symbols, arena.car(cursor), out, budget);
+        const NodeRef next = arena.cdr(cursor);
+        if (arena.isNil(next)) break;
+        if (arena.kind(next) != NodeKind::kCons) {
+          out << " . ";
+          printInto(arena, symbols, next, out, budget);
+          break;
+        }
+        if (budget == 0) {
+          out << " ...";
+          break;
+        }
+        --budget;
+        cursor = next;
+      }
+      out << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string print(const Arena& arena, const SymbolTable& symbols, NodeRef ref,
+                  std::size_t maxNodes) {
+  std::ostringstream out;
+  std::size_t budget = maxNodes;
+  printInto(arena, symbols, ref, out, budget);
+  return out.str();
+}
+
+}  // namespace small::sexpr

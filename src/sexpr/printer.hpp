@@ -1,0 +1,16 @@
+// S-expression printer: the inverse of the reader.
+#pragma once
+
+#include <string>
+
+#include "sexpr/arena.hpp"
+
+namespace small::sexpr {
+
+/// Render `ref` in standard list notation: `(a b (c d) . e)` etc.
+/// `maxNodes` bounds output for cyclic structures; once exceeded the
+/// remainder prints as `...`.
+std::string print(const Arena& arena, const SymbolTable& symbols, NodeRef ref,
+                  std::size_t maxNodes = 1u << 20);
+
+}  // namespace small::sexpr

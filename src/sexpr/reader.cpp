@@ -1,0 +1,161 @@
+#include "sexpr/reader.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+namespace small::sexpr {
+
+using support::ParseError;
+
+namespace {
+
+bool isDelimiter(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')' ||
+         c == '[' || c == ']' || c == '\'' || c == ';';
+}
+
+}  // namespace
+
+void Reader::skipBlanks(Cursor& cursor) {
+  while (cursor.pos < cursor.text.size()) {
+    const char c = cursor.text[cursor.pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++cursor.pos;
+    } else if (c == ';') {
+      while (cursor.pos < cursor.text.size() &&
+             cursor.text[cursor.pos] != '\n') {
+        ++cursor.pos;
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+void Reader::fail(const Cursor& cursor, std::string_view what) {
+  throw ParseError("reader: " + std::string(what) + " at offset " +
+                   std::to_string(cursor.pos));
+}
+
+NodeRef Reader::readOne(std::string_view text) {
+  Cursor cursor{text};
+  const std::optional<NodeRef> expr = readExpr(cursor);
+  if (!expr) fail(cursor, "expected an s-expression");
+  skipBlanks(cursor);
+  if (cursor.pos != cursor.text.size()) {
+    fail(cursor, "trailing input after s-expression");
+  }
+  return *expr;
+}
+
+std::vector<NodeRef> Reader::readAll(std::string_view text) {
+  Cursor cursor{text};
+  std::vector<NodeRef> result;
+  while (true) {
+    const std::optional<NodeRef> expr = readExpr(cursor);
+    if (!expr) break;
+    result.push_back(*expr);
+  }
+  skipBlanks(cursor);
+  if (cursor.pos != cursor.text.size()) {
+    fail(cursor, "unparsable input");
+  }
+  return result;
+}
+
+std::optional<NodeRef> Reader::readExpr(Cursor& cursor) {
+  skipBlanks(cursor);
+  if (cursor.pos >= cursor.text.size()) return std::nullopt;
+  const char c = cursor.text[cursor.pos];
+  if (c == '(' || c == '[') {
+    ++cursor.pos;
+    return readList(cursor);
+  }
+  if (c == ')' || c == ']') return std::nullopt;  // handled by readList
+  if (c == '\'') {
+    ++cursor.pos;
+    const std::optional<NodeRef> quoted = readExpr(cursor);
+    if (!quoted) fail(cursor, "expected expression after quote");
+    const NodeRef quoteSym = arena_.symbol(symbols_.intern("quote"));
+    return arena_.list({quoteSym, *quoted});
+  }
+  // Atom token.
+  const std::size_t start = cursor.pos;
+  while (cursor.pos < cursor.text.size() &&
+         !isDelimiter(cursor.text[cursor.pos])) {
+    ++cursor.pos;
+  }
+  if (cursor.pos == start) fail(cursor, "unexpected character");
+  return readAtomToken(cursor.text.substr(start, cursor.pos - start));
+}
+
+NodeRef Reader::readList(Cursor& cursor) {
+  ++cursor.openDepth;
+  std::vector<NodeRef> elements;
+  NodeRef tail = kNilRef;
+  while (true) {
+    if (cursor.superCloseDepth > 0) {
+      // A `]` below us is still unwinding enclosing lists; consume one
+      // close for this level.
+      --cursor.superCloseDepth;
+      break;
+    }
+    skipBlanks(cursor);
+    if (cursor.pos >= cursor.text.size()) fail(cursor, "unterminated list");
+    const char c = cursor.text[cursor.pos];
+    if (c == ')') {
+      ++cursor.pos;
+      break;
+    }
+    if (c == ']') {
+      // Super-paren: closes this list and every enclosing open list.
+      ++cursor.pos;
+      cursor.superCloseDepth = cursor.openDepth - 1;
+      break;
+    }
+    if (c == '.') {
+      // Possible dotted pair: `.` must be its own token.
+      const std::size_t next = cursor.pos + 1;
+      if (next >= cursor.text.size() ||
+          isDelimiter(cursor.text[next])) {
+        ++cursor.pos;
+        const std::optional<NodeRef> dotted = readExpr(cursor);
+        if (!dotted) fail(cursor, "expected expression after dot");
+        tail = *dotted;
+        skipBlanks(cursor);
+        if (cursor.pos >= cursor.text.size() ||
+            (cursor.text[cursor.pos] != ')' &&
+             cursor.text[cursor.pos] != ']')) {
+          fail(cursor, "expected ) after dotted tail");
+        }
+        continue;  // loop once more to consume the closer
+      }
+      // Fall through: token beginning with '.' treated as a symbol/number.
+    }
+    const std::optional<NodeRef> element = readExpr(cursor);
+    if (!element) fail(cursor, "expected list element");
+    elements.push_back(*element);
+  }
+  --cursor.openDepth;
+  NodeRef result = tail;
+  for (std::size_t i = elements.size(); i-- > 0;) {
+    result = arena_.cons(elements[i], result);
+  }
+  return result;
+}
+
+NodeRef Reader::readAtomToken(std::string_view token) {
+  // Integer?
+  std::int64_t value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc() && ptr == last) {
+    return arena_.integer(value);
+  }
+  // "nil" and "t" intern to the reserved ids.
+  return arena_.symbol(symbols_.intern(token));
+}
+
+}  // namespace small::sexpr

@@ -1,0 +1,48 @@
+// Textual s-expression reader.
+//
+// Accepts the classic surface syntax: symbols, (possibly signed) integers,
+// proper lists `(a b c)`, dotted pairs `(a . b)`, the quote shorthand `'x`,
+// and `;` line comments. Square brackets act as "super-parens" closing all
+// open lists, as in Franz Lisp / Interlisp source (the thesis examples use
+// them, e.g. Fig 4.15).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sexpr/arena.hpp"
+
+namespace small::sexpr {
+
+class Reader {
+ public:
+  Reader(Arena& arena, SymbolTable& symbols)
+      : arena_(arena), symbols_(symbols) {}
+
+  /// Parse exactly one s-expression from `text`; trailing whitespace and
+  /// comments are permitted, anything else throws ParseError.
+  NodeRef readOne(std::string_view text);
+
+  /// Parse every s-expression in `text` (possibly none).
+  std::vector<NodeRef> readAll(std::string_view text);
+
+ private:
+  struct Cursor {
+    std::string_view text;
+    std::size_t pos = 0;
+    int openDepth = 0;        ///< number of lists currently open
+    int superCloseDepth = 0;  ///< pending list closes from a `]`
+  };
+
+  std::optional<NodeRef> readExpr(Cursor& cursor);
+  NodeRef readList(Cursor& cursor);
+  NodeRef readAtomToken(std::string_view token);
+  static void skipBlanks(Cursor& cursor);
+  [[noreturn]] static void fail(const Cursor& cursor, std::string_view what);
+
+  Arena& arena_;
+  SymbolTable& symbols_;
+};
+
+}  // namespace small::sexpr

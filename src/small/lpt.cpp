@@ -1,0 +1,156 @@
+#include "small/lpt.hpp"
+
+#include <algorithm>
+
+namespace small::core {
+
+using support::SimulationError;
+
+Lpt::Lpt(std::uint32_t size, ReclaimPolicy reclaim)
+    : size_(size), reclaim_(reclaim), entries_(size), freeTop_(kNoEntry) {
+  if (size == 0) throw SimulationError("Lpt: zero-sized table");
+  // Build the initial free stack, low ids on top.
+  for (std::uint32_t id = size; id-- > 0;) {
+    entries_[id].freeNext = freeTop_;
+    freeTop_ = id;
+  }
+}
+
+LptEntry& Lpt::entry(EntryId id) {
+  if (id >= size_) throw SimulationError("Lpt: bad entry id");
+  return entries_[id];
+}
+
+const LptEntry& Lpt::entry(EntryId id) const {
+  if (id >= size_) throw SimulationError("Lpt: bad entry id");
+  return entries_[id];
+}
+
+EntryId Lpt::allocate() {
+  if (freeTop_ == kNoEntry) return kNoEntry;
+  const EntryId id = freeTop_;
+  LptEntry& slot = entries_[id];
+  freeTop_ = slot.freeNext;
+
+  // Lazy child decrement: the previous occupant's edges are released only
+  // now that the entry is being reused (§4.3.2.1).
+  const EntryId oldCar = slot.car;
+  const EntryId oldCdr = slot.cdr;
+  slot = LptEntry{};
+  slot.inUse = true;
+  ++inUseCount_;
+  ++stats_.gets;
+  if (oldCar != kNoEntry) {
+    ++stats_.lazyDecrements;
+    decRef(oldCar);
+  }
+  if (oldCdr != kNoEntry) {
+    ++stats_.lazyDecrements;
+    decRef(oldCdr);
+  }
+  return id;
+}
+
+void Lpt::incRef(EntryId id) {
+  LptEntry& slot = entry(id);
+  if (!slot.inUse) throw SimulationError("Lpt: incRef of free entry");
+  ++slot.refCount;
+  ++stats_.refOps;
+  stats_.maxRefCount = std::max(stats_.maxRefCount, slot.refCount);
+  slot.lifetimeMaxCount = std::max(slot.lifetimeMaxCount, slot.refCount);
+}
+
+void Lpt::decRef(EntryId id) {
+  LptEntry& slot = entry(id);
+  if (!slot.inUse) throw SimulationError("Lpt: decRef of free entry");
+  if (slot.refCount == 0) throw SimulationError("Lpt: refcount underflow");
+  --slot.refCount;
+  ++stats_.refOps;
+  if (slot.refCount == 0 && !slot.stackBit) freeEntry(id);
+}
+
+void Lpt::setStackBit(EntryId id, bool value) {
+  LptEntry& slot = entry(id);
+  if (!slot.inUse) throw SimulationError("Lpt: stack bit on free entry");
+  if (slot.stackBit == value) return;
+  slot.stackBit = value;
+  // Setting the bit piggybacks on the LP operation that returned the
+  // value to the EP; only the clearing transition is an extra EP->LP
+  // message ("Only when one of those counts goes to zero need the LP be
+  // informed", §5.2.4).
+  if (!value) {
+    ++stats_.stackBitMessages;
+    if (slot.refCount == 0) freeEntry(id);
+  }
+}
+
+void Lpt::freeEntry(EntryId id) {
+  LptEntry& slot = entries_[id];
+  lifetimeMaxCounts_.add(slot.lifetimeMaxCount);
+  slot.lifetimeMaxCount = 0;
+  slot.inUse = false;
+  slot.stackBit = false;
+  --inUseCount_;
+  ++stats_.frees;
+  if (reclaim_ == ReclaimPolicy::kRecursive) {
+    dropChildren(id);
+  }
+  // Under the lazy policy the children stay referenced until reuse; the
+  // entry is pushed intact.
+  slot.freeNext = freeTop_;
+  freeTop_ = id;
+}
+
+void Lpt::dropChildren(EntryId id) {
+  LptEntry& slot = entries_[id];
+  const EntryId oldCar = slot.car;
+  const EntryId oldCdr = slot.cdr;
+  slot.car = kNoEntry;
+  slot.cdr = kNoEntry;
+  if (oldCar != kNoEntry) decRef(oldCar);
+  if (oldCdr != kNoEntry) decRef(oldCdr);
+}
+
+std::uint64_t Lpt::recoverCycles(const std::vector<EntryId>& roots) {
+  // Mark phase: everything reachable from an external root stays. Entries
+  // on the free stack still hold deferred (lazy) references through their
+  // car/cdr fields until reuse, so those edges are roots as well.
+  for (LptEntry& slot : entries_) slot.mark = false;
+  std::vector<EntryId> work = roots;
+  for (const LptEntry& slot : entries_) {
+    if (slot.inUse) continue;
+    if (slot.car != kNoEntry) work.push_back(slot.car);
+    if (slot.cdr != kNoEntry) work.push_back(slot.cdr);
+  }
+  while (!work.empty()) {
+    const EntryId id = work.back();
+    work.pop_back();
+    if (id == kNoEntry) continue;
+    LptEntry& slot = entry(id);
+    if (!slot.inUse || slot.mark) continue;
+    slot.mark = true;
+    if (slot.car != kNoEntry) work.push_back(slot.car);
+    if (slot.cdr != kNoEntry) work.push_back(slot.cdr);
+  }
+  // Sweep phase: in-use unmarked entries form unreferenced cycles. Edges
+  // from a swept entry into a *surviving* entry must release their count;
+  // edges into fellow swept entries are simply severed.
+  std::uint64_t reclaimed = 0;
+  for (EntryId id = 0; id < size_; ++id) {
+    LptEntry& slot = entries_[id];
+    if (!slot.inUse || slot.mark) continue;
+    const EntryId oldCar = slot.car;
+    const EntryId oldCdr = slot.cdr;
+    slot.car = kNoEntry;
+    slot.cdr = kNoEntry;
+    slot.refCount = 0;
+    slot.stackBit = false;
+    freeEntry(id);
+    ++reclaimed;
+    if (oldCar != kNoEntry && entries_[oldCar].mark) decRef(oldCar);
+    if (oldCdr != kNoEntry && entries_[oldCdr].mark) decRef(oldCdr);
+  }
+  return reclaimed;
+}
+
+}  // namespace small::core

@@ -1,0 +1,128 @@
+// The List Processor Table (§4.3.2, Fig 4.2).
+//
+// Each entry is an (identifier, car, cdr, refcount, address, mark) tuple.
+// The identifier is the entry's index — the short name the EP uses for list
+// objects. The car/cdr fields cache computed access edges; the address
+// field maps to heap memory; the reference count manages both the entry's
+// own lifetime and, transitively, the heap object's.
+//
+// Free entries form a LIFO stack threaded through the table (Fig 4.3), so
+// both freeing and allocation are O(1). When an entry's count reaches zero
+// it is pushed intact — its children are decremented only when the entry is
+// reallocated (§4.3.2.1's lazy policy), bounding the work per free at the
+// price of transiently occupied child entries. The recursive policy
+// (immediate child decrement) is selectable for the Table 5.2 comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "small/config.hpp"
+#include "support/stats.hpp"
+#include "support/error.hpp"
+
+namespace small::core {
+
+/// Entry identifier: index into the LPT. `kNoEntry` = absent edge.
+using EntryId = std::uint32_t;
+inline constexpr EntryId kNoEntry = 0xffffffffu;
+
+struct LptEntry {
+  EntryId car = kNoEntry;  ///< cached car edge
+  EntryId cdr = kNoEntry;  ///< cached cdr edge
+  std::uint32_t refCount = 0;
+  std::uint64_t addr = 0;  ///< heap address (meaningful when hasAddr)
+  bool hasAddr = false;
+  bool mark = false;       ///< cycle-recovery mark bit
+  bool inUse = false;
+  bool isAtom = false;     ///< atom object: cannot be split further
+  bool stackBit = false;   ///< split-refcount mode: stack references exist
+
+  // Modeled object shape, used to size splits (n symbols, p sublists).
+  std::uint32_t n = 0;
+  std::uint32_t p = 0;
+
+  // Cache-comparison address of the two-pointer cell representing this
+  // object in the conventional-memory shadow model (§5.2.5).
+  std::uint64_t cacheAddr = 0;
+
+  EntryId freeNext = kNoEntry;  ///< free-stack link
+
+  /// Largest count this entry reached during its current lifetime — the
+  /// input to the §2.3.4 truncated-count (M3L) study.
+  std::uint32_t lifetimeMaxCount = 0;
+};
+
+/// Reference-count and allocation event counters (Tables 5.2 / 5.3).
+struct LptStats {
+  std::uint64_t refOps = 0;       ///< reference count increments+decrements
+  std::uint64_t gets = 0;         ///< entry allocations
+  std::uint64_t frees = 0;        ///< counts reaching zero
+  std::uint64_t lazyDecrements = 0;  ///< child decrements deferred to reuse
+  std::uint32_t maxRefCount = 0;  ///< largest count observed (field sizing)
+  std::uint64_t stackBitMessages = 0;  ///< split mode: EP->LP bit updates
+};
+
+class Lpt {
+ public:
+  Lpt(std::uint32_t size, ReclaimPolicy reclaim);
+
+  std::uint32_t size() const { return size_; }
+  std::uint32_t inUseCount() const { return inUseCount_; }
+  bool hasFreeEntry() const { return freeTop_ != kNoEntry; }
+
+  /// Pop a free entry, lazily decrementing the previous occupant's
+  /// children (which may cascade further frees under either policy).
+  /// Returns kNoEntry if the free stack is empty (overflow).
+  EntryId allocate();
+
+  LptEntry& entry(EntryId id);
+  const LptEntry& entry(EntryId id) const;
+
+  /// Increment/decrement an entry's count. Decrement to zero frees the
+  /// entry (unless its StackBit is held in split-refcount mode).
+  void incRef(EntryId id);
+  void decRef(EntryId id);
+
+  /// Split-refcount support: set/clear the stack bit; clearing frees the
+  /// entry if its internal count is already zero.
+  void setStackBit(EntryId id, bool value);
+
+  /// Cycle recovery (§4.3.2.3): mark from the given roots through car/cdr
+  /// edges, sweep unmarked in-use entries onto the free stack. Returns the
+  /// number of entries reclaimed.
+  std::uint64_t recoverCycles(const std::vector<EntryId>& roots);
+
+  LptStats& stats() { return stats_; }
+  const LptStats& stats() const { return stats_; }
+
+  /// Distribution of per-entry lifetime maximum counts, sampled when each
+  /// entry is freed. With k-bit *sticky* counters (M3L, §2.3.4) an entry
+  /// is reclaimable iff its lifetime max never exceeded 2^k - 1, so this
+  /// histogram's CDF is exactly the reclaimable fraction per width.
+  const support::Histogram& lifetimeMaxCounts() const {
+    return lifetimeMaxCounts_;
+  }
+
+  /// Iterate in-use entry ids (for compression scans).
+  template <typename Fn>
+  void forEachInUse(Fn&& fn) const {
+    for (EntryId id = 0; id < size_; ++id) {
+      if (entries_[id].inUse) fn(id);
+    }
+  }
+
+ private:
+  void freeEntry(EntryId id);
+  void dropChildren(EntryId id);  ///< decrement both children now
+
+  std::uint32_t size_;
+  ReclaimPolicy reclaim_;
+  std::vector<LptEntry> entries_;
+  EntryId freeTop_;
+  std::uint32_t inUseCount_ = 0;
+  LptStats stats_;
+  support::Histogram lifetimeMaxCounts_;
+};
+
+}  // namespace small::core

@@ -1,0 +1,162 @@
+// A functional SMALL memory system: a real LPT over a real two-pointer
+// heap (Chapter 4 executed, rather than statistically simulated).
+//
+// Where `ListProcessor` models object shapes and addresses to drive the
+// Chapter 5 measurements, `SmallMachine` actually stores list structure:
+// readlist materializes an s-expression into heap cells, car/cdr split
+// real heap objects on demand and cache the edges in LPT fields, cons
+// builds endo-structure that exists only in the table, compression merges
+// it back into heap cells (Fig 4.8 with real data), and writelist
+// materializes any value back into an s-expression. The machine is the
+// substrate the §4.3.4 emulator "traces the LPT and the heap" against,
+// and the differential tests check it against plain s-expression
+// semantics operation by operation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heap/two_pointer.hpp"
+#include "sexpr/arena.hpp"
+#include "small/config.hpp"
+#include "support/error.hpp"
+
+namespace small::core {
+
+class SmallMachine {
+ public:
+  /// The EP's view of a value: an immediate atom or an LPT identifier.
+  struct Value {
+    enum class Kind : std::uint8_t { kNil, kSymbol, kInteger, kObject };
+    Kind kind = Kind::kNil;
+    std::uint64_t payload = 0;  ///< symbol id / integer bits
+    std::uint32_t id = 0;       ///< LPT identifier when kObject
+
+    static Value nil() { return {}; }
+    static Value symbol(std::uint64_t s) { return {Kind::kSymbol, s, 0}; }
+    static Value integer(std::int64_t v) {
+      return {Kind::kInteger, static_cast<std::uint64_t>(v), 0};
+    }
+    bool isObject() const { return kind == Kind::kObject; }
+  };
+
+  struct Config {
+    std::uint32_t tableSize = 1024;
+    CompressionPolicy compression = CompressionPolicy::kCompressOne;
+    /// §4.3.3.1: pending heap free requests are queued and serviced in
+    /// batches; the bounded queue is the LP->heap flow control.
+    std::size_t freeQueueLimit = 32;
+  };
+
+  struct Stats {
+    std::uint64_t splits = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t merges = 0;
+    std::uint64_t pseudoOverflows = 0;
+    std::uint64_t refOps = 0;
+    std::uint64_t cycleRecoveries = 0;
+    std::uint64_t heapFreesServiced = 0;
+    std::size_t freeQueueHighWater = 0;
+  };
+
+  SmallMachine() : SmallMachine(Config{}) {}
+  explicit SmallMachine(Config config);
+
+  // --- the LP primitives, operating on real structure ---
+
+  /// readlist: materialize `ref` (from `arena`) into the heap and return
+  /// a value holding one EP reference.
+  Value readList(const sexpr::Arena& arena, sexpr::NodeRef ref);
+
+  /// car/cdr: from the LPT fields when present, else split the heap
+  /// object. The returned value carries a fresh EP reference when it is
+  /// an object.
+  Value car(Value list) { return access(list, /*wantCar=*/true); }
+  Value cdr(Value list) { return access(list, /*wantCar=*/false); }
+
+  /// cons: pure endo-structure; no heap activity (§4.3.2.2.4).
+  Value cons(Value head, Value tail);
+
+  void rplaca(Value list, Value value) { modify(list, value, true); }
+  void rplacd(Value list, Value value) { modify(list, value, false); }
+
+  /// writelist: materialize the value back into an s-expression.
+  sexpr::NodeRef writeList(sexpr::Arena& arena, Value value) const;
+
+  // --- EP reference management ---
+  void retain(Value value);   ///< duplicate an EP reference
+  void release(Value value);  ///< drop an EP reference
+
+  // --- introspection ---
+  const Stats& stats() const { return stats_; }
+  std::uint32_t entriesInUse() const { return inUse_; }
+  std::uint64_t heapCellsLive() const { return heap_.cellsLive(); }
+  std::size_t pendingHeapFrees() const { return freeQueue_.size(); }
+
+  /// Run one compression pass; returns merges performed (exposed for the
+  /// Fig 4.8 tests; normally triggered by table pressure).
+  std::uint64_t compress(bool all);
+
+  /// Drain the heap free queue completely.
+  void serviceAllHeapFrees();
+
+  /// Render the in-use LPT entries in the style of Fig 4.9's tables
+  /// (ID | CAR | CDR | REF | ADDR).
+  std::string dumpTable(const sexpr::SymbolTable& symbols) const;
+
+ private:
+  // An LPT entry. Exactly one of {hasFields, hasAddr} holds for live
+  // list objects: split/cons entries carry field values, unsplit entries
+  // carry the heap word of their representation.
+  struct Entry {
+    bool inUse = false;
+    bool hasFields = false;
+    Value carField;
+    Value cdrField;
+    heap::HeapWord addr;  ///< heap representation when !hasFields
+    std::uint32_t refCount = 0;
+    bool mark = false;
+  };
+
+  Value access(Value list, bool wantCar);
+  void modify(Value list, Value value, bool isCar);
+
+  Entry& entry(std::uint32_t id);
+  const Entry& entry(std::uint32_t id) const;
+
+  std::uint32_t allocateEntry();
+  void incRef(std::uint32_t id);
+  void decRef(std::uint32_t id);
+  void freeEntry(std::uint32_t id);
+  bool ensureFree(std::uint32_t needed);
+  std::uint64_t recoverCycles();
+
+  /// Wrap a heap word as a Value (allocating an entry for pointers).
+  Value wordToValue(heap::HeapWord word);
+  /// Render a field value as a heap word, for merges; requires the value
+  /// to be an atom or an unsplit object (whose entry is then released).
+  heap::HeapWord valueToWord(const Value& value);
+
+  void split(std::uint32_t id);
+  bool compressiblePair(std::uint32_t id) const;
+  void mergePair(std::uint32_t id);
+  bool mergeableField(const Value& field) const;
+
+  void queueHeapFree(heap::HeapWord word);
+
+  std::uint32_t externalRefs(std::uint32_t id) const;
+
+  Config config_;
+  heap::TwoPointerHeap heap_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> freeStack_;
+  std::uint32_t inUse_ = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> epRefs_;
+  std::deque<heap::TwoPointerHeap::CellRef> freeQueue_;
+  Stats stats_;
+};
+
+}  // namespace small::core

@@ -1,0 +1,479 @@
+#include "small/simulator.hpp"
+
+#include <algorithm>
+
+// Compile with -DSMALL_SIM_VERIFY to enable exhaustive invariant checking
+// after every simulated event: stack items must reference live entries,
+// the EP-side reference table must agree with the stack, and every entry's
+// refcount must equal its field references plus EP references. Expensive;
+// meant for debugging the simulator itself.
+#ifdef SMALL_SIM_VERIFY
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+#endif
+
+namespace small::core {
+
+using trace::EventKind;
+using trace::PreprocessedEvent;
+using trace::Primitive;
+
+Simulator::Simulator(const SimConfig& config,
+                     const trace::PreprocessedTrace& trace)
+    : config_(config), trace_(trace), rng_(config.seed), lp_(config, rng_) {
+  if (config_.driveCache) {
+    const std::uint64_t entries =
+        config_.cacheEntries ? config_.cacheEntries : config_.tableSize;
+    const std::uint64_t lines =
+        std::max<std::uint64_t>(entries / config_.cacheLineSize, 1);
+    cache_ = std::make_unique<cache::LruCache>(lines, config_.cacheLineSize);
+  }
+  frames_.push_back(Frame{0, 0});  // top level
+}
+
+SimResult Simulator::run() {
+  for (const PreprocessedEvent& event : trace_.events) {
+    switch (event.kind) {
+      case EventKind::kFunctionEnter:
+        onFunctionEnter(event);
+#ifdef SMALL_SIM_VERIFY
+        verifyStackRefs("enter");
+#endif
+        break;
+      case EventKind::kFunctionExit:
+        onFunctionExit();
+#ifdef SMALL_SIM_VERIFY
+        verifyStackRefs("exit");
+#endif
+        break;
+      case EventKind::kPrimitive:
+        onPrimitive(event);
+        sampleOccupancy();
+#ifdef SMALL_SIM_VERIFY
+        verifyStackRefs("prim");
+#endif
+#ifdef SMALL_SIM_VERIFY
+        for (std::size_t i = 0; i < stack_.size(); ++i) {
+          if (stack_[i].kind == StackItem::Kind::kEntry &&
+              !lp_.lpt().entry(stack_[i].id).inUse) {
+            std::fprintf(stderr,
+                         "VERIFY: stack[%zu] holds freed entry %u after "
+                         "prim %d (event #%llu)\n",
+                         i, stack_[i].id, (int)event.primitive,
+                         (unsigned long long)primitives_);
+            std::abort();
+          }
+        }
+        {
+          // Recompute each entry's expected refcount: field references
+          // from every entry (in-use or lazily freed) plus EP references.
+          std::vector<std::uint32_t> expected(config_.tableSize, 0);
+          for (EntryId id = 0; id < config_.tableSize; ++id) {
+            const LptEntry& e = lp_.lpt().entry(id);
+            if (e.car != kNoEntry) ++expected[e.car];
+            if (e.cdr != kNoEntry) ++expected[e.cdr];
+          }
+          for (EntryId id = 0; id < config_.tableSize; ++id) {
+            // In split mode EP references live in the EP table, not in
+            // the LPT count.
+            if (!config_.splitRefCounts) expected[id] += lp_.externalRefs(id);
+            const LptEntry& e = lp_.lpt().entry(id);
+            if (e.inUse && e.refCount != expected[id]) {
+              std::fprintf(stderr,
+                           "VERIFY: entry %u rc=%u expected=%u after prim "
+                           "%d (event #%llu)\n",
+                           id, e.refCount, expected[id],
+                           (int)event.primitive,
+                           (unsigned long long)primitives_);
+              std::abort();
+            }
+          }
+        }
+#endif
+        break;
+    }
+  }
+
+  SimResult result;
+  result.lptStats = lp_.lpt().stats();
+  result.lpStats = lp_.stats();
+  result.lifetimeMaxCounts = lp_.lpt().lifetimeMaxCounts();
+  result.lptHits = lp_.stats().hits;
+  result.lptMisses = lp_.stats().splits;
+  const std::uint64_t accesses = result.lptHits + result.lptMisses;
+  result.lptHitRate =
+      accesses == 0 ? 0.0
+                    : static_cast<double>(result.lptHits) /
+                          static_cast<double>(accesses);
+  result.cacheHits = cacheHits_;
+  result.cacheMisses = cacheMisses_;
+  const std::uint64_t cacheAccesses = cacheHits_ + cacheMisses_;
+  result.cacheHitRate =
+      cacheAccesses == 0 ? 0.0
+                         : static_cast<double>(cacheHits_) /
+                               static_cast<double>(cacheAccesses);
+  result.peakOccupancy = peakOccupancy_;
+  result.averageOccupancy = occupancy_.mean();
+  result.pseudoOverflowOccurred = lp_.stats().pseudoOverflows > 0;
+  result.trueOverflowOccurred = lp_.stats().trueOverflows > 0;
+  result.primitivesSimulated = primitives_;
+  result.functionCalls = functionCalls_;
+  return result;
+}
+
+
+#ifdef SMALL_SIM_VERIFY
+void Simulator::verifyStackRefs(const char* where) {
+  std::unordered_map<EntryId, std::uint32_t> held;
+  for (const StackItem& item : stack_) {
+    if (item.kind == StackItem::Kind::kEntry) ++held[item.id];
+  }
+  for (const auto& [id, count] : held) {
+    if (!lp_.lpt().entry(id).inUse) {
+      std::fprintf(stderr, "VERIFY(%s): freed entry %u on stack x%u at prim#%llu\n",
+                   where, id, count, (unsigned long long)primitives_);
+      std::abort();
+    }
+    if (config_.splitRefCounts) {
+      // Split mode: the LPT count holds internal references only; the
+      // stack's presence is represented by the StackBit.
+      if (!lp_.lpt().entry(id).stackBit) {
+        std::fprintf(stderr,
+                     "VERIFY(%s): entry %u stack-held but StackBit clear "
+                     "at prim#%llu\n",
+                     where, id, (unsigned long long)primitives_);
+        std::abort();
+      }
+    } else if (lp_.lpt().entry(id).refCount < count) {
+      std::fprintf(stderr, "VERIFY(%s): entry %u rc=%u < stack held %u at prim#%llu\n",
+                   where, id, lp_.lpt().entry(id).refCount, count,
+                   (unsigned long long)primitives_);
+      std::abort();
+    }
+    if (lp_.externalRefs(id) != count) {
+      std::fprintf(stderr, "VERIFY(%s): entry %u held %u times but epRefs=%u at prim#%llu\n",
+                   where, id, count, lp_.externalRefs(id),
+                   (unsigned long long)primitives_);
+      std::abort();
+    }
+  }
+}
+#endif
+void Simulator::sampleOccupancy() {
+  const std::uint32_t inUse = lp_.lpt().inUseCount();
+  peakOccupancy_ = std::max(peakOccupancy_, inUse);
+  occupancy_.add(inUse);
+}
+
+void Simulator::releaseItem(const StackItem& item) {
+  switch (item.kind) {
+    case StackItem::Kind::kAtom:
+      break;
+    case StackItem::Kind::kEntry:
+      lp_.unbind(item.id);
+      break;
+    case StackItem::Kind::kLarge:
+      lp_.largeUnbind();
+      break;
+  }
+}
+
+void Simulator::onFunctionEnter(const PreprocessedEvent& event) {
+  ++functionCalls_;
+  const std::size_t base = stack_.size();
+  // "a stack item is pushed for each argument, which is then randomly
+  //  bound to something older on the stack."
+  const std::uint8_t argCount = event.argCount;
+  for (std::uint8_t i = 0; i < argCount; ++i) {
+    StackItem item;
+    item.isArgument = true;
+    const std::optional<std::size_t> older = pickListItem(0, base);
+    if (older && rng_.chance(0.7)) {
+      const StackItem& source = stack_[*older];
+      item.kind = source.kind;
+      item.id = source.id;
+      if (item.kind == StackItem::Kind::kEntry) {
+        lp_.bind(item.id);
+      } else if (item.kind == StackItem::Kind::kLarge) {
+        lp_.largeBind();
+      }
+    }
+    stack_.push_back(item);
+  }
+  // "A randomly determined number of locals are then similarly bound."
+  const auto locals = static_cast<std::uint32_t>(rng_.below(3));
+  for (std::uint32_t i = 0; i < locals; ++i) {
+    StackItem item;
+    item.isArgument = false;
+    stack_.push_back(item);
+  }
+  frames_.push_back(Frame{base, argCount});
+}
+
+void Simulator::onFunctionExit() {
+  if (frames_.size() <= 1) return;  // unmatched exit: ignore at top level
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  // "a reference count decrementing request is sent to the LP for each
+  //  stack item that represents a name-value binding added during that
+  //  call, and that item is then popped."
+  while (stack_.size() > frame.base) {
+    releaseItem(stack_.back());
+    stack_.pop_back();
+  }
+}
+
+std::optional<std::size_t> Simulator::pickListItem(std::size_t lo,
+                                                   std::size_t hi) {
+  // Reservoir sampling over candidate indices holding list values —
+  // uniform without materializing a candidate vector.
+  std::optional<std::size_t> chosen;
+  std::uint64_t seen = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (stack_[i].kind == StackItem::Kind::kAtom) continue;
+    ++seen;
+    if (rng_.below(seen) == 0) chosen = i;
+  }
+  return chosen;
+}
+
+std::optional<std::size_t> Simulator::selectArgument(
+    const PreprocessedEvent& event, bool* consumedTemp) {
+  *consumedTemp = false;
+
+  // Chained argument: available on top of the simulated run-time stack.
+  bool chained = false;
+  for (const trace::PreprocessedObject& arg : event.args) {
+    if (arg.id != trace::kNoObject) {
+      chained = arg.chained;
+      break;
+    }
+  }
+  // The chained value is on top of the stack only if the previous result
+  // was pushed as a temporary; consuming a *binding* would shrink the
+  // frame under its argument slots.
+  if (chained && !stack_.empty() && stack_.back().isTemp &&
+      stack_.back().kind != StackItem::Kind::kAtom) {
+    *consumedTemp = true;
+    return stack_.size() - 1;
+  }
+
+  const Frame& frame = frames_.back();
+  const double u = rng_.uniform();
+  std::optional<std::size_t> choice;
+  if (u < config_.argProb) {
+    // An argument of the currently active user-defined function.
+    choice = pickListItem(frame.base, frame.base + frame.argCount);
+  } else if (u < config_.argProb + config_.locProb) {
+    // A local variable (or temporary) of the current call.
+    choice = pickListItem(frame.base + frame.argCount, stack_.size());
+  } else {
+    // A non-local variable: anything below the current frame.
+    choice = pickListItem(0, frame.base);
+  }
+  if (!choice) choice = pickListItem(0, stack_.size());
+  return choice;
+}
+
+void Simulator::touchCache(const StackItem& item, bool countIt) {
+  if (!cache_ || item.kind != StackItem::Kind::kEntry) return;
+  const bool hit = cache_->access(lp_.cacheAddress(item.id));
+  if (!countIt) return;
+  if (hit) {
+    ++cacheHits_;
+  } else {
+    ++cacheMisses_;
+  }
+}
+
+void Simulator::pushResult(const AccessResult& result) {
+  StackItem item;
+  if (result.id != kNoEntry) {
+    item.kind = StackItem::Kind::kEntry;
+    item.id = result.id;
+  } else if (result.isAtom) {
+    item.kind = StackItem::Kind::kAtom;
+  } else {
+    item.kind = StackItem::Kind::kLarge;
+  }
+  disposeValue(item);
+}
+
+void Simulator::disposeValue(StackItem value) {
+  // "This return value was then either bound to a randomly selected
+  //  variable on the stack (with probability BindProb) or just pushed onto
+  //  the top of the stack."
+  // Top-level temporaries have no function exit to pop them; once the
+  // top-level frame grows past a working-set bound, treat the push as a
+  // binding so the simulated stack stays O(call depth).
+  constexpr std::size_t kTopLevelStackBound = 512;
+  const bool topLevelPressure =
+      frames_.size() == 1 && stack_.size() >= kTopLevelStackBound;
+  if (!stack_.empty() &&
+      (topLevelPressure || rng_.chance(config_.bindProb))) {
+    const std::size_t index = rng_.below(stack_.size());
+    releaseItem(stack_[index]);
+    value.isArgument = stack_[index].isArgument;
+    value.isTemp = stack_[index].isTemp;  // a binding slot stays a binding
+    stack_[index] = value;
+    return;
+  }
+  value.isArgument = false;
+  value.isTemp = true;
+  stack_.push_back(value);
+}
+
+void Simulator::onPrimitive(const PreprocessedEvent& event) {
+  ++primitives_;
+
+  // `read` needs no pre-existing argument.
+  if (event.primitive == Primitive::kRead) {
+    const EntryId id = lp_.readList(std::nullopt, event.result.n,
+                                    event.result.p);
+    AccessResult result;
+    result.id = id;
+    result.isAtom = id != kNoEntry && lp_.lpt().entry(id).isAtom;
+    pushResult(result);
+    return;
+  }
+
+  bool consumedTemp = false;
+  std::optional<std::size_t> argIndex = selectArgument(event, &consumedTemp);
+  if (!argIndex) {
+    // No list value anywhere on the stack: the variable must have been
+    // read into since program start — materialize it as a fresh object.
+    const std::uint32_t n = event.args.empty() ? 1 : event.args[0].n;
+    const std::uint32_t p = event.args.empty() ? 0 : event.args[0].p;
+    const EntryId id = lp_.readList(std::nullopt, std::max(n, 1u), p);
+    StackItem item;
+    item.kind = id == kNoEntry ? StackItem::Kind::kLarge
+                               : StackItem::Kind::kEntry;
+    item.id = id;
+    stack_.push_back(item);
+    argIndex = stack_.size() - 1;
+  }
+
+  // ReadProb: with small probability the variable was re-read since it was
+  // last accessed, so a fresh object replaces the binding.
+  if (!consumedTemp && rng_.chance(config_.readProb)) {
+    StackItem& item = stack_[*argIndex];
+    if (item.kind == StackItem::Kind::kEntry) {
+      const std::uint32_t n = event.args.empty() ? 1 : event.args[0].n;
+      const std::uint32_t p = event.args.empty() ? 0 : event.args[0].p;
+      const EntryId id = lp_.readList(item.id, std::max(n, 1u), p);
+      if (id == kNoEntry) {
+        // readList already registered the outstanding large reference.
+        item.kind = StackItem::Kind::kLarge;
+        item.id = kNoEntry;
+      } else {
+        item.id = id;
+      }
+    }
+  }
+
+  const StackItem arg = stack_[*argIndex];
+  auto finishTemp = [&] {
+    if (consumedTemp) {
+      // The chained temporary is consumed by this primitive.
+      releaseItem(stack_.back());
+      stack_.pop_back();
+    }
+  };
+
+  switch (event.primitive) {
+    case Primitive::kCar:
+    case Primitive::kCdr: {
+      const bool wantCar = event.primitive == Primitive::kCar;
+      AccessResult result;
+      if (arg.kind == StackItem::Kind::kLarge) {
+        result = lp_.largeAccess(wantCar);
+      } else if (lp_.lpt().entry(arg.id).isAtom) {
+        // car/cdr of an atom object yields nil — no LPT activity.
+        result.id = kNoEntry;
+        result.isAtom = true;
+      } else {
+        touchCache(arg, /*countIt=*/true);
+        result = wantCar ? lp_.car(arg.id) : lp_.cdr(arg.id);
+      }
+      finishTemp();
+      pushResult(result);
+      break;
+    }
+    case Primitive::kCons:
+    case Primitive::kAppend: {
+      // Second operand: another stack value if one exists, else the same.
+      AccessResult result;
+      if (arg.kind == StackItem::Kind::kLarge) {
+        ++lp_.stats().overflowModeOps;
+        lp_.largeBind();
+        result.id = kNoEntry;
+        result.isAtom = false;
+      } else {
+        const std::optional<std::size_t> other =
+            pickListItem(0, stack_.size());
+        EntryId tail = arg.id;
+        if (other && stack_[*other].kind == StackItem::Kind::kEntry) {
+          tail = stack_[*other].id;
+        }
+        touchCache(arg, /*countIt=*/false);  // the cell write
+        const EntryId id = lp_.cons(arg.id, tail);
+        result.id = id;
+        result.isAtom = false;
+      }
+      finishTemp();
+      pushResult(result);
+      break;
+    }
+    case Primitive::kRplaca:
+    case Primitive::kRplacd: {
+      if (arg.kind == StackItem::Kind::kEntry &&
+          !lp_.lpt().entry(arg.id).isAtom) {
+        const std::optional<std::size_t> other =
+            pickListItem(0, stack_.size());
+        if (other && stack_[*other].kind == StackItem::Kind::kEntry) {
+          touchCache(arg, /*countIt=*/false);
+          if (event.primitive == Primitive::kRplaca) {
+            lp_.rplaca(arg.id, stack_[*other].id);
+          } else {
+            lp_.rplacd(arg.id, stack_[*other].id);
+          }
+        }
+      }
+      // rplac returns its (modified) first argument; keep the binding as
+      // the result value.
+      StackItem value = arg;
+      if (value.kind == StackItem::Kind::kEntry) {
+        lp_.bind(value.id);
+      } else if (value.kind == StackItem::Kind::kLarge) {
+        lp_.largeBind();
+      }
+      finishTemp();
+      disposeValue(value);
+      break;
+    }
+    case Primitive::kAtom:
+    case Primitive::kNull:
+    case Primitive::kEqual:
+    case Primitive::kWrite: {
+      // Predicates and output touch the argument but produce atoms.
+      touchCache(arg, /*countIt=*/false);
+      finishTemp();
+      StackItem value;
+      value.kind = StackItem::Kind::kAtom;
+      disposeValue(value);
+      break;
+    }
+    case Primitive::kRead:
+      break;  // handled above
+  }
+}
+
+SimResult simulateTrace(const SimConfig& config,
+                        const trace::PreprocessedTrace& trace) {
+  Simulator simulator(config, trace);
+  return simulator.run();
+}
+
+}  // namespace small::core

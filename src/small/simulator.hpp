@@ -1,0 +1,122 @@
+// The trace-driven SMALL simulator (§5.2.1).
+//
+// "The simulator monitors the contents of the LPT and the control-cum-
+//  binding stack over the function calls and list manipulating primitives
+//  of a trace."
+//
+// The Evaluation Processor is modeled as the thesis models it: a control/
+// binding stack updated on every function enter/exit, with the argument of
+// each primitive chosen by the chaining flag or by the ArgProb/LocProb
+// probabilities, rebinding with probability ReadProb, and result
+// disposition governed by BindProb. The List Processor executes each
+// primitive against the LPT; an optional comparison data cache observes the
+// same access stream through the conventional-memory address shadow.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "small/config.hpp"
+#include "small/list_processor.hpp"
+#include "support/stats.hpp"
+#include "trace/preprocess.hpp"
+
+namespace small::core {
+
+/// Everything the Chapter 5 tables and figures need from one run.
+struct SimResult {
+  LptStats lptStats;
+  LpStats lpStats;
+
+  /// Per-entry lifetime maximum counts at free time (the §2.3.4 M3L
+  /// truncated-counter study input).
+  support::Histogram lifetimeMaxCounts;
+
+  std::uint64_t lptHits = 0;     ///< car/cdr satisfied from table fields
+  std::uint64_t lptMisses = 0;   ///< car/cdr requiring a heap split
+  double lptHitRate = 0.0;
+
+  std::uint64_t cacheHits = 0;   ///< comparison cache, car/cdr stream only
+  std::uint64_t cacheMisses = 0;
+  double cacheHitRate = 0.0;
+
+  std::uint32_t peakOccupancy = 0;  ///< max in-use LPT entries
+  double averageOccupancy = 0.0;
+
+  bool pseudoOverflowOccurred = false;
+  bool trueOverflowOccurred = false;
+
+  std::uint64_t primitivesSimulated = 0;
+  std::uint64_t functionCalls = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const SimConfig& config, const trace::PreprocessedTrace& trace);
+
+  SimResult run();
+
+ private:
+  struct StackItem {
+    enum class Kind : std::uint8_t { kAtom, kEntry, kLarge };
+    Kind kind = Kind::kAtom;
+    EntryId id = kNoEntry;
+    bool isArgument = false;  ///< function argument vs local/temporary
+    bool isTemp = false;      ///< pushed value, consumable by chaining;
+                              ///< never true for bindings, whose stack
+                              ///< slots must survive until function exit
+  };
+
+  struct Frame {
+    std::size_t base = 0;       ///< stack index of the first item
+    std::uint8_t argCount = 0;  ///< leading items that are arguments
+  };
+
+  void onFunctionEnter(const trace::PreprocessedEvent& event);
+  void onFunctionExit();
+  void onPrimitive(const trace::PreprocessedEvent& event);
+
+  /// Index of the stack item chosen as this primitive's list argument, or
+  /// nullopt if a fresh read-in is required. `consumedTemp` is set when
+  /// the chained top-of-stack temporary was taken.
+  std::optional<std::size_t> selectArgument(
+      const trace::PreprocessedEvent& event, bool* consumedTemp);
+
+  /// Pick a random stack index holding a list (entry or large) within
+  /// [lo, hi); nullopt if none.
+  std::optional<std::size_t> pickListItem(std::size_t lo, std::size_t hi);
+
+  void releaseItem(const StackItem& item);
+  void pushResult(const AccessResult& result);
+  void disposeValue(StackItem value);
+  void touchCache(const StackItem& item, bool countIt);
+  void sampleOccupancy();
+#ifdef SMALL_SIM_VERIFY
+  void verifyStackRefs(const char* where);
+#endif
+
+  SimConfig config_;
+  const trace::PreprocessedTrace& trace_;
+  support::Rng rng_;
+  ListProcessor lp_;
+  std::unique_ptr<cache::LruCache> cache_;
+
+  std::vector<StackItem> stack_;
+  std::vector<Frame> frames_;
+
+  std::uint64_t cacheHits_ = 0;
+  std::uint64_t cacheMisses_ = 0;
+  std::uint32_t peakOccupancy_ = 0;
+  support::RunningStats occupancy_;
+  std::uint64_t primitives_ = 0;
+  std::uint64_t functionCalls_ = 0;
+};
+
+/// Convenience: preprocess-and-simulate with the given config.
+SimResult simulateTrace(const SimConfig& config,
+                        const trace::PreprocessedTrace& trace);
+
+}  // namespace small::core

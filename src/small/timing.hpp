@@ -1,0 +1,99 @@
+// EP/LP timing and concurrency model (§4.3.2.5, Figs 4.10-4.13).
+//
+// "While the exact timing of EP-LP interaction will depend on these
+//  factors, we can get an idea of the scope for concurrency in SMALL list
+//  manipulation by assigning approximate values to these timing parameters
+//  and constructing timing diagrams for typical operations."
+//
+// Each primitive class decomposes into the phases the thesis' diagrams
+// show: EP work (environment interrogation, request dispatch), a
+// synchronous window the EP must wait out (until the LP can return a
+// value), and an LP *tail* — table updates and reference-count work the
+// LP finishes while the EP has already moved on. The per-operation
+// timings combine with a simulation's operation counts into a whole-run
+// concurrency report: EP busy/idle, LP busy/idle, and the speedup over a
+// Class M organization (one processor doing everything serially,
+// Fig 2.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "small/simulator.hpp"
+
+namespace small::core {
+
+/// Latency parameters, in abstract cycles. Defaults follow the thesis'
+/// qualitative ordering: table accesses are fast, heap splits slower,
+/// I/O slowest.
+struct TimingParams {
+  std::uint32_t envLookup = 2;    ///< EP: environment interrogation per name
+  std::uint32_t busTransfer = 1;  ///< EP<->LP request or response transfer
+  std::uint32_t lptAccess = 1;    ///< LP: read an LPT entry / field
+  std::uint32_t lptUpdate = 1;    ///< LP: write an LPT entry field
+  std::uint32_t refCountOp = 1;   ///< LP: one reference-count update
+  std::uint32_t entryAlloc = 1;   ///< LP: pop the free stack
+  std::uint32_t heapSplit = 6;    ///< heap controller: split an object
+  std::uint32_t heapMerge = 4;    ///< heap controller: merge two objects
+  std::uint32_t listIo = 40;      ///< read list data from the outside world
+  std::uint32_t epCompute = 2;    ///< EP: non-list work between primitives
+};
+
+/// One operation's decomposition, as in the Figs 4.10-4.13 diagrams.
+struct OpTiming {
+  std::string name;
+  std::uint32_t epBusy = 0;  ///< EP work before/around the request
+  std::uint32_t epWait = 0;  ///< EP idle, waiting for the LP's value
+  std::uint32_t lpBusy = 0;  ///< LP work needed before it can respond
+  std::uint32_t lpTail = 0;  ///< LP work overlapped with resumed EP
+
+  /// EP-visible latency of the operation.
+  std::uint32_t epLatency() const { return epBusy + epWait; }
+  /// Total LP occupancy for the operation.
+  std::uint32_t lpTotal() const { return lpBusy + lpTail; }
+  /// What a single-processor (Class M) organization would spend.
+  std::uint32_t serialized() const { return epBusy + lpBusy + lpTail; }
+};
+
+// Per-class decompositions (Figs 4.10-4.13).
+OpTiming readListTiming(const TimingParams& params);          // Fig 4.10
+OpTiming accessHitTiming(const TimingParams& params);         // Fig 4.11
+OpTiming accessMissTiming(const TimingParams& params);        // split path
+OpTiming modifyTiming(const TimingParams& params);            // Fig 4.12
+OpTiming consTiming(const TimingParams& params);              // Fig 4.13
+OpTiming compressionTiming(const TimingParams& params);       // Fig 4.8
+
+/// ASCII timeline of one operation, in the style of the thesis' figures.
+std::string renderTimeline(const OpTiming& timing);
+
+/// Whole-run concurrency report, combining a simulation's operation
+/// counts with the per-class timings.
+struct ConcurrencyReport {
+  std::uint64_t epBusy = 0;
+  std::uint64_t epIdle = 0;      ///< EP cycles stalled on LP responses
+  std::uint64_t lpBusy = 0;
+  std::uint64_t makespan = 0;    ///< overlapped EP/LP execution time
+  std::uint64_t serialized = 0;  ///< Class M: one processor, no overlap
+
+  double epUtilization() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(epBusy) /
+                               static_cast<double>(makespan);
+  }
+  double lpUtilization() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(lpBusy) /
+                               static_cast<double>(makespan);
+  }
+  /// Speedup of the EP/LP partition over the single-processor design.
+  double speedup() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(serialized) /
+                               static_cast<double>(makespan);
+  }
+};
+
+ConcurrencyReport analyzeConcurrency(const SimResult& result,
+                                     const TimingParams& params);
+
+}  // namespace small::core

@@ -1,0 +1,83 @@
+#include "support/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace small::support {
+
+EmpiricalDistribution::EmpiricalDistribution(
+    std::initializer_list<Bucket> buckets)
+    : EmpiricalDistribution(std::span<const Bucket>(buckets.begin(),
+                                                    buckets.size())) {}
+
+EmpiricalDistribution::EmpiricalDistribution(std::span<const Bucket> buckets) {
+  buckets_.assign(buckets.begin(), buckets.end());
+  cumulative_.reserve(buckets_.size());
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.weight < 0.0) {
+      throw Error("EmpiricalDistribution: negative weight");
+    }
+    total_ += bucket.weight;
+    cumulative_.push_back(total_);
+  }
+  if (!buckets_.empty() && total_ <= 0.0) {
+    throw Error("EmpiricalDistribution: all weights zero");
+  }
+}
+
+std::int64_t EmpiricalDistribution::sample(Rng& rng) const {
+  if (buckets_.empty()) throw Error("EmpiricalDistribution: sample of empty");
+  const double u = rng.uniform() * total_;
+  const auto it = std::ranges::upper_bound(cumulative_, u);
+  const auto index = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(buckets_.size()) - 1));
+  return buckets_[index].value;
+}
+
+double EmpiricalDistribution::mean() const {
+  if (buckets_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    acc += static_cast<double>(bucket.value) * bucket.weight;
+  }
+  return acc / total_;
+}
+
+EmpiricalDistribution makeGeometricTail(double ratio, std::int64_t maxValue) {
+  if (ratio <= 0.0 || ratio >= 1.0) {
+    throw Error("makeGeometricTail: ratio must be in (0, 1)");
+  }
+  if (maxValue < 1) throw Error("makeGeometricTail: maxValue must be >= 1");
+  std::vector<EmpiricalDistribution::Bucket> buckets;
+  buckets.reserve(static_cast<std::size_t>(maxValue));
+  double w = 1.0;
+  for (std::int64_t k = 1; k <= maxValue; ++k) {
+    buckets.push_back({k, w});
+    w *= ratio;
+  }
+  return EmpiricalDistribution(buckets);
+}
+
+PointerDistanceModel::PointerDistanceModel(Params params)
+    : params_(params),
+      tail_(makeGeometricTail(params.tailRatio, params.tailMax)) {}
+
+std::int64_t PointerDistanceModel::sampleDistance(Rng& rng) const {
+  std::int64_t magnitude;
+  const double u = rng.uniform();
+  if (u < params_.pNear) {
+    magnitude = 1;
+  } else if (u < params_.pNear + params_.pFar) {
+    magnitude = 1 + static_cast<std::int64_t>(
+                        rng.below(static_cast<std::uint64_t>(params_.farRange)));
+  } else {
+    // Near tail starting at distance 2.
+    magnitude = 1 + tail_.sample(rng);
+  }
+  return rng.chance(0.5) ? magnitude : -magnitude;
+}
+
+}  // namespace small::support

@@ -1,0 +1,82 @@
+// Discrete distributions used to synthesize list structure and heap
+// addresses.
+//
+// Two distribution families drive the simulation (§5.2.1):
+//  * the (n, p) list-shape distributions measured in Chapter 3 (Figs 3.3a/b,
+//    Table 3.1), used when splitting a heap object to decide how large its
+//    car and cdr halves are, and
+//  * Clark's list-cell pointer-distance distributions, used to assign heap
+//    addresses to the car/cdr halves for the data-cache comparison (§5.2.5).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace small::support {
+
+/// A discrete empirical distribution over integer values, sampled by inverse
+/// transform on the cumulative weights. Weights need not be normalized.
+class EmpiricalDistribution {
+ public:
+  struct Bucket {
+    std::int64_t value = 0;
+    double weight = 0.0;
+  };
+
+  EmpiricalDistribution() = default;
+  EmpiricalDistribution(std::initializer_list<Bucket> buckets);
+  explicit EmpiricalDistribution(std::span<const Bucket> buckets);
+
+  /// Draw one value.
+  std::int64_t sample(Rng& rng) const;
+
+  /// Expected value of the distribution.
+  double mean() const;
+
+  bool empty() const { return buckets_.empty(); }
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+/// Geometric-tail distribution over {1, 2, 3, ...}: P(k) proportional to
+/// ratio^(k-1), truncated at `maxValue`. Matches the qualitative shape of
+/// the n and p measurements: many short/simple lists, a thin long tail.
+EmpiricalDistribution makeGeometricTail(double ratio, std::int64_t maxValue);
+
+/// Clark-style pointer distance model (§3.2, used in §5.2.5).
+///
+/// Clark's static and dynamic studies found that most list-cell pointers
+/// point a *small* distance away — a large mass at distance 1 (linearized
+/// cdr chains) with a rapidly decaying tail, and an occasional far pointer.
+/// This class reproduces that shape: distance 1 with probability `pNear`,
+/// otherwise a geometric tail, with a small probability `pFar` of a long
+/// jump, and a random sign.
+class PointerDistanceModel {
+ public:
+  struct Params {
+    double pNear = 0.55;   ///< mass at |distance| == 1
+    double pFar = 0.05;    ///< mass spread far (fresh allocation elsewhere)
+    double tailRatio = 0.7;///< geometric decay of the near tail
+    std::int64_t tailMax = 64;
+    std::int64_t farRange = 100000;
+  };
+
+  PointerDistanceModel() : PointerDistanceModel(Params{}) {}
+  explicit PointerDistanceModel(Params params);
+
+  /// Signed distance (never zero) from a parent cell to a child cell.
+  std::int64_t sampleDistance(Rng& rng) const;
+
+ private:
+  Params params_;
+  EmpiricalDistribution tail_;
+};
+
+}  // namespace small::support

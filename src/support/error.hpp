@@ -1,0 +1,36 @@
+// Error types shared across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace small::support {
+
+/// Base class for all errors raised by the small:: libraries, so callers can
+/// catch library failures distinctly from standard-library exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed textual input (s-expression reader, trace files).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A Lisp program did something erroneous at run time (wrong arity, car of
+/// an atom, unbound variable, ...).
+class EvalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A simulator invariant was violated (LPT refcount underflow, use of a
+/// freed entry, ...). These indicate bugs in the caller, not in the data.
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace small::support

@@ -1,0 +1,153 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace small::support {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::confidenceHalfWidth95() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t count) {
+  buckets_[value] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::countOf(std::int64_t value) const {
+  const auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [value, count] : buckets_) {
+    acc += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+double Histogram::cumulativeFraction(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (const auto& [v, count] : buckets_) {
+    if (v > value) break;
+    below += count;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (total_ == 0 || q <= 0.0 || q > 1.0) {
+    throw Error("Histogram::quantile: empty histogram or q out of (0,1]");
+  }
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (const auto& [value, count] : buckets_) {
+    seen += count;
+    if (seen >= target) return value;
+  }
+  return buckets_.rbegin()->first;
+}
+
+std::string seriesToCsv(const std::vector<Series>& series) {
+  std::ostringstream out;
+  out << "x";
+  for (const Series& s : series) out << "," << s.name;
+  out << "\n";
+  std::size_t rows = 0;
+  for (const Series& s : series) rows = std::max(rows, s.x.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    bool wroteX = false;
+    std::ostringstream line;
+    for (const Series& s : series) {
+      if (!wroteX && i < s.x.size()) {
+        line << s.x[i];
+        wroteX = true;
+        break;
+      }
+    }
+    for (const Series& s : series) {
+      line << ",";
+      if (i < s.y.size()) line << s.y[i];
+    }
+    out << line.str() << "\n";
+  }
+  return out.str();
+}
+
+std::string asciiPlot(const std::vector<Series>& series, int width,
+                      int height) {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      any = true;
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+    }
+  }
+  if (!any) return "(empty plot)\n";
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  const char* glyphs = "*o+x#@";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const Series& s = series[si];
+    const char glyph = glyphs[si % 6];
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const int col = static_cast<int>((s.x[i] - xmin) / (xmax - xmin) *
+                                       (width - 1));
+      const int row = static_cast<int>((s.y[i] - ymin) / (ymax - ymin) *
+                                       (height - 1));
+      canvas[static_cast<std::size_t>(height - 1 - row)]
+            [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  out << "y: [" << ymin << ", " << ymax << "]  x: [" << xmin << ", " << xmax
+      << "]\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << glyphs[si % 6] << " = " << series[si].name;
+  }
+  out << "\n";
+  for (const std::string& row : canvas) out << "|" << row << "|\n";
+  return out.str();
+}
+
+}  // namespace small::support

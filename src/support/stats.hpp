@@ -1,0 +1,87 @@
+// Streaming statistics and plotting helpers for the experiment harnesses.
+//
+// The paper reports most of its results as cumulative plots (Figs 3.4-3.13,
+// 5.1-5.5) and small summary tables. `RunningStats`, `Histogram` and
+// `CumulativeSeries` provide exactly those shapes without retaining the raw
+// event streams.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace small::support {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Half width of the normal-approximation 95% confidence interval on the
+  /// mean; used for the Fig 5.2 occupancy-interval study.
+  double confidenceHalfWidth95() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sparse integer histogram (value -> count) with cumulative queries.
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t count = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t countOf(std::int64_t value) const;
+  double mean() const;
+
+  /// Fraction of mass at values <= `value`.
+  double cumulativeFraction(std::int64_t value) const;
+
+  /// Smallest value v such that cumulativeFraction(v) >= q, for q in (0,1].
+  std::int64_t quantile(double q) const;
+
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// A named (x, y) series, rendered to CSV and to a coarse ASCII plot — the
+/// textual stand-ins for the thesis figures.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+};
+
+/// Renders one or more series sharing an x axis as a CSV block.
+std::string seriesToCsv(const std::vector<Series>& series);
+
+/// Coarse ASCII line plot of several series on a shared canvas; good enough
+/// to eyeball the knee/cumulative shapes the thesis figures show.
+std::string asciiPlot(const std::vector<Series>& series, int width = 72,
+                      int height = 20);
+
+}  // namespace small::support

@@ -1,0 +1,83 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace small::support {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw Error("TextTable: empty header");
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw Error("TextTable: row width does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto writeRow = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << " " << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << " |";
+    }
+    out << "\n";
+  };
+  auto writeRule = [&] {
+    out << "+";
+    for (const std::size_t w : widths) {
+      out << std::string(w + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+
+  writeRule();
+  writeRow(header_);
+  writeRule();
+  for (const auto& row : rows_) writeRow(row);
+  writeRule();
+  return out.str();
+}
+
+std::string TextTable::renderCsv() const {
+  std::ostringstream out;
+  auto writeRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  writeRow(header_);
+  for (const auto& row : rows_) writeRow(row);
+  return out.str();
+}
+
+std::string formatDouble(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string formatPercent(double fraction, int decimals) {
+  return formatDouble(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace small::support

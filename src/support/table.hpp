@@ -1,0 +1,35 @@
+// Console table rendering for the bench harnesses that regenerate the
+// thesis tables (5.1-5.5, 3.1, 3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace small::support {
+
+/// A simple left-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Render with column widths fitted to content, in the style of the
+  /// thesis tables.
+  std::string render() const;
+
+  /// Render as CSV for downstream plotting.
+  std::string renderCsv() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers used across benches.
+std::string formatDouble(double value, int decimals = 2);
+std::string formatPercent(double fraction, int decimals = 2);
+
+}  // namespace small::support

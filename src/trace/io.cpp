@@ -1,0 +1,143 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace small::trace {
+
+using support::ParseError;
+
+namespace {
+
+void writeObject(std::ostream& out, const ObjectRecord& object) {
+  out << object.fingerprint << ":" << object.n << ":" << object.p << ":"
+      << (object.isList ? 1 : 0);
+}
+
+ObjectRecord parseObject(const std::string& token) {
+  ObjectRecord object;
+  std::istringstream in(token);
+  char sep1 = 0, sep2 = 0, sep3 = 0;
+  int isList = 0;
+  in >> object.fingerprint >> sep1 >> object.n >> sep2 >> object.p >> sep3 >>
+      isList;
+  if (!in || sep1 != ':' || sep2 != ':' || sep3 != ':') {
+    throw ParseError("trace: malformed object record '" + token + "'");
+  }
+  object.isList = isList != 0;
+  return object;
+}
+
+}  // namespace
+
+void save(const Trace& trace, std::ostream& out) {
+  out << "# name " << trace.name << "\n";
+  for (const Event& event : trace.events()) {
+    switch (event.kind) {
+      case EventKind::kPrimitive: {
+        out << "P " << primitiveName(event.primitive) << " ";
+        writeObject(out, event.result);
+        for (const ObjectRecord& arg : event.args) {
+          out << " ";
+          writeObject(out, arg);
+        }
+        out << "\n";
+        break;
+      }
+      case EventKind::kFunctionEnter:
+        out << "E " << trace.functionName(event.functionId) << " "
+            << static_cast<int>(event.argCount) << "\n";
+        break;
+      case EventKind::kFunctionExit:
+        out << "X " << trace.functionName(event.functionId) << "\n";
+        break;
+    }
+  }
+}
+
+Trace load(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "#") {
+      std::string key;
+      fields >> key;
+      if (key == "name") {
+        std::string value;
+        std::getline(fields, value);
+        if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+        trace.name = value;
+      }
+      continue;
+    }
+    Event event;
+    if (tag == "P") {
+      event.kind = EventKind::kPrimitive;
+      std::string name;
+      fields >> name;
+      const auto primitive = primitiveFromName(name);
+      if (!primitive) {
+        throw ParseError("trace line " + std::to_string(lineNo) +
+                         ": unknown primitive '" + name + "'");
+      }
+      event.primitive = *primitive;
+      std::string token;
+      bool first = true;
+      while (fields >> token) {
+        if (first) {
+          event.result = parseObject(token);
+          first = false;
+        } else {
+          event.args.push_back(parseObject(token));
+        }
+      }
+      if (first) {
+        throw ParseError("trace line " + std::to_string(lineNo) +
+                         ": primitive record missing result");
+      }
+    } else if (tag == "E") {
+      event.kind = EventKind::kFunctionEnter;
+      std::string name;
+      int argCount = 0;
+      fields >> name >> argCount;
+      if (!fields) {
+        throw ParseError("trace line " + std::to_string(lineNo) +
+                         ": malformed function-enter record");
+      }
+      event.functionId = trace.internFunction(name);
+      event.argCount = static_cast<std::uint8_t>(argCount);
+    } else if (tag == "X") {
+      event.kind = EventKind::kFunctionExit;
+      std::string name;
+      fields >> name;
+      event.functionId = trace.internFunction(name);
+    } else {
+      throw ParseError("trace line " + std::to_string(lineNo) +
+                       ": unknown record tag '" + tag + "'");
+    }
+    trace.append(std::move(event));
+  }
+  return trace;
+}
+
+void saveFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw support::Error("trace: cannot open for write: " + path);
+  save(trace, out);
+}
+
+Trace loadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw support::Error("trace: cannot open for read: " + path);
+  return load(in);
+}
+
+}  // namespace small::trace

@@ -1,0 +1,23 @@
+// Text serialization of raw traces.
+//
+// One record per line:
+//   P <primitive> <result> <arg>...     where an object is fp:n:p:l
+//   E <functionName> <argCount>         function enter
+//   X <functionName>                    function exit
+// A `# name <label>` header carries the workload name.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace small::trace {
+
+void save(const Trace& trace, std::ostream& out);
+Trace load(std::istream& in);
+
+void saveFile(const Trace& trace, const std::string& path);
+Trace loadFile(const std::string& path);
+
+}  // namespace small::trace

@@ -1,0 +1,84 @@
+#include "trace/preprocess.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace small::trace {
+
+TraceContent PreprocessedTrace::content() const {
+  TraceContent content{};
+  std::uint32_t depth = 0;
+  for (const PreprocessedEvent& event : events) {
+    switch (event.kind) {
+      case EventKind::kPrimitive:
+        ++content.primitiveCalls;
+        break;
+      case EventKind::kFunctionEnter:
+        ++content.functionCalls;
+        ++depth;
+        content.maxCallDepth = std::max(content.maxCallDepth, depth);
+        break;
+      case EventKind::kFunctionExit:
+        if (depth > 0) --depth;
+        break;
+    }
+  }
+  return content;
+}
+
+PreprocessedTrace preprocess(const Trace& trace) {
+  PreprocessedTrace out;
+  out.name = trace.name;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> idByFingerprint;
+  auto resolve = [&](const ObjectRecord& record) {
+    PreprocessedObject object;
+    object.n = record.n;
+    object.p = record.p;
+    if (!record.isList) return object;  // atoms carry no identifier
+    const auto [it, inserted] = idByFingerprint.try_emplace(
+        record.fingerprint,
+        static_cast<std::uint32_t>(idByFingerprint.size()));
+    object.id = it->second;
+    (void)inserted;
+    return object;
+  };
+
+  // Fingerprint of the previous primitive call's return value; the chaining
+  // flag compares against it. Function enter/exit events do not interrupt a
+  // chain (the thesis notes chained calls "might actually be separated by
+  // several function calls" — what matters is that no list creation or
+  // modification intervened, which holds because any such operation is
+  // itself a traced primitive).
+  std::uint64_t previousResult = 0;
+  bool havePreviousResult = false;
+
+  out.events.reserve(trace.events().size());
+  for (const Event& event : trace.events()) {
+    PreprocessedEvent pre;
+    pre.kind = event.kind;
+    pre.functionId = event.functionId;
+    pre.argCount = event.argCount;
+    if (event.kind == EventKind::kPrimitive) {
+      pre.primitive = event.primitive;
+      pre.args.reserve(event.args.size());
+      for (const ObjectRecord& arg : event.args) {
+        PreprocessedObject object = resolve(arg);
+        if (arg.isList && havePreviousResult &&
+            arg.fingerprint == previousResult) {
+          object.chained = true;
+        }
+        pre.args.push_back(object);
+      }
+      pre.result = resolve(event.result);
+      havePreviousResult = event.result.isList;
+      previousResult = event.result.fingerprint;
+      ++out.primitiveCount;
+    }
+    out.events.push_back(std::move(pre));
+  }
+  out.uniqueListCount = static_cast<std::uint32_t>(idByFingerprint.size());
+  return out;
+}
+
+}  // namespace small::trace

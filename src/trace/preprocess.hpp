@@ -1,0 +1,51 @@
+// Trace preprocessing (§5.2.1).
+//
+// "We implemented this by first pre-processing the trace files. Each list
+//  argument was replaced by 2 integers: a unique identifier, and a chaining
+//  flag. Lists that look identical are allotted the same unique identifier.
+//  The chaining flag was set to 1 if the list argument happens to be the
+//  value returned by the previous call in the trace."
+//
+// The preprocessed form is what both the Chapter 3 analyses and the
+// Chapter 5 trace-driven simulator consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace small::trace {
+
+/// Sentinel for "not a list object" (atom argument/result).
+inline constexpr std::uint32_t kNoObject = 0xffffffffu;
+
+struct PreprocessedObject {
+  std::uint32_t id = kNoObject;  ///< unique list identifier, or kNoObject
+  bool chained = false;          ///< was the previous call's return value
+  std::uint32_t n = 0;
+  std::uint32_t p = 0;
+};
+
+struct PreprocessedEvent {
+  EventKind kind = EventKind::kPrimitive;
+  Primitive primitive = Primitive::kCar;
+  std::vector<PreprocessedObject> args;
+  PreprocessedObject result;
+  std::uint32_t functionId = 0;
+  std::uint8_t argCount = 0;
+};
+
+struct PreprocessedTrace {
+  std::string name;
+  std::vector<PreprocessedEvent> events;
+  std::uint32_t uniqueListCount = 0;  ///< ids are in [0, uniqueListCount)
+  std::uint64_t primitiveCount = 0;
+
+  TraceContent content() const;
+};
+
+/// Run the §5.2.1 preprocessing pass over a raw trace.
+PreprocessedTrace preprocess(const Trace& trace);
+
+}  // namespace small::trace

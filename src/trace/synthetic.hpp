@@ -1,0 +1,87 @@
+// Calibrated synthetic trace generation.
+//
+// The thesis drives its studies from traces of five proprietary Lisp
+// programs (SLANG, PLAGEN, LYRA, EDITOR, PEARL) that are not available.
+// This generator synthesizes a raw `Trace` whose aggregate statistics are
+// pinned to the numbers the thesis publishes for each workload:
+//   * trace length in primitive calls (Table 5.1 / §3.3.1),
+//   * the primitive mix (Fig 3.1),
+//   * mean list shape n and p (Table 3.1),
+//   * car/cdr chaining rates (Table 3.2),
+//   * function call count and maximum call depth (Table 5.1),
+// and whose *structure* exhibits the paper's structural locality: accesses
+// cluster into locales (families of car/cdr-related references rooted at a
+// few long-lived objects) with occasional transient locales, so the
+// Chapter 3 list-set partition finds few large long-lived sets and several
+// small short-lived ones.
+//
+// Derived objects are memoized — the car of the same object twice yields
+// the same fingerprint — which is exactly the "identical-looking lists"
+// ambiguity the thesis preprocessing resolves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace small::trace {
+
+/// Statistical profile of one workload.
+struct WorkloadProfile {
+  std::string name;
+
+  /// Trace length in primitive calls.
+  std::uint64_t primitiveCalls = 20000;
+
+  /// Fraction of primitive calls per primitive (Fig 3.1); the remainder
+  /// after the named fields is split among atom/null/equal/read/write.
+  double carFrac = 0.40;
+  double cdrFrac = 0.40;
+  double consFrac = 0.10;
+  double rplacFrac = 0.02;  ///< split evenly between rplaca and rplacd
+
+  /// Mean list shape (Table 3.1). The generator uses geometric-tailed
+  /// distributions with these means.
+  double meanN = 10.0;
+  double meanP = 2.0;
+
+  /// Fraction of car/cdr calls whose argument is the previous call's
+  /// return value (Table 3.2).
+  double carChainFrac = 0.40;
+  double cdrChainFrac = 0.40;
+
+  /// Function-calling texture (Table 5.1).
+  double functionCallsPerPrimitive = 0.10;  ///< enter events per primitive
+  std::uint32_t maxCallDepth = 20;
+  double meanFunctionArgs = 2.0;
+
+  /// Structural-locality texture: number of long-lived "core" locales, the
+  /// probability a non-chained access stays in the current locale, and the
+  /// probability a locale switch lands on a core locale (as opposed to a
+  /// fresh transient one).
+  std::uint32_t coreLocales = 8;
+  double stayProb = 0.80;
+  double coreSwitchProb = 0.92;
+};
+
+/// Profiles calibrated to the five thesis workloads. `scale` multiplies the
+/// trace length (1.0 reproduces the Chapter 3 lengths).
+WorkloadProfile slangProfile(double scale = 1.0);
+WorkloadProfile plagenProfile(double scale = 1.0);
+WorkloadProfile lyraProfile(double scale = 1.0);
+WorkloadProfile editorProfile(double scale = 1.0);
+WorkloadProfile pearlProfile(double scale = 1.0);
+
+/// The Chapter 5 simulation traces are much shorter for Slang/Editor
+/// (Table 5.1); these profiles use those lengths.
+WorkloadProfile slangSimProfile();
+WorkloadProfile plagenSimProfile();
+WorkloadProfile lyraSimProfile();
+WorkloadProfile editorSimProfile();
+
+/// Generate a raw trace following `profile`.
+Trace generate(const WorkloadProfile& profile, support::Rng& rng);
+
+}  // namespace small::trace

@@ -1,0 +1,93 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "support/error.hpp"
+
+namespace small::trace {
+
+namespace {
+
+constexpr std::array<const char*, kPrimitiveCount> kNames = {
+    "car",  "cdr",   "cons",  "rplaca", "rplacd", "atom",
+    "null", "equal", "append", "read",  "write",
+};
+
+}  // namespace
+
+const char* primitiveName(Primitive p) {
+  return kNames[static_cast<std::size_t>(p)];
+}
+
+std::optional<Primitive> primitiveFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (name == kNames[i]) return static_cast<Primitive>(i);
+  }
+  return std::nullopt;
+}
+
+bool primitiveTakesList(Primitive p) {
+  switch (p) {
+    case Primitive::kCar:
+    case Primitive::kCdr:
+    case Primitive::kRplaca:
+    case Primitive::kRplacd:
+    case Primitive::kAtom:
+    case Primitive::kNull:
+    case Primitive::kEqual:
+    case Primitive::kAppend:
+    case Primitive::kWrite:
+      return true;
+    case Primitive::kCons:   // operands may be atoms
+    case Primitive::kRead:   // creates a list, takes none
+      return false;
+  }
+  return false;
+}
+
+std::uint32_t Trace::internFunction(std::string_view name) {
+  for (std::size_t i = 0; i < functionNames_.size(); ++i) {
+    if (functionNames_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  functionNames_.emplace_back(name);
+  return static_cast<std::uint32_t>(functionNames_.size() - 1);
+}
+
+const std::string& Trace::functionName(std::uint32_t id) const {
+  if (id >= functionNames_.size()) {
+    throw support::Error("Trace: bad function id");
+  }
+  return functionNames_[id];
+}
+
+TraceContent Trace::content() const {
+  TraceContent content{};
+  std::uint32_t depth = 0;
+  for (const Event& event : events_) {
+    switch (event.kind) {
+      case EventKind::kPrimitive:
+        ++content.primitiveCalls;
+        break;
+      case EventKind::kFunctionEnter:
+        ++content.functionCalls;
+        ++depth;
+        content.maxCallDepth = std::max(content.maxCallDepth, depth);
+        break;
+      case EventKind::kFunctionExit:
+        if (depth > 0) --depth;
+        break;
+    }
+  }
+  return content;
+}
+
+std::uint64_t Trace::primitiveLength() const {
+  std::uint64_t n = 0;
+  for (const Event& event : events_) {
+    if (event.kind == EventKind::kPrimitive) ++n;
+  }
+  return n;
+}
+
+}  // namespace small::trace

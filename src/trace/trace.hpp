@@ -1,0 +1,111 @@
+// The list-access trace model (§3.3.1, §5.2.1).
+//
+// The thesis instruments a Lisp interpreter so that "on the call of a list
+// access or modify function, the function name and its arguments (in
+// s-expression form) were written to a trace file", together with entry/exit
+// records for user-defined functions (name and argument count). This module
+// defines that record stream.
+//
+// A raw trace identifies each list argument/result by a *structural
+// fingerprint* (a hash of its printed form) plus its (n, p) shape — exactly
+// the information the thesis could recover from its textual traces, with
+// the same ambiguity: two lists that look identical get the same
+// fingerprint. The preprocessing pass of §5.2.1 resolves fingerprints to
+// small unique identifiers and computes the chaining flag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sexpr/metrics.hpp"
+
+namespace small::trace {
+
+/// The list-manipulating primitives the thesis traces (§2.2.2, Fig 3.1).
+enum class Primitive : std::uint8_t {
+  kCar,
+  kCdr,
+  kCons,
+  kRplaca,
+  kRplacd,
+  kAtom,    // predicate; traced as one of the "other" primitives
+  kNull,
+  kEqual,
+  kAppend,
+  kRead,    // readlist: new list data enters the system
+  kWrite,   // writelist
+};
+
+/// Number of distinct Primitive values (for array sizing).
+inline constexpr std::size_t kPrimitiveCount = 11;
+
+const char* primitiveName(Primitive p);
+std::optional<Primitive> primitiveFromName(std::string_view name);
+
+/// Does the primitive access/modify list structure through a list argument?
+bool primitiveTakesList(Primitive p);
+
+/// One traced list argument or result.
+struct ObjectRecord {
+  /// Structural fingerprint: equal-looking s-expressions share it.
+  std::uint64_t fingerprint = 0;
+  /// Shape statistics of the s-expression at trace time.
+  std::uint32_t n = 0;      ///< symbols in the list
+  std::uint32_t p = 0;      ///< internal parenthesis pairs
+  bool isList = false;      ///< false for atoms / nil
+};
+
+enum class EventKind : std::uint8_t {
+  kPrimitive,
+  kFunctionEnter,
+  kFunctionExit,
+};
+
+struct Event {
+  EventKind kind = EventKind::kPrimitive;
+
+  // --- kPrimitive ---
+  Primitive primitive = Primitive::kCar;
+  std::vector<ObjectRecord> args;
+  ObjectRecord result;
+
+  // --- kFunctionEnter / kFunctionExit ---
+  std::uint32_t functionId = 0;  ///< interned function-name id
+  std::uint8_t argCount = 0;     ///< number of arguments at the call
+};
+
+/// Aggregate content statistics in the shape of Table 5.1.
+struct TraceContent {
+  std::uint64_t functionCalls = 0;
+  std::uint64_t primitiveCalls = 0;
+  std::uint32_t maxCallDepth = 0;
+};
+
+/// A recorded run: the event stream plus the function-name table.
+class Trace {
+ public:
+  void append(Event event) { events_.push_back(std::move(event)); }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::vector<Event>& events() { return events_; }
+
+  std::uint32_t internFunction(std::string_view name);
+  const std::string& functionName(std::uint32_t id) const;
+  std::size_t functionCount() const { return functionNames_.size(); }
+
+  /// Table 5.1 statistics.
+  TraceContent content() const;
+
+  /// Number of primitive events (the thesis' "trace length").
+  std::uint64_t primitiveLength() const;
+
+  std::string name;  ///< workload label ("Slang", "Lyra", ...)
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::string> functionNames_;
+};
+
+}  // namespace small::trace

@@ -1,0 +1,326 @@
+#include "vm/compiler.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace small::vm {
+
+using sexpr::NodeKind;
+using sexpr::NodeRef;
+using sexpr::SymbolId;
+using support::EvalError;
+
+void Compiler::error(const std::string& message) const {
+  throw EvalError("vm compiler: " + message);
+}
+
+void Compiler::emit(Program& program, Opcode op, std::int32_t operand,
+                    SymbolId sym) {
+  program.code.push_back(Instruction{op, operand, sym});
+}
+
+std::int32_t Compiler::addConstant(Program& program, NodeRef value) {
+  for (std::size_t i = 0; i < program.constants.size(); ++i) {
+    if (program.constants[i] == value) return static_cast<std::int32_t>(i);
+  }
+  program.constants.push_back(value);
+  return static_cast<std::int32_t>(program.constants.size() - 1);
+}
+
+Program Compiler::compile(std::string_view source) {
+  sexpr::Reader reader(arena_, symbols_);
+  const std::vector<NodeRef> forms = reader.readAll(source);
+
+  Program program;
+  std::vector<NodeRef> topLevel;
+
+  const SymbolId defSym = symbols_.intern("def");
+  const SymbolId defunSym = symbols_.intern("defun");
+
+  // First pass: compile every function definition (so calls in top-level
+  // code are resolvable); collect other forms.
+  for (const NodeRef form : forms) {
+    if (arena_.kind(form) == NodeKind::kCons &&
+        arena_.kind(arena_.car(form)) == NodeKind::kSymbol) {
+      const SymbolId head = arena_.symbolId(arena_.car(form));
+      if (head == defSym || head == defunSym) {
+        compileDef(program, arena_.cdr(form));
+        continue;
+      }
+    }
+    topLevel.push_back(form);
+  }
+
+  // Top-level block.
+  program.start = static_cast<std::uint32_t>(program.code.size());
+  FunctionContext context;
+  for (const NodeRef form : topLevel) {
+    compileForm(program, form, context);
+    emit(program, Opcode::kPop);  // top-level values are discarded
+  }
+  emit(program, Opcode::kHalt);
+
+  // "Backpatch": every call must name a defined function by now.
+  for (const SymbolId callee : pendingCalls_) {
+    if (!program.findFunction(symbols_.name(callee))) {
+      error("call to undefined function '" + symbols_.name(callee) + "'");
+    }
+  }
+  return program;
+}
+
+void Compiler::compileDef(Program& program, NodeRef rest) {
+  const NodeRef nameNode = arena_.car(rest);
+  if (arena_.kind(nameNode) != NodeKind::kSymbol) {
+    error("def: function name must be a symbol");
+  }
+
+  // Accept both (def f (lambda (a b) body...)) and (defun f (a b) body...).
+  NodeRef params;
+  NodeRef body;
+  const NodeRef second = arena_.car(arena_.cdr(rest));
+  const SymbolId lambdaSym = symbols_.intern("lambda");
+  if (arena_.kind(second) == NodeKind::kCons &&
+      arena_.kind(arena_.car(second)) == NodeKind::kSymbol &&
+      arena_.symbolId(arena_.car(second)) == lambdaSym) {
+    params = arena_.car(arena_.cdr(second));
+    body = arena_.cdr(arena_.cdr(second));
+  } else {
+    params = second;
+    body = arena_.cdr(arena_.cdr(rest));
+  }
+
+  Program::Function function;
+  function.name = symbols_.name(arena_.symbolId(nameNode));
+  function.entry = static_cast<std::uint32_t>(program.code.size());
+
+  FunctionContext context;
+  for (NodeRef c = params; !arena_.isNil(c); c = arena_.cdr(c)) {
+    context.params.push_back(arena_.symbolId(arena_.car(c)));
+  }
+  function.argCount = static_cast<std::uint8_t>(context.params.size());
+
+  // Prologue: bind each argument to its name (Fig 4.14's "BINDN x"). The
+  // caller pushed arguments left to right, so bind right to left.
+  for (std::size_t i = context.params.size(); i-- > 0;) {
+    emit(program, Opcode::kBindN, 0, context.params[i]);
+  }
+
+  bool any = false;
+  for (NodeRef c = body; !arena_.isNil(c); c = arena_.cdr(c)) {
+    if (any) emit(program, Opcode::kPop);
+    compileForm(program, arena_.car(c), context);
+    any = true;
+  }
+  if (!any) error("def: empty function body");
+  emit(program, Opcode::kFRetn);
+
+  program.functions.push_back(std::move(function));
+}
+
+void Compiler::compileForm(Program& program, NodeRef form,
+                           const FunctionContext& context) {
+  switch (arena_.kind(form)) {
+    case NodeKind::kNil:
+    case NodeKind::kInteger:
+      emit(program, Opcode::kPushSym, addConstant(program, form));
+      return;
+    case NodeKind::kSymbol: {
+      const SymbolId name = arena_.symbolId(form);
+      if (name == sexpr::SymbolTable::kT) {
+        emit(program, Opcode::kPushSym, addConstant(program, form));
+        return;
+      }
+      // Known parameter offset (thesis: args looked up as known offsets).
+      const auto it = std::ranges::find(context.params, name);
+      if (it != context.params.end()) {
+        const auto index =
+            static_cast<std::int32_t>(it - context.params.begin()) + 1;
+        emit(program, Opcode::kPushStk, index, name);
+        return;
+      }
+      emit(program, Opcode::kPushVar, 0, name);
+      return;
+    }
+    case NodeKind::kCons: {
+      const NodeRef head = arena_.car(form);
+      if (arena_.kind(head) != NodeKind::kSymbol) {
+        error("cannot compile a non-symbol call head");
+      }
+      compileCall(program, arena_.symbolId(head), arena_.cdr(form), context);
+      return;
+    }
+  }
+}
+
+void Compiler::compileCall(Program& program, SymbolId head, NodeRef args,
+                           const FunctionContext& context) {
+  const auto intern = [&](const char* name) { return symbols_.intern(name); };
+
+  if (head == intern("quote")) {
+    emit(program, Opcode::kPushSym, addConstant(program, arena_.car(args)));
+    return;
+  }
+  if (head == intern("cond")) {
+    compileCond(program, args, context);
+    return;
+  }
+  if (head == intern("prog")) {
+    compileProg(program, args, context);
+    return;
+  }
+  if (head == intern("setq")) {
+    const NodeRef nameNode = arena_.car(args);
+    compileForm(program, arena_.car(arena_.cdr(args)), context);
+    emit(program, Opcode::kSetq, 0, arena_.symbolId(nameNode));
+    return;
+  }
+  if (head == intern("return")) {
+    if (arena_.isNil(args)) {
+      emit(program, Opcode::kPushSym, addConstant(program, sexpr::kNilRef));
+    } else {
+      compileForm(program, arena_.car(args), context);
+    }
+    emit(program, Opcode::kFRetn);
+    return;
+  }
+
+  // Evaluate arguments left to right onto the stack.
+  std::uint32_t argCount = 0;
+  for (NodeRef c = args; !arena_.isNil(c); c = arena_.cdr(c)) {
+    compileForm(program, arena_.car(c), context);
+    ++argCount;
+  }
+
+  struct Simple {
+    const char* name;
+    Opcode op;
+    std::uint32_t arity;
+  };
+  static constexpr Simple kSimple[] = {
+      {"car", Opcode::kCarOp, 1},       {"cdr", Opcode::kCdrOp, 1},
+      {"cons", Opcode::kConsOp, 2},     {"rplaca", Opcode::kRplacaOp, 2},
+      {"rplacd", Opcode::kRplacdOp, 2}, {"+", Opcode::kAddOp, 2},
+      {"-", Opcode::kSubOp, 2},         {"*", Opcode::kMulOp, 2},
+      {"/", Opcode::kDivOp, 2},         {"null", Opcode::kNullP, 1},
+      {"atom", Opcode::kAtomP, 1},      {"equal", Opcode::kEqualP, 2},
+      {"=", Opcode::kEqualP, 2},        {">", Opcode::kGreaterP, 2},
+      {"<", Opcode::kLessP, 2},         {"not", Opcode::kNotOp, 1},
+      {"write", Opcode::kWrList, 1},
+  };
+  for (const Simple& simple : kSimple) {
+    if (head == intern(simple.name)) {
+      if (argCount != simple.arity) {
+        error(std::string(simple.name) + ": wrong argument count");
+      }
+      emit(program, simple.op);
+      if (simple.op == Opcode::kWrList) {
+        // WRLIST consumes its operand; calls still produce a value.
+        emit(program, Opcode::kPushSym,
+             addConstant(program, sexpr::kNilRef));
+      }
+      return;
+    }
+  }
+  if (head == intern("read")) {
+    if (argCount != 0) error("read takes no compiled arguments");
+    emit(program, Opcode::kRdList);
+    return;
+  }
+
+  // User function call.
+  pendingCalls_.push_back(head);
+  emit(program, Opcode::kFCall, static_cast<std::int32_t>(argCount), head);
+}
+
+void Compiler::compileCond(Program& program, NodeRef clauses,
+                           const FunctionContext& context) {
+  // For each clause: evaluate test; BRNIL to next clause; body; JUMP end.
+  std::vector<std::size_t> jumpsToEnd;
+  for (NodeRef c = clauses; !arena_.isNil(c); c = arena_.cdr(c)) {
+    const NodeRef clause = arena_.car(c);
+    compileForm(program, arena_.car(clause), context);
+    const std::size_t branch = program.code.size();
+    emit(program, Opcode::kBranchNil);
+    bool any = false;
+    for (NodeRef body = arena_.cdr(clause); !arena_.isNil(body);
+         body = arena_.cdr(body)) {
+      if (any) emit(program, Opcode::kPop);
+      compileForm(program, arena_.car(body), context);
+      any = true;
+    }
+    if (!any) {
+      // Clause with no body: value is the test value, which BRNIL consumed.
+      // Re-evaluate cheaply by pushing t (the test was non-nil here).
+      emit(program, Opcode::kPushSym,
+           addConstant(program,
+                       arena_.symbol(sexpr::SymbolTable::kT)));
+    }
+    jumpsToEnd.push_back(program.code.size());
+    emit(program, Opcode::kJump);
+    program.code[branch].operand =
+        static_cast<std::int32_t>(program.code.size());
+  }
+  // No clause matched: value is nil.
+  emit(program, Opcode::kPushSym, addConstant(program, sexpr::kNilRef));
+  const auto end = static_cast<std::int32_t>(program.code.size());
+  for (const std::size_t site : jumpsToEnd) {
+    program.code[site].operand = end;
+  }
+}
+
+void Compiler::compileProg(Program& program, NodeRef rest,
+                           const FunctionContext& context) {
+  // Locals bind to nil on entry.
+  const std::int32_t nilConst = addConstant(program, sexpr::kNilRef);
+  std::vector<SymbolId> locals;
+  for (NodeRef c = arena_.car(rest); !arena_.isNil(c); c = arena_.cdr(c)) {
+    const SymbolId name = arena_.symbolId(arena_.car(c));
+    locals.push_back(name);
+    emit(program, Opcode::kPushSym, nilConst);
+    emit(program, Opcode::kBindN, 0, name);
+  }
+
+  // Two passes over the body: labels first, then code with resolved gotos.
+  struct Label {
+    SymbolId name;
+    std::size_t target = 0;
+  };
+  std::vector<Label> labels;
+  std::vector<std::pair<std::size_t, SymbolId>> gotos;  // (site, label)
+
+  const SymbolId goSym = symbols_.intern("go");
+  for (NodeRef c = arena_.cdr(rest); !arena_.isNil(c); c = arena_.cdr(c)) {
+    const NodeRef item = arena_.car(c);
+    if (arena_.kind(item) == NodeKind::kSymbol) {
+      labels.push_back({arena_.symbolId(item), program.code.size()});
+      continue;
+    }
+    if (arena_.kind(item) == NodeKind::kCons &&
+        arena_.kind(arena_.car(item)) == NodeKind::kSymbol &&
+        arena_.symbolId(arena_.car(item)) == goSym) {
+      gotos.emplace_back(program.code.size(),
+                         arena_.symbolId(arena_.car(arena_.cdr(item))));
+      emit(program, Opcode::kJump);
+      continue;
+    }
+    compileForm(program, item, context);
+    emit(program, Opcode::kPop);  // statement position: discard value
+  }
+  // prog falls off the end with value nil.
+  emit(program, Opcode::kPushSym, nilConst);
+
+  for (const auto& [site, labelName] : gotos) {
+    const auto label =
+        std::ranges::find_if(labels, [&](const Label& candidate) {
+          return candidate.name == labelName;
+        });
+    if (label == labels.end()) {
+      error("go to undefined label '" + symbols_.name(labelName) + "'");
+    }
+    program.code[site].operand = static_cast<std::int32_t>(label->target);
+  }
+}
+
+}  // namespace small::vm

@@ -1,0 +1,63 @@
+// The SMALL compiler (§4.3.4).
+//
+// "The compiler accepts a file containing a function call and any number of
+//  function definitions... generates code for each function by traversing
+//  the function definition tree, producing code for a node when code has
+//  been produced for all of its children, and backpatching forward calls
+//  when the function definition is encountered."
+//
+// The accepted language is the thesis' Lisp 1.0-level subset: list
+// primitives, cond, prog (with go and labels), return, predicates, integer
+// arithmetic, logic, setq, read/write, def. Function parameters compile to
+// PUSHSTK offsets ("the pre-processing enables function arguments ... to be
+// looked-up as known offsets"); prog locals and non-locals use named
+// lookup.
+#pragma once
+
+#include <string_view>
+
+#include "sexpr/reader.hpp"
+#include "vm/isa.hpp"
+
+namespace small::vm {
+
+class Compiler {
+ public:
+  Compiler(sexpr::Arena& arena, sexpr::SymbolTable& symbols)
+      : arena_(arena), symbols_(symbols) {}
+
+  /// Compile a program text: any number of (def ...) forms plus top-level
+  /// forms, which execute in order when the program runs.
+  Program compile(std::string_view source);
+
+ private:
+  struct FunctionContext {
+    std::vector<sexpr::SymbolId> params;  // PUSHSTK index = position + 1
+  };
+
+  void compileForm(Program& program, sexpr::NodeRef form,
+                   const FunctionContext& context);
+  void compileCall(Program& program, sexpr::SymbolId head,
+                   sexpr::NodeRef args, const FunctionContext& context);
+  void compileCond(Program& program, sexpr::NodeRef clauses,
+                   const FunctionContext& context);
+  void compileProg(Program& program, sexpr::NodeRef rest,
+                   const FunctionContext& context);
+  void compileDef(Program& program, sexpr::NodeRef rest);
+
+  std::int32_t addConstant(Program& program, sexpr::NodeRef value);
+  void emit(Program& program, Opcode op, std::int32_t operand = 0,
+            sexpr::SymbolId sym = 0);
+
+  [[noreturn]] void error(const std::string& message) const;
+
+  sexpr::Arena& arena_;
+  sexpr::SymbolTable& symbols_;
+
+  // Call sites awaiting a later (def ...) — backpatched by name.
+  // (FCALL carries the name symbol, so "backpatching" here is verifying at
+  // the end that every called function was eventually defined.)
+  std::vector<sexpr::SymbolId> pendingCalls_;
+};
+
+}  // namespace small::vm

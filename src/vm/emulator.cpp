@@ -1,0 +1,266 @@
+#include "vm/emulator.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace small::vm {
+
+using sexpr::NodeKind;
+using sexpr::NodeRef;
+using sexpr::SymbolId;
+using support::EvalError;
+
+void Emulator::error(const std::string& message) const {
+  throw EvalError("vm emulator: " + message);
+}
+
+NodeRef Emulator::pop() {
+  if (values_.empty()) error("value stack underflow");
+  const NodeRef value = values_.back();
+  values_.pop_back();
+  return value;
+}
+
+void Emulator::push(NodeRef value) {
+  values_.push_back(value);
+  maxStackDepth_ = std::max(
+      maxStackDepth_, static_cast<std::uint32_t>(values_.size()));
+}
+
+NodeRef Emulator::boolean(bool value) {
+  return value ? arena_.symbol(sexpr::SymbolTable::kT) : sexpr::kNilRef;
+}
+
+std::int64_t Emulator::popInt(const char* what) {
+  const NodeRef value = pop();
+  if (arena_.kind(value) != NodeKind::kInteger) {
+    error(std::string(what) + ": expected an integer");
+  }
+  return arena_.integerValue(value);
+}
+
+NodeRef Emulator::lookup(SymbolId name) const {
+  // Dynamic (deep) binding: the most recent binding wins.
+  for (std::size_t i = bindings_.size(); i-- > 0;) {
+    if (bindings_[i].name == name) return bindings_[i].value;
+  }
+  for (const auto& [globalName, value] : globals_) {
+    if (globalName == name) return value;
+  }
+  return sexpr::kNilRef;
+}
+
+void Emulator::run(const Program& program) {
+  std::uint32_t pc = program.start;
+  frames_.push_back(Frame{});  // top-level frame
+
+  while (true) {
+    if (++instructions_ > options_.maxSteps) error("step budget exceeded");
+    if (pc >= program.code.size()) error("pc out of range");
+    const Instruction insn = program.code[pc];
+    ++pc;
+    switch (insn.op) {
+      case Opcode::kHalt:
+        return;
+      case Opcode::kPushSym:
+        push(program.constants[static_cast<std::size_t>(insn.operand)]);
+        break;
+      case Opcode::kPushStk: {
+        // Argument k (1-based) of the current frame. The prologue's BINDN
+        // sequence moved the arguments into the binding stack in reverse
+        // order (last argument bound first), so argument k sits at binding
+        // slot bindingBase + (argCount - k).
+        const Frame& frame = frames_.back();
+        const auto k = static_cast<std::size_t>(insn.operand);
+        if (k == 0 || k > frame.argCount) error("PUSHSTK: bad arg index");
+        const std::size_t slot = frame.bindingBase + (frame.argCount - k);
+        if (slot >= bindings_.size()) error("PUSHSTK: missing binding");
+        push(bindings_[slot].value);
+        break;
+      }
+      case Opcode::kPushVar:
+        push(lookup(insn.sym));
+        break;
+      case Opcode::kBindN:
+        bindings_.push_back({insn.sym, pop()});
+        break;
+      case Opcode::kSetq: {
+        const NodeRef value = values_.empty() ? sexpr::kNilRef
+                                              : values_.back();
+        bool found = false;
+        for (std::size_t i = bindings_.size(); i-- > 0;) {
+          if (bindings_[i].name == insn.sym) {
+            bindings_[i].value = value;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          for (auto& [name, slot] : globals_) {
+            if (name == insn.sym) {
+              slot = value;
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) globals_.emplace_back(insn.sym, value);
+        break;
+      }
+      case Opcode::kPop:
+        pop();
+        break;
+
+      case Opcode::kFCall: {
+        const Program::Function* callee =
+            program.findFunction(symbols_.name(insn.sym));
+        if (!callee) error("FCALL to undefined function");
+        if (callee->argCount != insn.operand) {
+          error("FCALL: wrong number of arguments for " + callee->name);
+        }
+        ++functionCalls_;
+        Frame frame;
+        frame.returnPc = pc;
+        frame.valueBase = values_.size();
+        frame.bindingBase = bindings_.size();
+        frame.argCount = callee->argCount;
+        frames_.push_back(frame);
+        pc = callee->entry;
+        break;
+      }
+      case Opcode::kFRetn: {
+        if (frames_.size() <= 1) return;  // return from top level = halt
+        const NodeRef value = pop();
+        const Frame frame = frames_.back();
+        frames_.pop_back();
+        // Drop the callee's bindings and its arguments from the stacks.
+        bindings_.resize(frame.bindingBase);
+        values_.resize(frame.valueBase - frame.argCount);
+        push(value);
+        pc = frame.returnPc;
+        break;
+      }
+      case Opcode::kJump:
+        pc = static_cast<std::uint32_t>(insn.operand);
+        break;
+      case Opcode::kBranchNil: {
+        if (arena_.isNil(pop())) {
+          pc = static_cast<std::uint32_t>(insn.operand);
+        }
+        break;
+      }
+      case Opcode::kNEqualP: {
+        const NodeRef b = pop();
+        const NodeRef a = pop();
+        if (!arena_.equal(a, b)) {
+          pc = static_cast<std::uint32_t>(insn.operand);
+        }
+        break;
+      }
+
+      case Opcode::kNullP:
+        push(boolean(arena_.isNil(pop())));
+        break;
+      case Opcode::kAtomP:
+        push(boolean(arena_.isAtom(pop())));
+        break;
+      case Opcode::kEqualP: {
+        const NodeRef b = pop();
+        const NodeRef a = pop();
+        push(boolean(arena_.equal(a, b)));
+        break;
+      }
+      case Opcode::kGreaterP: {
+        const std::int64_t b = popInt("GREATERP");
+        const std::int64_t a = popInt("GREATERP");
+        push(boolean(a > b));
+        break;
+      }
+      case Opcode::kLessP: {
+        const std::int64_t b = popInt("LESSP");
+        const std::int64_t a = popInt("LESSP");
+        push(boolean(a < b));
+        break;
+      }
+      case Opcode::kNotOp:
+        push(boolean(arena_.isNil(pop())));
+        break;
+
+      case Opcode::kAddOp: {
+        const std::int64_t b = popInt("ADDOP");
+        const std::int64_t a = popInt("ADDOP");
+        push(arena_.integer(a + b));
+        break;
+      }
+      case Opcode::kSubOp: {
+        const std::int64_t b = popInt("SUBOP");
+        const std::int64_t a = popInt("SUBOP");
+        push(arena_.integer(a - b));
+        break;
+      }
+      case Opcode::kMulOp: {
+        const std::int64_t b = popInt("MULOP");
+        const std::int64_t a = popInt("MULOP");
+        push(arena_.integer(a * b));
+        break;
+      }
+      case Opcode::kDivOp: {
+        const std::int64_t b = popInt("DIVOP");
+        const std::int64_t a = popInt("DIVOP");
+        if (b == 0) error("DIVOP: division by zero");
+        push(arena_.integer(a / b));
+        break;
+      }
+
+      case Opcode::kCarOp:
+        ++listOps_;
+        push(arena_.car(pop()));
+        break;
+      case Opcode::kCdrOp:
+        ++listOps_;
+        push(arena_.cdr(pop()));
+        break;
+      case Opcode::kConsOp: {
+        ++listOps_;
+        const NodeRef tail = pop();
+        const NodeRef head = pop();
+        push(arena_.cons(head, tail));
+        break;
+      }
+      case Opcode::kRplacaOp: {
+        ++listOps_;
+        const NodeRef value = pop();
+        const NodeRef target = pop();
+        arena_.setCar(target, value);
+        push(target);
+        break;
+      }
+      case Opcode::kRplacdOp: {
+        ++listOps_;
+        const NodeRef value = pop();
+        const NodeRef target = pop();
+        arena_.setCdr(target, value);
+        push(target);
+        break;
+      }
+
+      case Opcode::kRdList: {
+        ++listOps_;
+        if (input_.empty()) {
+          push(sexpr::kNilRef);
+        } else {
+          push(input_.front());
+          input_.pop_front();
+        }
+        break;
+      }
+      case Opcode::kWrList:
+        ++listOps_;
+        output_.push_back(pop());
+        break;
+    }
+  }
+}
+
+}  // namespace small::vm

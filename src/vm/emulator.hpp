@@ -1,0 +1,82 @@
+// The SMALL stack-machine emulator (§4.3.4).
+//
+// "We emulated the code produced by this compiler to test its correctness.
+//  The emulator operated by tracing the state of three key SMALL
+//  structures: the stack (control and environment), the LPT and the heap."
+//
+// Values are arena NodeRefs; the list instructions perform the operations
+// the LP would, and the emulator counts them so tests can correlate
+// compiled-code behaviour with interpreter traces.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+#include "sexpr/arena.hpp"
+#include "vm/isa.hpp"
+
+namespace small::vm {
+
+class Emulator {
+ public:
+  struct Options {
+    std::uint64_t maxSteps = 50'000'000;
+  };
+
+  Emulator(sexpr::Arena& arena, sexpr::SymbolTable& symbols)
+      : Emulator(arena, symbols, Options{}) {}
+  Emulator(sexpr::Arena& arena, sexpr::SymbolTable& symbols, Options options)
+      : arena_(arena), symbols_(symbols), options_(options) {}
+
+  /// Run the program from its top-level entry until HALT.
+  void run(const Program& program);
+
+  void provideInput(sexpr::NodeRef value) { input_.push_back(value); }
+  const std::vector<sexpr::NodeRef>& output() const { return output_; }
+
+  std::uint64_t instructionsExecuted() const { return instructions_; }
+  std::uint64_t listOps() const { return listOps_; }
+  std::uint64_t functionCalls() const { return functionCalls_; }
+  std::uint32_t maxStackDepth() const { return maxStackDepth_; }
+
+ private:
+  struct Binding {
+    sexpr::SymbolId name;
+    sexpr::NodeRef value;
+  };
+  struct Frame {
+    std::uint32_t returnPc = 0;
+    std::size_t valueBase = 0;    ///< value-stack height at entry (args below)
+    std::size_t bindingBase = 0;  ///< binding-stack height at entry
+    std::uint8_t argCount = 0;
+  };
+
+  sexpr::NodeRef pop();
+  void push(sexpr::NodeRef value);
+  sexpr::NodeRef lookup(sexpr::SymbolId name) const;
+  sexpr::NodeRef boolean(bool value);
+  std::int64_t popInt(const char* what);
+
+  [[noreturn]] void error(const std::string& message) const;
+
+  sexpr::Arena& arena_;
+  sexpr::SymbolTable& symbols_;
+  Options options_;
+
+  std::vector<sexpr::NodeRef> values_;
+  std::vector<Binding> bindings_;
+  std::vector<Frame> frames_;
+  std::vector<std::pair<sexpr::SymbolId, sexpr::NodeRef>> globals_;
+
+  std::deque<sexpr::NodeRef> input_;
+  std::vector<sexpr::NodeRef> output_;
+
+  std::uint64_t instructions_ = 0;
+  std::uint64_t listOps_ = 0;
+  std::uint64_t functionCalls_ = 0;
+  std::uint32_t maxStackDepth_ = 0;
+};
+
+}  // namespace small::vm

@@ -1,0 +1,94 @@
+#include "vm/isa.hpp"
+
+#include <sstream>
+
+#include "sexpr/printer.hpp"
+
+namespace small::vm {
+
+const Program::Function* Program::findFunction(std::string_view name) const {
+  for (const Function& function : functions) {
+    if (function.name == name) return &function;
+  }
+  return nullptr;
+}
+
+namespace {
+
+const char* opcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kBindN: return "BINDN";
+    case Opcode::kPushStk: return "PUSHSTK";
+    case Opcode::kPushVar: return "PUSHVAR";
+    case Opcode::kPushSym: return "PUSHSYM";
+    case Opcode::kSetq: return "SETQ";
+    case Opcode::kPop: return "POP";
+    case Opcode::kFCall: return "FCALL";
+    case Opcode::kFRetn: return "FRETN";
+    case Opcode::kJump: return "JUMP";
+    case Opcode::kBranchNil: return "BRNIL";
+    case Opcode::kNullP: return "NULLP";
+    case Opcode::kAtomP: return "ATOMP";
+    case Opcode::kEqualP: return "EQUALP";
+    case Opcode::kGreaterP: return "GREATERP";
+    case Opcode::kLessP: return "LESSP";
+    case Opcode::kNEqualP: return "NEQUALP";
+    case Opcode::kAddOp: return "ADDOP";
+    case Opcode::kSubOp: return "SUBOP";
+    case Opcode::kMulOp: return "MULOP";
+    case Opcode::kDivOp: return "DIVOP";
+    case Opcode::kNotOp: return "NOTOP";
+    case Opcode::kCarOp: return "CAROP";
+    case Opcode::kCdrOp: return "CDROP";
+    case Opcode::kConsOp: return "CONSOP";
+    case Opcode::kRplacaOp: return "RPLACAOP";
+    case Opcode::kRplacdOp: return "RPLACDOP";
+    case Opcode::kRdList: return "RDLIST";
+    case Opcode::kWrList: return "WRLIST";
+    case Opcode::kHalt: return "HALT";
+  }
+  return "?";
+}
+
+bool usesSym(Opcode op) {
+  return op == Opcode::kBindN || op == Opcode::kPushVar ||
+         op == Opcode::kSetq || op == Opcode::kFCall;
+}
+
+bool usesBranch(Opcode op) {
+  return op == Opcode::kJump || op == Opcode::kBranchNil ||
+         op == Opcode::kNEqualP;
+}
+
+}  // namespace
+
+std::string disassemble(const Program& program, const sexpr::Arena& arena,
+                        const sexpr::SymbolTable& symbols) {
+  std::ostringstream out;
+  for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+    for (const Program::Function& function : program.functions) {
+      if (function.entry == pc) {
+        out << function.name << ":\n";
+      }
+    }
+    if (program.start == pc) out << "__top__:\n";
+    const Instruction& insn = program.code[pc];
+    out << "  " << pc << "\t" << opcodeName(insn.op);
+    if (usesSym(insn.op)) {
+      out << "\t" << symbols.name(insn.sym);
+    } else if (usesBranch(insn.op)) {
+      out << "\t-> " << insn.operand;
+    } else if (insn.op == Opcode::kPushSym) {
+      out << "\t"
+          << sexpr::print(arena, symbols,
+                          program.constants[static_cast<std::size_t>(
+                              insn.operand)]);
+    } else if (insn.op == Opcode::kPushStk) {
+      out << "\t" << insn.operand;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace small::vm

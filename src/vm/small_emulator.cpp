@@ -1,0 +1,341 @@
+#include "vm/small_emulator.hpp"
+
+#include <algorithm>
+
+#include "sexpr/printer.hpp"
+#include "support/error.hpp"
+
+namespace small::vm {
+
+using core::SmallMachine;
+using sexpr::NodeRef;
+using sexpr::SymbolId;
+using support::EvalError;
+
+SmallEmulator::SmallEmulator(sexpr::Arena& arena,
+                             sexpr::SymbolTable& symbols, Options options)
+    : arena_(arena),
+      symbols_(symbols),
+      options_(options),
+      machine_(options.machine) {}
+
+SmallEmulator::~SmallEmulator() { shutdown(); }
+
+void SmallEmulator::shutdown() {
+  // Release everything still owned so the machine drains cleanly.
+  for (Value& v : values_) machine_.release(v);
+  values_.clear();
+  for (Binding& b : bindings_) machine_.release(b.value);
+  bindings_.clear();
+  for (Binding& b : globals_) machine_.release(b.value);
+  globals_.clear();
+  for (auto& [index, value] : constants_) machine_.release(value);
+  constants_.clear();
+  machine_.serviceAllHeapFrees();
+}
+
+void SmallEmulator::error(const std::string& message) const {
+  throw EvalError("small emulator: " + message);
+}
+
+SmallEmulator::Value SmallEmulator::pop() {
+  if (values_.empty()) error("value stack underflow");
+  const Value value = values_.back();
+  values_.pop_back();
+  return value;
+}
+
+void SmallEmulator::push(Value value) { values_.push_back(value); }
+
+void SmallEmulator::pushBorrowed(Value value) {
+  machine_.retain(value);
+  values_.push_back(value);
+}
+
+SmallEmulator::Value SmallEmulator::boolean(bool value) {
+  return value ? Value::symbol(sexpr::SymbolTable::kT) : Value::nil();
+}
+
+std::int64_t SmallEmulator::popInt(const char* what) {
+  const Value value = pop();
+  if (value.kind != Value::Kind::kInteger) {
+    error(std::string(what) + ": expected an integer");
+  }
+  return static_cast<std::int64_t>(value.payload);
+}
+
+SmallEmulator::Value SmallEmulator::constantValue(const Program& program,
+                                                  std::int32_t index) {
+  const auto it = constants_.find(index);
+  if (it != constants_.end()) return it->second;
+  const NodeRef node =
+      program.constants[static_cast<std::size_t>(index)];
+  // Lists materialize through readlist once; the cache keeps identity so
+  // repeated pushes of the same quoted constant share structure, as in
+  // the reference emulator.
+  const Value value = machine_.readList(arena_, node);
+  constants_.emplace(index, value);
+  return value;
+}
+
+SmallEmulator::Value SmallEmulator::lookup(SymbolId name) {
+  for (std::size_t i = bindings_.size(); i-- > 0;) {
+    if (bindings_[i].name == name) return bindings_[i].value;
+  }
+  for (const Binding& b : globals_) {
+    if (b.name == name) return b.value;
+  }
+  return Value::nil();
+}
+
+bool SmallEmulator::valuesEqual(Value a, Value b) {
+  if (a.kind != b.kind) {
+    // nil vs object etc. — compare structurally through writeList.
+    return arena_.equal(machine_.writeList(arena_, a),
+                        machine_.writeList(arena_, b));
+  }
+  switch (a.kind) {
+    case Value::Kind::kNil:
+      return true;
+    case Value::Kind::kSymbol:
+    case Value::Kind::kInteger:
+      return a.payload == b.payload;
+    case Value::Kind::kObject:
+      return arena_.equal(machine_.writeList(arena_, a),
+                          machine_.writeList(arena_, b));
+  }
+  return false;
+}
+
+void SmallEmulator::run(const Program& program) {
+  std::uint32_t pc = program.start;
+  frames_.push_back(Frame{});
+
+  while (true) {
+    if (++instructions_ > options_.maxSteps) error("step budget exceeded");
+    if (pc >= program.code.size()) error("pc out of range");
+    const Instruction insn = program.code[pc];
+    ++pc;
+    switch (insn.op) {
+      case Opcode::kHalt:
+        return;
+      case Opcode::kPushSym:
+        pushBorrowed(constantValue(program, insn.operand));
+        break;
+      case Opcode::kPushStk: {
+        const Frame& frame = frames_.back();
+        const auto k = static_cast<std::size_t>(insn.operand);
+        if (k == 0 || k > frame.argCount) error("PUSHSTK: bad arg index");
+        const std::size_t slot = frame.bindingBase + (frame.argCount - k);
+        if (slot >= bindings_.size()) error("PUSHSTK: missing binding");
+        pushBorrowed(bindings_[slot].value);
+        break;
+      }
+      case Opcode::kPushVar:
+        pushBorrowed(lookup(insn.sym));
+        break;
+      case Opcode::kBindN:
+        bindings_.push_back({insn.sym, pop()});  // ownership moves
+        break;
+      case Opcode::kSetq: {
+        if (values_.empty()) error("SETQ: empty stack");
+        const Value value = values_.back();  // stays on the stack
+        bool found = false;
+        for (std::size_t i = bindings_.size(); i-- > 0;) {
+          if (bindings_[i].name == insn.sym) {
+            machine_.retain(value);
+            release(bindings_[i].value);
+            bindings_[i].value = value;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          for (Binding& b : globals_) {
+            if (b.name == insn.sym) {
+              machine_.retain(value);
+              release(b.value);
+              b.value = value;
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          machine_.retain(value);
+          globals_.push_back({insn.sym, value});
+        }
+        break;
+      }
+      case Opcode::kPop:
+        release(pop());
+        break;
+
+      case Opcode::kFCall: {
+        const Program::Function* callee =
+            program.findFunction(symbols_.name(insn.sym));
+        if (!callee) error("FCALL to undefined function");
+        if (callee->argCount != insn.operand) {
+          error("FCALL: wrong argument count for " + callee->name);
+        }
+        ++functionCalls_;
+        Frame frame;
+        frame.returnPc = pc;
+        frame.valueBase = values_.size();
+        frame.bindingBase = bindings_.size();
+        frame.argCount = callee->argCount;
+        frames_.push_back(frame);
+        pc = callee->entry;
+        break;
+      }
+      case Opcode::kFRetn: {
+        if (frames_.size() <= 1) return;
+        const Value result = pop();
+        const Frame frame = frames_.back();
+        frames_.pop_back();
+        while (bindings_.size() > frame.bindingBase) {
+          release(bindings_.back().value);
+          bindings_.pop_back();
+        }
+        const std::size_t floor = frame.valueBase - frame.argCount;
+        while (values_.size() > floor) release(pop());
+        push(result);
+        pc = frame.returnPc;
+        break;
+      }
+      case Opcode::kJump:
+        pc = static_cast<std::uint32_t>(insn.operand);
+        break;
+      case Opcode::kBranchNil: {
+        const Value v = pop();
+        const bool isNil = v.kind == Value::Kind::kNil;
+        release(v);
+        if (isNil) pc = static_cast<std::uint32_t>(insn.operand);
+        break;
+      }
+      case Opcode::kNEqualP: {
+        const Value b = pop();
+        const Value a = pop();
+        const bool equal = valuesEqual(a, b);
+        release(a);
+        release(b);
+        if (!equal) pc = static_cast<std::uint32_t>(insn.operand);
+        break;
+      }
+
+      case Opcode::kNullP: {
+        const Value v = pop();
+        const bool isNil = v.kind == Value::Kind::kNil;
+        release(v);
+        push(boolean(isNil));
+        break;
+      }
+      case Opcode::kAtomP: {
+        const Value v = pop();
+        const bool isAtom = !v.isObject();
+        release(v);
+        push(boolean(isAtom));
+        break;
+      }
+      case Opcode::kEqualP: {
+        const Value b = pop();
+        const Value a = pop();
+        const bool equal = valuesEqual(a, b);
+        release(a);
+        release(b);
+        push(boolean(equal));
+        break;
+      }
+      case Opcode::kGreaterP: {
+        const std::int64_t b = popInt("GREATERP");
+        const std::int64_t a = popInt("GREATERP");
+        push(boolean(a > b));
+        break;
+      }
+      case Opcode::kLessP: {
+        const std::int64_t b = popInt("LESSP");
+        const std::int64_t a = popInt("LESSP");
+        push(boolean(a < b));
+        break;
+      }
+      case Opcode::kNotOp: {
+        const Value v = pop();
+        const bool isNil = v.kind == Value::Kind::kNil;
+        release(v);
+        push(boolean(isNil));
+        break;
+      }
+
+      case Opcode::kAddOp:
+      case Opcode::kSubOp:
+      case Opcode::kMulOp:
+      case Opcode::kDivOp: {
+        const std::int64_t b = popInt("arith");
+        const std::int64_t a = popInt("arith");
+        std::int64_t r = 0;
+        if (insn.op == Opcode::kAddOp) r = a + b;
+        if (insn.op == Opcode::kSubOp) r = a - b;
+        if (insn.op == Opcode::kMulOp) r = a * b;
+        if (insn.op == Opcode::kDivOp) {
+          if (b == 0) error("DIVOP: division by zero");
+          r = a / b;
+        }
+        push(Value::integer(r));
+        break;
+      }
+
+      case Opcode::kCarOp: {
+        const Value v = pop();
+        push(machine_.car(v));  // result carries its own reference
+        release(v);
+        break;
+      }
+      case Opcode::kCdrOp: {
+        const Value v = pop();
+        push(machine_.cdr(v));
+        release(v);
+        break;
+      }
+      case Opcode::kConsOp: {
+        const Value tail = pop();
+        const Value head = pop();
+        push(machine_.cons(head, tail));  // takes internal field refs
+        release(head);
+        release(tail);
+        break;
+      }
+      case Opcode::kRplacaOp:
+      case Opcode::kRplacdOp: {
+        const Value value = pop();
+        const Value target = pop();
+        if (insn.op == Opcode::kRplacaOp) {
+          machine_.rplaca(target, value);
+        } else {
+          machine_.rplacd(target, value);
+        }
+        release(value);
+        push(target);  // keeps its reference, returned as the result
+        break;
+      }
+
+      case Opcode::kRdList: {
+        if (input_.empty()) {
+          push(Value::nil());
+        } else {
+          push(machine_.readList(arena_, input_.front()));
+          input_.pop_front();
+        }
+        break;
+      }
+      case Opcode::kWrList: {
+        const Value v = pop();
+        output_.push_back(sexpr::print(arena_, symbols_,
+                                       machine_.writeList(arena_, v)));
+        release(v);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace small::vm

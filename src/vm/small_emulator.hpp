@@ -1,0 +1,107 @@
+// The stack-machine emulator backed by the functional SMALL machine.
+//
+// "The emulator operated by tracing the state of three key SMALL
+//  structures: the stack (control and environment), the LPT and the heap"
+// (§4.3.4). Where `vm::Emulator` executes against plain s-expressions,
+// this emulator's list values are `SmallMachine::Value`s: every car/cdr
+// goes through the LPT (splitting heap objects on demand), every cons is
+// endo-structure, and the machine's statistics expose exactly how much
+// table and heap activity the compiled program caused.
+//
+// Output is recorded as *printed text at write time* (real I/O
+// semantics): later destructive updates do not retroactively change what
+// was written.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sexpr/arena.hpp"
+#include "small/machine.hpp"
+#include "vm/isa.hpp"
+
+namespace small::vm {
+
+class SmallEmulator {
+ public:
+  struct Options {
+    std::uint64_t maxSteps = 50'000'000;
+    core::SmallMachine::Config machine{};
+  };
+
+  SmallEmulator(sexpr::Arena& arena, sexpr::SymbolTable& symbols)
+      : SmallEmulator(arena, symbols, Options{}) {}
+  SmallEmulator(sexpr::Arena& arena, sexpr::SymbolTable& symbols,
+                Options options);
+  ~SmallEmulator();
+
+  SmallEmulator(const SmallEmulator&) = delete;
+  SmallEmulator& operator=(const SmallEmulator&) = delete;
+
+  void run(const Program& program);
+
+  void provideInput(sexpr::NodeRef value) { input_.push_back(value); }
+
+  /// Text written by WRLIST, snapshotted at write time.
+  const std::vector<std::string>& output() const { return output_; }
+
+  const core::SmallMachine& machine() const { return machine_; }
+  std::uint64_t instructionsExecuted() const { return instructions_; }
+  std::uint64_t functionCalls() const { return functionCalls_; }
+
+  /// Release every reference still held (stack, bindings, globals,
+  /// constants) and drain the heap free queue. Called by the destructor;
+  /// callable earlier so tests can assert the machine empties out.
+  void shutdown();
+
+ private:
+  using Value = core::SmallMachine::Value;
+
+  struct Binding {
+    sexpr::SymbolId name;
+    Value value;  // owns one EP reference when an object
+  };
+  struct Frame {
+    std::uint32_t returnPc = 0;
+    std::size_t valueBase = 0;
+    std::size_t bindingBase = 0;
+    std::uint8_t argCount = 0;
+  };
+
+  /// Pop with ownership transfer: the caller must push, store, or
+  /// release the returned value.
+  Value pop();
+  void push(Value value);        ///< takes ownership
+  void pushBorrowed(Value value);///< retains, then pushes
+  void release(Value value) { machine_.release(value); }
+
+  Value constantValue(const Program& program, std::int32_t index);
+  Value lookup(sexpr::SymbolId name);
+  Value boolean(bool value);
+  std::int64_t popInt(const char* what);
+  bool valuesEqual(Value a, Value b);
+
+  [[noreturn]] void error(const std::string& message) const;
+
+  sexpr::Arena& arena_;
+  sexpr::SymbolTable& symbols_;
+  Options options_;
+  core::SmallMachine machine_;
+
+  std::vector<Value> values_;
+  std::vector<Binding> bindings_;
+  std::vector<Frame> frames_;
+  std::vector<Binding> globals_;
+  std::unordered_map<std::int32_t, Value> constants_;  // owns refs
+
+  std::deque<sexpr::NodeRef> input_;
+  std::vector<std::string> output_;
+
+  std::uint64_t instructions_ = 0;
+  std::uint64_t functionCalls_ = 0;
+};
+
+}  // namespace small::vm

@@ -1,0 +1,26 @@
+#include "workloads/driver.hpp"
+
+#include "lisp/interpreter.hpp"
+#include "lisp/tracer.hpp"
+
+namespace small::workloads {
+
+trace::Trace runWorkload(Workload workload, const RunOptions& options) {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter interpreter(arena, symbols);
+
+  trace::Trace trace;
+  trace.name = workloadName(workload);
+  lisp::TraceRecorder recorder(arena, trace);
+  interpreter.setTracer(&recorder);
+
+  if (options.includePrelude) {
+    interpreter.run(preludeSource());
+  }
+  interpreter.run(programSource(workload));
+  interpreter.run(driverSource(workload, options.scale));
+  return trace;
+}
+
+}  // namespace small::workloads

@@ -1,0 +1,18 @@
+// Run a workload program under the tracer and collect its trace.
+#pragma once
+
+#include "trace/trace.hpp"
+#include "workloads/programs.hpp"
+
+namespace small::workloads {
+
+struct RunOptions {
+  int scale = 1;                ///< input-size / iteration multiplier
+  bool includePrelude = true;   ///< load the Lisp list library first
+};
+
+/// Execute the workload in a fresh interpreter with the trace hook
+/// attached; returns the recorded trace (named after the workload).
+trace::Trace runWorkload(Workload workload, const RunOptions& options = {});
+
+}  // namespace small::workloads

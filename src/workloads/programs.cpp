@@ -1,0 +1,411 @@
+#include "workloads/programs.hpp"
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace small::workloads {
+
+const char* workloadName(Workload workload) {
+  switch (workload) {
+    case Workload::kSlang: return "Slang";
+    case Workload::kPlagen: return "PlaGen";
+    case Workload::kLyra: return "Lyra";
+    case Workload::kEditor: return "Editor";
+    case Workload::kPearl: return "Pearl";
+  }
+  return "?";
+}
+
+std::string_view preludeSource() {
+  // The list library is written in Lisp so that every library operation
+  // expands into the car/cdr/cons primitive stream the tracer records.
+  static constexpr std::string_view kPrelude = R"lisp(
+(defun caddr (x) (car (cddr x)))
+(defun cadddr (x) (car (cdr (cddr x))))
+
+(defun len (l)
+  (cond ((null l) 0)
+        (t (+ 1 (len (cdr l))))))
+
+(defun app2 (a b)
+  (cond ((null a) b)
+        (t (cons (car a) (app2 (cdr a) b)))))
+
+(defun rev (l)
+  (prog (acc)
+    loop
+    (cond ((null l) (return acc)))
+    (setq acc (cons (car l) acc))
+    (setq l (cdr l))
+    (go loop)))
+
+(defun nth-elt (n l)
+  (cond ((zerop n) (car l))
+        (t (nth-elt (- n 1) (cdr l)))))
+
+(defun assq (k al)
+  (cond ((null al) nil)
+        ((equal (caar al) k) (car al))
+        (t (assq k (cdr al)))))
+
+(defun memq (x l)
+  (cond ((null l) nil)
+        ((equal (car l) x) l)
+        (t (memq x (cdr l)))))
+
+(defun last-cell (l)
+  (cond ((null (cdr l)) l)
+        (t (last-cell (cdr l)))))
+
+(defun copy-list (l)
+  (cond ((atom l) l)
+        (t (cons (copy-list (car l)) (copy-list (cdr l))))))
+)lisp";
+  return kPrelude;
+}
+
+namespace {
+
+// --- SLANG: gate-level boolean simulator -------------------------------
+// Gates are (type out in1 in2); wires are symbols bound in an a-list
+// environment of (wire value) pairs. The circuit is a BCD-to-decimal
+// decoder, evaluated over all 16 input vectors; each vector's output
+// environment is consed onto the waveform list (the thesis notes SLANG has
+// the highest cons share of the suite).
+constexpr std::string_view kSlang = R"lisp(
+(defun b-not (a) (- 1 a))
+(defun b-and (a b) (* a b))
+(defun b-or (a b) (cond ((equal (+ a b) 0) 0) (t 1)))
+(defun b-xor (a b) (rem (+ a b) 2))
+
+(defun wire-val (w env)
+  (cond ((numberp w) w)
+        (t (cadr (assq w env)))))
+
+(defun gate-eval (g env)
+  (cond ((equal (car g) (quote inv))
+         (b-not (wire-val (caddr g) env)))
+        ((equal (car g) (quote and2))
+         (b-and (wire-val (caddr g) env) (wire-val (cadddr g) env)))
+        ((equal (car g) (quote or2))
+         (b-or (wire-val (caddr g) env) (wire-val (cadddr g) env)))
+        ((equal (car g) (quote xor2))
+         (b-xor (wire-val (caddr g) env) (wire-val (cadddr g) env)))
+        (t 0)))
+
+(defun sim-gates (gates env)
+  (cond ((null gates) env)
+        (t (sim-gates (cdr gates)
+                      (cons (list (cadr (car gates))
+                                  (gate-eval (car gates) env))
+                            env)))))
+
+(defun bits4 (n)
+  (list (list (quote a) (rem (/ n 8) 2))
+        (list (quote b) (rem (/ n 4) 2))
+        (list (quote c) (rem (/ n 2) 2))
+        (list (quote d) (rem n 2))))
+
+(setq decoder
+  (quote ((inv na a 0) (inv nb b 0) (inv nc c 0) (inv nd d 0)
+          (and2 t0 na nb) (and2 t1 na b) (and2 t2 a nb) (and2 t3 a b)
+          (and2 u0 nc nd) (and2 u1 nc d) (and2 u2 c nd) (and2 u3 c d)
+          (and2 o0 t0 u0) (and2 o1 t0 u1) (and2 o2 t0 u2) (and2 o3 t0 u3)
+          (and2 o4 t1 u0) (and2 o5 t1 u1) (and2 o6 t1 u2) (and2 o7 t1 u3)
+          (and2 o8 t2 u0) (and2 o9 t2 u1)
+          (or2 valid o8 o9) (xor2 parity o1 o2))))
+
+(defun probe (env outs acc)
+  (cond ((null outs) acc)
+        (t (probe env (cdr outs)
+                  (cons (list (car outs)
+                              (cadr (assq (car outs) env)))
+                        acc)))))
+
+(defun run-vector (n)
+  (probe (sim-gates decoder (bits4 n))
+         (quote (o0 o1 o2 o3 o4 o5 o6 o7 o8 o9 valid parity))
+         nil))
+
+(defun run-vectors (n acc)
+  (cond ((< n 0) acc)
+        (t (run-vectors (- n 1)
+                        (cons (run-vector (rem n 16))
+                              (app2 (run-vector (rem (+ n 1) 16)) acc))))))
+)lisp";
+
+// --- PLAGEN: PLA personality-matrix generator ---------------------------
+// Sum-of-products terms become AND-plane rows over the input variables
+// (1 / 0 / x per variable) and OR-plane rows over the outputs; duplicate
+// rows merge, which costs `equal` scans over the matrix built so far.
+constexpr std::string_view kPlagen = R"lisp(
+(defun polarity (var term)
+  (cond ((null term) (quote x))
+        ((equal (caar term) var) (cadr (car term)))
+        (t (polarity var (cdr term)))))
+
+(defun and-row (vars term)
+  (cond ((null vars) nil)
+        (t (cons (polarity (car vars) term)
+                 (and-row (cdr vars) term)))))
+
+(defun or-row (outs out)
+  (cond ((null outs) nil)
+        ((equal (car outs) out) (cons 1 (or-row (cdr outs) out)))
+        (t (cons 0 (or-row (cdr outs) out)))))
+
+(defun find-row (row matrix)
+  (cond ((null matrix) nil)
+        ((equal (caar matrix) row) (car matrix))
+        (t (find-row row (cdr matrix)))))
+
+(defun add-term (vars outs term out matrix)
+  (prog (row hit)
+    (setq row (and-row vars term))
+    (setq hit (find-row row matrix))
+    (cond ((null hit)
+           (return (cons (list row (or-row outs out)) matrix))))
+    (rplacd hit (cons (or-row outs out) (cdr hit)))
+    (return matrix)))
+
+(defun gen-pla (vars outs terms matrix)
+  (cond ((null terms) matrix)
+        (t (gen-pla vars outs (cdr terms)
+                    (add-term vars outs
+                              (cadr (car terms)) (caar terms) matrix)))))
+
+(setq tl-vars (quote (c0 c1 tl ts)))
+(setq tl-outs (quote (hg hy fg fy st0 st1)))
+
+; Traffic-light controller terms (Mead & Conway's PLA example): each is
+; (output ((var value) ...)).
+(setq tl-terms
+  (quote ((hg ((c0 0) (c1 0)))
+          (hg ((tl 0) (c0 1)))
+          (hg ((tl 0) (c1 1)))
+          (hy ((c0 1) (c1 0) (tl 1)))
+          (hy ((ts 0) (c0 0)))
+          (fg ((c0 1) (c1 1) (tl 0)))
+          (fg ((ts 1) (c1 0)))
+          (fy ((tl 1) (ts 1)))
+          (fy ((c0 0) (ts 0)))
+          (st0 ((c0 1) (tl 1)))
+          (st0 ((c1 1) (ts 0)))
+          (st1 ((ts 1) (tl 0)))
+          (st1 ((c0 0) (c1 1))))))
+
+(defun gen-many (k acc)
+  (cond ((zerop k) acc)
+        (t (gen-many (- k 1) (gen-pla tl-vars tl-outs tl-terms nil)))))
+)lisp";
+
+// --- LYRA: rectangle design-rule checker --------------------------------
+// Rectangles are (layer x1 y1 x2 y2); the checker walks all pairs on the
+// same layer testing minimum spacing, and each rectangle for minimum
+// width — long car/cdr chains over nested geometry, few conses.
+constexpr std::string_view kLyra = R"lisp(
+(defun rect-layer (r) (car r))
+(defun rect-x1 (r) (cadr r))
+(defun rect-y1 (r) (caddr r))
+(defun rect-x2 (r) (cadddr r))
+(defun rect-y2 (r) (car (cddr (cddr r))))
+
+(defun abs-val (x) (cond ((< x 0) (- 0 x)) (t x)))
+(defun max2 (a b) (cond ((> a b) a) (t b)))
+(defun min2 (a b) (cond ((< a b) a) (t b)))
+
+(defun gap-1d (a1 a2 b1 b2)
+  (max2 (- b1 a2) (- a1 b2)))
+
+(defun spacing-ok (a b minsep)
+  (cond ((> (gap-1d (rect-x1 a) (rect-x2 a) (rect-x1 b) (rect-x2 b))
+            (- minsep 1)) t)
+        ((> (gap-1d (rect-y1 a) (rect-y2 a) (rect-y1 b) (rect-y2 b))
+            (- minsep 1)) t)
+        (t nil)))
+
+(defun width-ok (r minw)
+  (cond ((< (- (rect-x2 r) (rect-x1 r)) minw) nil)
+        ((< (- (rect-y2 r) (rect-y1 r)) minw) nil)
+        (t t)))
+
+(defun check-pair (a b viols)
+  (cond ((null (equal (rect-layer a) (rect-layer b))) viols)
+        ((spacing-ok a b 2) viols)
+        (t (cons (list (quote spacing) a b) viols))))
+
+(defun check-against (r rest viols)
+  (cond ((null rest) viols)
+        (t (check-against r (cdr rest)
+                          (check-pair r (car rest) viols)))))
+
+(defun check-rects (rects viols)
+  (cond ((null rects) viols)
+        (t (check-rects
+             (cdr rects)
+             (check-against (car rects) (cdr rects)
+                            (cond ((width-ok (car rects) 2) viols)
+                                  (t (cons (list (quote width) (car rects))
+                                           viols))))))))
+
+(defun rect-for (k)
+  (list (cond ((zerop (rem k 3)) (quote poly))
+              ((zerop (rem k 2)) (quote metal))
+              (t (quote diff)))
+        (* (rem k 7) 4)
+        (* (rem k 5) 4)
+        (+ (* (rem k 7) 4) (+ 1 (rem k 3)))
+        (+ (* (rem k 5) 4) (+ 1 (rem k 4)))))
+
+(defun make-rects (k acc)
+  (cond ((zerop k) acc)
+        (t (make-rects (- k 1) (cons (rect-for k) acc)))))
+
+(defun check-chip (k)
+  (check-rects (make-rects k nil) nil))
+)lisp";
+
+// --- EDITOR: structure editor over a function body ----------------------
+// An Interlisp-style editing session: locate symbols at depth, rebuild
+// with substitutions (pure), and patch in place with rplaca (destructive),
+// over a deep nested body — the thesis' Editor works on by far the
+// longest, deepest lists of the suite (Table 3.1).
+constexpr std::string_view kEditor = R"lisp(
+(defun subst-all (old new expr)
+  (cond ((equal expr old) new)
+        ((atom expr) expr)
+        (t (cons (subst-all old new (car expr))
+                 (subst-all old new (cdr expr))))))
+
+(defun count-sym (sym expr)
+  (cond ((equal expr sym) 1)
+        ((atom expr) 0)
+        (t (+ (count-sym sym (car expr))
+              (count-sym sym (cdr expr))))))
+
+(defun nsubst-top (old new expr)
+  (prog (cursor)
+    (setq cursor expr)
+    loop
+    (cond ((atom cursor) (return expr)))
+    (cond ((equal (car cursor) old) (rplaca cursor new)))
+    (setq cursor (cdr cursor))
+    (go loop)))
+
+(defun find-sub (sym expr)
+  (cond ((atom expr) nil)
+        ((memq sym expr) expr)
+        (t (or (find-sub sym (car expr))
+               (find-sub sym (cdr expr))))))
+
+(defun deepen (expr k)
+  (cond ((zerop k) expr)
+        (t (deepen (list (quote let)
+                         (list (list (quote g) expr))
+                         (list (quote use) (quote g) expr))
+                   (- k 1)))))
+
+(setq fn-body
+  (quote
+    (defun walk (tree acc)
+      (cond ((null tree) acc)
+            ((atom tree) (cons tree acc))
+            (t (walk (car tree) (walk (cdr tree) acc)))))))
+
+(defun edit-session (k)
+  (prog (body trash)
+    (setq body (copy-list fn-body))
+    (setq body (deepen body 6))
+    loop
+    (cond ((zerop k) (return (count-sym (quote fringe) body))))
+    (setq body (subst-all (quote tree) (quote subtree) body))
+    (setq body (subst-all (quote subtree) (quote tree) body))
+    (setq trash (find-sub (quote acc) body))
+    (setq trash (nsubst-top (quote cons) (quote xcons) trash))
+    (setq trash (nsubst-top (quote xcons) (quote cons) trash))
+    (setq k (- k 1))
+    (go loop)))
+)lisp";
+
+// --- PEARL: record database on association structure ---------------------
+// Records are (key (slot value) ...); updates rewrite slot cells with
+// rplacd — Pearl's hallmark is a high rplaca/rplacd share and almost no
+// primitive chaining (its hunks were direct-access structures).
+constexpr std::string_view kPearl = R"lisp(
+(defun make-record (k)
+  (list k
+        (list (quote name) k)
+        (list (quote score) 0)
+        (list (quote hits) 0)))
+
+(defun db-insert (db rec) (cons rec db))
+
+(defun db-find (db k) (assq k db))
+
+(defun slot-cell (rec slot)
+  (assq slot (cdr rec)))
+
+(defun slot-set (rec slot val)
+  (rplacd (slot-cell rec slot) (cons val nil)))
+
+(defun slot-get (rec slot)
+  (cadr (slot-cell rec slot)))
+
+(defun db-build (k db)
+  (cond ((zerop k) db)
+        (t (db-build (- k 1) (db-insert db (make-record k))))))
+
+(defun db-bump (db k stamp)
+  (prog (rec)
+    (setq rec (db-find db k))
+    (cond ((null rec) (return nil)))
+    (slot-set rec (quote score) (+ (slot-get rec (quote score)) 10))
+    (slot-set rec (quote hits) stamp)
+    (slot-set rec (quote name) k)
+    (return rec)))
+
+(defun db-workout (db n size)
+  (cond ((zerop n) db)
+        (t (progn
+             (db-bump db (+ 1 (rem n size)) n)
+             (db-workout db (- n 1) size)))))
+
+(defun pearl-run (size rounds)
+  (prog (db)
+    (setq db (db-build size nil))
+    (db-workout db rounds size)
+    (return (len db))))
+)lisp";
+
+}  // namespace
+
+std::string_view programSource(Workload workload) {
+  switch (workload) {
+    case Workload::kSlang: return kSlang;
+    case Workload::kPlagen: return kPlagen;
+    case Workload::kLyra: return kLyra;
+    case Workload::kEditor: return kEditor;
+    case Workload::kPearl: return kPearl;
+  }
+  throw support::Error("programSource: bad workload");
+}
+
+std::string driverSource(Workload workload, int scale) {
+  const std::string k = std::to_string(scale);
+  switch (workload) {
+    case Workload::kSlang:
+      return "(write (len (run-vectors (* 5 " + k + ") nil)))";
+    case Workload::kPlagen:
+      return "(write (len (gen-many (* 24 " + k + ") nil)))";
+    case Workload::kLyra:
+      return "(write (len (check-chip (* 120 " + k + "))))";
+    case Workload::kEditor:
+      return "(write (edit-session " + k + "))";
+    case Workload::kPearl:
+      return "(write (pearl-run 8 (* 24 " + k + ")))";
+  }
+  throw support::Error("driverSource: bad workload");
+}
+
+}  // namespace small::workloads

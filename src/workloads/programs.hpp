@@ -1,0 +1,48 @@
+// The five workload programs (§3.3.1).
+//
+// The thesis traces five real Lisp applications: SLANG (a circuit
+// simulator), PLAGEN (a PLA generator), LYRA (a VLSI design-rule checker),
+// EDITOR (the Interlisp TTY structure editor), and PEARL (an AI data
+// representation package / small database). Those programs are not
+// available, so this module provides five Lisp programs *in the same
+// domains with the same access textures*, written in this repository's
+// dialect:
+//   * slang  — gate-level boolean simulator run on a BCD->decimal decoder,
+//              cons-heavy (it builds waveform lists);
+//   * plagen — PLA personality-matrix generator from sum-of-products
+//              terms, balanced car/cdr with moderate cons;
+//   * lyra   — rectangle design-rule checker (spacing/overlap), access
+//              dominated, long car/cdr chains over nested geometry;
+//   * editor — structure editor applying find/substitute/insert scripts to
+//              a function body, deep lists, destructive rplaca;
+//   * pearl  — record database on a-lists updated with rplacd, high
+//              rplac fraction and almost no primitive chaining.
+// A shared prelude defines the list library (append, reverse, assoc, ...)
+// in Lisp itself so library operations expand into traced car/cdr/cons
+// streams, as they did in the thesis' interpreted Franz Lisp.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace small::workloads {
+
+enum class Workload { kSlang, kPlagen, kLyra, kEditor, kPearl };
+
+inline constexpr Workload kAllWorkloads[] = {
+    Workload::kSlang, Workload::kPlagen, Workload::kLyra, Workload::kEditor,
+    Workload::kPearl};
+
+const char* workloadName(Workload workload);
+
+/// The shared Lisp list library.
+std::string_view preludeSource();
+
+/// The program text for a workload.
+std::string_view programSource(Workload workload);
+
+/// The driver form(s) evaluated to run the workload at `scale` (>= 1);
+/// scale multiplies the input size / iteration count.
+std::string driverSource(Workload workload, int scale);
+
+}  // namespace small::workloads

@@ -1,0 +1,114 @@
+// Tests for the fully associative LRU comparison cache (§5.2.5).
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.hpp"
+#include "support/rng.hpp"
+
+namespace small::cache {
+namespace {
+
+TEST(LruCache, HitAfterFill) {
+  LruCache cache(4);
+  EXPECT_FALSE(cache.access(10));
+  EXPECT_TRUE(cache.access(10));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.access(1);
+  cache.access(2);
+  cache.access(1);  // 2 is now LRU
+  cache.access(3);  // evicts 2
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_TRUE(cache.access(3));
+  EXPECT_FALSE(cache.access(2));
+}
+
+TEST(LruCache, CapacityIsRespected) {
+  LruCache cache(8);
+  for (std::uint64_t a = 0; a < 100; ++a) cache.access(a);
+  EXPECT_EQ(cache.residentLines(), 8u);
+}
+
+TEST(LruCache, LineSizeGroupsNeighbours) {
+  LruCache cache(4, /*lineSize=*/4);
+  EXPECT_FALSE(cache.access(0));
+  // Addresses 1-3 share the line: prefetched for free.
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_TRUE(cache.access(2));
+  EXPECT_TRUE(cache.access(3));
+  EXPECT_FALSE(cache.access(4));  // next line
+}
+
+TEST(LruCache, SequentialScanBenefitsFromLines) {
+  // The Fig 5.5 effect: with spatial locality, larger lines at equal total
+  // capacity raise the hit rate (until prefetch stops being useful).
+  constexpr std::uint64_t kCells = 64;
+  LruCache unit(kCells, 1);
+  LruCache wide(kCells / 8, 8);
+  for (std::uint64_t pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t a = 0; a < 4096; ++a) {
+      unit.access(a);
+      wide.access(a);
+    }
+  }
+  EXPECT_GT(wide.hitRate(), unit.hitRate());
+}
+
+TEST(LruCache, RandomAccessDefeatsLines) {
+  // Without locality, bigger lines mean fewer entries and a worse rate.
+  support::Rng rng(31);
+  constexpr std::uint64_t kCells = 64;
+  LruCache unit(kCells, 1);
+  LruCache wide(kCells / 16, 16);
+  for (int i = 0; i < 40000; ++i) {
+    const std::uint64_t a = rng.below(100000);
+    unit.access(a);
+    wide.access(a);
+  }
+  EXPECT_GE(unit.hitRate(), wide.hitRate());
+}
+
+TEST(LruCache, ResetClearsEverything) {
+  LruCache cache(4);
+  cache.access(1);
+  cache.access(1);
+  cache.reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.residentLines(), 0u);
+  EXPECT_FALSE(cache.access(1));
+}
+
+TEST(LruCache, RejectsDegenerateConfigs) {
+  EXPECT_THROW(LruCache(0), support::Error);
+  EXPECT_THROW(LruCache(4, 0), support::Error);
+}
+
+class LruMattsonEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(LruMattsonEquivalence, InclusionProperty) {
+  // LRU inclusion: everything resident in a cache of size k is resident in
+  // a cache of size k+1 under the same access stream.
+  const std::uint64_t capacity = GetParam();
+  LruCache smaller(capacity);
+  LruCache larger(capacity + 1);
+  support::Rng rng(37);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.below(capacity * 3);
+    const bool hitSmall = smaller.access(a);
+    const bool hitLarge = larger.access(a);
+    // A hit in the smaller cache implies a hit in the larger one.
+    if (hitSmall) EXPECT_TRUE(hitLarge);
+  }
+  EXPECT_GE(larger.hitRate(), smaller.hitRate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruMattsonEquivalence,
+                         ::testing::Values(2u, 4u, 16u, 64u));
+
+}  // namespace
+}  // namespace small::cache

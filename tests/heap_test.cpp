@@ -1,0 +1,422 @@
+// Tests for the heap representations (Ch. 2's survey, §4.3.3 split/merge)
+// and the address model.
+#include <gtest/gtest.h>
+
+#include "heap/address_model.hpp"
+#include "heap/cdar_coded.hpp"
+#include "heap/conc.hpp"
+#include "heap/linearization.hpp"
+#include "heap/cdr_coded.hpp"
+#include "heap/linked_vector.hpp"
+#include "heap/two_pointer.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace small::heap {
+namespace {
+
+class HeapTest : public ::testing::Test {
+ protected:
+  sexpr::NodeRef read(std::string_view text) {
+    sexpr::Reader reader(arena, symbols);
+    return reader.readOne(text);
+  }
+  std::string show(sexpr::NodeRef ref) {
+    return sexpr::print(arena, symbols, ref);
+  }
+
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+};
+
+// --- two-pointer heap ---
+
+TEST_F(HeapTest, TwoPointerEncodeDecodeRoundtrip) {
+  TwoPointerHeap heap;
+  for (const char* text :
+       {"(a b c)", "(a (b c) d)", "((deep (nest (ing))))", "(1 -2 3)",
+        "(a . b)", "nil", "(x)"}) {
+    const HeapWord root = heap.encode(arena, read(text));
+    EXPECT_TRUE(arena.equal(heap.decode(arena, root), read(text))) << text;
+  }
+}
+
+TEST_F(HeapTest, TwoPointerUsesNPlusPCells) {
+  TwoPointerHeap heap;
+  heap.encode(arena, read("(A B C (D E) F G)"));  // n=7, p=1
+  EXPECT_EQ(heap.cellsAllocated(), 8u);
+}
+
+TEST_F(HeapTest, TwoPointerSplitReturnsHalvesAndFreesCell) {
+  TwoPointerHeap heap;
+  const HeapWord root = heap.encode(arena, read("(a b)"));
+  ASSERT_TRUE(root.isPointer());
+  const std::uint64_t liveBefore = heap.cellsLive();
+  const TwoPointerHeap::SplitResult halves = heap.split(root.payload);
+  EXPECT_EQ(heap.cellsLive(), liveBefore - 1);
+  EXPECT_EQ(halves.car.tag, HeapWord::Tag::kSymbol);
+  EXPECT_TRUE(halves.cdr.isPointer());
+}
+
+TEST_F(HeapTest, TwoPointerMergeIsInverseOfSplit) {
+  TwoPointerHeap heap;
+  const HeapWord root = heap.encode(arena, read("(a b c)"));
+  const TwoPointerHeap::SplitResult halves = heap.split(root.payload);
+  const TwoPointerHeap::CellRef merged = heap.merge(halves.car, halves.cdr);
+  EXPECT_TRUE(arena.equal(heap.decode(arena, HeapWord::pointer(merged)),
+                          read("(a b c)")));
+}
+
+TEST_F(HeapTest, TwoPointerFreeObjectReclaimsWholeStructure) {
+  TwoPointerHeap heap;
+  const HeapWord root = heap.encode(arena, read("(a (b c) (d (e)))"));
+  const std::uint64_t reclaimed = heap.freeObject(root.payload);
+  EXPECT_EQ(reclaimed, heap.cellsAllocated());
+  EXPECT_EQ(heap.cellsLive(), 0u);
+}
+
+TEST_F(HeapTest, TwoPointerFreeListIsLifo) {
+  TwoPointerHeap heap;
+  const auto a = heap.allocate(HeapWord::nil(), HeapWord::nil());
+  const auto b = heap.allocate(HeapWord::nil(), HeapWord::nil());
+  heap.free(a);
+  heap.free(b);
+  // Most recently freed entry is reused first.
+  EXPECT_EQ(heap.allocate(HeapWord::nil(), HeapWord::nil()), b);
+  EXPECT_EQ(heap.allocate(HeapWord::nil(), HeapWord::nil()), a);
+}
+
+TEST_F(HeapTest, TwoPointerDoubleFreeThrows) {
+  TwoPointerHeap heap;
+  const auto cell = heap.allocate(HeapWord::nil(), HeapWord::nil());
+  heap.free(cell);
+  EXPECT_THROW(heap.free(cell), support::SimulationError);
+}
+
+// --- cdr-coded heap ---
+
+TEST_F(HeapTest, CdrCodedEncodeDecodeRoundtrip) {
+  CdrCodedHeap heap;
+  for (const char* text :
+       {"(a b c)", "(a (b c) d)", "((x))", "(a . b)", "(1 2 . 3)", "nil"}) {
+    const CdrWord root = heap.encode(arena, read(text));
+    EXPECT_TRUE(arena.equal(heap.decode(arena, root), read(text))) << text;
+  }
+}
+
+TEST_F(HeapTest, CdrCodedLinearListIsCompact) {
+  // A flat n-element list occupies exactly n cells (vs n two-pointer cells
+  // of twice the width).
+  CdrCodedHeap heap;
+  heap.encode(arena, read("(a b c d e)"));
+  EXPECT_EQ(heap.cellsAllocated(), 5u);
+}
+
+TEST_F(HeapTest, CdrCodedCdrOfRunNeedsNoExtraRead) {
+  CdrCodedHeap heap;
+  const CdrWord root = heap.encode(arena, read("(a b c)"));
+  const std::uint64_t dependentBefore = heap.dependentReads();
+  const CdrWord next = heap.cdr(root.payload);
+  EXPECT_TRUE(next.isPointer());
+  EXPECT_EQ(next.payload, root.payload + 1);
+  EXPECT_EQ(heap.dependentReads(), dependentBefore);
+}
+
+TEST_F(HeapTest, CdrCodedRplacdForcesCopyOutAndForwarding) {
+  CdrCodedHeap heap;
+  const CdrWord root = heap.encode(arena, read("(a b c)"));
+  const CdrWord replacement = heap.encode(arena, read("(z)"));
+  heap.rplacd(root.payload, replacement);
+  EXPECT_EQ(heap.invisibleCount(), 1u);
+  EXPECT_TRUE(arena.equal(heap.decode(arena, root), read("(a z)")));
+}
+
+TEST_F(HeapTest, CdrCodedRplacdOnNormalPairIsInPlace) {
+  CdrCodedHeap heap;
+  const CdrWord root = heap.encode(arena, read("(a . b)"));
+  heap.rplacd(root.payload, CdrWord::nil());
+  EXPECT_EQ(heap.invisibleCount(), 0u);
+  EXPECT_TRUE(arena.equal(heap.decode(arena, root), read("(a)")));
+}
+
+TEST_F(HeapTest, CdrCodedRplaca) {
+  CdrCodedHeap heap;
+  const CdrWord root = heap.encode(arena, read("(a b)"));
+  heap.rplaca(root.payload, CdrWord::integer(9));
+  EXPECT_TRUE(arena.equal(heap.decode(arena, root), read("(9 b)")));
+}
+
+// --- linked-vector heap ---
+
+class LinkedVectorSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LinkedVectorSizes, RoundtripAcrossVectorSizes) {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  sexpr::Reader reader(arena, symbols);
+  LinkedVectorHeap heap(GetParam());
+  const sexpr::NodeRef list =
+      reader.readOne("(a b c d e f g h i j k l m n)");
+  const auto root = heap.encode(arena, list);
+  EXPECT_TRUE(arena.equal(heap.decode(arena, root), list));
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorSizes, LinkedVectorSizes,
+                         ::testing::Values(2u, 3u, 4u, 8u, 16u, 64u));
+
+TEST_F(HeapTest, LinkedVectorIndirectionTradeoff) {
+  // Small vectors need many indirections; large ones waste slots — the
+  // §2.3.3.1 fragmentation-vs-indirection trade-off.
+  const sexpr::NodeRef list = read("(a b c d e f g h i j)");
+  LinkedVectorHeap smallVectors(3);
+  LinkedVectorHeap largeVectors(64);
+  smallVectors.encode(arena, list);
+  largeVectors.encode(arena, list);
+  EXPECT_GT(smallVectors.indirections(), largeVectors.indirections());
+  EXPECT_GT(largeVectors.unusedSlots(), smallVectors.unusedSlots());
+}
+
+TEST_F(HeapTest, LinkedVectorNestedLists) {
+  LinkedVectorHeap heap(4);
+  const sexpr::NodeRef list = read("(a (b c (d)) e (f g h i j k) l)");
+  const auto root = heap.encode(arena, list);
+  EXPECT_TRUE(arena.equal(heap.decode(arena, root), list));
+}
+
+TEST_F(HeapTest, LinkedVectorRejectsDottedLists) {
+  LinkedVectorHeap heap(4);
+  EXPECT_THROW(heap.encode(arena, read("(a . b)")), support::EvalError);
+}
+
+// --- CDAR-coded table ---
+
+TEST_F(HeapTest, CdarCodesMatchThesisFigure210) {
+  // Fig 2.10 tags (A B C (D E) F G) with car/cdr paths; the thesis pads
+  // them to 6 bits and prints the steps leaf-first (A=000000, B=000001,
+  // E=010111, ...). Our canonical form is the same path unpadded and
+  // written root-first: B = cdr,car = "10", E = "111010".
+  const CdarTable table = CdarTable::encode(arena, read("(A B C (D E) F G)"));
+  const auto check = [&](const char* code, const char* symbol) {
+    CdarCode path;
+    for (const char* c = code; *c; ++c) {
+      path.bits = (path.bits << 1) | (*c == '1' ? 1u : 0u);
+      ++path.length;
+    }
+    const CdarTable::Entry* entry = table.probe(path);
+    ASSERT_NE(entry, nullptr) << code;
+    EXPECT_EQ(entry->tag, CdarTable::Entry::Tag::kSymbol) << code;
+    EXPECT_EQ(symbols.name(static_cast<sexpr::SymbolId>(entry->payload)),
+              symbol)
+        << code;
+  };
+  check("0", "A");
+  check("10", "B");
+  check("110", "C");
+  check("11100", "D");
+  check("111010", "E");
+  check("11110", "F");
+  check("111110", "G");
+}
+
+TEST_F(HeapTest, CdarTableStoresOnlyLeaves) {
+  // n symbols + (p + 1) nils for a proper list (the nil list terminators
+  // are leaves of the binary tree).
+  const CdarTable table = CdarTable::encode(arena, read("(A B C (D E) F G)"));
+  EXPECT_EQ(table.size(), 7u + 2u);
+}
+
+TEST_F(HeapTest, CdarEncodeDecodeRoundtrip) {
+  for (const char* text :
+       {"(a b c)", "(a (b c) d)", "((x) ((y)) z)", "(1 2 3)"}) {
+    const CdarTable table = CdarTable::encode(arena, read(text));
+    EXPECT_TRUE(arena.equal(table.decode(arena), read(text))) << text;
+  }
+}
+
+TEST_F(HeapTest, CdarCarCdrSplitTables) {
+  const CdarTable table = CdarTable::encode(arena, read("((a b) c d)"));
+  std::uint64_t copies = 0;
+  const CdarTable carTable = table.car(&copies);
+  const CdarTable cdrTable = table.cdr(&copies);
+  EXPECT_TRUE(arena.equal(carTable.decode(arena), read("(a b)")));
+  EXPECT_TRUE(arena.equal(cdrTable.decode(arena), read("(c d)")));
+  // Splitting copied every entry exactly once — the §4.3.3.2 cost.
+  EXPECT_EQ(copies, table.size());
+}
+
+TEST_F(HeapTest, CdarCodeStringRendering) {
+  CdarCode path;
+  path = path.prepend(true);   // last applied step becomes the root step
+  path = path.prepend(false);
+  EXPECT_EQ(path.toString(), "01");
+  EXPECT_FALSE(path.firstStep());
+  EXPECT_EQ(path.stripFirst().toString(), "1");
+}
+
+// --- address model ---
+
+TEST(AddressModel, BumpAllocationIsContiguous) {
+  AddressModel model;
+  const auto a = model.allocateObject(5);
+  const auto b = model.allocateObject(3);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 5u);
+  EXPECT_EQ(model.highWaterMark(), 8u);
+}
+
+TEST(AddressModel, ChildAddressesStayInBounds) {
+  AddressModel model;
+  support::Rng rng(21);
+  const auto parent = model.allocateObject(100);
+  for (int i = 0; i < 10000; ++i) {
+    const auto child = model.childAddress(parent + 50, rng);
+    EXPECT_LT(child, model.highWaterMark());
+  }
+}
+
+TEST(AddressModel, ChildAddressesClusterNearParent) {
+  AddressModel model;
+  support::Rng rng(23);
+  model.allocateObject(100000);
+  const std::uint64_t parent = 50000;
+  int near = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto child = model.childAddress(parent, rng);
+    const auto distance = child > parent ? child - parent : parent - child;
+    if (distance <= 8) ++near;
+  }
+  EXPECT_GT(near, kDraws / 2);
+}
+
+// --- conc / tuple representation (§2.3.3.1) ---
+
+TEST_F(HeapTest, ConcEncodeDecodeRoundtrip) {
+  ConcHeap heap;
+  for (const char* text :
+       {"(a b c)", "(a (b c) d)", "((x) ((y z)) w)", "(1 2 3)", "nil"}) {
+    const auto desc = heap.encode(arena, read(text));
+    EXPECT_TRUE(arena.equal(heap.decode(arena, desc), read(text))) << text;
+  }
+}
+
+TEST_F(HeapTest, ConcConcatenationIsOneCell) {
+  // "in the conc representation the operation involves allocating a conc
+  // cell and setting its fields to L1 and L2" — no copying, no mutation.
+  ConcHeap heap;
+  const auto a = heap.encode(arena, read("(a b c)"));
+  const auto b = heap.encode(arena, read("(d e)"));
+  const std::uint64_t wordsBefore = heap.elementWords();
+  const auto joined = heap.conc(a, b);
+  EXPECT_EQ(heap.elementWords(), wordsBefore);  // zero element copies
+  EXPECT_EQ(heap.concCellCount(), 1u);
+  EXPECT_EQ(heap.length(joined), 5u);
+  EXPECT_TRUE(arena.equal(heap.decode(arena, joined), read("(a b c d e)")));
+  // The operands are unchanged and still independently usable.
+  EXPECT_TRUE(arena.equal(heap.decode(arena, a), read("(a b c)")));
+}
+
+TEST_F(HeapTest, ConcRandomAccessByIndex) {
+  ConcHeap heap;
+  const auto a = heap.encode(arena, read("(p q)"));
+  const auto b = heap.encode(arena, read("(r s t)"));
+  const auto joined = heap.conc(a, heap.conc(b, a));
+  ASSERT_EQ(heap.length(joined), 7u);
+  const auto at5 = heap.elementAt(joined, 5);  // second copy of a: "p q"
+  EXPECT_EQ(at5.tag, ConcHeap::Element::Tag::kSymbol);
+  EXPECT_EQ(symbols.name(static_cast<sexpr::SymbolId>(at5.payload)), "p");
+  EXPECT_THROW(heap.elementAt(joined, 7), support::Error);
+}
+
+TEST_F(HeapTest, ConcRejectsDottedLists) {
+  ConcHeap heap;
+  EXPECT_THROW(heap.encode(arena, read("(a . b)")), support::EvalError);
+  EXPECT_THROW(heap.encode(arena, read("sym")), support::EvalError);
+}
+
+// --- Clark linearization experiments (§3.2) ---
+
+TEST(Linearization, SequentialBuildIsAdjacent) {
+  // Consing a list back to front leaves every cdr pointing at the
+  // neighbouring cell — Clark's "pointers point a small distance away".
+  LinearizingHeap heap(ConsPolicy::kNaive);
+  const auto head = heap.buildList(100);
+  const auto report = heap.measureList(head);
+  EXPECT_EQ(report.cdrPointers, 99u);
+  EXPECT_DOUBLE_EQ(report.adjacentFraction(), 1.0);
+  EXPECT_DOUBLE_EQ(report.magnitude.mean(), 1.0);
+}
+
+TEST(Linearization, NaiveAndCleverPoliciesTie) {
+  // Clark: "a naive cons algorithm performed almost as well as a more
+  // clever one" — an inherent property, not allocator magic.
+  for (const ConsPolicy policy : {ConsPolicy::kNaive, ConsPolicy::kClever}) {
+    LinearizingHeap heap(policy);
+    const auto head = heap.buildList(500);
+    EXPECT_DOUBLE_EQ(heap.measureList(head).adjacentFraction(), 1.0);
+  }
+}
+
+TEST(Linearization, LinearizePreservesContentAndOrder) {
+  LinearizingHeap heap(ConsPolicy::kNaive);
+  auto head = heap.buildList(50, 1000);
+  head = heap.linearize(head);
+  // Content intact, every cdr distance exactly +1.
+  auto cursor = head;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(heap.car(cursor).payload, 1000u + static_cast<unsigned>(i));
+    const auto next = heap.cdr(cursor);
+    if (i < 49) {
+      ASSERT_TRUE(next.isPointer);
+      EXPECT_EQ(next.payload, cursor + 1u);
+      cursor = static_cast<LinearizingHeap::CellRef>(next.payload);
+    } else {
+      EXPECT_FALSE(next.isPointer);
+    }
+  }
+  EXPECT_DOUBLE_EQ(heap.measureList(head).distanceOneFraction(), 1.0);
+}
+
+TEST(Linearization, LinearizeFreesOldCells) {
+  LinearizingHeap heap(ConsPolicy::kNaive);
+  auto head = heap.buildList(40);
+  const auto liveBefore = heap.cellsLive();
+  head = heap.linearize(head);
+  EXPECT_EQ(heap.cellsLive(), liveBefore);  // copied then freed: net zero
+}
+
+TEST(Linearization, SplicesErodeLinearizationSlowly) {
+  // Clark: "once a list was linearized it tended to stay fairly well
+  // linearized" — k splices break at most 2k of the n-1 links.
+  LinearizingHeap heap(ConsPolicy::kNaive);
+  auto head = heap.buildList(200);
+  head = heap.linearize(head);
+  support::Rng rng(3);
+  for (int edit = 0; edit < 10; ++edit) {
+    auto cursor = head;
+    for (std::uint64_t h = rng.below(150); h-- > 0;) {
+      const auto next = heap.cdr(cursor);
+      if (!next.isPointer) break;
+      cursor = static_cast<LinearizingHeap::CellRef>(next.payload);
+    }
+    const auto spliced = heap.cons(LinearizingHeap::Word::atom(1),
+                                   heap.cdr(cursor));
+    heap.setCdr(cursor, LinearizingHeap::Word::pointer(spliced));
+  }
+  EXPECT_GT(heap.measureList(head).distanceOneFraction(), 0.85);
+}
+
+TEST(Linearization, DoubleFreeAndBadCellThrow) {
+  LinearizingHeap heap(ConsPolicy::kNaive);
+  const auto cell = heap.cons(LinearizingHeap::Word::atom(1),
+                              LinearizingHeap::Word::atom(2));
+  heap.free(cell);
+  EXPECT_THROW(heap.free(cell), support::Error);
+  EXPECT_THROW(heap.car(cell), support::Error);
+  EXPECT_THROW(heap.car(12345), support::Error);
+}
+
+}  // namespace
+}  // namespace small::heap

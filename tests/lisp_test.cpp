@@ -1,0 +1,291 @@
+// Tests for the Lisp interpreter and the two environment disciplines.
+#include <gtest/gtest.h>
+
+#include "lisp/env.hpp"
+#include "lisp/interpreter.hpp"
+#include "sexpr/printer.hpp"
+#include "support/error.hpp"
+
+namespace small::lisp {
+namespace {
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  std::string evalToString(std::string_view source) {
+    return sexpr::print(arena, symbols, interp.run(source));
+  }
+
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  Interpreter interp{arena, symbols};
+};
+
+TEST_F(InterpreterTest, SelfEvaluating) {
+  EXPECT_EQ(evalToString("42"), "42");
+  EXPECT_EQ(evalToString("nil"), "nil");
+  EXPECT_EQ(evalToString("t"), "t");
+}
+
+TEST_F(InterpreterTest, QuoteReturnsDatum) {
+  EXPECT_EQ(evalToString("(quote (a b c))"), "(a b c)");
+  EXPECT_EQ(evalToString("'(1 2)"), "(1 2)");
+}
+
+TEST_F(InterpreterTest, ListPrimitives) {
+  EXPECT_EQ(evalToString("(car '(a b))"), "a");
+  EXPECT_EQ(evalToString("(cdr '(a b))"), "(b)");
+  EXPECT_EQ(evalToString("(cons 'a '(b))"), "(a b)");
+  EXPECT_EQ(evalToString("(car nil)"), "nil");
+}
+
+TEST_F(InterpreterTest, CxrCompositions) {
+  EXPECT_EQ(evalToString("(caar '((a b) c))"), "a");
+  EXPECT_EQ(evalToString("(cadr '(a b c))"), "b");
+  EXPECT_EQ(evalToString("(cddr '(a b c))"), "(c)");
+  EXPECT_EQ(evalToString("(cdar '((a b) c))"), "(b)");
+}
+
+TEST_F(InterpreterTest, DestructiveModification) {
+  EXPECT_EQ(evalToString("(setq x '(a b)) (rplaca x 'z) x"), "(z b)");
+  EXPECT_EQ(evalToString("(setq y '(a b)) (rplacd y '(q)) y"), "(a q)");
+}
+
+TEST_F(InterpreterTest, Predicates) {
+  EXPECT_EQ(evalToString("(atom 'a)"), "t");
+  EXPECT_EQ(evalToString("(atom '(a))"), "nil");
+  EXPECT_EQ(evalToString("(null nil)"), "t");
+  EXPECT_EQ(evalToString("(null '(a))"), "nil");
+  EXPECT_EQ(evalToString("(equal '(a (b)) '(a (b)))"), "t");
+  EXPECT_EQ(evalToString("(equal '(a) '(b))"), "nil");
+  EXPECT_EQ(evalToString("(eq 'a 'a)"), "t");
+  EXPECT_EQ(evalToString("(numberp 3)"), "t");
+  EXPECT_EQ(evalToString("(listp '(a))"), "t");
+  EXPECT_EQ(evalToString("(zerop 0)"), "t");
+}
+
+TEST_F(InterpreterTest, Arithmetic) {
+  EXPECT_EQ(evalToString("(+ 1 2 3)"), "6");
+  EXPECT_EQ(evalToString("(- 10 4)"), "6");
+  EXPECT_EQ(evalToString("(- 5)"), "-5");
+  EXPECT_EQ(evalToString("(* 3 4)"), "12");
+  EXPECT_EQ(evalToString("(/ 9 2)"), "4");
+  EXPECT_EQ(evalToString("(rem 9 2)"), "1");
+  EXPECT_THROW(evalToString("(/ 1 0)"), support::EvalError);
+}
+
+TEST_F(InterpreterTest, Comparisons) {
+  EXPECT_EQ(evalToString("(< 1 2)"), "t");
+  EXPECT_EQ(evalToString("(> 1 2)"), "nil");
+  EXPECT_EQ(evalToString("(= 3 3)"), "t");
+  EXPECT_EQ(evalToString("(<= 3 3)"), "t");
+  EXPECT_EQ(evalToString("(>= 2 3)"), "nil");
+}
+
+TEST_F(InterpreterTest, CondEvaluatesFirstTrueClause) {
+  EXPECT_EQ(evalToString("(cond (nil 1) (t 2) (t 3))"), "2");
+  EXPECT_EQ(evalToString("(cond (nil 1))"), "nil");
+  EXPECT_EQ(evalToString("(cond ((= 1 1) 'yes))"), "yes");
+  // A clause with no body yields the test value.
+  EXPECT_EQ(evalToString("(cond (42))"), "42");
+}
+
+TEST_F(InterpreterTest, SetqAndLookup) {
+  EXPECT_EQ(evalToString("(setq a 5) (+ a 1)"), "6");
+  EXPECT_EQ(evalToString("(setq a 1 b 2) (+ a b)"), "3");
+  EXPECT_THROW(evalToString("unbound-name"), support::EvalError);
+}
+
+TEST_F(InterpreterTest, DefAndCall) {
+  EXPECT_EQ(evalToString("(def double (lambda (x) (* x 2))) (double 21)"),
+            "42");
+  EXPECT_EQ(evalToString("(defun inc (x) (+ x 1)) (inc 41)"), "42");
+  EXPECT_THROW(evalToString("(defun f (x) x) (f 1 2)"), support::EvalError);
+}
+
+TEST_F(InterpreterTest, RecursionFactorial) {
+  // The thesis' Fig 4.14 factorial.
+  EXPECT_EQ(evalToString(R"(
+    (def fact (lambda (x)
+      (cond ((= x 0) 1)
+            (t (* x (fact (- x 1)))))))
+    (fact 10))"),
+            "3628800");
+}
+
+TEST_F(InterpreterTest, ProgWithGoAndReturn) {
+  EXPECT_EQ(evalToString(R"(
+    (prog (i acc)
+      (setq i 0)
+      (setq acc 0)
+      loop
+      (cond ((> i 10) (return acc)))
+      (setq acc (+ acc i))
+      (setq i (+ i 1))
+      (go loop)))"),
+            "55");
+}
+
+TEST_F(InterpreterTest, PrognLetWhile) {
+  EXPECT_EQ(evalToString("(progn 1 2 3)"), "3");
+  EXPECT_EQ(evalToString("(let ((a 1) (b 2)) (+ a b))"), "3");
+  EXPECT_EQ(evalToString(R"(
+    (setq n 0)
+    (while (< n 5) (setq n (+ n 1)))
+    n)"),
+            "5");
+}
+
+TEST_F(InterpreterTest, AndOrIf) {
+  EXPECT_EQ(evalToString("(and 1 2 3)"), "3");
+  EXPECT_EQ(evalToString("(and 1 nil 3)"), "nil");
+  EXPECT_EQ(evalToString("(or nil 2)"), "2");
+  EXPECT_EQ(evalToString("(or nil nil)"), "nil");
+  EXPECT_EQ(evalToString("(if t 'a 'b)"), "a");
+  EXPECT_EQ(evalToString("(if nil 'a 'b)"), "b");
+  EXPECT_EQ(evalToString("(if nil 'a)"), "nil");
+}
+
+TEST_F(InterpreterTest, DynamicScoping) {
+  // Deep binding: the callee sees the caller's binding of x.
+  EXPECT_EQ(evalToString(R"(
+    (defun callee () x)
+    (defun caller (x) (callee))
+    (caller 42))"),
+            "42");
+}
+
+TEST_F(InterpreterTest, TheFunargProblemUnderDynamicScoping) {
+  // §2.2.1: "when it is executed, the evaluation must be conducted in the
+  // referencing context that was present when the functional argument was
+  // initially passed" — which dynamic scoping does NOT do. This test pins
+  // the (documented) dynamic behaviour: the lambda sees the *callee's*
+  // binding of x, the classic downward-funarg capture hazard.
+  EXPECT_EQ(evalToString(R"(
+    (setq x 1)
+    (defun apply-it (f x) (f 0))
+    (setq add-x (lambda (ignored) (+ x ignored)))
+    (apply-it add-x 100))"),
+            "100");  // a lexically scoped Lisp would answer 1
+}
+
+TEST_F(InterpreterTest, FunargPassedAndCalledThroughParameter) {
+  EXPECT_EQ(evalToString(R"(
+    (defun compose2 (f g v) (f (g v)))
+    (compose2 (lambda (a) (* a 2)) (lambda (b) (+ b 3)) 10))"),
+            "26");
+}
+
+TEST_F(InterpreterTest, FunargLambdaBoundToVariable) {
+  EXPECT_EQ(evalToString(R"(
+    (setq f (lambda (x) (* x x)))
+    (f 6))"),
+            "36");
+  EXPECT_EQ(evalToString("((lambda (a b) (+ a b)) 1 2)"), "3");
+}
+
+TEST_F(InterpreterTest, ListAndAppendBuiltins) {
+  EXPECT_EQ(evalToString("(list 1 2 3)"), "(1 2 3)");
+  EXPECT_EQ(evalToString("(append '(a b) '(c))"), "(a b c)");
+  EXPECT_EQ(evalToString("(append nil '(x))"), "(x)");
+}
+
+TEST_F(InterpreterTest, ReadAndWrite) {
+  interp.provideInputText("(hello world) 42");
+  EXPECT_EQ(evalToString("(read)"), "(hello world)");
+  EXPECT_EQ(evalToString("(read)"), "42");
+  EXPECT_EQ(evalToString("(read)"), "nil");  // exhausted
+  interp.run("(write '(out 1))");
+  ASSERT_EQ(interp.output().size(), 1u);
+  EXPECT_EQ(sexpr::print(arena, symbols, interp.output()[0]), "(out 1)");
+}
+
+TEST_F(InterpreterTest, StepBudgetStopsRunawayPrograms) {
+  Interpreter::Options options;
+  options.maxSteps = 1000;
+  Interpreter bounded(arena, symbols, options);
+  EXPECT_THROW(
+      bounded.run("(defun spin () (spin)) (spin)"), support::EvalError);
+}
+
+// --- environment disciplines (§2.3.2) ---
+
+TEST(DeepBindingEnv, ShadowingAndUnwind) {
+  DeepBindingEnv env;
+  env.assign(7, 100);  // global
+  const auto mark = env.mark();
+  env.bind(7, 200);
+  EXPECT_EQ(env.lookup(7).value(), 200u);
+  env.unwindTo(mark);
+  EXPECT_EQ(env.lookup(7).value(), 100u);
+}
+
+TEST(DeepBindingEnv, LookupScansGrowWithDepth) {
+  DeepBindingEnv env;
+  for (sexpr::SymbolId s = 0; s < 100; ++s) env.bind(s, s);
+  const auto before = env.lookupScans();
+  (void)env.lookup(0);  // deepest binding: full scan
+  EXPECT_EQ(env.lookupScans() - before, 100u);
+}
+
+TEST(ShallowBindingEnv, ConstantTimeLookupAfterBind) {
+  ShallowBindingEnv env;
+  env.bind(3, 30);
+  env.bind(3, 31);
+  EXPECT_EQ(env.lookup(3).value(), 31u);
+  env.unwindTo(1);
+  EXPECT_EQ(env.lookup(3).value(), 30u);
+  env.unwindTo(0);
+  EXPECT_FALSE(env.lookup(3).has_value());
+}
+
+TEST(ShallowBindingEnv, CellWritesAccumulateOnCallsAndReturns) {
+  ShallowBindingEnv env;
+  const auto mark = env.mark();
+  env.bind(1, 10);
+  env.bind(2, 20);
+  env.unwindTo(mark);
+  // 2 writes on bind + 2 on restore.
+  EXPECT_EQ(env.cellWrites(), 4u);
+}
+
+TEST(Environments, BothDisciplinesAgreeOnSemantics) {
+  // Property check: a random bind/assign/unwind script yields identical
+  // lookups under deep and shallow binding.
+  DeepBindingEnv deep;
+  ShallowBindingEnv shallow;
+  std::vector<Environment::Mark> deepMarks;
+  std::vector<Environment::Mark> shallowMarks;
+  std::uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int step = 0; step < 2000; ++step) {
+    const auto op = next() % 4;
+    const auto name = static_cast<sexpr::SymbolId>(next() % 16);
+    const auto value = static_cast<sexpr::NodeRef>(next() % 1000);
+    if (op == 0) {
+      deepMarks.push_back(deep.mark());
+      shallowMarks.push_back(shallow.mark());
+      deep.bind(name, value);
+      shallow.bind(name, value);
+    } else if (op == 1 && !deepMarks.empty()) {
+      deep.unwindTo(deepMarks.back());
+      shallow.unwindTo(shallowMarks.back());
+      deepMarks.pop_back();
+      shallowMarks.pop_back();
+    } else if (op == 2) {
+      deep.assign(name, value);
+      shallow.assign(name, value);
+    } else {
+      EXPECT_EQ(deep.lookup(name).has_value(),
+                shallow.lookup(name).has_value());
+      if (deep.lookup(name).has_value()) {
+        EXPECT_EQ(*deep.lookup(name), *shallow.lookup(name));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace small::lisp

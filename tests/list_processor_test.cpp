@@ -1,0 +1,310 @@
+// Tests for the List Processor: the primitive operations of §4.3.2.2,
+// compression (Fig 4.8), overflow handling (§4.3.2.3), and the split
+// reference-count optimization (§5.2.4).
+#include <gtest/gtest.h>
+
+#include "small/list_processor.hpp"
+
+namespace small::core {
+namespace {
+
+SimConfig smallConfig(std::uint32_t tableSize) {
+  SimConfig config;
+  config.tableSize = tableSize;
+  return config;
+}
+
+class LpTest : public ::testing::Test {
+ protected:
+  support::Rng rng{1234};
+};
+
+TEST_F(LpTest, ReadListAllocatesEntryWithShape) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId id = lp.readList(std::nullopt, 5, 2);
+  ASSERT_NE(id, kNoEntry);
+  const LptEntry& entry = lp.lpt().entry(id);
+  EXPECT_EQ(entry.n, 5u);
+  EXPECT_EQ(entry.p, 2u);
+  EXPECT_TRUE(entry.hasAddr);
+  EXPECT_EQ(entry.refCount, 1u);  // the EP's binding
+  EXPECT_EQ(lp.externalRefs(id), 1u);
+}
+
+TEST_F(LpTest, ReadListDereferencesPreviousBinding) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId oldId = lp.readList(std::nullopt, 3, 0);
+  const EntryId newId = lp.readList(oldId, 3, 0);
+  EXPECT_NE(newId, kNoEntry);
+  // The old binding was released; under the LIFO free stack (Fig 4.3) the
+  // freshly freed entry is the very one reused for the new object.
+  EXPECT_EQ(newId, oldId);
+  EXPECT_EQ(lp.externalRefs(oldId), 1u);  // one reference: the new binding
+  EXPECT_EQ(lp.lpt().inUseCount(), 1u);
+}
+
+TEST_F(LpTest, FirstCarSplitsSecondHits) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId id = lp.readList(std::nullopt, 6, 1);
+  const AccessResult first = lp.car(id);
+  EXPECT_FALSE(first.lptHit);
+  EXPECT_EQ(lp.stats().splits, 1u);
+  const AccessResult second = lp.car(id);
+  EXPECT_TRUE(second.lptHit);
+  EXPECT_EQ(second.id, first.id);  // memoized edge
+  EXPECT_EQ(lp.stats().hits, 1u);
+}
+
+TEST_F(LpTest, SplitCreatesBothChildren) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId id = lp.readList(std::nullopt, 6, 1);
+  lp.car(id);
+  const LptEntry& parent = lp.lpt().entry(id);
+  EXPECT_NE(parent.car, kNoEntry);
+  EXPECT_NE(parent.cdr, kNoEntry);
+  EXPECT_FALSE(parent.hasAddr);  // the heap cell was consumed
+  // Fig 4.5: both children carry a reference from the parent's fields.
+  EXPECT_GE(lp.lpt().entry(parent.car).refCount, 1u);
+  EXPECT_EQ(lp.lpt().entry(parent.cdr).refCount, 1u);
+}
+
+TEST_F(LpTest, ConsNeedsNoHeapActivity) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId x = lp.readList(std::nullopt, 2, 0);
+  const EntryId y = lp.readList(std::nullopt, 3, 0);
+  const std::uint64_t splitsBefore = lp.stats().splits;
+  const EntryId z = lp.cons(x, y);
+  ASSERT_NE(z, kNoEntry);
+  EXPECT_EQ(lp.stats().splits, splitsBefore);  // §4.3.2.2.4: LPT only
+  const LptEntry& entry = lp.lpt().entry(z);
+  EXPECT_EQ(entry.car, x);
+  EXPECT_EQ(entry.cdr, y);
+  EXPECT_FALSE(entry.hasAddr);  // endo-structure, not in the heap
+  EXPECT_EQ(entry.n, 2u + 3u);
+  // x gained a reference from z's car field.
+  EXPECT_EQ(lp.lpt().entry(x).refCount, 2u);
+}
+
+TEST_F(LpTest, RplacaRewiresFieldAndCounts) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId target = lp.readList(std::nullopt, 4, 1);
+  lp.car(target);  // force split so the field exists
+  const EntryId oldCar = lp.lpt().entry(target).car;
+  const std::uint32_t oldCarRefs = lp.lpt().entry(oldCar).refCount;
+  const EntryId value = lp.readList(std::nullopt, 2, 0);
+  lp.rplaca(target, value);
+  EXPECT_EQ(lp.lpt().entry(target).car, value);
+  EXPECT_EQ(lp.lpt().entry(value).refCount, 2u);  // binding + field
+  // The displaced car lost the parent's reference.
+  if (lp.lpt().entry(oldCar).inUse) {
+    EXPECT_EQ(lp.lpt().entry(oldCar).refCount, oldCarRefs - 1);
+  }
+}
+
+TEST_F(LpTest, RplacdOnUnsplitObjectSplitsFirst) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId target = lp.readList(std::nullopt, 4, 0);
+  const EntryId value = lp.readList(std::nullopt, 2, 0);
+  lp.rplacd(target, value);
+  EXPECT_EQ(lp.stats().splits, 1u);
+  EXPECT_EQ(lp.lpt().entry(target).cdr, value);
+}
+
+TEST_F(LpTest, UnbindReleasesEntries) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId id = lp.readList(std::nullopt, 3, 0);
+  lp.unbind(id);
+  EXPECT_FALSE(lp.lpt().entry(id).inUse);
+}
+
+TEST_F(LpTest, CopyProducesIndependentObject) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId original = lp.readList(std::nullopt, 4, 1);
+  const EntryId clone = lp.copy(original);
+  ASSERT_NE(clone, kNoEntry);
+  EXPECT_NE(clone, original);
+  EXPECT_EQ(lp.lpt().entry(clone).n, 4u);
+  EXPECT_NE(lp.lpt().entry(clone).addr, lp.lpt().entry(original).addr);
+}
+
+// --- compression (Fig 4.8) ---
+
+TEST_F(LpTest, CompressMergesInternallyReferencedPair) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId parent = lp.readList(std::nullopt, 6, 1);
+  const AccessResult child = lp.car(parent);
+  // Release the EP's reference to the car child; both children are now
+  // referenced only from within the table.
+  lp.unbind(child.id);
+  const std::uint32_t inUseBefore = lp.lpt().inUseCount();
+  const std::uint64_t merges = lp.compress(/*all=*/false);
+  EXPECT_EQ(merges, 1u);
+  EXPECT_EQ(lp.lpt().inUseCount(), inUseBefore - 2);
+  const LptEntry& p = lp.lpt().entry(parent);
+  EXPECT_EQ(p.car, kNoEntry);
+  EXPECT_EQ(p.cdr, kNoEntry);
+  EXPECT_TRUE(p.hasAddr);  // the merged heap object
+}
+
+TEST_F(LpTest, CompressSkipsExternallyReferencedChildren) {
+  SimConfig config = smallConfig(16);
+  ListProcessor lp(config, rng);
+  const EntryId parent = lp.readList(std::nullopt, 6, 1);
+  lp.car(parent);  // EP still holds the returned car child
+  EXPECT_EQ(lp.compress(false), 0u);
+}
+
+TEST_F(LpTest, CompressAllReachesFixpoint) {
+  SimConfig config = smallConfig(64);
+  ListProcessor lp(config, rng);
+  // Build a chain of splits: each cdr splits further.
+  const EntryId root = lp.readList(std::nullopt, 12, 2);
+  EntryId cursor = root;
+  std::vector<EntryId> returned;
+  for (int i = 0; i < 4; ++i) {
+    const AccessResult next = lp.cdr(cursor);
+    if (next.id == kNoEntry || next.isAtom) break;
+    returned.push_back(next.id);
+    cursor = next.id;
+  }
+  for (const EntryId id : returned) lp.unbind(id);
+  lp.compress(/*all=*/true);
+  // After full compression nothing is compressible.
+  EXPECT_EQ(lp.compress(true), 0u);
+}
+
+// --- overflow (§4.3.2.3) ---
+
+TEST_F(LpTest, PseudoOverflowCompressesAndContinues) {
+  SimConfig config = smallConfig(4);
+  config.compression = CompressionPolicy::kCompressOne;
+  ListProcessor lp(config, rng);
+  // parent + 2 children fill 3 of 4 entries; free the car child's EP ref
+  // so the pair is compressible.
+  const EntryId parent = lp.readList(std::nullopt, 6, 1);
+  const AccessResult child = lp.car(parent);
+  lp.unbind(child.id);
+  // 4th entry, then a 5th forces a pseudo overflow.
+  const EntryId extra = lp.readList(std::nullopt, 2, 0);
+  ASSERT_NE(extra, kNoEntry);
+  const EntryId afterOverflow = lp.readList(std::nullopt, 2, 0);
+  EXPECT_NE(afterOverflow, kNoEntry);
+  EXPECT_GE(lp.stats().pseudoOverflows, 1u);
+  EXPECT_GE(lp.stats().merges, 1u);
+}
+
+TEST_F(LpTest, TrueOverflowEntersBypassModeAndRecovers) {
+  SimConfig config = smallConfig(3);
+  ListProcessor lp(config, rng);
+  // Fill the table with externally held, uncompressible entries.
+  const EntryId a = lp.readList(std::nullopt, 2, 0);
+  const EntryId b = lp.readList(std::nullopt, 2, 0);
+  const EntryId c = lp.readList(std::nullopt, 2, 0);
+  ASSERT_NE(c, kNoEntry);
+  // The next readlist cannot be satisfied: bypass mode.
+  const EntryId large = lp.readList(std::nullopt, 2, 0);
+  EXPECT_EQ(large, kNoEntry);
+  EXPECT_TRUE(lp.inOverflowMode());
+  EXPECT_GE(lp.stats().trueOverflows, 1u);
+  // Releasing the large reference returns the LP to fast mode.
+  lp.largeUnbind();
+  EXPECT_FALSE(lp.inOverflowMode());
+  // Space frees up again: fast-mode allocation succeeds.
+  lp.unbind(a);
+  lp.unbind(b);
+  const EntryId fresh = lp.readList(std::nullopt, 2, 0);
+  EXPECT_NE(fresh, kNoEntry);
+}
+
+TEST_F(LpTest, CycleRecoveryRescuesTrueOverflow) {
+  SimConfig config = smallConfig(4);
+  ListProcessor lp(config, rng);
+  // Create a 2-cycle via cons + rplacd, then drop the EP references: the
+  // cycle keeps the entries busy (counts never reach zero).
+  const EntryId x = lp.readList(std::nullopt, 2, 0);
+  const EntryId y = lp.cons(x, x);
+  lp.rplacd(x, y);  // x.cdr = y closes the cycle
+  EXPECT_EQ(lp.stats().splits, 1u);  // rplacd split x first
+  lp.unbind(x);
+  lp.unbind(y);
+  // One table slot was freed when rplacd displaced x's split-off cdr
+  // child; fill it, then force the overflow.
+  const EntryId filler = lp.readList(std::nullopt, 2, 0);
+  ASSERT_NE(filler, kNoEntry);
+  // The 2-cycle plus x's split child occupy the rest of the table; a new
+  // readlist triggers true overflow and cycle recovery reclaims them.
+  const EntryId fresh = lp.readList(std::nullopt, 2, 0);
+  EXPECT_NE(fresh, kNoEntry);
+  EXPECT_GE(lp.stats().cycleRecoveries, 1u);
+  EXPECT_GT(lp.stats().cycleEntriesReclaimed, 0u);
+}
+
+// --- split reference counts (§5.2.4, Table 5.3) ---
+
+TEST_F(LpTest, SplitModeKeepsStackRefsOutOfLpt) {
+  SimConfig config = smallConfig(16);
+  config.splitRefCounts = true;
+  ListProcessor lp(config, rng);
+  const EntryId id = lp.readList(std::nullopt, 3, 0);
+  ASSERT_NE(id, kNoEntry);
+  const LptEntry& entry = lp.lpt().entry(id);
+  EXPECT_EQ(entry.refCount, 0u);  // no internal references yet
+  EXPECT_TRUE(entry.stackBit);
+  EXPECT_EQ(lp.externalRefs(id), 1u);
+  lp.unbind(id);
+  EXPECT_FALSE(lp.lpt().entry(id).inUse);  // bit cleared, count 0 -> freed
+}
+
+TEST_F(LpTest, SplitModeReducesLptRefOps) {
+  // Table 5.3's point: moving stack references into the EP slashes the
+  // EP-LP reference-count traffic.
+  auto runWorkload = [this](bool split) {
+    SimConfig config = smallConfig(256);
+    config.splitRefCounts = split;
+    support::Rng localRng(7);
+    ListProcessor lp(config, localRng);
+    std::vector<EntryId> held;
+    for (int i = 0; i < 50; ++i) {
+      const EntryId id = lp.readList(std::nullopt, 6, 1);
+      held.push_back(id);
+      const AccessResult r = lp.car(id);
+      if (r.id != kNoEntry) held.push_back(r.id);
+    }
+    for (const EntryId id : held) lp.unbind(id);
+    return lp.lpt().stats().refOps + lp.lpt().stats().stackBitMessages;
+  };
+  EXPECT_LT(runWorkload(true), runWorkload(false));
+  (void)rng;
+}
+
+TEST_F(LpTest, HybridPolicyEscalates) {
+  SimConfig config = smallConfig(6);
+  config.compression = CompressionPolicy::kHybrid;
+  config.hybridThreshold = 2;
+  config.hybridWindow = 1000;
+  ListProcessor lp(config, rng);
+  // Repeatedly create compressible structure and overflow.
+  for (int i = 0; i < 6; ++i) {
+    const EntryId parent = lp.readList(std::nullopt, 6, 1);
+    if (parent == kNoEntry) break;
+    const AccessResult child = lp.car(parent);
+    if (child.id != kNoEntry) lp.unbind(child.id);
+    lp.unbind(parent);
+  }
+  // No assertion beyond surviving with consistent stats: the escalation
+  // path ran if pseudo overflows occurred.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace small::core

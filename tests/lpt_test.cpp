@@ -1,0 +1,223 @@
+// Tests for the List Processor Table: free-stack behaviour (Fig 4.3),
+// lazy vs recursive reclamation (§4.3.2.1), and cycle recovery.
+#include <gtest/gtest.h>
+
+#include "small/lpt.hpp"
+
+namespace small::core {
+namespace {
+
+TEST(Lpt, AllocateFreesInLifoOrder) {
+  Lpt lpt(8, ReclaimPolicy::kLazy);
+  const EntryId a = lpt.allocate();
+  const EntryId b = lpt.allocate();
+  EXPECT_NE(a, b);
+  lpt.incRef(a);
+  lpt.incRef(b);
+  lpt.decRef(a);
+  lpt.decRef(b);
+  // Fig 4.3: the most recently freed entry is the first to be reused.
+  EXPECT_EQ(lpt.allocate(), b);
+  EXPECT_EQ(lpt.allocate(), a);
+}
+
+TEST(Lpt, InUseCountTracksAllocationAndFree) {
+  Lpt lpt(4, ReclaimPolicy::kLazy);
+  EXPECT_EQ(lpt.inUseCount(), 0u);
+  const EntryId a = lpt.allocate();
+  lpt.incRef(a);
+  EXPECT_EQ(lpt.inUseCount(), 1u);
+  lpt.decRef(a);
+  EXPECT_EQ(lpt.inUseCount(), 0u);
+}
+
+TEST(Lpt, ExhaustionReturnsNoEntry) {
+  Lpt lpt(2, ReclaimPolicy::kLazy);
+  lpt.incRef(lpt.allocate());
+  lpt.incRef(lpt.allocate());
+  EXPECT_FALSE(lpt.hasFreeEntry());
+  EXPECT_EQ(lpt.allocate(), kNoEntry);
+}
+
+TEST(Lpt, RefcountUnderflowThrows) {
+  Lpt lpt(2, ReclaimPolicy::kLazy);
+  const EntryId a = lpt.allocate();
+  lpt.incRef(a);
+  lpt.decRef(a);
+  EXPECT_THROW(lpt.decRef(a), support::SimulationError);
+}
+
+TEST(Lpt, UseOfFreeEntryThrows) {
+  Lpt lpt(2, ReclaimPolicy::kLazy);
+  EXPECT_THROW(lpt.incRef(0), support::SimulationError);
+  EXPECT_THROW(lpt.entry(99), support::SimulationError);
+}
+
+TEST(Lpt, LazyPolicyDefersChildDecrementUntilReuse) {
+  Lpt lpt(8, ReclaimPolicy::kLazy);
+  const EntryId parent = lpt.allocate();
+  const EntryId carChild = lpt.allocate();
+  const EntryId cdrChild = lpt.allocate();
+  lpt.incRef(parent);
+  lpt.incRef(carChild);  // from parent's car field
+  lpt.incRef(cdrChild);
+  lpt.entry(parent).car = carChild;
+  lpt.entry(parent).cdr = cdrChild;
+
+  lpt.decRef(parent);  // parent freed...
+  EXPECT_EQ(lpt.inUseCount(), 2u);  // ...but the children survive
+  EXPECT_TRUE(lpt.entry(carChild).inUse);
+
+  // Reuse the freed entry: now the children get decremented and freed.
+  const EntryId reused = lpt.allocate();
+  EXPECT_EQ(reused, parent);
+  EXPECT_EQ(lpt.inUseCount(), 1u);  // only the reused entry remains
+  EXPECT_FALSE(lpt.entry(carChild).inUse);
+  EXPECT_FALSE(lpt.entry(cdrChild).inUse);
+  EXPECT_EQ(lpt.stats().lazyDecrements, 2u);
+}
+
+TEST(Lpt, RecursivePolicyDecrementsChildrenImmediately) {
+  Lpt lpt(8, ReclaimPolicy::kRecursive);
+  const EntryId parent = lpt.allocate();
+  const EntryId child = lpt.allocate();
+  lpt.incRef(parent);
+  lpt.incRef(child);
+  lpt.entry(parent).car = child;
+
+  const std::uint64_t refopsBefore = lpt.stats().refOps;
+  lpt.decRef(parent);
+  EXPECT_FALSE(lpt.entry(child).inUse);  // freed in the same cascade
+  EXPECT_EQ(lpt.inUseCount(), 0u);
+  EXPECT_GE(lpt.stats().refOps - refopsBefore, 2u);
+}
+
+TEST(Lpt, RecursivePolicyCascadesDeep) {
+  // A chain a -> b -> c -> d all freed by one root decrement — the
+  // unbounded-work case the lazy policy avoids.
+  Lpt lpt(8, ReclaimPolicy::kRecursive);
+  EntryId chain[4];
+  for (auto& id : chain) {
+    id = lpt.allocate();
+    lpt.incRef(id);
+  }
+  for (int i = 0; i < 3; ++i) {
+    lpt.entry(chain[i]).car = chain[i + 1];
+    lpt.incRef(chain[i + 1]);
+  }
+  for (int i = 1; i < 4; ++i) lpt.decRef(chain[i]);  // drop EP refs
+  EXPECT_EQ(lpt.inUseCount(), 4u);  // internal refs keep them alive
+  lpt.decRef(chain[0]);
+  EXPECT_EQ(lpt.inUseCount(), 0u);
+}
+
+TEST(Lpt, MaxRefCountTracked) {
+  Lpt lpt(4, ReclaimPolicy::kLazy);
+  const EntryId a = lpt.allocate();
+  for (int i = 0; i < 7; ++i) lpt.incRef(a);
+  EXPECT_EQ(lpt.stats().maxRefCount, 7u);
+}
+
+TEST(Lpt, StackBitHoldsEntryAliveInSplitMode) {
+  Lpt lpt(4, ReclaimPolicy::kLazy);
+  const EntryId a = lpt.allocate();
+  lpt.setStackBit(a, true);
+  EXPECT_TRUE(lpt.entry(a).inUse);
+  // Internal count is zero but the stack bit pins it.
+  lpt.incRef(a);
+  lpt.decRef(a);
+  EXPECT_TRUE(lpt.entry(a).inUse);
+  lpt.setStackBit(a, false);
+  EXPECT_FALSE(lpt.entry(a).inUse);
+  // Only the clearing transition costs a message (§5.2.4).
+  EXPECT_EQ(lpt.stats().stackBitMessages, 1u);
+}
+
+TEST(Lpt, CycleRecoveryReclaimsUnreachableCycles) {
+  Lpt lpt(8, ReclaimPolicy::kLazy);
+  // Build a 2-cycle: a.car = b, b.car = a, each holding one internal ref.
+  const EntryId a = lpt.allocate();
+  const EntryId b = lpt.allocate();
+  lpt.entry(a).car = b;
+  lpt.entry(b).car = a;
+  lpt.incRef(a);
+  lpt.incRef(b);
+  // And one externally referenced entry.
+  const EntryId rooted = lpt.allocate();
+  lpt.incRef(rooted);
+
+  const std::uint64_t reclaimed = lpt.recoverCycles({rooted});
+  EXPECT_EQ(reclaimed, 2u);
+  EXPECT_FALSE(lpt.entry(a).inUse);
+  EXPECT_FALSE(lpt.entry(b).inUse);
+  EXPECT_TRUE(lpt.entry(rooted).inUse);
+}
+
+TEST(Lpt, CycleRecoveryKeepsEverythingReachable) {
+  Lpt lpt(8, ReclaimPolicy::kLazy);
+  const EntryId root = lpt.allocate();
+  const EntryId child = lpt.allocate();
+  lpt.incRef(root);
+  lpt.incRef(child);
+  lpt.entry(root).car = child;
+  EXPECT_EQ(lpt.recoverCycles({root}), 0u);
+  EXPECT_TRUE(lpt.entry(child).inUse);
+}
+
+TEST(Lpt, ZeroSizeRejected) {
+  EXPECT_THROW(Lpt(0, ReclaimPolicy::kLazy), support::SimulationError);
+}
+
+// Property sweep: random inc/dec sequences never corrupt the table across
+// both reclaim policies.
+class LptFuzz
+    : public ::testing::TestWithParam<std::tuple<ReclaimPolicy, int>> {};
+
+TEST_P(LptFuzz, RandomOperationsPreserveInvariants) {
+  const auto [policy, seed] = GetParam();
+  Lpt lpt(32, policy);
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<EntryId> live;  // entries we hold an external ref on
+  for (int step = 0; step < 5000; ++step) {
+    const auto op = next() % 3;
+    if (op == 0 && lpt.hasFreeEntry()) {
+      const EntryId id = lpt.allocate();
+      ASSERT_NE(id, kNoEntry);
+      lpt.incRef(id);
+      live.push_back(id);
+    } else if (op == 1 && !live.empty()) {
+      const std::size_t i = next() % live.size();
+      lpt.decRef(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (op == 2 && live.size() >= 2) {
+      // Link a random pair through a car field if unset.
+      const EntryId parent = live[next() % live.size()];
+      const EntryId child = live[next() % live.size()];
+      if (lpt.entry(parent).car == kNoEntry && parent != child) {
+        lpt.entry(parent).car = child;
+        lpt.incRef(child);
+      }
+    }
+    ASSERT_LE(lpt.inUseCount(), 32u);
+  }
+  // Every externally held entry must still be live.
+  for (const EntryId id : live) {
+    EXPECT_TRUE(lpt.entry(id).inUse);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, LptFuzz,
+    ::testing::Combine(::testing::Values(ReclaimPolicy::kLazy,
+                                         ReclaimPolicy::kRecursive),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace small::core

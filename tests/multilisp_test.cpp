@@ -1,0 +1,280 @@
+// Tests for the Chapter 6 Multilisp extension: reference weighting,
+// combining queues, the node system, and futures/pcall.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "multilisp/distributed.hpp"
+#include "multilisp/futures.hpp"
+#include "multilisp/nodes.hpp"
+#include "multilisp/ref_weight.hpp"
+#include "sexpr/reader.hpp"
+#include "support/rng.hpp"
+
+namespace small::multilisp {
+namespace {
+
+TEST(WeightedRefs, CreateAndDestroy) {
+  WeightedObjectTable table;
+  WeightedRef ref = table.create();
+  EXPECT_TRUE(table.isLive(ref.object));
+  EXPECT_EQ(table.storedWeight(ref.object),
+            WeightedObjectTable::kInitialWeight);
+  table.destroy(ref);
+  EXPECT_FALSE(table.isLive(ref.object));
+  EXPECT_EQ(table.liveObjects(), 0u);
+}
+
+TEST(WeightedRefs, CopySplitsWeightWithoutMessages) {
+  WeightedObjectTable table;
+  WeightedRef a = table.create();
+  const WeightedRef b = table.copy(a);
+  EXPECT_EQ(a.object, b.object);
+  EXPECT_EQ(a.weight + b.weight, WeightedObjectTable::kInitialWeight);
+  EXPECT_EQ(table.stats().copyMessages, 0u);
+  EXPECT_EQ(table.stats().deleteMessages, 0u);
+}
+
+TEST(WeightedRefs, WeightInvariantHolds) {
+  // Sum of carried weights == stored weight, across a random copy/destroy
+  // workload (the scheme's correctness invariant).
+  WeightedObjectTable table;
+  support::Rng rng(41);
+  std::vector<WeightedRef> refs{table.create()};
+  const ObjectId target = refs[0].object;
+  for (int step = 0; step < 3000; ++step) {
+    if ((rng.chance(0.6) || refs.size() < 2) && !refs.empty()) {
+      const std::size_t i = rng.below(refs.size());
+      refs.push_back(table.copy(refs[i]));
+    } else if (!refs.empty()) {
+      const std::size_t i = rng.below(refs.size());
+      table.destroy(refs[i]);
+      refs[i] = refs.back();
+      refs.pop_back();
+    }
+  }
+  // Account all weights reaching `target`, directly or via indirections.
+  // Destroy everything; the object must die exactly at the end.
+  EXPECT_TRUE(table.isLive(target));
+  for (const WeightedRef& ref : refs) table.destroy(ref);
+  EXPECT_FALSE(table.isLive(target));
+  EXPECT_EQ(table.liveObjects(), 0u);
+}
+
+TEST(WeightedRefs, ExhaustedWeightGoesThroughIndirection) {
+  WeightedObjectTable table;
+  WeightedRef ref = table.create();
+  // Halve until the carried weight reaches 1.
+  while (ref.weight > 1) {
+    const WeightedRef clone = table.copy(ref);
+    table.destroy(clone);
+  }
+  EXPECT_EQ(ref.weight, 1u);
+  const WeightedRef viaIndirection = table.copy(ref);
+  EXPECT_TRUE(viaIndirection.throughIndirection);
+  EXPECT_EQ(table.stats().indirectionsCreated, 1u);
+  // Both references still keep the target alive and release it fully.
+  const ObjectId root = 0;
+  table.destroy(viaIndirection);
+  EXPECT_TRUE(table.isLive(root));
+  table.destroy(ref);
+  EXPECT_FALSE(table.isLive(root));
+}
+
+TEST(WeightedRefs, DoubleDestroyThrows) {
+  WeightedObjectTable table;
+  const WeightedRef ref = table.create();
+  table.destroy(ref);
+  EXPECT_THROW(table.destroy(ref), support::SimulationError);
+}
+
+TEST(CombiningQueue, CombinesUpdatesToSameObject) {
+  CombiningQueue queue(16);
+  EXPECT_FALSE(queue.add({1, 7, 10}));
+  EXPECT_TRUE(queue.add({1, 7, 5}));   // combines
+  EXPECT_FALSE(queue.add({1, 8, 1}));  // different object
+  EXPECT_EQ(queue.pendingCount(), 2u);
+  EXPECT_EQ(queue.combinedCount(), 1u);
+
+  std::uint64_t total = 0;
+  std::uint64_t messages = 0;
+  queue.flush([&](const WeightUpdate& update) {
+    ++messages;
+    if (update.object == 7) total = update.weight;
+  });
+  EXPECT_EQ(messages, 2u);
+  EXPECT_EQ(total, 15u);  // 10 + 5 combined
+  EXPECT_EQ(queue.pendingCount(), 0u);
+}
+
+TEST(NodeSystem, WeightingBeatsPlainCounting) {
+  // Ch. 6's claim: weighting eliminates copy messages; combining queues
+  // reduce the remaining decrement traffic further.
+  support::Rng rng(43);
+  NodeSystem::Params params;
+  params.nodeCount = 4;
+  NodeSystem system(params, rng);
+  const TrafficReport report = system.run(20000);
+  EXPECT_GT(report.referenceEvents, 0u);
+  EXPECT_LT(report.weightedMessages, report.plainMessages);
+  EXPECT_LE(report.combinedMessages, report.weightedMessages);
+}
+
+TEST(NodeSystem, SingleNodeSendsNoRemoteMessages) {
+  support::Rng rng(47);
+  NodeSystem::Params params;
+  params.nodeCount = 1;
+  NodeSystem system(params, rng);
+  const TrafficReport report = system.run(5000);
+  EXPECT_EQ(report.plainMessages, 0u);
+  EXPECT_EQ(report.weightedMessages, 0u);
+}
+
+// --- the distributed SMALL memory system (Figs 6.4/6.5) ---
+
+TEST(DistributedSmall, ExportShipCopyDropLifecycle) {
+  DistributedSmall system;
+  sexpr::Reader reader(system.arena(), system.symbols());
+  auto& owner = system.node(0);
+  const auto local =
+      owner.readList(system.arena(), reader.readOne("(shared data)"));
+  const auto root = system.exportObject(0, local);
+  EXPECT_TRUE(system.exportLive(0, root.exportId));
+  EXPECT_EQ(owner.entriesInUse(), 1u);
+
+  // Ship to node 1, copy twice there (no messages), then drop all three.
+  auto onNode1 = system.ship(root);
+  auto copy1 = system.copyRef(onNode1);
+  auto copy2 = system.copyRef(onNode1);
+  EXPECT_EQ(system.traffic().copyMessages, 0u);
+  EXPECT_EQ(onNode1.weight + copy1.weight + copy2.weight,
+            DistributedSmall::kInitialWeight);
+
+  system.dropRef(1, copy1);
+  system.dropRef(1, copy2);
+  system.flushAll();
+  EXPECT_TRUE(system.exportLive(0, root.exportId));  // one handle left
+  system.dropRef(1, onNode1);
+  system.flushAll();
+  // The last weight returned: the owner's machine reclaimed the object.
+  EXPECT_FALSE(system.exportLive(0, root.exportId));
+  EXPECT_EQ(owner.entriesInUse(), 0u);
+}
+
+TEST(DistributedSmall, CombiningQueueMergesDropsToSameExport) {
+  DistributedSmall::Params params;
+  params.queueCapacity = 64;
+  DistributedSmall system(params);
+  sexpr::Reader reader(system.arena(), system.symbols());
+  const auto local =
+      system.node(0).readList(system.arena(), reader.readOne("(x)"));
+  auto root = system.exportObject(0, local);
+  std::vector<DistributedSmall::RemoteRef> handles;
+  for (int i = 0; i < 8; ++i) handles.push_back(system.copyRef(root));
+  for (const auto& h : handles) system.dropRef(1, h);
+  system.flushAll();
+  // Eight enqueued decrements combined into one message.
+  EXPECT_EQ(system.traffic().decrementsEnqueued, 8u);
+  EXPECT_EQ(system.traffic().decrementMessages, 1u);
+  EXPECT_TRUE(system.exportLive(0, root.exportId));  // root's weight lives
+}
+
+TEST(DistributedSmall, FetchMaterializesALocalCopy) {
+  DistributedSmall system;
+  sexpr::Reader reader(system.arena(), system.symbols());
+  const auto source = reader.readOne("(deep (remote (structure)) 42)");
+  const auto local = system.node(2).readList(system.arena(), source);
+  const auto handle = system.exportObject(2, local);
+
+  const auto fetched = system.fetch(0, handle);
+  EXPECT_EQ(system.traffic().fetchMessages, 2u);  // request + reply
+  EXPECT_TRUE(system.arena().equal(
+      system.node(0).writeList(system.arena(), fetched), source));
+  // The copy is fully local: accessing it costs the remote node nothing.
+  const auto beforeSplits = system.node(2).stats().splits;
+  auto value = system.node(0).car(fetched);
+  EXPECT_EQ(system.node(2).stats().splits, beforeSplits);
+  system.node(0).release(value);
+  system.node(0).release(fetched);
+}
+
+TEST(DistributedSmall, ExhaustedHandleWeightThrows) {
+  DistributedSmall system;
+  sexpr::Reader reader(system.arena(), system.symbols());
+  const auto local =
+      system.node(0).readList(system.arena(), reader.readOne("(y)"));
+  auto handle = system.exportObject(0, local);
+  handle.weight = 1;
+  EXPECT_THROW(system.copyRef(handle), support::SimulationError);
+}
+
+// --- futures / pcall ---
+
+TEST(TaskPool, ExecutesSubmittedTasks) {
+  TaskPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(TaskPool, RunsManyTasks) {
+  TaskPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_GE(pool.tasksExecuted(), 200u);
+}
+
+TEST(Future, TouchBlocksUntilDetermined) {
+  TaskPool pool(2);
+  Future<int> future(pool, [] { return 7; });
+  EXPECT_EQ(future.touch(), 7);
+}
+
+TEST(Pcall, ParallelArgumentEvaluationMatchesSequential) {
+  TaskPool pool(3);
+  std::vector<std::function<long()>> thunks;
+  for (long i = 1; i <= 20; ++i) {
+    thunks.push_back([i] {
+      long acc = 0;
+      for (long k = 0; k <= i * 1000; ++k) acc += k;
+      return acc;
+    });
+  }
+  const long parallel = pcall(
+      pool,
+      [](std::vector<long> args) {
+        return std::accumulate(args.begin(), args.end(), 0L);
+      },
+      thunks);
+  long sequential = 0;
+  for (const auto& thunk : thunks) sequential += thunk();
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(Pcall, PreservesArgumentOrder) {
+  // Parallel evaluation must be consistent with left-to-right sequential
+  // semantics (§6.2.1.1) — results arrive in argument order.
+  TaskPool pool(4);
+  std::vector<std::function<int()>> thunks;
+  for (int i = 0; i < 16; ++i) {
+    thunks.push_back([i] { return i; });
+  }
+  const bool ordered = pcall(
+      pool,
+      [](std::vector<int> args) {
+        for (int i = 0; i < static_cast<int>(args.size()); ++i) {
+          if (args[static_cast<std::size_t>(i)] != i) return false;
+        }
+        return true;
+      },
+      thunks);
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace small::multilisp

@@ -1,0 +1,222 @@
+// Tests for the trace-driven SMALL simulator (§5.2.1).
+#include <gtest/gtest.h>
+
+#include "small/simulator.hpp"
+#include "support/rng.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/synthetic.hpp"
+
+namespace small::core {
+namespace {
+
+trace::PreprocessedTrace makeTrace(std::uint64_t seed, double scale = 0.1) {
+  support::Rng rng(seed);
+  return trace::preprocess(trace::generate(trace::slangProfile(scale), rng));
+}
+
+TEST(Simulator, RunsAndCountsPrimitives) {
+  const auto pre = makeTrace(1);
+  SimConfig config;
+  const SimResult result = simulateTrace(config, pre);
+  EXPECT_EQ(result.primitivesSimulated, pre.primitiveCount);
+  EXPECT_GT(result.functionCalls, 0u);
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  const auto pre = makeTrace(2);
+  SimConfig config;
+  config.seed = 77;
+  const SimResult a = simulateTrace(config, pre);
+  const SimResult b = simulateTrace(config, pre);
+  EXPECT_EQ(a.lptHits, b.lptHits);
+  EXPECT_EQ(a.lptMisses, b.lptMisses);
+  EXPECT_EQ(a.peakOccupancy, b.peakOccupancy);
+  EXPECT_EQ(a.lptStats.refOps, b.lptStats.refOps);
+}
+
+TEST(Simulator, DifferentSeedsGiveDifferentAccessPatterns) {
+  const auto pre = makeTrace(3);
+  SimConfig a;
+  a.seed = 1;
+  SimConfig b;
+  b.seed = 2;
+  const SimResult ra = simulateTrace(a, pre);
+  const SimResult rb = simulateTrace(b, pre);
+  // "By re-seeding the random generator and re-running a trace we simulate
+  //  a totally different access pattern."
+  EXPECT_NE(ra.lptStats.refOps, rb.lptStats.refOps);
+}
+
+TEST(Simulator, HighHitRateWithChainingHeavyTrace) {
+  // Lyra-style chaining means most car/cdr requests hit cached edges.
+  support::Rng rng(4);
+  const auto pre =
+      trace::preprocess(trace::generate(trace::lyraProfile(0.01), rng));
+  SimConfig config;
+  const SimResult result = simulateTrace(config, pre);
+  EXPECT_GT(result.lptHitRate, 0.5);
+}
+
+TEST(Simulator, PeakOccupancyBoundedByTableSize) {
+  const auto pre = makeTrace(5, 0.2);
+  for (const std::uint32_t size : {32u, 64u, 128u, 4096u}) {
+    SimConfig config;
+    config.tableSize = size;
+    const SimResult result = simulateTrace(config, pre);
+    EXPECT_LE(result.peakOccupancy, size);
+    EXPECT_LE(result.averageOccupancy, result.peakOccupancy);
+  }
+}
+
+TEST(Simulator, KneeBehaviour) {
+  // Fig 5.1: below the knee the peak equals the table size (overflows
+  // occur); above it the peak saturates and overflows vanish.
+  const auto pre = makeTrace(6, 0.3);
+  SimConfig big;
+  big.tableSize = 1 << 16;
+  const SimResult unconstrained = simulateTrace(big, pre);
+  EXPECT_FALSE(unconstrained.pseudoOverflowOccurred);
+  const std::uint32_t knee = unconstrained.peakOccupancy;
+  ASSERT_GT(knee, 8u);
+
+  SimConfig tight;
+  tight.tableSize = knee / 2;
+  const SimResult constrained = simulateTrace(tight, pre);
+  EXPECT_TRUE(constrained.pseudoOverflowOccurred ||
+              constrained.trueOverflowOccurred);
+  EXPECT_LE(constrained.peakOccupancy, tight.tableSize);
+}
+
+TEST(Simulator, CompressAllKeepsAverageOccupancyLower) {
+  // Fig 5.3's comparison, as an ordering property.
+  const auto pre = makeTrace(7, 0.3);
+  SimConfig big;
+  big.tableSize = 1 << 16;
+  const std::uint32_t knee = simulateTrace(big, pre).peakOccupancy;
+
+  SimConfig one;
+  one.tableSize = std::max(knee / 2, 8u);
+  one.compression = CompressionPolicy::kCompressOne;
+  one.seed = 5;
+  SimConfig all = one;
+  all.compression = CompressionPolicy::kCompressAll;
+  const SimResult resultOne = simulateTrace(one, pre);
+  const SimResult resultAll = simulateTrace(all, pre);
+  if (resultOne.lpStats.pseudoOverflows > 0) {
+    // The thesis finds the two policies' average occupancies close, with
+    // Compress-One riding somewhat higher; post-overflow trajectories
+    // diverge stochastically, so assert closeness with a 5% band rather
+    // than a strict ordering.
+    EXPECT_LE(resultAll.averageOccupancy,
+              resultOne.averageOccupancy * 1.05);
+    // Compress-All must actually compress more per overflow event.
+    if (resultAll.lpStats.pseudoOverflows > 0) {
+      const double mergesPerOverflowOne =
+          static_cast<double>(resultOne.lpStats.merges) /
+          static_cast<double>(resultOne.lpStats.pseudoOverflows);
+      const double mergesPerOverflowAll =
+          static_cast<double>(resultAll.lpStats.merges) /
+          static_cast<double>(resultAll.lpStats.pseudoOverflows);
+      EXPECT_GE(mergesPerOverflowAll, mergesPerOverflowOne);
+    }
+  }
+}
+
+TEST(Simulator, LazyPolicyDoesFewerRefOpsThanRecursive) {
+  // Table 5.2: RecRefops > Refops.
+  const auto pre = makeTrace(8, 0.3);
+  SimConfig lazy;
+  lazy.reclaim = ReclaimPolicy::kLazy;
+  SimConfig recursive;
+  recursive.reclaim = ReclaimPolicy::kRecursive;
+  const SimResult lazyResult = simulateTrace(lazy, pre);
+  const SimResult recursiveResult = simulateTrace(recursive, pre);
+  EXPECT_LE(lazyResult.lptStats.refOps, recursiveResult.lptStats.refOps);
+}
+
+TEST(Simulator, SplitRefCountsSlashLptTraffic) {
+  // Table 5.3: near order-of-magnitude reduction in LPT refcount traffic.
+  const auto pre = makeTrace(9, 0.3);
+  SimConfig base;
+  SimConfig split;
+  split.splitRefCounts = true;
+  const SimResult baseResult = simulateTrace(base, pre);
+  const SimResult splitResult = simulateTrace(split, pre);
+  const auto baseTraffic = baseResult.lptStats.refOps;
+  const auto splitTraffic = splitResult.lptStats.refOps +
+                            splitResult.lptStats.stackBitMessages;
+  EXPECT_LT(splitTraffic, baseTraffic / 2);
+}
+
+TEST(Simulator, CacheComparisonProducesHitsAndMisses) {
+  const auto pre = makeTrace(10, 0.3);
+  SimConfig config;
+  config.tableSize = 128;
+  config.driveCache = true;
+  const SimResult result = simulateTrace(config, pre);
+  EXPECT_GT(result.cacheHits + result.cacheMisses, 0u);
+  EXPECT_GT(result.cacheHitRate, 0.0);
+  EXPECT_LT(result.cacheHitRate, 1.0);
+}
+
+TEST(Simulator, LptOutperformsUnitLineCache) {
+  // Table 5.4's qualitative claim: at equal entry counts with unit lines,
+  // LPT misses stay below cache misses.
+  const auto pre = makeTrace(11, 0.5);
+  SimConfig config;
+  config.tableSize = 96;
+  config.driveCache = true;
+  config.seed = 3;
+  const SimResult result = simulateTrace(config, pre);
+  EXPECT_LT(result.lptMisses, result.cacheMisses);
+}
+
+TEST(Simulator, StatsAreInternallyConsistent) {
+  const auto pre = makeTrace(12, 0.2);
+  SimConfig config;
+  const SimResult result = simulateTrace(config, pre);
+  EXPECT_EQ(result.lptHits, result.lpStats.hits);
+  EXPECT_EQ(result.lptMisses, result.lpStats.splits);
+  EXPECT_GE(result.lptStats.gets,
+            result.lpStats.splits * 2);  // each split allocates 2 entries
+  EXPECT_GE(result.lptStats.refOps, result.lptStats.frees);
+}
+
+class ParamSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParamSweep, SensitivityStaysSmall) {
+  // Table 5.5: varying the probability parameters perturbs the measures
+  // only modestly. We assert the hit counts stay within a loose band of
+  // the control run.
+  const auto pre = makeTrace(13, 0.3);
+  SimConfig control;
+  control.seed = 11;
+  const SimResult controlResult = simulateTrace(control, pre);
+
+  SimConfig varied = control;
+  varied.argProb = GetParam();
+  varied.locProb = std::max(0.0, 0.9 - GetParam());
+  const SimResult variedResult = simulateTrace(varied, pre);
+
+  const double controlHits = static_cast<double>(controlResult.lptHits);
+  const double variedHits = static_cast<double>(variedResult.lptHits);
+  EXPECT_NEAR(variedHits / controlHits, 1.0, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(ArgProbs, ParamSweep,
+                         ::testing::Values(0.30, 0.45, 0.60, 0.75, 0.85));
+
+TEST(Simulator, SurvivesTinyTables) {
+  // Even a pathologically small LPT must complete the trace (degrading to
+  // bypass mode), never corrupting state.
+  const auto pre = makeTrace(14, 0.1);
+  for (const std::uint32_t size : {4u, 8u, 16u}) {
+    SimConfig config;
+    config.tableSize = size;
+    const SimResult result = simulateTrace(config, pre);
+    EXPECT_EQ(result.primitivesSimulated, pre.primitiveCount);
+  }
+}
+
+}  // namespace
+}  // namespace small::core

@@ -1,0 +1,210 @@
+// Tests for the support library: RNG determinism, distributions,
+// statistics, and table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/distributions.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace small::support {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  int counts[kBuckets] = {};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(5);
+  const auto first = rng();
+  rng.reseed(5);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(EmpiricalDistribution, SamplesOnlyGivenValues) {
+  EmpiricalDistribution dist({{1, 1.0}, {5, 2.0}, {9, 1.0}});
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = dist.sample(rng);
+    EXPECT_TRUE(v == 1 || v == 5 || v == 9);
+  }
+}
+
+TEST(EmpiricalDistribution, MeanMatchesWeights) {
+  EmpiricalDistribution dist({{0, 1.0}, {10, 1.0}});
+  EXPECT_DOUBLE_EQ(dist.mean(), 5.0);
+}
+
+TEST(EmpiricalDistribution, EmpiricalMeanApproachesAnalytic) {
+  EmpiricalDistribution dist({{1, 3.0}, {2, 1.0}});
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(dist.sample(rng));
+  }
+  EXPECT_NEAR(sum / kDraws, dist.mean(), 0.02);
+}
+
+TEST(EmpiricalDistribution, RejectsNegativeWeight) {
+  EXPECT_THROW(EmpiricalDistribution({{1, -1.0}}), Error);
+}
+
+TEST(EmpiricalDistribution, SampleOfEmptyThrows) {
+  EmpiricalDistribution dist;
+  Rng rng(1);
+  EXPECT_THROW(dist.sample(rng), Error);
+}
+
+TEST(GeometricTail, MeanIsOneOverOneMinusRatioish) {
+  // For ratio r the untruncated mean is 1/(1-r).
+  const auto dist = makeGeometricTail(0.5, 64);
+  EXPECT_NEAR(dist.mean(), 2.0, 0.01);
+}
+
+TEST(GeometricTail, RejectsBadParameters) {
+  EXPECT_THROW(makeGeometricTail(0.0, 10), Error);
+  EXPECT_THROW(makeGeometricTail(1.0, 10), Error);
+  EXPECT_THROW(makeGeometricTail(0.5, 0), Error);
+}
+
+TEST(PointerDistanceModel, NeverReturnsZero) {
+  PointerDistanceModel model;
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(model.sampleDistance(rng), 0);
+  }
+}
+
+TEST(PointerDistanceModel, MassConcentratesNearOne) {
+  // Clark: most pointers point a small distance away.
+  PointerDistanceModel model;
+  Rng rng(29);
+  int near = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (std::llabs(model.sampleDistance(rng)) <= 4) ++near;
+  }
+  EXPECT_GT(near, kDraws / 2);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 4.571428, 1e-5);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.count(), 8u);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.confidenceHalfWidth95(), 0.0);
+}
+
+TEST(Histogram, CumulativeFractionAndQuantile) {
+  Histogram h;
+  h.add(1, 50);
+  h.add(2, 30);
+  h.add(10, 20);
+  EXPECT_DOUBLE_EQ(h.cumulativeFraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulativeFraction(2), 0.8);
+  EXPECT_DOUBLE_EQ(h.cumulativeFraction(10), 1.0);
+  EXPECT_EQ(h.quantile(0.5), 1);
+  EXPECT_EQ(h.quantile(0.8), 2);
+  EXPECT_EQ(h.quantile(1.0), 10);
+  EXPECT_NEAR(h.mean(), (50 + 60 + 200) / 100.0, 1e-12);
+}
+
+TEST(Histogram, QuantileOfEmptyThrows) {
+  Histogram h;
+  EXPECT_THROW(h.quantile(0.5), Error);
+}
+
+TEST(Series, CsvRendering) {
+  Series s{"hits", {1, 2}, {0.5, 0.75}};
+  const std::string csv = seriesToCsv({s});
+  EXPECT_NE(csv.find("x,hits"), std::string::npos);
+  EXPECT_NE(csv.find("0.75"), std::string::npos);
+}
+
+TEST(AsciiPlot, ProducesCanvas) {
+  Series s{"line", {0, 1, 2, 3}, {0, 1, 2, 3}};
+  const std::string plot = asciiPlot({s}, 20, 10);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(TextTable, RendersAlignedTable) {
+  TextTable table({"Trace", "Refops"});
+  table.addRow({"Lyra", "170232"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Lyra"), std::string::npos);
+  EXPECT_NE(out.find("Refops"), std::string::npos);
+  EXPECT_EQ(table.rowCount(), 1u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.addRow({"only-one"}), Error);
+}
+
+TEST(Format, DoubleAndPercent) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatPercent(0.9827, 2), "98.27%");
+}
+
+}  // namespace
+}  // namespace small::support

@@ -1,0 +1,101 @@
+// Tests for the EP/LP timing model (§4.3.2.5).
+#include <gtest/gtest.h>
+
+#include "small/timing.hpp"
+#include "support/rng.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/synthetic.hpp"
+
+namespace small::core {
+namespace {
+
+TEST(Timing, RplacDoesNotStallTheEp) {
+  // Fig 4.12: "Control can be passed back to the EP while these LPT
+  // changes are being made."
+  const OpTiming t = modifyTiming(TimingParams{});
+  EXPECT_EQ(t.epWait, 0u);
+  EXPECT_GT(t.lpTail, 0u);
+}
+
+TEST(Timing, ConsStallsOnlyForAllocation) {
+  const TimingParams p{};
+  const OpTiming t = consTiming(p);
+  EXPECT_EQ(t.epWait, p.entryAlloc + p.busTransfer);
+  // Field setting and refcounts happen after the EP resumes.
+  EXPECT_GE(t.lpTail, 2u * p.lptUpdate);
+}
+
+TEST(Timing, ReadListStallsForIo) {
+  const TimingParams p{};
+  const OpTiming t = readListTiming(p);
+  EXPECT_GE(t.epWait, p.listIo);
+}
+
+TEST(Timing, MissCostsMoreThanHit) {
+  const TimingParams p{};
+  EXPECT_GT(accessMissTiming(p).epLatency(), accessHitTiming(p).epLatency());
+  EXPECT_GT(accessMissTiming(p).serialized(),
+            accessHitTiming(p).serialized());
+}
+
+TEST(Timing, SerializedIsBusyPlusLpWork) {
+  const TimingParams p{};
+  for (const OpTiming& t :
+       {readListTiming(p), accessHitTiming(p), accessMissTiming(p),
+        modifyTiming(p), consTiming(p)}) {
+    EXPECT_EQ(t.serialized(), t.epBusy + t.lpBusy + t.lpTail) << t.name;
+    // The EP never waits longer than the LP (plus bus) needs to respond.
+    EXPECT_LE(t.lpBusy, t.epWait + 1) << t.name;
+  }
+}
+
+TEST(Timing, TimelineRendersPhases) {
+  const std::string timeline = renderTimeline(consTiming(TimingParams{}));
+  EXPECT_NE(timeline.find("EP |"), std::string::npos);
+  EXPECT_NE(timeline.find("LP |"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  EXPECT_NE(timeline.find('~'), std::string::npos);
+}
+
+class ConcurrencySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConcurrencySweep, SpeedupIsBetweenOneAndTwo) {
+  // Two processors cannot beat 2x, and overlap can never lose to the
+  // serialized organization.
+  support::Rng rng(GetParam());
+  const auto pre =
+      trace::preprocess(trace::generate(trace::slangProfile(0.2), rng));
+  SimConfig config;
+  config.seed = GetParam();
+  const SimResult result = simulateTrace(config, pre);
+  const ConcurrencyReport report =
+      analyzeConcurrency(result, TimingParams{});
+  EXPECT_GE(report.speedup(), 1.0);
+  EXPECT_LE(report.speedup(), 2.0);
+  EXPECT_GT(report.epUtilization(), 0.0);
+  EXPECT_LE(report.epUtilization(), 1.0);
+  EXPECT_LE(report.lpUtilization(), 1.0);
+  EXPECT_EQ(report.makespan,
+            std::max(report.epBusy + report.epIdle, report.lpBusy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrencySweep,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(Timing, FasterHeapShrinksEpIdle) {
+  support::Rng rng(5);
+  const auto pre =
+      trace::preprocess(trace::generate(trace::slangProfile(0.2), rng));
+  SimConfig config;
+  const SimResult result = simulateTrace(config, pre);
+  TimingParams slow;
+  slow.heapSplit = 20;
+  TimingParams fast;
+  fast.heapSplit = 2;
+  const auto slowReport = analyzeConcurrency(result, slow);
+  const auto fastReport = analyzeConcurrency(result, fast);
+  EXPECT_LT(fastReport.epIdle, slowReport.epIdle);
+}
+
+}  // namespace
+}  // namespace small::core

@@ -1,0 +1,147 @@
+// Tests for the five workload programs: they must run correctly and
+// produce traces with the access textures the thesis attributes to their
+// originals.
+#include <gtest/gtest.h>
+
+#include "analysis/census.hpp"
+#include "analysis/chaining.hpp"
+#include "lisp/interpreter.hpp"
+#include "trace/preprocess.hpp"
+#include "workloads/driver.hpp"
+
+namespace small::workloads {
+namespace {
+
+using trace::Primitive;
+
+class WorkloadRun : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadRun, ProducesNonTrivialBalancedTrace) {
+  const trace::Trace t = runWorkload(GetParam());
+  EXPECT_GT(t.primitiveLength(), 500u);
+  // Function enters/exits balance.
+  std::int64_t depth = 0;
+  for (const trace::Event& event : t.events()) {
+    if (event.kind == trace::EventKind::kFunctionEnter) ++depth;
+    if (event.kind == trace::EventKind::kFunctionExit) --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  const trace::TraceContent content = t.content();
+  EXPECT_GT(content.functionCalls, 10u);
+  EXPECT_GT(content.maxCallDepth, 2u);
+}
+
+TEST_P(WorkloadRun, ScaleGrowsTheTrace) {
+  RunOptions smallRun;
+  smallRun.scale = 1;
+  RunOptions bigRun;
+  bigRun.scale = 2;
+  const auto a = runWorkload(GetParam(), smallRun);
+  const auto b = runWorkload(GetParam(), bigRun);
+  EXPECT_GT(b.primitiveLength(), a.primitiveLength());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadRun, ::testing::ValuesIn(kAllWorkloads),
+    [](const ::testing::TestParamInfo<Workload>& info) {
+      return workloadName(info.param);
+    });
+
+TEST(WorkloadTextures, SlangIsConsHeavy) {
+  // Fig 3.1: Slang has the highest cons fraction of the suite.
+  const auto slang = analysis::censusPrimitives(runWorkload(Workload::kSlang));
+  const auto lyra = analysis::censusPrimitives(runWorkload(Workload::kLyra));
+  EXPECT_GT(slang.fraction(Primitive::kCons),
+            lyra.fraction(Primitive::kCons));
+}
+
+TEST(WorkloadTextures, PearlIsRplacHeavy) {
+  // Fig 3.1: Pearl has a far higher rplaca/rplacd share than the others.
+  const auto pearl = analysis::censusPrimitives(runWorkload(Workload::kPearl));
+  const auto editor =
+      analysis::censusPrimitives(runWorkload(Workload::kEditor));
+  const double pearlRplac = pearl.fraction(Primitive::kRplaca) +
+                            pearl.fraction(Primitive::kRplacd);
+  const double editorRplac = editor.fraction(Primitive::kRplaca) +
+                             editor.fraction(Primitive::kRplacd);
+  EXPECT_GT(pearlRplac, editorRplac);
+  EXPECT_GT(pearlRplac, 0.02);
+}
+
+TEST(WorkloadTextures, AccessPrimitivesDominateEverywhere) {
+  // In every workload, car+cdr+cons should cover the bulk of the traced
+  // primitives, as in Clark's programs and Fig 3.1.
+  for (const Workload w : kAllWorkloads) {
+    const auto census = analysis::censusPrimitives(runWorkload(w));
+    const double core = census.fraction(Primitive::kCar) +
+                        census.fraction(Primitive::kCdr) +
+                        census.fraction(Primitive::kCons);
+    EXPECT_GT(core, 0.5) << workloadName(w);
+  }
+}
+
+TEST(WorkloadTextures, PrimitiveChainingIsCommon) {
+  // Table 3.2: chaining is significant in list-structured programs. (The
+  // paper's Pearl barely chained because its data lived in direct-access
+  // Franz *hunks*; the thesis notes that "a single hunk access would have
+  // been a sequence of chained access function calls on a Lisp
+  // implementation that did not support the hunk data structure" — ours
+  // doesn't, so our Pearl legitimately chains, and the near-zero Pearl
+  // row is reproduced by the calibrated synthetic trace instead.)
+  for (const Workload w :
+       {Workload::kSlang, Workload::kLyra, Workload::kEditor}) {
+    const auto pre = trace::preprocess(runWorkload(w));
+    const auto chain = analysis::analyzeChaining(pre);
+    const double car = chain.chainedFraction(Primitive::kCar);
+    const double cdr = chain.chainedFraction(Primitive::kCdr);
+    EXPECT_GT(car + cdr, 0.25) << workloadName(w);
+  }
+}
+
+TEST(WorkloadPrograms, OutputsAreCorrect) {
+  // The workloads are real programs; spot-check their computed answers by
+  // re-running without a tracer and checking the (write ...) results.
+  // Slang writes the number of simulated vectors, Pearl its record count.
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter interp(arena, symbols);
+  interp.run(preludeSource());
+  interp.run(programSource(Workload::kPearl));
+  interp.run(driverSource(Workload::kPearl, 1));
+  ASSERT_FALSE(interp.output().empty());
+  EXPECT_EQ(arena.integerValue(interp.output().back()), 8);  // 8 records
+}
+
+TEST(WorkloadPrograms, SlangDecoderIsFunctionallyCorrect) {
+  // Drive the decoder directly: input 7 (0111) must assert o7 only.
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter interp(arena, symbols);
+  interp.run(preludeSource());
+  interp.run(programSource(Workload::kSlang));
+  interp.run("(write (cadr (assq 'o7 (sim-gates decoder (bits4 7)))))");
+  interp.run("(write (cadr (assq 'o3 (sim-gates decoder (bits4 7)))))");
+  ASSERT_EQ(interp.output().size(), 2u);
+  EXPECT_EQ(arena.integerValue(interp.output()[0]), 1);
+  EXPECT_EQ(arena.integerValue(interp.output()[1]), 0);
+}
+
+TEST(WorkloadPrograms, LyraFindsPlantedViolation) {
+  sexpr::SymbolTable symbols;
+  sexpr::Arena arena;
+  lisp::Interpreter interp(arena, symbols);
+  interp.run(preludeSource());
+  interp.run(programSource(Workload::kLyra));
+  // Two overlapping metal rectangles: one spacing violation; the thin one
+  // is also a width violation.
+  interp.run(R"(
+    (write (len (check-rects
+      (quote ((metal 0 0 4 4) (metal 1 1 5 5) (metal 20 20 20 24)))
+      nil))))");
+  ASSERT_FALSE(interp.output().empty());
+  EXPECT_EQ(arena.integerValue(interp.output().back()), 2);
+}
+
+}  // namespace
+}  // namespace small::workloads
