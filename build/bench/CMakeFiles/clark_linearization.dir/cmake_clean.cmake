@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clark_linearization.dir/clark_linearization.cpp.o"
+  "CMakeFiles/clark_linearization.dir/clark_linearization.cpp.o.d"
+  "clark_linearization"
+  "clark_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clark_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_primitive_frequencies.dir/fig3_1_primitive_frequencies.cpp.o"
+  "CMakeFiles/fig3_1_primitive_frequencies.dir/fig3_1_primitive_frequencies.cpp.o.d"
+  "fig3_1_primitive_frequencies"
+  "fig3_1_primitive_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_primitive_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_6_list_sets.dir/fig3_4_6_list_sets.cpp.o"
+  "CMakeFiles/fig3_4_6_list_sets.dir/fig3_4_6_list_sets.cpp.o.d"
+  "fig3_4_6_list_sets"
+  "fig3_4_6_list_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_6_list_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

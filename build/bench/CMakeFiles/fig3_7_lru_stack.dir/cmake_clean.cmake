@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_7_lru_stack.dir/fig3_7_lru_stack.cpp.o"
+  "CMakeFiles/fig3_7_lru_stack.dir/fig3_7_lru_stack.cpp.o.d"
+  "fig3_7_lru_stack"
+  "fig3_7_lru_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_7_lru_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_8_13_sensitivity.cpp" "bench/CMakeFiles/fig3_8_13_sensitivity.dir/fig3_8_13_sensitivity.cpp.o" "gcc" "bench/CMakeFiles/fig3_8_13_sensitivity.dir/fig3_8_13_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/small_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/small_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisp/CMakeFiles/small_lisp_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/small_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/small_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/small_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_8_13_sensitivity.dir/fig3_8_13_sensitivity.cpp.o"
+  "CMakeFiles/fig3_8_13_sensitivity.dir/fig3_8_13_sensitivity.cpp.o.d"
+  "fig3_8_13_sensitivity"
+  "fig3_8_13_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_8_13_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_10_13_timing.dir/fig4_10_13_timing.cpp.o"
+  "CMakeFiles/fig4_10_13_timing.dir/fig4_10_13_timing.cpp.o.d"
+  "fig4_10_13_timing"
+  "fig4_10_13_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_10_13_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_1_2_lpt_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_compression_policy.dir/fig5_3_compression_policy.cpp.o"
+  "CMakeFiles/fig5_3_compression_policy.dir/fig5_3_compression_policy.cpp.o.d"
+  "fig5_3_compression_policy"
+  "fig5_3_compression_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_compression_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3l_truncated_counts.dir/m3l_truncated_counts.cpp.o"
+  "CMakeFiles/m3l_truncated_counts.dir/m3l_truncated_counts.cpp.o.d"
+  "m3l_truncated_counts"
+  "m3l_truncated_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3l_truncated_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_heap_representations.dir/micro_heap_representations.cpp.o"
+  "CMakeFiles/micro_heap_representations.dir/micro_heap_representations.cpp.o.d"
+  "micro_heap_representations"
+  "micro_heap_representations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_heap_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_interpreter.dir/micro_interpreter.cpp.o"
+  "CMakeFiles/micro_interpreter.dir/micro_interpreter.cpp.o.d"
+  "micro_interpreter"
+  "micro_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lpt.dir/micro_lpt.cpp.o"
+  "CMakeFiles/micro_lpt.dir/micro_lpt.cpp.o.d"
+  "micro_lpt"
+  "micro_lpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilisp_weights.dir/multilisp_weights.cpp.o"
+  "CMakeFiles/multilisp_weights.dir/multilisp_weights.cpp.o.d"
+  "multilisp_weights"
+  "multilisp_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilisp_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_1_np.dir/table3_1_np.cpp.o"
+  "CMakeFiles/table3_1_np.dir/table3_1_np.cpp.o.d"
+  "table3_1_np"
+  "table3_1_np.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_1_np.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_2_chaining.dir/table3_2_chaining.cpp.o"
+  "CMakeFiles/table3_2_chaining.dir/table3_2_chaining.cpp.o.d"
+  "table3_2_chaining"
+  "table3_2_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_2_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_1_trace_content.dir/table5_1_trace_content.cpp.o"
+  "CMakeFiles/table5_1_trace_content.dir/table5_1_trace_content.cpp.o.d"
+  "table5_1_trace_content"
+  "table5_1_trace_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_1_trace_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_2_3_lpt_activity.dir/table5_2_3_lpt_activity.cpp.o"
+  "CMakeFiles/table5_2_3_lpt_activity.dir/table5_2_3_lpt_activity.cpp.o.d"
+  "table5_2_3_lpt_activity"
+  "table5_2_3_lpt_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_2_3_lpt_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

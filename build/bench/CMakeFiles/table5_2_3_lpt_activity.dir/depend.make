@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_2_3_lpt_activity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_4_lpt_vs_cache.dir/table5_4_lpt_vs_cache.cpp.o"
+  "CMakeFiles/table5_4_lpt_vs_cache.dir/table5_4_lpt_vs_cache.cpp.o.d"
+  "table5_4_lpt_vs_cache"
+  "table5_4_lpt_vs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_4_lpt_vs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_5_param_sensitivity.dir/table5_5_param_sensitivity.cpp.o"
+  "CMakeFiles/table5_5_param_sensitivity.dir/table5_5_param_sensitivity.cpp.o.d"
+  "table5_5_param_sensitivity"
+  "table5_5_param_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_5_param_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

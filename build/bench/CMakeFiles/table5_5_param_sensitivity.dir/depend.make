@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_5_param_sensitivity.
+# This may be replaced when dependencies are built.

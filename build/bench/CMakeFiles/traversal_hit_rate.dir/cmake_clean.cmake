@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traversal_hit_rate.dir/traversal_hit_rate.cpp.o"
+  "CMakeFiles/traversal_hit_rate.dir/traversal_hit_rate.cpp.o.d"
+  "traversal_hit_rate"
+  "traversal_hit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traversal_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

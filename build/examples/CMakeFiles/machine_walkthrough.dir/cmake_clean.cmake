@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_walkthrough.dir/machine_walkthrough.cpp.o"
+  "CMakeFiles/machine_walkthrough.dir/machine_walkthrough.cpp.o.d"
+  "machine_walkthrough"
+  "machine_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilisp_demo.dir/multilisp_demo.cpp.o"
+  "CMakeFiles/multilisp_demo.dir/multilisp_demo.cpp.o.d"
+  "multilisp_demo"
+  "multilisp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilisp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

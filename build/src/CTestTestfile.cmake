@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sexpr")
+subdirs("trace")
+subdirs("lisp")
+subdirs("analysis")
+subdirs("heap")
+subdirs("cache")
+subdirs("small")
+subdirs("vm")
+subdirs("multilisp")
+subdirs("workloads")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/census.cpp" "src/analysis/CMakeFiles/small_analysis.dir/census.cpp.o" "gcc" "src/analysis/CMakeFiles/small_analysis.dir/census.cpp.o.d"
+  "/root/repo/src/analysis/chaining.cpp" "src/analysis/CMakeFiles/small_analysis.dir/chaining.cpp.o" "gcc" "src/analysis/CMakeFiles/small_analysis.dir/chaining.cpp.o.d"
+  "/root/repo/src/analysis/list_sets.cpp" "src/analysis/CMakeFiles/small_analysis.dir/list_sets.cpp.o" "gcc" "src/analysis/CMakeFiles/small_analysis.dir/list_sets.cpp.o.d"
+  "/root/repo/src/analysis/lru.cpp" "src/analysis/CMakeFiles/small_analysis.dir/lru.cpp.o" "gcc" "src/analysis/CMakeFiles/small_analysis.dir/lru.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/small_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/small_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/small_sexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

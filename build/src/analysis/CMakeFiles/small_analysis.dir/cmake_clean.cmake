@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_analysis.dir/census.cpp.o"
+  "CMakeFiles/small_analysis.dir/census.cpp.o.d"
+  "CMakeFiles/small_analysis.dir/chaining.cpp.o"
+  "CMakeFiles/small_analysis.dir/chaining.cpp.o.d"
+  "CMakeFiles/small_analysis.dir/list_sets.cpp.o"
+  "CMakeFiles/small_analysis.dir/list_sets.cpp.o.d"
+  "CMakeFiles/small_analysis.dir/lru.cpp.o"
+  "CMakeFiles/small_analysis.dir/lru.cpp.o.d"
+  "libsmall_analysis.a"
+  "libsmall_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

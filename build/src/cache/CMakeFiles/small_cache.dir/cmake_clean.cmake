@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_cache.dir/lru_cache.cpp.o"
+  "CMakeFiles/small_cache.dir/lru_cache.cpp.o.d"
+  "libsmall_cache.a"
+  "libsmall_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/address_model.cpp" "src/heap/CMakeFiles/small_heap.dir/address_model.cpp.o" "gcc" "src/heap/CMakeFiles/small_heap.dir/address_model.cpp.o.d"
+  "/root/repo/src/heap/cdar_coded.cpp" "src/heap/CMakeFiles/small_heap.dir/cdar_coded.cpp.o" "gcc" "src/heap/CMakeFiles/small_heap.dir/cdar_coded.cpp.o.d"
+  "/root/repo/src/heap/cdr_coded.cpp" "src/heap/CMakeFiles/small_heap.dir/cdr_coded.cpp.o" "gcc" "src/heap/CMakeFiles/small_heap.dir/cdr_coded.cpp.o.d"
+  "/root/repo/src/heap/conc.cpp" "src/heap/CMakeFiles/small_heap.dir/conc.cpp.o" "gcc" "src/heap/CMakeFiles/small_heap.dir/conc.cpp.o.d"
+  "/root/repo/src/heap/linearization.cpp" "src/heap/CMakeFiles/small_heap.dir/linearization.cpp.o" "gcc" "src/heap/CMakeFiles/small_heap.dir/linearization.cpp.o.d"
+  "/root/repo/src/heap/linked_vector.cpp" "src/heap/CMakeFiles/small_heap.dir/linked_vector.cpp.o" "gcc" "src/heap/CMakeFiles/small_heap.dir/linked_vector.cpp.o.d"
+  "/root/repo/src/heap/two_pointer.cpp" "src/heap/CMakeFiles/small_heap.dir/two_pointer.cpp.o" "gcc" "src/heap/CMakeFiles/small_heap.dir/two_pointer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/small_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/small_sexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_heap.dir/address_model.cpp.o"
+  "CMakeFiles/small_heap.dir/address_model.cpp.o.d"
+  "CMakeFiles/small_heap.dir/cdar_coded.cpp.o"
+  "CMakeFiles/small_heap.dir/cdar_coded.cpp.o.d"
+  "CMakeFiles/small_heap.dir/cdr_coded.cpp.o"
+  "CMakeFiles/small_heap.dir/cdr_coded.cpp.o.d"
+  "CMakeFiles/small_heap.dir/conc.cpp.o"
+  "CMakeFiles/small_heap.dir/conc.cpp.o.d"
+  "CMakeFiles/small_heap.dir/linearization.cpp.o"
+  "CMakeFiles/small_heap.dir/linearization.cpp.o.d"
+  "CMakeFiles/small_heap.dir/linked_vector.cpp.o"
+  "CMakeFiles/small_heap.dir/linked_vector.cpp.o.d"
+  "CMakeFiles/small_heap.dir/two_pointer.cpp.o"
+  "CMakeFiles/small_heap.dir/two_pointer.cpp.o.d"
+  "libsmall_heap.a"
+  "libsmall_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

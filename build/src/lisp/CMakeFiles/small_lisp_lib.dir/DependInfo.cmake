@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lisp/env.cpp" "src/lisp/CMakeFiles/small_lisp_lib.dir/env.cpp.o" "gcc" "src/lisp/CMakeFiles/small_lisp_lib.dir/env.cpp.o.d"
+  "/root/repo/src/lisp/interpreter.cpp" "src/lisp/CMakeFiles/small_lisp_lib.dir/interpreter.cpp.o" "gcc" "src/lisp/CMakeFiles/small_lisp_lib.dir/interpreter.cpp.o.d"
+  "/root/repo/src/lisp/tracer.cpp" "src/lisp/CMakeFiles/small_lisp_lib.dir/tracer.cpp.o" "gcc" "src/lisp/CMakeFiles/small_lisp_lib.dir/tracer.cpp.o.d"
+  "/root/repo/src/lisp/value_cache.cpp" "src/lisp/CMakeFiles/small_lisp_lib.dir/value_cache.cpp.o" "gcc" "src/lisp/CMakeFiles/small_lisp_lib.dir/value_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/small_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/small_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/small_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_lisp_lib.dir/env.cpp.o"
+  "CMakeFiles/small_lisp_lib.dir/env.cpp.o.d"
+  "CMakeFiles/small_lisp_lib.dir/interpreter.cpp.o"
+  "CMakeFiles/small_lisp_lib.dir/interpreter.cpp.o.d"
+  "CMakeFiles/small_lisp_lib.dir/tracer.cpp.o"
+  "CMakeFiles/small_lisp_lib.dir/tracer.cpp.o.d"
+  "CMakeFiles/small_lisp_lib.dir/value_cache.cpp.o"
+  "CMakeFiles/small_lisp_lib.dir/value_cache.cpp.o.d"
+  "libsmall_lisp_lib.a"
+  "libsmall_lisp_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_lisp_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

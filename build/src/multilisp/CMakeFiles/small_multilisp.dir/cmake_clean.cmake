@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_multilisp.dir/distributed.cpp.o"
+  "CMakeFiles/small_multilisp.dir/distributed.cpp.o.d"
+  "CMakeFiles/small_multilisp.dir/futures.cpp.o"
+  "CMakeFiles/small_multilisp.dir/futures.cpp.o.d"
+  "CMakeFiles/small_multilisp.dir/nodes.cpp.o"
+  "CMakeFiles/small_multilisp.dir/nodes.cpp.o.d"
+  "CMakeFiles/small_multilisp.dir/ref_weight.cpp.o"
+  "CMakeFiles/small_multilisp.dir/ref_weight.cpp.o.d"
+  "libsmall_multilisp.a"
+  "libsmall_multilisp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_multilisp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sexpr/arena.cpp" "src/sexpr/CMakeFiles/small_sexpr.dir/arena.cpp.o" "gcc" "src/sexpr/CMakeFiles/small_sexpr.dir/arena.cpp.o.d"
+  "/root/repo/src/sexpr/metrics.cpp" "src/sexpr/CMakeFiles/small_sexpr.dir/metrics.cpp.o" "gcc" "src/sexpr/CMakeFiles/small_sexpr.dir/metrics.cpp.o.d"
+  "/root/repo/src/sexpr/printer.cpp" "src/sexpr/CMakeFiles/small_sexpr.dir/printer.cpp.o" "gcc" "src/sexpr/CMakeFiles/small_sexpr.dir/printer.cpp.o.d"
+  "/root/repo/src/sexpr/reader.cpp" "src/sexpr/CMakeFiles/small_sexpr.dir/reader.cpp.o" "gcc" "src/sexpr/CMakeFiles/small_sexpr.dir/reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/small_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_sexpr.dir/arena.cpp.o"
+  "CMakeFiles/small_sexpr.dir/arena.cpp.o.d"
+  "CMakeFiles/small_sexpr.dir/metrics.cpp.o"
+  "CMakeFiles/small_sexpr.dir/metrics.cpp.o.d"
+  "CMakeFiles/small_sexpr.dir/printer.cpp.o"
+  "CMakeFiles/small_sexpr.dir/printer.cpp.o.d"
+  "CMakeFiles/small_sexpr.dir/reader.cpp.o"
+  "CMakeFiles/small_sexpr.dir/reader.cpp.o.d"
+  "libsmall_sexpr.a"
+  "libsmall_sexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_sexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

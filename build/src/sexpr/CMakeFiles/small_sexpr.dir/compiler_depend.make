@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for small_sexpr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/small/list_processor.cpp" "src/small/CMakeFiles/small_core.dir/list_processor.cpp.o" "gcc" "src/small/CMakeFiles/small_core.dir/list_processor.cpp.o.d"
+  "/root/repo/src/small/lpt.cpp" "src/small/CMakeFiles/small_core.dir/lpt.cpp.o" "gcc" "src/small/CMakeFiles/small_core.dir/lpt.cpp.o.d"
+  "/root/repo/src/small/machine.cpp" "src/small/CMakeFiles/small_core.dir/machine.cpp.o" "gcc" "src/small/CMakeFiles/small_core.dir/machine.cpp.o.d"
+  "/root/repo/src/small/simulator.cpp" "src/small/CMakeFiles/small_core.dir/simulator.cpp.o" "gcc" "src/small/CMakeFiles/small_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/small/timing.cpp" "src/small/CMakeFiles/small_core.dir/timing.cpp.o" "gcc" "src/small/CMakeFiles/small_core.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/small_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/small_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/small_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/small_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/small_sexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

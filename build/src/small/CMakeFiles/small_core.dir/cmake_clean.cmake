@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_core.dir/list_processor.cpp.o"
+  "CMakeFiles/small_core.dir/list_processor.cpp.o.d"
+  "CMakeFiles/small_core.dir/lpt.cpp.o"
+  "CMakeFiles/small_core.dir/lpt.cpp.o.d"
+  "CMakeFiles/small_core.dir/machine.cpp.o"
+  "CMakeFiles/small_core.dir/machine.cpp.o.d"
+  "CMakeFiles/small_core.dir/simulator.cpp.o"
+  "CMakeFiles/small_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/small_core.dir/timing.cpp.o"
+  "CMakeFiles/small_core.dir/timing.cpp.o.d"
+  "libsmall_core.a"
+  "libsmall_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

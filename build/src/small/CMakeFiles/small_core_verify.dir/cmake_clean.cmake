@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_core_verify.dir/list_processor.cpp.o"
+  "CMakeFiles/small_core_verify.dir/list_processor.cpp.o.d"
+  "CMakeFiles/small_core_verify.dir/lpt.cpp.o"
+  "CMakeFiles/small_core_verify.dir/lpt.cpp.o.d"
+  "CMakeFiles/small_core_verify.dir/machine.cpp.o"
+  "CMakeFiles/small_core_verify.dir/machine.cpp.o.d"
+  "CMakeFiles/small_core_verify.dir/simulator.cpp.o"
+  "CMakeFiles/small_core_verify.dir/simulator.cpp.o.d"
+  "CMakeFiles/small_core_verify.dir/timing.cpp.o"
+  "CMakeFiles/small_core_verify.dir/timing.cpp.o.d"
+  "libsmall_core_verify.a"
+  "libsmall_core_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_core_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

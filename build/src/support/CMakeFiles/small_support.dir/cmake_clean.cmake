@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_support.dir/distributions.cpp.o"
+  "CMakeFiles/small_support.dir/distributions.cpp.o.d"
+  "CMakeFiles/small_support.dir/stats.cpp.o"
+  "CMakeFiles/small_support.dir/stats.cpp.o.d"
+  "CMakeFiles/small_support.dir/table.cpp.o"
+  "CMakeFiles/small_support.dir/table.cpp.o.d"
+  "libsmall_support.a"
+  "libsmall_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_trace.dir/io.cpp.o"
+  "CMakeFiles/small_trace.dir/io.cpp.o.d"
+  "CMakeFiles/small_trace.dir/preprocess.cpp.o"
+  "CMakeFiles/small_trace.dir/preprocess.cpp.o.d"
+  "CMakeFiles/small_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/small_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/small_trace.dir/trace.cpp.o"
+  "CMakeFiles/small_trace.dir/trace.cpp.o.d"
+  "libsmall_trace.a"
+  "libsmall_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_vm.dir/compiler.cpp.o"
+  "CMakeFiles/small_vm.dir/compiler.cpp.o.d"
+  "CMakeFiles/small_vm.dir/emulator.cpp.o"
+  "CMakeFiles/small_vm.dir/emulator.cpp.o.d"
+  "CMakeFiles/small_vm.dir/isa.cpp.o"
+  "CMakeFiles/small_vm.dir/isa.cpp.o.d"
+  "CMakeFiles/small_vm.dir/small_emulator.cpp.o"
+  "CMakeFiles/small_vm.dir/small_emulator.cpp.o.d"
+  "libsmall_vm.a"
+  "libsmall_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

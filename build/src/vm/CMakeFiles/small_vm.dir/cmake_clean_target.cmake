@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmall_vm.a"
+)

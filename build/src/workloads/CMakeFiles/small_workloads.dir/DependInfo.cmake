@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/driver.cpp" "src/workloads/CMakeFiles/small_workloads.dir/driver.cpp.o" "gcc" "src/workloads/CMakeFiles/small_workloads.dir/driver.cpp.o.d"
+  "/root/repo/src/workloads/programs.cpp" "src/workloads/CMakeFiles/small_workloads.dir/programs.cpp.o" "gcc" "src/workloads/CMakeFiles/small_workloads.dir/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lisp/CMakeFiles/small_lisp_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/small_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/small_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/small_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

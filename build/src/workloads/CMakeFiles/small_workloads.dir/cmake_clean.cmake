@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_workloads.dir/driver.cpp.o"
+  "CMakeFiles/small_workloads.dir/driver.cpp.o.d"
+  "CMakeFiles/small_workloads.dir/programs.cpp.o"
+  "CMakeFiles/small_workloads.dir/programs.cpp.o.d"
+  "libsmall_workloads.a"
+  "libsmall_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/small_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/small_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/small/CMakeFiles/small_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisp/CMakeFiles/small_lisp_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/small_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/small_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/small_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/small_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/small_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisp_test.dir/lisp_test.cpp.o"
+  "CMakeFiles/lisp_test.dir/lisp_test.cpp.o.d"
+  "lisp_test"
+  "lisp_test.pdb"
+  "lisp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_processor_test.dir/list_processor_test.cpp.o"
+  "CMakeFiles/list_processor_test.dir/list_processor_test.cpp.o.d"
+  "list_processor_test"
+  "list_processor_test.pdb"
+  "list_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpt_test.dir/lpt_test.cpp.o"
+  "CMakeFiles/lpt_test.dir/lpt_test.cpp.o.d"
+  "lpt_test"
+  "lpt_test.pdb"
+  "lpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilisp_test.dir/multilisp_test.cpp.o"
+  "CMakeFiles/multilisp_test.dir/multilisp_test.cpp.o.d"
+  "multilisp_test"
+  "multilisp_test.pdb"
+  "multilisp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilisp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_verify_test.dir/simulator_verify_test.cpp.o"
+  "CMakeFiles/simulator_verify_test.dir/simulator_verify_test.cpp.o.d"
+  "simulator_verify_test"
+  "simulator_verify_test.pdb"
+  "simulator_verify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
