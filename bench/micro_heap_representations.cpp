@@ -3,8 +3,10 @@
 // quantitative version of §2.3.3's qualitative comparison.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <sstream>
 
+#include "heap/backend.hpp"
 #include "heap/cdar_coded.hpp"
 #include "heap/conc.hpp"
 #include "heap/cdr_coded.hpp"
@@ -173,5 +175,65 @@ void BM_SplitCdarTable(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SplitCdarTable)->Arg(48);
+
+// Abstraction overhead: the same two-pointer operation mix issued against
+// the concrete TwoPointerHeap vs through the virtual HeapBackend
+// interface (which also maintains the HeapStats counters). The delta is
+// the price the unified backend pays per operation — what the machine and
+// the backend-comparison bench ride on.
+void BM_DirectTwoPointerOps(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  heap::TwoPointerHeap heap;
+  const heap::HeapWord root = heap.encode(fixture.arena, fixture.list);
+  for (auto _ : state) {
+    heap::HeapWord cursor = root;
+    std::uint64_t sum = 0;
+    while (cursor.isPointer()) {
+      sum += heap.car(cursor.payload).payload;
+      cursor = heap.cdr(cursor.payload);
+    }
+    const auto cell =
+        heap.allocate(heap::HeapWord::integer(7), heap::HeapWord::nil());
+    heap.setCar(cell, heap::HeapWord::integer(static_cast<int64_t>(sum)));
+    heap.free(cell);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DirectTwoPointerOps)->Arg(64)->Arg(1024);
+
+void BM_BackendTwoPointerOps(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  const std::unique_ptr<heap::HeapBackend> heap =
+      heap::makeHeapBackend(heap::HeapBackendKind::kTwoPointer);
+  const heap::HeapWord root = heap->encode(fixture.arena, fixture.list);
+  for (auto _ : state) {
+    heap::HeapWord cursor = root;
+    std::uint64_t sum = 0;
+    while (cursor.isPointer()) {
+      sum += heap->car(cursor.payload).payload;
+      cursor = heap->cdr(cursor.payload);
+    }
+    const auto cell =
+        heap->allocate(heap::HeapWord::integer(7), heap::HeapWord::nil());
+    heap->setCar(cell, heap::HeapWord::integer(static_cast<int64_t>(sum)));
+    heap->free(cell);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BackendTwoPointerOps)->Arg(64)->Arg(1024);
+
+// Encode through the interface for each representation: the same list,
+// three physical layouts, one call site.
+void BM_BackendEncode(benchmark::State& state) {
+  Fixture fixture(64);
+  const auto kind =
+      static_cast<heap::HeapBackendKind>(state.range(0));
+  for (auto _ : state) {
+    const auto heap = heap::makeHeapBackend(kind);
+    benchmark::DoNotOptimize(heap->encode(fixture.arena, fixture.list));
+  }
+  state.SetLabel(heap::heapBackendName(kind));
+}
+BENCHMARK(BM_BackendEncode)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace

@@ -1,0 +1,144 @@
+// The unified heap-backend abstraction: every Chapter 2 list-memory
+// representation behind one cell-level interface, so the functional SMALL
+// machine (small/machine.*) and the §4.3.4 emulator can run on any of
+// them and representation becomes a measurable experimental axis.
+//
+// The contract is the §4.3.3 heap controller's: allocate/free single
+// cons cells, split an object into its car/cdr words (freeing the cell),
+// merge two words back into a cell (the Fig 4.8 compression write-back),
+// recursively free whole objects (the queue-serviced §4.3.3.1 operation),
+// and encode/decode complete s-expressions. Each backend counts its
+// *physical* activity in a HeapStats block — cell allocations, frees,
+// reads/writes (heap touches), split/merge counts, live-cell occupancy —
+// which is where the representations differ: a cdr-coded run answers cdr
+// by address arithmetic where two-pointer cells chase a pointer, and a
+// linked-vector backend pays indirection elements at vector boundaries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "heap/word.hpp"
+#include "sexpr/arena.hpp"
+
+namespace small::heap {
+
+/// Physical-activity counters, maintained by every backend.
+struct HeapStats {
+  std::uint64_t allocs = 0;   ///< cons-cell allocations (incl. merges)
+  std::uint64_t frees = 0;    ///< physical cells returned to the free pool
+  std::uint64_t splits = 0;   ///< §4.3.3.2 split operations
+  std::uint64_t merges = 0;   ///< §4.3.3.2 merge operations
+  std::uint64_t reads = 0;    ///< heap cell/word reads
+  std::uint64_t writes = 0;   ///< heap cell/word writes
+  std::uint64_t liveCells = 0;      ///< physical cells currently occupied
+  std::uint64_t peakLiveCells = 0;  ///< max of liveCells over the run
+
+  /// Total heap touches (the §4.3.2.5 heap-controller occupancy driver).
+  std::uint64_t touches() const { return reads + writes; }
+};
+
+/// Abstract heap backend. Cell references are opaque indices; words are
+/// the representation-free `HeapWord` currency. Implementations may use
+/// more or fewer physical cells per cons than the logical structure
+/// suggests (vectorized runs, cdr-normal pairs, indirection elements);
+/// the stats block records the physical truth.
+class HeapBackend {
+ public:
+  using CellRef = std::uint64_t;
+  static constexpr CellRef kNull = ~0ull;
+
+  struct SplitResult {
+    HeapWord car;
+    HeapWord cdr;
+  };
+
+  virtual ~HeapBackend() = default;
+
+  /// Representation name for reports ("two-pointer", "cdr-coded", ...).
+  virtual const char* name() const = 0;
+
+  /// Allocate one cons cell.
+  virtual CellRef allocate(HeapWord car, HeapWord cdr) = 0;
+
+  /// Return one cons cell to the free pool (not its substructure).
+  virtual void free(CellRef cell) = 0;
+
+  /// Recursively free the object rooted at `cell` (§4.3.3.1 queue-serviced
+  /// free). Returns physical cells reclaimed; shared substructure already
+  /// reclaimed is skipped.
+  virtual std::uint64_t freeObject(CellRef cell) = 0;
+
+  virtual HeapWord car(CellRef cell) const = 0;
+  virtual HeapWord cdr(CellRef cell) const = 0;
+  virtual void setCar(CellRef cell, HeapWord value) = 0;
+  virtual void setCdr(CellRef cell, HeapWord value) = 0;
+
+  /// §4.3.3.2 split: return both halves and free the cell.
+  virtual SplitResult split(CellRef cell) = 0;
+
+  /// §4.3.3.2 merge: inverse of split (an allocation, counted as a merge).
+  virtual CellRef merge(HeapWord car, HeapWord cdr) = 0;
+
+  /// Copy an s-expression into the heap using the representation's
+  /// natural layout (vectorized runs for coded backends); returns the
+  /// root word. Atoms encode as immediate words without heap activity.
+  virtual HeapWord encode(const sexpr::Arena& arena, sexpr::NodeRef root) = 0;
+
+  /// Rebuild an s-expression from heap structure. Implemented once over
+  /// the virtual car/cdr so every backend's decode pays its own touch
+  /// profile.
+  sexpr::NodeRef decode(sexpr::Arena& arena, HeapWord root) const;
+
+  /// Physical cells ever allocated (high-water of the cell store).
+  virtual std::uint64_t cellsAllocated() const = 0;
+  /// Physical cells currently live.
+  std::uint64_t cellsLive() const { return stats_.liveCells; }
+
+  const HeapStats& stats() const { return stats_; }
+  void resetStats() {
+    const std::uint64_t live = stats_.liveCells;
+    stats_ = HeapStats{};
+    stats_.liveCells = live;
+    stats_.peakLiveCells = live;
+  }
+
+ protected:
+  void noteAlloc(std::uint64_t cells) {
+    stats_.liveCells += cells;
+    if (stats_.liveCells > stats_.peakLiveCells) {
+      stats_.peakLiveCells = stats_.liveCells;
+    }
+  }
+  void noteFree(std::uint64_t cells) {
+    stats_.frees += cells;
+    stats_.liveCells -= cells;
+  }
+
+  mutable HeapStats stats_;
+};
+
+/// The selectable representations.
+enum class HeapBackendKind : std::uint8_t {
+  kTwoPointer,    ///< Fig 2.6 two-pointer cells (heap/two_pointer.*)
+  kCdrCoded,      ///< Fig 2.8 MIT-style cdr coding with invisible pointers
+  kLinkedVector,  ///< Fig 2.7 linked vectors with indirection elements
+};
+
+inline constexpr HeapBackendKind kAllHeapBackendKinds[] = {
+    HeapBackendKind::kTwoPointer, HeapBackendKind::kCdrCoded,
+    HeapBackendKind::kLinkedVector};
+
+const char* heapBackendName(HeapBackendKind kind);
+
+struct HeapBackendOptions {
+  /// Linked-vector backend: elements per vector (>= 3 so a cdr pair plus
+  /// an indirection always fits).
+  std::uint32_t vectorSize = 8;
+};
+
+std::unique_ptr<HeapBackend> makeHeapBackend(HeapBackendKind kind,
+                                             const HeapBackendOptions&
+                                                 options = {});
+
+}  // namespace small::heap

@@ -12,28 +12,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "heap/word.hpp"
 #include "sexpr/arena.hpp"
 
 namespace small::heap {
-
-/// A tagged word in a heap cell: a pointer to another cell, an atom
-/// (symbol/integer payload), or nil.
-struct HeapWord {
-  enum class Tag : std::uint8_t { kNil, kPointer, kSymbol, kInteger };
-  Tag tag = Tag::kNil;
-  std::uint64_t payload = 0;
-
-  static HeapWord nil() { return {}; }
-  static HeapWord pointer(std::uint64_t cell) {
-    return {Tag::kPointer, cell};
-  }
-  static HeapWord symbol(std::uint64_t id) { return {Tag::kSymbol, id}; }
-  static HeapWord integer(std::int64_t v) {
-    return {Tag::kInteger, static_cast<std::uint64_t>(v)};
-  }
-
-  bool isPointer() const { return tag == Tag::kPointer; }
-};
 
 class TwoPointerHeap {
  public:

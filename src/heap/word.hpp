@@ -1,0 +1,31 @@
+// The tagged heap word: the currency every heap backend trades in. A word
+// is a pointer to a heap cell, an immediate atom (symbol/integer payload),
+// or nil. Backends translate their internal coding (cdr codes, invisible
+// pointers, vector element tags) to and from these words at the interface
+// boundary, so the SMALL machine above never sees representation detail.
+#pragma once
+
+#include <cstdint>
+
+namespace small::heap {
+
+/// A tagged word in a heap cell: a pointer to another cell, an atom
+/// (symbol/integer payload), or nil.
+struct HeapWord {
+  enum class Tag : std::uint8_t { kNil, kPointer, kSymbol, kInteger };
+  Tag tag = Tag::kNil;
+  std::uint64_t payload = 0;
+
+  static HeapWord nil() { return {}; }
+  static HeapWord pointer(std::uint64_t cell) {
+    return {Tag::kPointer, cell};
+  }
+  static HeapWord symbol(std::uint64_t id) { return {Tag::kSymbol, id}; }
+  static HeapWord integer(std::int64_t v) {
+    return {Tag::kInteger, static_cast<std::uint64_t>(v)};
+  }
+
+  bool isPointer() const { return tag == Tag::kPointer; }
+};
+
+}  // namespace small::heap

@@ -8,7 +8,9 @@ using heap::HeapWord;
 using support::EvalError;
 using support::SimulationError;
 
-SmallMachine::SmallMachine(Config config) : config_(config) {
+SmallMachine::SmallMachine(Config config)
+    : config_(config),
+      heap_(heap::makeHeapBackend(config.heapBackend, config.heapOptions)) {
   if (config_.tableSize == 0) {
     throw SimulationError("SmallMachine: zero-sized table");
   }
@@ -45,6 +47,8 @@ std::uint32_t SmallMachine::allocateEntry() {
   entries_[id] = Entry{};
   entries_[id].inUse = true;
   ++inUse_;
+  ++stats_.gets;
+  stats_.peakEntriesInUse = std::max(stats_.peakEntriesInUse, inUse_);
   return id;
 }
 
@@ -68,6 +72,7 @@ void SmallMachine::freeEntry(std::uint32_t id) {
   Entry& e = entries_[id];
   e.inUse = false;
   --inUse_;
+  ++stats_.frees;
   freeStack_.push_back(id);
   if (e.hasFields) {
     // Release the field references (immediate policy: the lazy variant is
@@ -88,7 +93,7 @@ void SmallMachine::queueHeapFree(HeapWord word) {
   if (freeQueue_.size() > config_.freeQueueLimit) {
     const std::size_t batch = freeQueue_.size() / 2;
     for (std::size_t i = 0; i < batch; ++i) {
-      heap_.freeObject(freeQueue_.front());
+      heap_->freeObject(freeQueue_.front());
       freeQueue_.pop_front();
       ++stats_.heapFreesServiced;
     }
@@ -97,7 +102,7 @@ void SmallMachine::queueHeapFree(HeapWord word) {
 
 void SmallMachine::serviceAllHeapFrees() {
   while (!freeQueue_.empty()) {
-    heap_.freeObject(freeQueue_.front());
+    heap_->freeObject(freeQueue_.front());
     freeQueue_.pop_front();
     ++stats_.heapFreesServiced;
   }
@@ -148,6 +153,7 @@ std::uint64_t SmallMachine::recoverCycles() {
     e.addr = HeapWord::nil();
     e.inUse = false;
     --inUse_;
+    ++stats_.frees;
     freeStack_.push_back(id);
     ++reclaimed;
     if (snapshot.hasFields) {
@@ -209,6 +215,7 @@ HeapWord SmallMachine::valueToWord(const Value& value) {
       e.refCount = 0;
       e.addr = HeapWord::nil();
       --inUse_;
+      ++stats_.frees;
       freeStack_.push_back(value.id);
       return word;
     }
@@ -218,7 +225,8 @@ HeapWord SmallMachine::valueToWord(const Value& value) {
 
 SmallMachine::Value SmallMachine::readList(const sexpr::Arena& arena,
                                            sexpr::NodeRef ref) {
-  const HeapWord word = heap_.encode(arena, ref);
+  ++stats_.readLists;
+  const HeapWord word = heap_->encode(arena, ref);
   if (!word.isPointer()) {
     // Atoms read in as immediates; no table entry needed.
     return wordToValue(word);
@@ -259,8 +267,8 @@ void SmallMachine::split(std::uint32_t id) {
   if (!e.addr.isPointer()) {
     throw SimulationError("SmallMachine: split of an atom object");
   }
-  const heap::TwoPointerHeap::SplitResult halves =
-      heap_.split(e.addr.payload);
+  const heap::HeapBackend::SplitResult halves =
+      heap_->split(e.addr.payload);
   // wordToValue may allocate entries, which cannot invalidate `e` (the
   // entry vector never grows), but re-fetch for clarity.
   const Value carValue = wordToValue(halves.car);
@@ -295,6 +303,7 @@ SmallMachine::Value SmallMachine::access(Value list, bool wantCar) {
 }
 
 SmallMachine::Value SmallMachine::cons(Value head, Value tail) {
+  ++stats_.conses;
   const std::uint32_t id = allocateEntry();
   Entry& e = entries_[id];
   e.hasFields = true;
@@ -315,6 +324,7 @@ void SmallMachine::modify(Value list, Value value, bool isCar) {
   if (!list.isObject()) {
     throw EvalError("SmallMachine: rplac on an atom");
   }
+  ++stats_.modifies;
   Entry& e = entry(list.id);
   if (!e.inUse) throw SimulationError("SmallMachine: rplac on free entry");
   if (!e.hasFields) split(list.id);
@@ -340,7 +350,7 @@ sexpr::NodeRef SmallMachine::writeList(sexpr::Arena& arena,
       if (!e.inUse) {
         throw SimulationError("SmallMachine: writeList of free entry");
       }
-      if (!e.hasFields) return heap_.decode(arena, e.addr);
+      if (!e.hasFields) return heap_->decode(arena, e.addr);
       const sexpr::NodeRef head = writeList(arena, e.carField);
       const sexpr::NodeRef tail = writeList(arena, e.cdrField);
       return arena.cons(head, tail);
@@ -377,7 +387,7 @@ void SmallMachine::mergePair(std::uint32_t id) {
   Entry& e = entry(id);
   const HeapWord carWord = valueToWord(e.carField);
   const HeapWord cdrWord = valueToWord(e.cdrField);
-  const heap::TwoPointerHeap::CellRef cell = heap_.merge(carWord, cdrWord);
+  const heap::HeapBackend::CellRef cell = heap_->merge(carWord, cdrWord);
   Entry& parent = entry(id);
   parent.hasFields = false;
   parent.carField = Value::nil();

@@ -1,5 +1,8 @@
-// A functional SMALL memory system: a real LPT over a real two-pointer
-// heap (Chapter 4 executed, rather than statistically simulated).
+// A functional SMALL memory system: a real LPT over a real heap
+// (Chapter 4 executed, rather than statistically simulated). The heap is
+// any of the Chapter 2 representations behind the heap::HeapBackend
+// interface — two-pointer cells by default, cdr-coded or linked-vector by
+// Config — and the machine never sees representation detail.
 //
 // Where `ListProcessor` models object shapes and addresses to drive the
 // Chapter 5 measurements, `SmallMachine` actually stores list structure:
@@ -15,11 +18,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "heap/two_pointer.hpp"
+#include "heap/backend.hpp"
 #include "sexpr/arena.hpp"
 #include "small/config.hpp"
 #include "support/error.hpp"
@@ -49,17 +53,32 @@ class SmallMachine {
     /// §4.3.3.1: pending heap free requests are queued and serviced in
     /// batches; the bounded queue is the LP->heap flow control.
     std::size_t freeQueueLimit = 32;
+    /// Which Chapter 2 list representation backs the heap. The machine's
+    /// logic (and its representation-independent counters) is identical
+    /// across backends; only the physical heap activity differs.
+    heap::HeapBackendKind heapBackend = heap::HeapBackendKind::kTwoPointer;
+    heap::HeapBackendOptions heapOptions;
   };
 
+  /// Representation-independent event counters: these depend only on the
+  /// logical structure the EP builds, so they must come out identical for
+  /// every heap backend (the differential tests assert exactly that).
+  /// Physical heap activity lives in heapStats().
   struct Stats {
+    std::uint64_t gets = 0;   ///< LPT entry allocations (§4.3.2 "get")
+    std::uint64_t frees = 0;  ///< LPT entries returned to the free pool
     std::uint64_t splits = 0;
-    std::uint64_t hits = 0;
+    std::uint64_t hits = 0;  ///< car/cdr answered from cached LPT fields
     std::uint64_t merges = 0;
+    std::uint64_t conses = 0;
+    std::uint64_t modifies = 0;   ///< rplaca/rplacd operations
+    std::uint64_t readLists = 0;  ///< readlist materializations
     std::uint64_t pseudoOverflows = 0;
     std::uint64_t refOps = 0;
     std::uint64_t cycleRecoveries = 0;
     std::uint64_t heapFreesServiced = 0;
     std::size_t freeQueueHighWater = 0;
+    std::uint32_t peakEntriesInUse = 0;  ///< max LPT occupancy
   };
 
   SmallMachine() : SmallMachine(Config{}) {}
@@ -93,8 +112,11 @@ class SmallMachine {
   // --- introspection ---
   const Stats& stats() const { return stats_; }
   std::uint32_t entriesInUse() const { return inUse_; }
-  std::uint64_t heapCellsLive() const { return heap_.cellsLive(); }
+  std::uint64_t heapCellsLive() const { return heap_->cellsLive(); }
   std::size_t pendingHeapFrees() const { return freeQueue_.size(); }
+  /// The backing representation and its physical-activity counters.
+  const heap::HeapBackend& heap() const { return *heap_; }
+  const heap::HeapStats& heapStats() const { return heap_->stats(); }
 
   /// Run one compression pass; returns merges performed (exposed for the
   /// Fig 4.8 tests; normally triggered by table pressure).
@@ -150,12 +172,12 @@ class SmallMachine {
   std::uint32_t externalRefs(std::uint32_t id) const;
 
   Config config_;
-  heap::TwoPointerHeap heap_;
+  std::unique_ptr<heap::HeapBackend> heap_;
   std::vector<Entry> entries_;
   std::vector<std::uint32_t> freeStack_;
   std::uint32_t inUse_ = 0;
   std::unordered_map<std::uint32_t, std::uint32_t> epRefs_;
-  std::deque<heap::TwoPointerHeap::CellRef> freeQueue_;
+  std::deque<heap::HeapBackend::CellRef> freeQueue_;
   Stats stats_;
 };
 

@@ -1,0 +1,307 @@
+#include "small/machine_replay.hpp"
+
+#include <algorithm>
+
+namespace small::core {
+
+using trace::EventKind;
+using trace::PreprocessedEvent;
+using trace::Primitive;
+
+namespace {
+
+/// Deterministic s-expression of the recorded (n, p) shape: n symbols
+/// distributed over p nested sublists. No randomness — the same shape
+/// yields the same structure on every backend and every run.
+sexpr::NodeRef synthesizeShape(sexpr::Arena& arena, std::uint32_t n,
+                               std::uint32_t p) {
+  n = std::max(n, 1u);
+  sexpr::NodeRef list = sexpr::kNilRef;
+  if (p > 0 && n >= 2) {
+    const std::uint32_t inner = n / 2;
+    sexpr::NodeRef sub = synthesizeShape(arena, inner, p - 1);
+    for (std::uint32_t i = n - inner; i-- > 0;) {
+      list = arena.cons(arena.symbol(static_cast<sexpr::SymbolId>(i % 7)),
+                        list);
+    }
+    return arena.cons(sub, list);
+  }
+  for (std::uint32_t i = n; i-- > 0;) {
+    list = arena.cons(arena.symbol(static_cast<sexpr::SymbolId>(i % 7)),
+                      list);
+  }
+  return list;
+}
+
+class Replayer {
+ public:
+  Replayer(const ReplayConfig& config, const trace::PreprocessedTrace& trace)
+      : config_(config),
+        trace_(trace),
+        rng_(config.seed),
+        machine_(config.machine) {
+    frames_.push_back(Frame{0, 0});  // top level
+  }
+
+  ReplayResult run() {
+    for (const PreprocessedEvent& event : trace_.events) {
+      switch (event.kind) {
+        case EventKind::kFunctionEnter:
+          onFunctionEnter(event);
+          break;
+        case EventKind::kFunctionExit:
+          onFunctionExit();
+          break;
+        case EventKind::kPrimitive:
+          onPrimitive(event);
+          break;
+      }
+    }
+    // Shutdown: unwind every frame and drain the free queue. Whatever
+    // stays in the table is cyclic structure from rplac traffic.
+    while (!stack_.empty()) {
+      machine_.release(stack_.back().value);
+      stack_.pop_back();
+    }
+    machine_.serviceAllHeapFrees();
+
+    ReplayResult result;
+    result.backend = machine_.heap().name();
+    result.machine = machine_.stats();
+    result.heap = machine_.heapStats();
+    result.primitives = primitives_;
+    result.functionCalls = functionCalls_;
+    result.residualEntries = machine_.entriesInUse();
+    result.residualHeapCells = machine_.heapCellsLive();
+    return result;
+  }
+
+ private:
+  using Value = SmallMachine::Value;
+
+  struct Item {
+    Value value;
+    bool isArgument = false;
+    bool isTemp = false;
+  };
+
+  struct Frame {
+    std::size_t base = 0;
+    std::uint8_t argCount = 0;
+  };
+
+  Value freshList(std::uint32_t n, std::uint32_t p) {
+    sexpr::Arena arena;
+    const std::uint32_t capped = std::min(
+        std::max(n, 1u), std::max(config_.maxShapeSymbols, 1u));
+    return machine_.readList(arena,
+                             synthesizeShape(arena, capped, std::min(p, 4u)));
+  }
+
+  std::optional<std::size_t> pickListItem(std::size_t lo, std::size_t hi) {
+    std::optional<std::size_t> chosen;
+    std::uint64_t seen = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!stack_[i].value.isObject()) continue;
+      ++seen;
+      if (rng_.below(seen) == 0) chosen = i;
+    }
+    return chosen;
+  }
+
+  void onFunctionEnter(const PreprocessedEvent& event) {
+    ++functionCalls_;
+    const std::size_t base = stack_.size();
+    for (std::uint8_t i = 0; i < event.argCount; ++i) {
+      Item item;
+      item.isArgument = true;
+      const std::optional<std::size_t> older = pickListItem(0, base);
+      if (older && rng_.chance(0.7)) {
+        item.value = stack_[*older].value;
+        machine_.retain(item.value);
+      }
+      stack_.push_back(item);
+    }
+    const auto locals = static_cast<std::uint32_t>(rng_.below(3));
+    for (std::uint32_t i = 0; i < locals; ++i) {
+      stack_.push_back(Item{});
+    }
+    frames_.push_back(Frame{base, event.argCount});
+  }
+
+  void onFunctionExit() {
+    if (frames_.size() <= 1) return;
+    const Frame frame = frames_.back();
+    frames_.pop_back();
+    while (stack_.size() > frame.base) {
+      machine_.release(stack_.back().value);
+      stack_.pop_back();
+    }
+  }
+
+  std::optional<std::size_t> selectArgument(const PreprocessedEvent& event,
+                                            bool* consumedTemp) {
+    *consumedTemp = false;
+    bool chained = false;
+    for (const trace::PreprocessedObject& arg : event.args) {
+      if (arg.id != trace::kNoObject) {
+        chained = arg.chained;
+        break;
+      }
+    }
+    if (chained && !stack_.empty() && stack_.back().isTemp &&
+        stack_.back().value.isObject()) {
+      *consumedTemp = true;
+      return stack_.size() - 1;
+    }
+
+    const Frame& frame = frames_.back();
+    const double u = rng_.uniform();
+    std::optional<std::size_t> choice;
+    if (u < config_.argProb) {
+      choice = pickListItem(frame.base, frame.base + frame.argCount);
+    } else if (u < config_.argProb + config_.locProb) {
+      choice = pickListItem(frame.base + frame.argCount, stack_.size());
+    } else {
+      choice = pickListItem(0, frame.base);
+    }
+    if (!choice) choice = pickListItem(0, stack_.size());
+    return choice;
+  }
+
+  void disposeValue(Item value) {
+    const bool topLevelPressure =
+        frames_.size() == 1 && stack_.size() >= config_.topLevelStackBound;
+    if (!stack_.empty() &&
+        (topLevelPressure || rng_.chance(config_.bindProb))) {
+      const std::size_t index = rng_.below(stack_.size());
+      machine_.release(stack_[index].value);
+      value.isArgument = stack_[index].isArgument;
+      value.isTemp = stack_[index].isTemp;
+      stack_[index] = value;
+      return;
+    }
+    value.isArgument = false;
+    value.isTemp = true;
+    stack_.push_back(value);
+  }
+
+  void onPrimitive(const PreprocessedEvent& event) {
+    ++primitives_;
+
+    if (event.primitive == Primitive::kRead) {
+      Item item;
+      item.value = freshList(event.result.n, event.result.p);
+      disposeValue(item);
+      return;
+    }
+
+    bool consumedTemp = false;
+    std::optional<std::size_t> argIndex =
+        selectArgument(event, &consumedTemp);
+    if (!argIndex) {
+      // No list value on the stack: materialize the recorded shape.
+      const std::uint32_t n = event.args.empty() ? 1 : event.args[0].n;
+      const std::uint32_t p = event.args.empty() ? 0 : event.args[0].p;
+      Item item;
+      item.value = freshList(n, p);
+      stack_.push_back(item);
+      argIndex = stack_.size() - 1;
+    }
+
+    // ReadProb: the variable was re-read since last access.
+    if (!consumedTemp && rng_.chance(config_.readProb)) {
+      Item& item = stack_[*argIndex];
+      if (item.value.isObject()) {
+        const std::uint32_t n = event.args.empty() ? 1 : event.args[0].n;
+        const std::uint32_t p = event.args.empty() ? 0 : event.args[0].p;
+        machine_.release(item.value);
+        item.value = freshList(n, p);
+      }
+    }
+
+    const Value arg = stack_[*argIndex].value;
+    auto finishTemp = [&] {
+      if (consumedTemp) {
+        machine_.release(stack_.back().value);
+        stack_.pop_back();
+      }
+    };
+
+    switch (event.primitive) {
+      case Primitive::kCar:
+      case Primitive::kCdr: {
+        Item item;
+        if (arg.isObject() || arg.kind == Value::Kind::kNil) {
+          item.value = event.primitive == Primitive::kCar
+                           ? machine_.car(arg)
+                           : machine_.cdr(arg);
+        }  // car/cdr of a non-nil atom: nil result, no machine activity
+        finishTemp();
+        disposeValue(item);
+        break;
+      }
+      case Primitive::kCons:
+      case Primitive::kAppend: {
+        const std::optional<std::size_t> other =
+            pickListItem(0, stack_.size());
+        const Value tail = other ? stack_[*other].value : arg;
+        Item item;
+        item.value = machine_.cons(arg, tail);
+        finishTemp();
+        disposeValue(item);
+        break;
+      }
+      case Primitive::kRplaca:
+      case Primitive::kRplacd: {
+        if (arg.isObject()) {
+          const std::optional<std::size_t> other =
+              pickListItem(0, stack_.size());
+          if (other) {
+            if (event.primitive == Primitive::kRplaca) {
+              machine_.rplaca(arg, stack_[*other].value);
+            } else {
+              machine_.rplacd(arg, stack_[*other].value);
+            }
+          }
+        }
+        // rplac returns its (modified) first argument.
+        Item item;
+        item.value = arg;
+        machine_.retain(item.value);
+        finishTemp();
+        disposeValue(item);
+        break;
+      }
+      case Primitive::kAtom:
+      case Primitive::kNull:
+      case Primitive::kEqual:
+      case Primitive::kWrite: {
+        finishTemp();
+        disposeValue(Item{});  // predicates produce atoms
+        break;
+      }
+      case Primitive::kRead:
+        break;  // handled above
+    }
+  }
+
+  ReplayConfig config_;
+  const trace::PreprocessedTrace& trace_;
+  support::Rng rng_;
+  SmallMachine machine_;
+  std::vector<Item> stack_;
+  std::vector<Frame> frames_;
+  std::uint64_t primitives_ = 0;
+  std::uint64_t functionCalls_ = 0;
+};
+
+}  // namespace
+
+ReplayResult replayTrace(const ReplayConfig& config,
+                         const trace::PreprocessedTrace& trace) {
+  Replayer replayer(config, trace);
+  return replayer.run();
+}
+
+}  // namespace small::core

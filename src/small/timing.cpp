@@ -156,4 +156,63 @@ ConcurrencyReport analyzeConcurrency(const SimResult& result,
   return report;
 }
 
+ConcurrencyReport analyzeMachineConcurrency(const SmallMachine::Stats& machine,
+                                            const heap::HeapStats& heap,
+                                            const TimingParams& params) {
+  // Per-operation structure with the heap estimates zeroed: the machine
+  // ran on a real backend, so its heap activity is charged from the
+  // measured touch counts instead of the fixed heapSplit/heapMerge
+  // figures (which assume two-pointer cells).
+  TimingParams structural = params;
+  structural.heapSplit = 0;
+  structural.heapMerge = 0;
+
+  const OpTiming read = readListTiming(structural);
+  const OpTiming hit = accessHitTiming(structural);
+  const OpTiming miss = accessMissTiming(structural);
+  const OpTiming cons = consTiming(structural);
+  const OpTiming modify = modifyTiming(structural);
+  const OpTiming merge = compressionTiming(structural);
+
+  ConcurrencyReport report;
+  auto add = [&](const OpTiming& t, std::uint64_t n) {
+    report.epBusy += n * t.epBusy;
+    report.epIdle += n * t.epWait;
+    report.lpBusy += n * t.lpTotal();
+    report.serialized += n * t.serialized();
+  };
+  add(read, machine.readLists);
+  add(hit, machine.hits);
+  add(miss, machine.splits);
+  add(cons, machine.conses);
+  add(modify, machine.modifies);
+  add(merge, machine.merges);
+
+  // The measured heap activity occupies the heap controller (charged to
+  // the LP side of the partition, and fully to the Class M serial total).
+  const std::uint64_t heapCycles = heap.touches() * params.heapTouch;
+  report.lpBusy += heapCycles;
+  report.serialized += heapCycles;
+
+  // On the split path the EP is stalled until the heap controller has
+  // fetched the object's two half-words (Fig 4.11's miss case); the rest
+  // of the touch traffic (free-queue service, merge write-back, readlist
+  // encode) overlaps with resumed EP execution.
+  report.epIdle += machine.splits * 2 * params.heapTouch;
+
+  // Residual reference-count traffic beyond the per-op tails, as in
+  // analyzeConcurrency.
+  const std::uint64_t accountedRefOps =
+      machine.readLists + machine.hits + machine.splits +
+      3 * machine.conses + 2 * machine.modifies + 2 * machine.merges;
+  const std::uint64_t residualRefOps = machine.refOps > accountedRefOps
+                                           ? machine.refOps - accountedRefOps
+                                           : 0;
+  report.lpBusy += residualRefOps * params.refCountOp;
+  report.serialized += residualRefOps * params.refCountOp;
+
+  report.makespan = std::max(report.epBusy + report.epIdle, report.lpBusy);
+  return report;
+}
+
 }  // namespace small::core

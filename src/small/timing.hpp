@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <string>
 
+#include "heap/backend.hpp"
+#include "small/machine.hpp"
 #include "small/simulator.hpp"
 
 namespace small::core {
@@ -37,6 +39,10 @@ struct TimingParams {
   std::uint32_t heapMerge = 4;    ///< heap controller: merge two objects
   std::uint32_t listIo = 40;      ///< read list data from the outside world
   std::uint32_t epCompute = 2;    ///< EP: non-list work between primitives
+  /// Heap controller: one physical cell-word read or write. Used by
+  /// analyzeMachineConcurrency, where measured per-backend heap touches
+  /// replace the fixed heapSplit/heapMerge estimates.
+  std::uint32_t heapTouch = 2;
 };
 
 /// One operation's decomposition, as in the Figs 4.10-4.13 diagrams.
@@ -95,5 +101,14 @@ struct ConcurrencyReport {
 
 ConcurrencyReport analyzeConcurrency(const SimResult& result,
                                      const TimingParams& params);
+
+/// Concurrency report for a functional-machine run: the machine's
+/// representation-independent operation counts give the EP/LP structure,
+/// while the backend's *measured* heap touches replace the fixed
+/// heapSplit/heapMerge charges — so the report differs across heap
+/// representations exactly where the physical activity does.
+ConcurrencyReport analyzeMachineConcurrency(const SmallMachine::Stats& machine,
+                                            const heap::HeapStats& heap,
+                                            const TimingParams& params);
 
 }  // namespace small::core

@@ -44,14 +44,24 @@ struct Engines {
     return out;
   }
 
-  std::vector<std::string> compileSmall(std::string_view source,
-                                        std::string_view input) {
+  struct SmallRun {
+    std::vector<std::string> output;
+    core::SmallMachine::Stats stats;
+  };
+
+  SmallRun compileSmall(std::string_view source, std::string_view input,
+                        heap::HeapBackendKind backend) {
     vm::Compiler compiler(arena, symbols);
     const vm::Program program = compiler.compile(source);
-    vm::SmallEmulator emulator(arena, symbols);
+    vm::SmallEmulator::Options options;
+    options.machine.heapBackend = backend;
+    vm::SmallEmulator emulator(arena, symbols, options);
     feed(emulator, input);
     emulator.run(program);
-    return emulator.output();
+    SmallRun run;
+    run.output = emulator.output();
+    run.stats = emulator.machine().stats();
+    return run;
   }
 
   template <typename E>
@@ -143,13 +153,52 @@ TEST_P(Battery, AllThreeEnginesAgree) {
   Engines engines;
   const auto interpreted = engines.interpret(c.source, c.input);
   const auto plain = engines.compilePlain(c.source, c.input);
-  const auto smallBacked = engines.compileSmall(c.source, c.input);
+  const auto smallBacked = engines.compileSmall(
+      c.source, c.input, heap::HeapBackendKind::kTwoPointer);
 
   ASSERT_EQ(interpreted.size(), plain.size());
-  ASSERT_EQ(interpreted.size(), smallBacked.size());
+  ASSERT_EQ(interpreted.size(), smallBacked.output.size());
   for (std::size_t i = 0; i < interpreted.size(); ++i) {
     EXPECT_EQ(interpreted[i], plain[i]) << c.name << " output " << i;
-    EXPECT_EQ(interpreted[i], smallBacked[i]) << c.name << " output " << i;
+    EXPECT_EQ(interpreted[i], smallBacked.output[i])
+        << c.name << " output " << i;
+  }
+}
+
+// The same compiled program on every heap backend must print the same
+// text AND report the same representation-independent machine counters:
+// splits, hits, merges, gets/frees, cons/modify traffic all depend only
+// on the logical structure, never on how the heap lays cells out.
+TEST_P(Battery, AllHeapBackendsAgree) {
+  const ProgramCase& c = GetParam();
+  Engines engines;
+  const auto reference = engines.compileSmall(
+      c.source, c.input, heap::HeapBackendKind::kTwoPointer);
+
+  for (const heap::HeapBackendKind kind :
+       {heap::HeapBackendKind::kCdrCoded,
+        heap::HeapBackendKind::kLinkedVector}) {
+    const auto run = engines.compileSmall(c.source, c.input, kind);
+    const char* backend = heap::heapBackendName(kind);
+    ASSERT_EQ(reference.output.size(), run.output.size())
+        << c.name << " on " << backend;
+    for (std::size_t i = 0; i < run.output.size(); ++i) {
+      EXPECT_EQ(reference.output[i], run.output[i])
+          << c.name << " output " << i << " on " << backend;
+    }
+    EXPECT_EQ(reference.stats.gets, run.stats.gets) << backend;
+    EXPECT_EQ(reference.stats.frees, run.stats.frees) << backend;
+    EXPECT_EQ(reference.stats.splits, run.stats.splits) << backend;
+    EXPECT_EQ(reference.stats.hits, run.stats.hits) << backend;
+    EXPECT_EQ(reference.stats.merges, run.stats.merges) << backend;
+    EXPECT_EQ(reference.stats.conses, run.stats.conses) << backend;
+    EXPECT_EQ(reference.stats.modifies, run.stats.modifies) << backend;
+    EXPECT_EQ(reference.stats.readLists, run.stats.readLists) << backend;
+    EXPECT_EQ(reference.stats.refOps, run.stats.refOps) << backend;
+    EXPECT_EQ(reference.stats.pseudoOverflows, run.stats.pseudoOverflows)
+        << backend;
+    EXPECT_EQ(reference.stats.peakEntriesInUse, run.stats.peakEntriesInUse)
+        << backend;
   }
 }
 

@@ -2,6 +2,9 @@
 // against plain s-expression semantics, including a differential fuzz.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <tuple>
+
 #include "sexpr/printer.hpp"
 #include "sexpr/reader.hpp"
 #include "small/machine.hpp"
@@ -181,21 +184,78 @@ TEST_F(MachineTest, CarOfNilIsNil) {
                support::EvalError);
 }
 
-// --- differential fuzz: machine semantics vs plain s-expressions ---
+// --- cross-backend: one op sequence, three machines in lockstep ---
 
-class MachineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+TEST_F(MachineTest, BackendsAgreeOnStructureAndCounters) {
+  std::vector<std::unique_ptr<SmallMachine>> machines;
+  for (const heap::HeapBackendKind kind : heap::kAllHeapBackendKinds) {
+    SmallMachine::Config config;
+    config.tableSize = 64;
+    config.heapBackend = kind;
+    machines.push_back(std::make_unique<SmallMachine>(config));
+  }
+  // The same mixed workout on each machine: read, split, cons, mutate,
+  // release, compress.
+  std::vector<std::vector<SmallMachine::Value>> held(machines.size());
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    SmallMachine& machine = *machines[m];
+    const auto list = machine.readList(arena, read("(a (b c) d . e)"));
+    const auto sub = machine.car(list);
+    const auto inner = machine.cdr(list);
+    machine.rplaca(list, SmallMachine::Value::integer(9));
+    const auto pair = machine.cons(sub, inner);
+    const auto tail = machine.readList(arena, read("(tail list)"));
+    machine.rplacd(pair, tail);
+    machine.compress(true);
+    EXPECT_EQ(show(pair, machine), "(a tail list)") << m;
+    held[m] = {list, sub, inner, pair, tail};
+  }
+  const SmallMachine::Stats& reference = machines[0]->stats();
+  for (std::size_t m = 1; m < machines.size(); ++m) {
+    const SmallMachine::Stats& stats = machines[m]->stats();
+    const char* backend = machines[m]->heap().name();
+    EXPECT_EQ(reference.gets, stats.gets) << backend;
+    EXPECT_EQ(reference.frees, stats.frees) << backend;
+    EXPECT_EQ(reference.splits, stats.splits) << backend;
+    EXPECT_EQ(reference.hits, stats.hits) << backend;
+    EXPECT_EQ(reference.merges, stats.merges) << backend;
+    EXPECT_EQ(reference.conses, stats.conses) << backend;
+    EXPECT_EQ(reference.modifies, stats.modifies) << backend;
+    EXPECT_EQ(reference.refOps, stats.refOps) << backend;
+    EXPECT_EQ(reference.peakEntriesInUse, stats.peakEntriesInUse) << backend;
+  }
+  // Physical activity must exist on every backend, and each backend keeps
+  // its own books.
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    for (const auto v : held[m]) machines[m]->release(v);
+    machines[m]->serviceAllHeapFrees();
+    const heap::HeapStats& hs = machines[m]->heapStats();
+    EXPECT_GT(hs.allocs, 0u);
+    EXPECT_GT(hs.touches(), 0u);
+    EXPECT_GE(hs.peakLiveCells, hs.liveCells);
+    EXPECT_EQ(machines[m]->entriesInUse(), 0u);
+    EXPECT_EQ(machines[m]->heapCellsLive(), 0u);
+  }
+}
+
+// --- differential fuzz: machine semantics vs plain s-expressions,
+//     repeated on every heap backend ---
+
+class MachineFuzz : public ::testing::TestWithParam<
+                        std::tuple<std::uint64_t, heap::HeapBackendKind>> {};
 
 TEST_P(MachineFuzz, AgreesWithArenaSemantics) {
   sexpr::SymbolTable symbols;
   sexpr::Arena arena;
   sexpr::Reader reader(arena, symbols);
-  support::Rng rng(GetParam());
+  support::Rng rng(std::get<0>(GetParam()));
 
   SmallMachine::Config config;
   // Small enough that compression fires under load, large enough that a
   // dozen EP-pinned structures (each pinning its ancestor chain of
   // unfoldable endo-structure) always fit.
   config.tableSize = 256;
+  config.heapBackend = std::get<1>(GetParam());
   SmallMachine machine(config);
 
   // Twins: (arena NodeRef, machine Value) that must stay `equal`.
@@ -295,8 +355,10 @@ TEST_P(MachineFuzz, AgreesWithArenaSemantics) {
   machine.serviceAllHeapFrees();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MachineFuzz,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MachineFuzz,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                       ::testing::ValuesIn(heap::kAllHeapBackendKinds)));
 
 }  // namespace
 }  // namespace small::core
