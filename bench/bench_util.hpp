@@ -8,10 +8,13 @@
 //     programs under the tracing interpreter (pass --workload).
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "trace/preprocess.hpp"
 #include "trace/synthetic.hpp"
@@ -26,10 +29,52 @@ inline bool hasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Value of a `--flag value` pair, or nullptr if absent.
+inline const char* flagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// The common `--jobs N` flag shared by every sweep bench: worker threads
+/// for the deterministic parallel runner. Defaults to the hardware
+/// concurrency; `--jobs 1` reproduces the serial path bit for bit (the
+/// runner then executes inline, in task order, on the calling thread).
+inline int jobsFlag(int argc, char** argv) {
+  const char* value = flagValue(argc, argv, "--jobs");
+  if (value == nullptr) return support::hardwareJobs();
+  const int jobs = std::atoi(value);
+  return jobs >= 1 ? jobs : support::hardwareJobs();
+}
+
 struct NamedTrace {
   std::string name;
   trace::Trace raw;
 };
+
+/// A workload trace generated and preprocessed exactly once, shared
+/// read-only by every simulation task fanned out over it. Generation stays
+/// serial (the synthetic profiles share one generator stream); the
+/// preprocessing passes are independent and run through the sweep runner.
+struct PreparedTrace {
+  std::string name;
+  trace::Trace raw;
+  trace::PreprocessedTrace pre;
+};
+
+inline std::vector<PreparedTrace> prepareTraces(
+    std::vector<NamedTrace> traces, int jobs) {
+  std::vector<PreparedTrace> prepared(traces.size());
+  support::runIndexed(traces.size(), jobs, [&](std::size_t i) {
+    prepared[i].pre = trace::preprocess(traces[i].raw);
+  });
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    prepared[i].name = std::move(traces[i].name);
+    prepared[i].raw = std::move(traces[i].raw);
+  }
+  return prepared;
+}
 
 /// The Chapter 3 suite (five workloads at thesis §3.3.1 lengths).
 inline std::vector<NamedTrace> chapter3Traces(bool fromWorkloads,
@@ -38,7 +83,7 @@ inline std::vector<NamedTrace> chapter3Traces(bool fromWorkloads,
   if (fromWorkloads) {
     for (const workloads::Workload w : workloads::kAllWorkloads) {
       workloads::RunOptions options;
-      options.scale = std::max(1, static_cast<int>(scale));
+      options.scale = scale;  // fractional scales shrink the run too
       traces.push_back({workloads::workloadName(w),
                         workloads::runWorkload(w, options)});
     }
@@ -73,6 +118,19 @@ inline std::vector<NamedTrace> chapter5Traces(bool fromWorkloads) {
     traces.push_back({profile.name, trace::generate(profile, rng)});
   }
   return traces;
+}
+
+/// chapter3Traces + shared one-time preprocessing.
+inline std::vector<PreparedTrace> prepareChapter3(bool fromWorkloads,
+                                                  int jobs,
+                                                  double scale = 1.0) {
+  return prepareTraces(chapter3Traces(fromWorkloads, scale), jobs);
+}
+
+/// chapter5Traces + shared one-time preprocessing.
+inline std::vector<PreparedTrace> prepareChapter5(bool fromWorkloads,
+                                                  int jobs) {
+  return prepareTraces(chapter5Traces(fromWorkloads), jobs);
 }
 
 }  // namespace small::benchutil

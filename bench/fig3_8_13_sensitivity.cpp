@@ -5,18 +5,26 @@
 // Paper shape: the partition's gross behaviour is stable; smaller windows
 // yield more, smaller, shorter-lived list sets; under the fixed absolute
 // window Lyra (whose fraction shrinks most) splinters the most.
+//
+// Each partition run is independent, so the constraint sweep and the
+// per-trace fixed-window study fan out through support::runSweep behind
+// --jobs N; rows are emitted from id-ordered slots, so the table is
+// byte-identical at any job count. Traces are generated and preprocessed
+// exactly once and shared read-only (the old code preprocessed Slang twice).
 #include <algorithm>
 #include <cstdio>
 
 #include "analysis/list_sets.hpp"
 #include "bench_util.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "trace/preprocess.hpp"
 
 int main(int argc, char** argv) {
   using namespace small;
   const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const auto traces = benchutil::chapter3Traces(fromWorkloads);
+  const int jobs = benchutil::jobsFlag(argc, argv);
+  const auto traces = benchutil::prepareChapter3(fromWorkloads, jobs);
 
   // --- Figs 3.8-3.10: sweep the fractional constraint on Slang ---
   std::puts("Figs 3.8-3.10: varying separation constraint (Slang trace)");
@@ -26,35 +34,38 @@ int main(int argc, char** argv) {
   for (const auto& named : traces) {
     if (named.name == "Slang") slang = &named;
   }
-  const auto slangPre = trace::preprocess(slang->raw);
-  for (const double fraction : {0.05, 0.10, 0.25, 0.50, 1.00}) {
-    analysis::ListSetOptions options;
-    options.separationFraction = fraction;
-    const auto partition = analysis::partitionListSets(slangPre, options);
-    const auto cumulative = partition.cumulativeReferencesBySetRank();
-    std::size_t shortLived = 0;
-    std::uint64_t longRefs = 0;
-    for (const auto& s : partition.sets) {
-      const double life = s.lifetimeFraction(partition.traceLength);
-      if (life < 0.10) ++shortLived;
-      if (life > 0.60) longRefs += s.references;
-    }
-    const std::size_t k = std::min<std::size_t>(cumulative.y.size(), 10);
-    sweep.addRow(
-        {support::formatPercent(fraction, 0),
-         std::to_string(partition.sets.size()),
-         k ? support::formatPercent(cumulative.y[k - 1], 1) : "-",
-         partition.sets.empty()
-             ? "-"
-             : support::formatPercent(static_cast<double>(shortLived) /
-                                          partition.sets.size(),
-                                      1),
-         partition.totalReferences == 0
-             ? "-"
-             : support::formatPercent(static_cast<double>(longRefs) /
-                                          partition.totalReferences,
-                                      1)});
-  }
+  const std::vector<double> fractions = {0.05, 0.10, 0.25, 0.50, 1.00};
+  const auto sweepRows = support::runSweep<std::vector<std::string>>(
+      fractions, jobs, [&](double fraction, std::size_t) {
+        analysis::ListSetOptions options;
+        options.separationFraction = fraction;
+        const auto partition =
+            analysis::partitionListSets(slang->pre, options);
+        const auto cumulative = partition.cumulativeReferencesBySetRank();
+        std::size_t shortLived = 0;
+        std::uint64_t longRefs = 0;
+        for (const auto& s : partition.sets) {
+          const double life = s.lifetimeFraction(partition.traceLength);
+          if (life < 0.10) ++shortLived;
+          if (life > 0.60) longRefs += s.references;
+        }
+        const std::size_t k = std::min<std::size_t>(cumulative.y.size(), 10);
+        return std::vector<std::string>{
+            support::formatPercent(fraction, 0),
+            std::to_string(partition.sets.size()),
+            k ? support::formatPercent(cumulative.y[k - 1], 1) : "-",
+            partition.sets.empty()
+                ? "-"
+                : support::formatPercent(static_cast<double>(shortLived) /
+                                             partition.sets.size(),
+                                         1),
+            partition.totalReferences == 0
+                ? "-"
+                : support::formatPercent(static_cast<double>(longRefs) /
+                                             partition.totalReferences,
+                                         1)};
+      });
+  for (const auto& row : sweepRows) sweep.addRow(row);
   std::fputs(sweep.render().c_str(), stdout);
   std::puts("paper: the same general behaviour at every constraint; "
             "smaller windows -> more,\nsmaller list sets; 50% and 100% "
@@ -71,27 +82,30 @@ int main(int argc, char** argv) {
               (unsigned long long)window);
   support::TextTable fixed({"Benchmark", "window as % of trace", "sets",
                             "top-100 cover", "sets >50% life"});
-  for (const auto& [name, raw] : traces) {
-    const auto pre = trace::preprocess(raw);
-    analysis::ListSetOptions options;
-    options.separationAbsolute = window;
-    const auto partition = analysis::partitionListSets(pre, options);
-    const auto cumulative = partition.cumulativeReferencesBySetRank();
-    const std::size_t k = std::min<std::size_t>(cumulative.y.size(), 100);
-    std::size_t longLife = 0;
-    for (const auto& s : partition.sets) {
-      if (s.lifetimeFraction(partition.traceLength) > 0.5) ++longLife;
-    }
-    fixed.addRow(
-        {name,
-         support::formatPercent(static_cast<double>(window) /
-                                    static_cast<double>(
-                                        raw.primitiveLength()),
-                                2),
-         std::to_string(partition.sets.size()),
-         k ? support::formatPercent(cumulative.y[k - 1], 1) : "-",
-         std::to_string(longLife)});
-  }
+  const auto fixedRows = support::runSweep<std::vector<std::string>>(
+      traces, jobs, [&](const benchutil::PreparedTrace& named, std::size_t) {
+        analysis::ListSetOptions options;
+        options.separationAbsolute = window;
+        const auto partition =
+            analysis::partitionListSets(named.pre, options);
+        const auto cumulative = partition.cumulativeReferencesBySetRank();
+        const std::size_t k =
+            std::min<std::size_t>(cumulative.y.size(), 100);
+        std::size_t longLife = 0;
+        for (const auto& s : partition.sets) {
+          if (s.lifetimeFraction(partition.traceLength) > 0.5) ++longLife;
+        }
+        return std::vector<std::string>{
+            named.name,
+            support::formatPercent(static_cast<double>(window) /
+                                       static_cast<double>(
+                                           named.raw.primitiveLength()),
+                                   2),
+            std::to_string(partition.sets.size()),
+            k ? support::formatPercent(cumulative.y[k - 1], 1) : "-",
+            std::to_string(longLife)};
+      });
+  for (const auto& row : fixedRows) fixed.addRow(row);
   std::fputs(fixed.render().c_str(), stdout);
   std::puts("paper: Lyra shifts hardest toward many small sets (its window "
             "shrank from 10%\nto 0.79%); Slang/PlaGen barely change.");

@@ -7,11 +7,18 @@
 // entries even on the longest trace; 2K-4K entries make even pseudo
 // overflow rare. Lyra's knee interval over reseeded runs stands out
 // (larger working set), and is NOT explained by trace length alone.
+//
+// Every simulator run here is an independent pure function of (config,
+// preprocessed trace), so the (trace x size) and (trace x seed) grids fan
+// out through support::runSweep behind --jobs N. Results land in slots
+// indexed by grid position and are reduced/printed serially in grid order,
+// so the output is byte-identical for every job count.
 #include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "small/simulator.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "trace/preprocess.hpp"
@@ -20,45 +27,64 @@ int main(int argc, char** argv) {
   using namespace small;
   const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
   const bool quick = benchutil::hasFlag(argc, argv, "--quick");
+  const int jobs = benchutil::jobsFlag(argc, argv);
 
-  const auto traces = benchutil::chapter5Traces(fromWorkloads);
+  const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
 
   // --- Fig 5.1: peak usage vs table size, one seed ---
   std::puts("Fig 5.1: peak LPT usage vs table size (Compress-One)");
-  std::vector<support::Series> curves;
   support::TextTable kneeTable(
       {"Trace", "smallest no-true-overflow", "knee (no overflow at all)"});
-  std::vector<std::pair<std::string, trace::PreprocessedTrace>> pres;
-  for (const auto& [name, raw] : traces) {
-    pres.emplace_back(name, trace::preprocess(raw));
-  }
 
-  for (const auto& [name, pre] : pres) {
-    // Unconstrained run gives the knee directly.
-    core::SimConfig big;
-    big.tableSize = 1u << 18;
-    big.seed = 42;
-    const core::SimResult free = core::simulateTrace(big, pre);
-    const std::uint32_t knee = free.peakOccupancy;
+  // Stage 1: one unconstrained run per trace gives the knees directly.
+  const std::vector<std::uint32_t> knees =
+      support::runSweep<std::uint32_t>(pres, jobs, [](const auto& named,
+                                                      std::size_t) {
+        core::SimConfig big;
+        big.tableSize = 1u << 18;
+        big.seed = 42;
+        return core::simulateTrace(big, named.pre).peakOccupancy;
+      });
 
-    support::Series series{name, {}, {}};
+  // Stage 2: the (trace x size fraction) grid, one task per cell.
+  constexpr double kFractions[] = {0.1, 0.2,  0.35, 0.5, 0.65, 0.8,
+                                   0.9, 1.0,  1.1,  1.3, 1.6,  2.0};
+  constexpr std::size_t kFractionCount = std::size(kFractions);
+  struct Cell {
+    std::uint32_t size = 0;
+    std::uint32_t peak = 0;
+    bool trueOverflow = false;
+  };
+  const std::vector<Cell> cells = support::runSweep<Cell>(
+      pres.size() * kFractionCount, jobs, [&](std::size_t id) {
+        const std::size_t traceIdx = id / kFractionCount;
+        const double fraction = kFractions[id % kFractionCount];
+        Cell cell;
+        cell.size = std::max<std::uint32_t>(
+            8, static_cast<std::uint32_t>(knees[traceIdx] * fraction));
+        core::SimConfig config;
+        config.tableSize = cell.size;
+        config.seed = 42;
+        const core::SimResult result =
+            core::simulateTrace(config, pres[traceIdx].pre);
+        cell.peak = result.peakOccupancy;
+        cell.trueOverflow = result.trueOverflowOccurred;
+        return cell;
+      });
+
+  std::vector<support::Series> curves;
+  for (std::size_t t = 0; t < pres.size(); ++t) {
+    support::Series series{pres[t].name, {}, {}};
     std::uint32_t smallestNoTrue = 0;
-    // Sweep sizes around the knee.
-    for (double fraction :
-         {0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0, 1.1, 1.3, 1.6, 2.0}) {
-      const auto size = std::max<std::uint32_t>(
-          8, static_cast<std::uint32_t>(knee * fraction));
-      core::SimConfig config;
-      config.tableSize = size;
-      config.seed = 42;
-      const core::SimResult result = core::simulateTrace(config, pre);
-      series.add(size, result.peakOccupancy);
-      if (smallestNoTrue == 0 && !result.trueOverflowOccurred) {
-        smallestNoTrue = size;
+    for (std::size_t f = 0; f < kFractionCount; ++f) {
+      const Cell& cell = cells[t * kFractionCount + f];
+      series.add(cell.size, cell.peak);
+      if (smallestNoTrue == 0 && !cell.trueOverflow) {
+        smallestNoTrue = cell.size;
       }
     }
-    kneeTable.addRow({name, std::to_string(smallestNoTrue),
-                      std::to_string(knee)});
+    kneeTable.addRow({pres[t].name, std::to_string(smallestNoTrue),
+                      std::to_string(knees[t])});
     curves.push_back(std::move(series));
   }
   std::fputs(support::asciiPlot(curves).c_str(), stdout);
@@ -72,20 +98,26 @@ int main(int argc, char** argv) {
               "runs\n", seeds);
   support::TextTable intervals(
       {"Trace", "min knee", "mean", "max knee", "95%% ci half-width"});
-  for (const auto& [name, pre] : pres) {
-    support::RunningStats knees;
-    for (int seed = 1; seed <= seeds; ++seed) {
-      core::SimConfig config;
-      config.tableSize = 1u << 18;
-      config.seed = static_cast<std::uint64_t>(seed) * 7919;
-      const core::SimResult result = core::simulateTrace(config, pre);
-      knees.add(result.peakOccupancy);
-    }
-    intervals.addRow({name, support::formatDouble(knees.min(), 0),
-                      support::formatDouble(knees.mean(), 1),
-                      support::formatDouble(knees.max(), 0),
+  const std::vector<std::uint32_t> peaks = support::runSweep<std::uint32_t>(
+      pres.size() * static_cast<std::size_t>(seeds), jobs,
+      [&](std::size_t id) {
+        const std::size_t traceIdx = id / seeds;
+        const int seed = static_cast<int>(id % seeds) + 1;
+        core::SimConfig config;
+        config.tableSize = 1u << 18;
+        config.seed = static_cast<std::uint64_t>(seed) * 7919;
+        return core::simulateTrace(config, pres[traceIdx].pre).peakOccupancy;
+      });
+  for (std::size_t t = 0; t < pres.size(); ++t) {
+    // Accumulate in seed order: RunningStats' floating-point state is then
+    // independent of worker scheduling.
+    support::RunningStats knees52;
+    for (int s = 0; s < seeds; ++s) knees52.add(peaks[t * seeds + s]);
+    intervals.addRow({pres[t].name, support::formatDouble(knees52.min(), 0),
+                      support::formatDouble(knees52.mean(), 1),
+                      support::formatDouble(knees52.max(), 0),
                       support::formatDouble(
-                          knees.confidenceHalfWidth95(), 2)});
+                          knees52.confidenceHalfWidth95(), 2)});
   }
   std::fputs(intervals.render().c_str(), stdout);
   std::puts("paper: Lyra's interval stands out (intrinsically larger "

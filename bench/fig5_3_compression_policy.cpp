@@ -4,45 +4,75 @@
 // *average* occupancy higher than Compress-All, but the mean difference
 // is small — which justifies Compress-One (bounded work per overflow)
 // and the hybrid scheme.
+//
+// The (trace x size x policy) grid fans out through support::runSweep
+// behind --jobs N; rows read their three policy runs back from id-indexed
+// slots, so the table is byte-identical at any job count. Traces are
+// preprocessed once and shared read-only across all tasks.
 #include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "small/simulator.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "trace/preprocess.hpp"
 
 int main(int argc, char** argv) {
   using namespace small;
   const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  const int jobs = benchutil::jobsFlag(argc, argv);
 
   std::puts("Fig 5.3: average LPT occupancy, Compress-One vs Compress-All");
   support::TextTable table({"Trace", "table size", "avg occ (One)",
                             "avg occ (All)", "avg occ (Hybrid)",
                             "pseudo ovfl (One)", "pseudo ovfl (All)"});
 
-  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
-    // The paper plots Slang and Editor; we run all four.
-    const auto pre = trace::preprocess(raw);
-    core::SimConfig big;
-    big.tableSize = 1u << 18;
-    big.seed = 17;
-    const std::uint32_t knee = core::simulateTrace(big, pre).peakOccupancy;
+  const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
 
-    for (const double fraction : {0.5, 0.75}) {
-      const auto size = std::max<std::uint32_t>(
-          8, static_cast<std::uint32_t>(knee * fraction));
-      auto runWith = [&](core::CompressionPolicy policy) {
+  const std::vector<std::uint32_t> knees =
+      support::runSweep<std::uint32_t>(pres, jobs, [](const auto& named,
+                                                      std::size_t) {
+        core::SimConfig big;
+        big.tableSize = 1u << 18;
+        big.seed = 17;
+        return core::simulateTrace(big, named.pre).peakOccupancy;
+      });
+
+  constexpr double kFractions[] = {0.5, 0.75};
+  constexpr core::CompressionPolicy kPolicies[] = {
+      core::CompressionPolicy::kCompressOne,
+      core::CompressionPolicy::kCompressAll,
+      core::CompressionPolicy::kHybrid};
+  constexpr std::size_t kFractionCount = std::size(kFractions);
+  constexpr std::size_t kPolicyCount = std::size(kPolicies);
+  const auto results = support::runSweep<core::SimResult>(
+      pres.size() * kFractionCount * kPolicyCount, jobs,
+      [&](std::size_t id) {
+        const std::size_t traceIdx = id / (kFractionCount * kPolicyCount);
+        const std::size_t fractionIdx =
+            (id / kPolicyCount) % kFractionCount;
+        const core::CompressionPolicy policy = kPolicies[id % kPolicyCount];
+        const auto size = std::max<std::uint32_t>(
+            8, static_cast<std::uint32_t>(knees[traceIdx] *
+                                          kFractions[fractionIdx]));
         core::SimConfig config;
         config.tableSize = size;
         config.compression = policy;
         config.seed = 17;
-        return core::simulateTrace(config, pre);
-      };
-      const auto one = runWith(core::CompressionPolicy::kCompressOne);
-      const auto all = runWith(core::CompressionPolicy::kCompressAll);
-      const auto hybrid = runWith(core::CompressionPolicy::kHybrid);
-      table.addRow({name, std::to_string(size),
+        return core::simulateTrace(config, pres[traceIdx].pre);
+      });
+
+  for (std::size_t t = 0; t < pres.size(); ++t) {
+    // The paper plots Slang and Editor; we run all four.
+    for (std::size_t f = 0; f < kFractionCount; ++f) {
+      const auto size = std::max<std::uint32_t>(
+          8, static_cast<std::uint32_t>(knees[t] * kFractions[f]));
+      const std::size_t base = (t * kFractionCount + f) * kPolicyCount;
+      const core::SimResult& one = results[base + 0];
+      const core::SimResult& all = results[base + 1];
+      const core::SimResult& hybrid = results[base + 2];
+      table.addRow({pres[t].name, std::to_string(size),
                     support::formatDouble(one.averageOccupancy, 1),
                     support::formatDouble(all.averageOccupancy, 1),
                     support::formatDouble(hybrid.averageOccupancy, 1),

@@ -14,17 +14,27 @@
 // The machine-level concurrency model (analyzeMachineConcurrency) then
 // converts each backend's measured touches into an EP/LP timing report,
 // showing how representation choice moves LP occupancy and speedup.
+//
+// The (trace x backend) replays are independent (each task owns its
+// machine; the preprocessed traces are shared read-only), so they fan out
+// through support::runSweep behind --jobs N. Tables are emitted from
+// id-ordered slots — byte-identical output at any job count. Any
+// cross-backend machine-counter divergence is a correctness failure of
+// the representation-independence contract: it is reported on stderr AND
+// makes the bench exit nonzero, so CI can gate on it.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "small/machine_replay.hpp"
 #include "small/timing.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "trace/preprocess.hpp"
 
 int main(int argc, char** argv) {
   using namespace small;
   const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  const int jobs = benchutil::jobsFlag(argc, argv);
 
   support::TextTable machineTable(
       {"Trace", "Prims", "Gets", "Frees", "Splits", "Merges", "Hits",
@@ -33,22 +43,30 @@ int main(int argc, char** argv) {
       {"Trace", "Backend", "Allocs", "Frees", "Touches", "Splits", "Merges",
        "Peak cells", "LP busy", "Speedup"});
 
-  for (const auto& [name, raw] : benchutil::chapter3Traces(fromWorkloads)) {
-    const trace::PreprocessedTrace pre = trace::preprocess(raw);
+  const auto traces = benchutil::prepareChapter3(fromWorkloads, jobs);
+  constexpr std::size_t kBackendCount =
+      std::size(heap::kAllHeapBackendKinds);
 
-    bool machineRowEmitted = false;
-    core::SmallMachine::Stats reference;
-    for (const heap::HeapBackendKind kind : heap::kAllHeapBackendKinds) {
-      core::ReplayConfig config;
-      config.seed = 17;
-      config.machine.heapBackend = kind;
-      // Small enough that the busier traces overflow the table and force
-      // Fig 4.8 compression — so the merge path shows up per backend.
-      config.machine.tableSize = 512;
-      const core::ReplayResult result = core::replayTrace(config, pre);
+  const auto results = support::runSweep<core::ReplayResult>(
+      traces.size() * kBackendCount, jobs, [&](std::size_t id) {
+        core::ReplayConfig config;
+        config.seed = 17;
+        config.machine.heapBackend =
+            heap::kAllHeapBackendKinds[id % kBackendCount];
+        // Small enough that the busier traces overflow the table and force
+        // Fig 4.8 compression — so the merge path shows up per backend.
+        config.machine.tableSize = 512;
+        return core::replayTrace(config, traces[id / kBackendCount].pre);
+      });
 
-      if (!machineRowEmitted) {
-        reference = result.machine;
+  bool invarianceViolated = false;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const std::string& name = traces[t].name;
+    const core::SmallMachine::Stats& reference =
+        results[t * kBackendCount].machine;
+    for (std::size_t b = 0; b < kBackendCount; ++b) {
+      const core::ReplayResult& result = results[t * kBackendCount + b];
+      if (b == 0) {
         machineTable.addRow(
             {name, std::to_string(result.primitives),
              std::to_string(result.machine.gets),
@@ -57,17 +75,17 @@ int main(int argc, char** argv) {
              std::to_string(result.machine.merges),
              std::to_string(result.machine.hits),
              std::to_string(result.machine.peakEntriesInUse)});
-        machineRowEmitted = true;
       } else if (result.machine.gets != reference.gets ||
                  result.machine.frees != reference.frees ||
                  result.machine.splits != reference.splits ||
                  result.machine.merges != reference.merges ||
                  result.machine.hits != reference.hits) {
         std::fprintf(stderr,
-                     "WARNING: %s/%s machine counters diverged from the "
+                     "ERROR: %s/%s machine counters diverged from the "
                      "two-pointer reference — representation leaked into "
                      "machine logic\n",
                      name.c_str(), result.backend.c_str());
+        invarianceViolated = true;
       }
 
       const core::TimingParams params;
@@ -98,5 +116,10 @@ int main(int argc, char** argv) {
       "peak cells differ —\ncdr-coded trades pointer-chase reads for "
       "copy-out writes, linked vectors add boundary\nindirections, "
       "two-pointer pays one dependent read per cdr (§2.3.3).");
+  if (invarianceViolated) {
+    std::fputs("FAIL: cross-backend machine-counter invariance violated\n",
+               stderr);
+    return 1;
+  }
   return 0;
 }

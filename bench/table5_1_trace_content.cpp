@@ -2,6 +2,10 @@
 //
 // Paper values: Lyra (11907 functions, 160933 primitives, depth 27),
 // PlaGen (8173, 34628, 15), Slang (620, 2304, 14), Editor (342, 1437, 29).
+//
+// The content scan also validates enter/exit balance: a kFunctionExit at
+// depth 0 means the trace is truncated or corrupted, and used to be
+// silently clamped. Any unbalanced trace is reported and fails the bench.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -26,8 +30,17 @@ int main(int argc, char** argv) {
       {"Slang", "620", "2304", "14"},
       {"Editor", "342", "1437", "29"},
   };
+  bool malformed = false;
   for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
     const trace::TraceContent content = raw.content();
+    if (!content.balanced()) {
+      std::fprintf(stderr,
+                   "ERROR: %s has %llu unbalanced function exits — "
+                   "truncated or corrupted trace\n",
+                   name.c_str(),
+                   (unsigned long long)content.unbalancedExits);
+      malformed = true;
+    }
     const PaperRow* paper = nullptr;
     for (const PaperRow& row : kPaper) {
       if (name == row.name) paper = &row;
@@ -40,5 +53,5 @@ int main(int argc, char** argv) {
                   paper ? paper->depth : "-"});
   }
   std::fputs(table.render().c_str(), stdout);
-  return 0;
+  return malformed ? 1 : 0;
 }

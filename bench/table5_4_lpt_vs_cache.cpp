@@ -5,11 +5,17 @@
 // consistently produces more hits; cache misses outnumber LPT misses by
 // ~2x across the studied sizes; both converge at large sizes while the
 // absolute miss-count gap persists.
+//
+// The knee runs, the (trace x size) grid and the Fig 5.4 size sweep all
+// fan out through support::runSweep behind --jobs N; every row/point is
+// read back from its id-indexed slot, so output is byte-identical at any
+// job count. Traces are preprocessed once and shared read-only.
 #include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "small/simulator.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "trace/preprocess.hpp"
 
@@ -17,38 +23,55 @@ int main(int argc, char** argv) {
   using namespace small;
   const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
   const bool sweep = benchutil::hasFlag(argc, argv, "--sweep");
+  const int jobs = benchutil::jobsFlag(argc, argv);
 
   std::puts("Table 5.4: LPT vs fully associative LRU data cache "
             "(unit line, equal entry counts)");
   support::TextTable table({"Trace", "Size", "LPTMisses", "LPT HitRate",
                             "CacheMisses", "Cache HitRate"});
 
-  std::vector<std::pair<std::string, trace::PreprocessedTrace>> pres;
-  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
-    pres.emplace_back(name, trace::preprocess(raw));
-  }
+  const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
 
-  for (const auto& [name, pre] : pres) {
-    core::SimConfig big;
-    big.tableSize = 1u << 18;
-    big.seed = 31;
-    const std::uint32_t knee = core::simulateTrace(big, pre).peakOccupancy;
-    // The paper samples three sizes below/around the knee per trace.
-    for (const double fraction : {0.6, 0.85, 1.1}) {
-      const auto size = std::max<std::uint32_t>(
-          16, static_cast<std::uint32_t>(knee * fraction));
-      core::SimConfig config;
-      config.tableSize = size;
-      config.driveCache = true;
-      config.cacheEntries = size;  // same number of entries as the LPT
-      config.cacheLineSize = 1;
-      config.seed = 31;
-      const core::SimResult result = core::simulateTrace(config, pre);
-      table.addRow({name, std::to_string(size),
-                    std::to_string(result.lptMisses),
-                    support::formatPercent(result.lptHitRate, 2),
-                    std::to_string(result.cacheMisses),
-                    support::formatPercent(result.cacheHitRate, 2)});
+  const std::vector<std::uint32_t> knees =
+      support::runSweep<std::uint32_t>(pres, jobs, [](const auto& named,
+                                                      std::size_t) {
+        core::SimConfig big;
+        big.tableSize = 1u << 18;
+        big.seed = 31;
+        return core::simulateTrace(big, named.pre).peakOccupancy;
+      });
+
+  // The paper samples three sizes below/around the knee per trace.
+  constexpr double kFractions[] = {0.6, 0.85, 1.1};
+  constexpr std::size_t kFractionCount = std::size(kFractions);
+  struct Cell {
+    std::uint32_t size = 0;
+    core::SimResult result;
+  };
+  const std::vector<Cell> cells = support::runSweep<Cell>(
+      pres.size() * kFractionCount, jobs, [&](std::size_t id) {
+        const std::size_t traceIdx = id / kFractionCount;
+        const double fraction = kFractions[id % kFractionCount];
+        Cell cell;
+        cell.size = std::max<std::uint32_t>(
+            16, static_cast<std::uint32_t>(knees[traceIdx] * fraction));
+        core::SimConfig config;
+        config.tableSize = cell.size;
+        config.driveCache = true;
+        config.cacheEntries = cell.size;  // same entry count as the LPT
+        config.cacheLineSize = 1;
+        config.seed = 31;
+        cell.result = core::simulateTrace(config, pres[traceIdx].pre);
+        return cell;
+      });
+  for (std::size_t t = 0; t < pres.size(); ++t) {
+    for (std::size_t f = 0; f < kFractionCount; ++f) {
+      const Cell& cell = cells[t * kFractionCount + f];
+      table.addRow({pres[t].name, std::to_string(cell.size),
+                    std::to_string(cell.result.lptMisses),
+                    support::formatPercent(cell.result.lptHitRate, 2),
+                    std::to_string(cell.result.cacheMisses),
+                    support::formatPercent(cell.result.cacheHitRate, 2)});
     }
   }
   std::fputs(table.render().c_str(), stdout);
@@ -59,20 +82,24 @@ int main(int argc, char** argv) {
     std::puts("\nFig 5.4: hit rates vs cache/LPT size (Slang trace)");
     const auto* slang = &pres[0];
     for (const auto& entry : pres) {
-      if (entry.first == "Slang") slang = &entry;
+      if (entry.name == "Slang") slang = &entry;
     }
+    const std::vector<std::uint32_t> sizes = {24u,  40u,  64u, 96u,
+                                              128u, 192u, 256u};
+    const auto points = support::runSweep<core::SimResult>(
+        sizes, jobs, [&](std::uint32_t size, std::size_t) {
+          core::SimConfig config;
+          config.tableSize = size;
+          config.driveCache = true;
+          config.cacheEntries = size;
+          config.seed = 33;
+          return core::simulateTrace(config, slang->pre);
+        });
     support::Series lptSeries{"LPT", {}, {}};
     support::Series cacheSeries{"cache", {}, {}};
-    for (const std::uint32_t size : {24u, 40u, 64u, 96u, 128u, 192u, 256u}) {
-      core::SimConfig config;
-      config.tableSize = size;
-      config.driveCache = true;
-      config.cacheEntries = size;
-      config.seed = 33;
-      const core::SimResult result =
-          core::simulateTrace(config, slang->second);
-      lptSeries.add(size, result.lptHitRate);
-      cacheSeries.add(size, result.cacheHitRate);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      lptSeries.add(sizes[i], points[i].lptHitRate);
+      cacheSeries.add(sizes[i], points[i].cacheHitRate);
     }
     std::fputs(support::asciiPlot({lptSeries, cacheSeries}).c_str(),
                stdout);

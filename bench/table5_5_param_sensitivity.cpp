@@ -4,23 +4,30 @@
 // (0.85/0.125), HiLoc (0.30/0.60), HiRead (ReadProb 0.03), HiBind
 // (BindProb 0.03). Paper shape: the measures fluctuate only by small
 // amounts; the general trends are unchanged.
+//
+// The five parameter settings are independent runs over the same shared
+// preprocessed trace, fanned out through support::runSweep behind --jobs N;
+// results come back in setting order, so the table is byte-identical at
+// any job count.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "small/simulator.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "trace/preprocess.hpp"
 
 int main(int argc, char** argv) {
   using namespace small;
   const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  const int jobs = benchutil::jobsFlag(argc, argv);
 
-  const auto traces = benchutil::chapter5Traces(fromWorkloads);
-  const benchutil::NamedTrace* slang = &traces[0];
+  const auto traces = benchutil::prepareChapter5(fromWorkloads, jobs);
+  const benchutil::PreparedTrace* slang = &traces[0];
   for (const auto& named : traces) {
     if (named.name == "Slang") slang = &named;
   }
-  const auto pre = trace::preprocess(slang->raw);
+  const trace::PreprocessedTrace& pre = slang->pre;
 
   struct Setting {
     const char* name;
@@ -38,18 +45,20 @@ int main(int argc, char** argv) {
             "probability parameters");
   support::TextTable table({"Statistic", "Control", "HiArg", "HiLoc",
                             "HiRead", "HiBind"});
-  std::vector<core::SimResult> results;
-  for (const Setting& setting : kSettings) {
-    core::SimConfig config;
-    config.tableSize = 64;  // the paper's runs used a small table
-    config.argProb = setting.argProb;
-    config.locProb = setting.locProb;
-    config.bindProb = setting.bindProb;
-    config.readProb = setting.readProb;
-    config.driveCache = true;
-    config.seed = 2026;
-    results.push_back(core::simulateTrace(config, pre));
-  }
+  const std::vector<core::SimResult> results =
+      support::runSweep<core::SimResult>(
+          std::size(kSettings), jobs, [&](std::size_t id) {
+            const Setting& setting = kSettings[id];
+            core::SimConfig config;
+            config.tableSize = 64;  // the paper's runs used a small table
+            config.argProb = setting.argProb;
+            config.locProb = setting.locProb;
+            config.bindProb = setting.bindProb;
+            config.readProb = setting.readProb;
+            config.driveCache = true;
+            config.seed = 2026;
+            return core::simulateTrace(config, pre);
+          });
 
   auto row = [&](const char* label, auto getter) {
     std::vector<std::string> cells{label};

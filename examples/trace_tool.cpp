@@ -86,7 +86,7 @@ int generate(int argc, char** argv) {
     const auto workload = workloadByName(name);
     if (!workload) return usage();
     workloads::RunOptions options;
-    options.scale = std::max(1, static_cast<int>(scale));
+    options.scale = scale;
     raw = workloads::runWorkload(*workload, options);
   } else if (kind == "synthetic") {
     const auto profile = profileByName(name, scale);

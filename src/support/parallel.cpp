@@ -1,0 +1,69 @@
+#include "support/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace small::support {
+
+int hardwareJobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void runIndexed(std::size_t taskCount, int jobs,
+                const std::function<void(std::size_t)>& task) {
+  if (taskCount == 0) return;
+  if (jobs <= 0) jobs = hardwareJobs();
+
+  if (jobs == 1) {
+    // The serial reference path: no threads, no claim cursor, no capture —
+    // exceptions propagate exactly as a plain for loop's would.
+    for (std::size_t id = 0; id < taskCount; ++id) task(id);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex failureMutex;
+  std::exception_ptr firstFailure;
+  std::size_t firstFailureId = std::numeric_limits<std::size_t>::max();
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t id = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (id >= taskCount) return;
+      try {
+        task(id);
+      } catch (...) {
+        // Keep the lowest-id failure — the one the serial loop would have
+        // surfaced — regardless of which worker hit it first.
+        std::lock_guard<std::mutex> lock(failureMutex);
+        if (id < firstFailureId) {
+          firstFailureId = id;
+          firstFailure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), taskCount);
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t i = 1; i < workers; ++i) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+
+  if (firstFailure) std::rethrow_exception(firstFailure);
+}
+
+}  // namespace small::support

@@ -1,0 +1,86 @@
+// Deterministic parallel sweep runner for the evaluation benches.
+//
+// The thesis' evaluation is built out of large independent sweeps — Fig 5.2
+// alone is 60-90 reseeded simulator runs per trace, and every (trace ×
+// config × seed × backend) study iterates a pure function over a read-only
+// preprocessed trace. Those runs are embarrassingly parallel, but the
+// repository's reproducibility contract (every number derivable from a
+// single declared seed, byte-identical output run to run) must survive the
+// fan-out. This module provides that:
+//
+//   * result slots are indexed by task id, so output order is a function of
+//     the task list alone, never of completion order;
+//   * each task derives its own `support::Rng` from a splitmix64 mix of the
+//     task's declared seed and id — tasks never share generator state;
+//   * `jobs == 1` runs every task inline on the calling thread in task
+//     order, reproducing the serial path bit for bit;
+//   * the first failure (lowest task id, matching where the serial loop
+//     would have thrown) is captured and rethrown after the pool drains,
+//     instead of tearing down the process from a worker thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace small::support {
+
+/// Worker count used when the caller does not pin one (`--jobs` default):
+/// std::thread::hardware_concurrency(), clamped to at least 1.
+int hardwareJobs();
+
+/// One splitmix64 step (Steele et al.) — the same finalizer `Rng::reseed`
+/// uses to expand seeds, exposed so per-task seeds are derived rather than
+/// consecutive (consecutive raw seeds correlate; mixed ones do not).
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// The per-task seed contract: mix the sweep's declared base seed with the
+/// task id. Stable across runs, machines and job counts by construction.
+inline std::uint64_t deriveTaskSeed(std::uint64_t baseSeed,
+                                    std::uint64_t taskId) {
+  return splitmix64(baseSeed + 0x9e3779b97f4a7c15ull * (taskId + 1));
+}
+
+/// An Rng seeded per the task-seed contract.
+inline Rng taskRng(std::uint64_t baseSeed, std::uint64_t taskId) {
+  return Rng(deriveTaskSeed(baseSeed, taskId));
+}
+
+/// Run `task(id)` for every id in [0, taskCount) across `jobs` worker
+/// threads (`jobs <= 0` means hardwareJobs()). Tasks are claimed from a
+/// shared atomic cursor, so scheduling is dynamic, but nothing about a
+/// task's inputs or outputs may depend on the claim order — callers write
+/// results only into their own id's slot. With `jobs == 1` no thread is
+/// spawned and the tasks run inline in id order. If any task throws, the
+/// remaining unclaimed tasks are still run (their slots stay comparable),
+/// and the exception from the lowest-id failure is rethrown here once all
+/// workers have joined.
+void runIndexed(std::size_t taskCount, int jobs,
+                const std::function<void(std::size_t)>& task);
+
+/// Map [0, taskCount) through `fn` into an id-indexed result vector.
+/// `fn(id)` must be independent of every other task; `T` needs to be
+/// default-constructible (slots are pre-sized so workers never reallocate).
+template <typename T, typename Fn>
+std::vector<T> runSweep(std::size_t taskCount, int jobs, Fn&& fn) {
+  std::vector<T> results(taskCount);
+  runIndexed(taskCount, jobs,
+             [&](std::size_t id) { results[id] = fn(id); });
+  return results;
+}
+
+/// Convenience overload: one task per element of `tasks`, result slot i
+/// computed by `fn(tasks[i], i)`.
+template <typename T, typename Item, typename Fn>
+std::vector<T> runSweep(const std::vector<Item>& tasks, int jobs, Fn&& fn) {
+  std::vector<T> results(tasks.size());
+  runIndexed(tasks.size(), jobs,
+             [&](std::size_t id) { results[id] = fn(tasks[id], id); });
+  return results;
+}
+
+}  // namespace small::support

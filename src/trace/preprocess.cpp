@@ -19,7 +19,11 @@ TraceContent PreprocessedTrace::content() const {
         content.maxCallDepth = std::max(content.maxCallDepth, depth);
         break;
       case EventKind::kFunctionExit:
-        if (depth > 0) --depth;
+        if (depth > 0) {
+          --depth;
+        } else {
+          ++content.unbalancedExits;
+        }
         break;
     }
   }

@@ -75,7 +75,11 @@ TraceContent Trace::content() const {
         content.maxCallDepth = std::max(content.maxCallDepth, depth);
         break;
       case EventKind::kFunctionExit:
-        if (depth > 0) --depth;
+        if (depth > 0) {
+          --depth;
+        } else {
+          ++content.unbalancedExits;
+        }
         break;
     }
   }

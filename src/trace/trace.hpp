@@ -81,6 +81,12 @@ struct TraceContent {
   std::uint64_t functionCalls = 0;
   std::uint64_t primitiveCalls = 0;
   std::uint32_t maxCallDepth = 0;
+  /// kFunctionExit events seen at depth 0 — a well-formed trace has none;
+  /// a nonzero count flags a truncated or corrupted event stream instead
+  /// of silently clamping the depth counter.
+  std::uint64_t unbalancedExits = 0;
+
+  bool balanced() const { return unbalancedExits == 0; }
 };
 
 /// A recorded run: the event stream plus the function-name table.

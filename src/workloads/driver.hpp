@@ -7,7 +7,9 @@
 namespace small::workloads {
 
 struct RunOptions {
-  int scale = 1;                ///< input-size / iteration multiplier
+  double scale = 1.0;           ///< input-size / iteration multiplier;
+                                ///< fractional values shrink the run
+                                ///< (driverSource rounds, floor 1)
   bool includePrelude = true;   ///< load the Lisp list library first
 };
 

@@ -1,5 +1,7 @@
 #include "workloads/programs.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "support/error.hpp"
@@ -391,19 +393,25 @@ std::string_view programSource(Workload workload) {
   throw support::Error("programSource: bad workload");
 }
 
-std::string driverSource(Workload workload, int scale) {
-  const std::string k = std::to_string(scale);
+std::string driverSource(Workload workload, double scale) {
+  // Scale each base count here (rounded, floor 1) and emit the literal, so
+  // fractional scales shrink the run instead of truncating to 1x. Arithmetic
+  // is untraced either way, so the emitted form does not perturb the trace.
+  const auto scaled = [scale](long base) {
+    return std::to_string(
+        std::max(1l, std::lround(static_cast<double>(base) * scale)));
+  };
   switch (workload) {
     case Workload::kSlang:
-      return "(write (len (run-vectors (* 5 " + k + ") nil)))";
+      return "(write (len (run-vectors " + scaled(5) + " nil)))";
     case Workload::kPlagen:
-      return "(write (len (gen-many (* 24 " + k + ") nil)))";
+      return "(write (len (gen-many " + scaled(24) + " nil)))";
     case Workload::kLyra:
-      return "(write (len (check-chip (* 120 " + k + "))))";
+      return "(write (len (check-chip " + scaled(120) + ")))";
     case Workload::kEditor:
-      return "(write (edit-session " + k + "))";
+      return "(write (edit-session " + scaled(1) + "))";
     case Workload::kPearl:
-      return "(write (pearl-run 8 (* 24 " + k + ")))";
+      return "(write (pearl-run 8 " + scaled(24) + "))";
   }
   throw support::Error("driverSource: bad workload");
 }

@@ -41,8 +41,11 @@ std::string_view preludeSource();
 /// The program text for a workload.
 std::string_view programSource(Workload workload);
 
-/// The driver form(s) evaluated to run the workload at `scale` (>= 1);
-/// scale multiplies the input size / iteration count.
-std::string driverSource(Workload workload, int scale);
+/// The driver form(s) evaluated to run the workload at `scale` (> 0);
+/// scale multiplies the input size / iteration count. Fractional scales
+/// are honored: each scaled count is rounded to the nearest integer and
+/// clamped to at least 1, so e.g. 0.5 halves the run instead of silently
+/// clamping to the full-size trace.
+std::string driverSource(Workload workload, double scale = 1.0);
 
 }  // namespace small::workloads

@@ -164,6 +164,88 @@ TEST(Lpt, CycleRecoveryKeepsEverythingReachable) {
   EXPECT_TRUE(lpt.entry(child).inUse);
 }
 
+TEST(Lpt, UnderflowAfterStackBitFreeAlsoThrows) {
+  // The stack-bit free path must leave the entry as dead as a refcount
+  // free does: any further count traffic is underflow/use-after-free.
+  Lpt lpt(4, ReclaimPolicy::kLazy);
+  const EntryId a = lpt.allocate();
+  lpt.setStackBit(a, true);
+  lpt.setStackBit(a, false);  // count already 0 -> freed here
+  EXPECT_FALSE(lpt.entry(a).inUse);
+  EXPECT_THROW(lpt.decRef(a), support::SimulationError);
+  EXPECT_THROW(lpt.setStackBit(a, true), support::SimulationError);
+}
+
+TEST(Lpt, StackBitClearWithLiveCountDoesNotFree) {
+  Lpt lpt(4, ReclaimPolicy::kLazy);
+  const EntryId a = lpt.allocate();
+  lpt.incRef(a);
+  lpt.setStackBit(a, true);
+  lpt.setStackBit(a, false);  // internal count still 1 -> stays live
+  EXPECT_TRUE(lpt.entry(a).inUse);
+  EXPECT_EQ(lpt.stats().stackBitMessages, 1u);
+  lpt.decRef(a);
+  EXPECT_FALSE(lpt.entry(a).inUse);
+}
+
+TEST(Lpt, RedundantStackBitSetIsFreeOfMessages) {
+  Lpt lpt(4, ReclaimPolicy::kLazy);
+  const EntryId a = lpt.allocate();
+  lpt.incRef(a);
+  lpt.setStackBit(a, true);
+  lpt.setStackBit(a, true);   // no transition
+  lpt.setStackBit(a, false);
+  lpt.setStackBit(a, false);  // no transition
+  EXPECT_EQ(lpt.stats().stackBitMessages, 1u);
+}
+
+TEST(Lpt, CycleRecoveryTreatsLazyFreeStackEdgesAsRoots) {
+  // Under the lazy policy a freed entry keeps its car/cdr edges (and the
+  // counts they represent) until reuse. Cycle recovery must treat those
+  // deferred edges as mark roots: sweeping their targets would double-free
+  // when the freed entry is later reallocated and lazily decrements them.
+  Lpt lpt(8, ReclaimPolicy::kLazy);
+  const EntryId parent = lpt.allocate();
+  const EntryId child = lpt.allocate();
+  lpt.incRef(parent);
+  lpt.incRef(child);  // held only through parent's car edge
+  lpt.entry(parent).car = child;
+  lpt.decRef(parent);  // parent freed; child's count deferred on free stack
+  EXPECT_FALSE(lpt.entry(parent).inUse);
+  EXPECT_TRUE(lpt.entry(child).inUse);
+
+  // No external roots at all — yet the child must survive, because the
+  // free-stack edge still owns a reference to it.
+  EXPECT_EQ(lpt.recoverCycles({}), 0u);
+  EXPECT_TRUE(lpt.entry(child).inUse);
+
+  // Reuse then releases the deferred reference and frees the child
+  // without any underflow.
+  const EntryId reused = lpt.allocate();
+  EXPECT_EQ(reused, parent);
+  EXPECT_FALSE(lpt.entry(child).inUse);
+  EXPECT_EQ(lpt.inUseCount(), 1u);
+}
+
+TEST(Lpt, CycleRecoveryReleasesSweptEdgesIntoSurvivors) {
+  // A dead cycle pointing into a rooted entry: sweeping the cycle must
+  // decrement the survivor exactly once per severed edge.
+  Lpt lpt(8, ReclaimPolicy::kLazy);
+  const EntryId a = lpt.allocate();
+  const EntryId b = lpt.allocate();
+  const EntryId rooted = lpt.allocate();
+  lpt.incRef(a);
+  lpt.incRef(b);
+  lpt.entry(a).car = b;
+  lpt.entry(b).car = a;
+  lpt.incRef(rooted);      // external root
+  lpt.entry(a).cdr = rooted;
+  lpt.incRef(rooted);      // the cycle's edge into the survivor
+  EXPECT_EQ(lpt.recoverCycles({rooted}), 2u);
+  EXPECT_TRUE(lpt.entry(rooted).inUse);
+  EXPECT_EQ(lpt.entry(rooted).refCount, 1u);  // only the external root left
+}
+
 TEST(Lpt, ZeroSizeRejected) {
   EXPECT_THROW(Lpt(0, ReclaimPolicy::kLazy), support::SimulationError);
 }

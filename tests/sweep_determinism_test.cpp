@@ -1,0 +1,175 @@
+// Determinism contract for the parallel sweep harness: fanning the
+// evaluation sweeps out over worker threads must not change a single
+// counter. Each converted bench's core loop is reproduced here in
+// miniature — simulator (trace x size), simulator (trace x seed),
+// parameter sensitivity, and functional-machine replay (trace x backend) —
+// and every machine/simulator counter is compared between --jobs 1 (the
+// bit-for-bit serial path) and --jobs 8.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "small/machine_replay.hpp"
+#include "small/simulator.hpp"
+#include "support/parallel.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/synthetic.hpp"
+
+namespace small {
+namespace {
+
+std::vector<trace::PreprocessedTrace> testTraces() {
+  // Small calibrated traces: enough events to exercise overflow and
+  // compression, quick enough for a unit test.
+  support::Rng rng(2026);
+  std::vector<trace::PreprocessedTrace> pres;
+  for (const auto& profile :
+       {trace::slangProfile(0.25), trace::editorProfile(0.25)}) {
+    pres.push_back(trace::preprocess(trace::generate(profile, rng)));
+  }
+  return pres;
+}
+
+void expectSameSimResult(const core::SimResult& a, const core::SimResult& b) {
+  EXPECT_EQ(a.lptStats.refOps, b.lptStats.refOps);
+  EXPECT_EQ(a.lptStats.gets, b.lptStats.gets);
+  EXPECT_EQ(a.lptStats.frees, b.lptStats.frees);
+  EXPECT_EQ(a.lptStats.lazyDecrements, b.lptStats.lazyDecrements);
+  EXPECT_EQ(a.lptStats.maxRefCount, b.lptStats.maxRefCount);
+  EXPECT_EQ(a.lpStats.pseudoOverflows, b.lpStats.pseudoOverflows);
+  EXPECT_EQ(a.lptHits, b.lptHits);
+  EXPECT_EQ(a.lptMisses, b.lptMisses);
+  EXPECT_EQ(a.cacheHits, b.cacheHits);
+  EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+  EXPECT_EQ(a.peakOccupancy, b.peakOccupancy);
+  EXPECT_DOUBLE_EQ(a.averageOccupancy, b.averageOccupancy);
+  EXPECT_EQ(a.primitivesSimulated, b.primitivesSimulated);
+  EXPECT_EQ(a.functionCalls, b.functionCalls);
+}
+
+TEST(SweepDeterminism, SimulatorSizeSweepMatchesSerial) {
+  const auto pres = testTraces();
+  constexpr std::uint32_t kSizes[] = {32, 64, 128, 512};
+  constexpr std::size_t kSizeCount = std::size(kSizes);
+  const auto runAll = [&](int jobs) {
+    return support::runSweep<core::SimResult>(
+        pres.size() * kSizeCount, jobs, [&](std::size_t id) {
+          core::SimConfig config;
+          config.tableSize = kSizes[id % kSizeCount];
+          config.driveCache = true;
+          config.seed = 42;
+          return core::simulateTrace(config, pres[id / kSizeCount]);
+        });
+  };
+  const auto serial = runAll(1);
+  const auto parallel = runAll(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expectSameSimResult(serial[i], parallel[i]);
+  }
+}
+
+TEST(SweepDeterminism, ReseededSweepMatchesSerial) {
+  // The Fig 5.2 shape: many reseeded runs of the same trace.
+  const auto pres = testTraces();
+  const auto runAll = [&](int jobs) {
+    return support::runSweep<core::SimResult>(
+        20, jobs, [&](std::size_t id) {
+          core::SimConfig config;
+          config.tableSize = 1u << 14;
+          config.seed = support::deriveTaskSeed(7919, id);
+          return core::simulateTrace(config, pres[0]);
+        });
+  };
+  const auto serial = runAll(1);
+  const auto parallel = runAll(8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expectSameSimResult(serial[i], parallel[i]);
+  }
+  // Distinct derived seeds actually vary the runs (no accidental reuse).
+  bool anyDifferent = false;
+  for (std::size_t i = 1; i < serial.size(); ++i) {
+    if (serial[i].lptStats.refOps != serial[0].lptStats.refOps) {
+      anyDifferent = true;
+    }
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(SweepDeterminism, ParameterSweepMatchesSerial) {
+  const auto pres = testTraces();
+  struct Setting {
+    double argProb, locProb;
+  };
+  const std::vector<Setting> settings = {
+      {0.60, 0.30}, {0.85, 0.125}, {0.30, 0.60}};
+  const auto runAll = [&](int jobs) {
+    return support::runSweep<core::SimResult>(
+        settings, jobs, [&](const Setting& s, std::size_t) {
+          core::SimConfig config;
+          config.tableSize = 64;
+          config.argProb = s.argProb;
+          config.locProb = s.locProb;
+          config.driveCache = true;
+          config.seed = 2026;
+          return core::simulateTrace(config, pres[1]);
+        });
+  };
+  const auto serial = runAll(1);
+  const auto parallel = runAll(8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expectSameSimResult(serial[i], parallel[i]);
+  }
+}
+
+TEST(SweepDeterminism, MachineReplayBackendSweepMatchesSerial) {
+  // The heap_backend_comparison shape: (trace x backend) functional-machine
+  // replays sharing read-only preprocessed traces.
+  const auto pres = testTraces();
+  constexpr std::size_t kBackendCount =
+      std::size(heap::kAllHeapBackendKinds);
+  const auto runAll = [&](int jobs) {
+    return support::runSweep<core::ReplayResult>(
+        pres.size() * kBackendCount, jobs, [&](std::size_t id) {
+          core::ReplayConfig config;
+          config.seed = 17;
+          config.machine.tableSize = 512;
+          config.machine.heapBackend =
+              heap::kAllHeapBackendKinds[id % kBackendCount];
+          return core::replayTrace(config, pres[id / kBackendCount]);
+        });
+  };
+  const auto serial = runAll(1);
+  const auto parallel = runAll(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].backend, parallel[i].backend);
+    EXPECT_EQ(serial[i].machine.gets, parallel[i].machine.gets);
+    EXPECT_EQ(serial[i].machine.frees, parallel[i].machine.frees);
+    EXPECT_EQ(serial[i].machine.splits, parallel[i].machine.splits);
+    EXPECT_EQ(serial[i].machine.merges, parallel[i].machine.merges);
+    EXPECT_EQ(serial[i].machine.hits, parallel[i].machine.hits);
+    EXPECT_EQ(serial[i].machine.peakEntriesInUse,
+              parallel[i].machine.peakEntriesInUse);
+    EXPECT_EQ(serial[i].heap.allocs, parallel[i].heap.allocs);
+    EXPECT_EQ(serial[i].heap.frees, parallel[i].heap.frees);
+    EXPECT_EQ(serial[i].heap.touches(), parallel[i].heap.touches());
+    EXPECT_EQ(serial[i].primitives, parallel[i].primitives);
+    EXPECT_EQ(serial[i].residualEntries, parallel[i].residualEntries);
+  }
+  // And the cross-backend invariance the comparison bench gates on.
+  for (std::size_t t = 0; t < pres.size(); ++t) {
+    const auto& reference = serial[t * kBackendCount].machine;
+    for (std::size_t b = 1; b < kBackendCount; ++b) {
+      const auto& other = serial[t * kBackendCount + b].machine;
+      EXPECT_EQ(other.gets, reference.gets);
+      EXPECT_EQ(other.frees, reference.frees);
+      EXPECT_EQ(other.splits, reference.splits);
+      EXPECT_EQ(other.merges, reference.merges);
+      EXPECT_EQ(other.hits, reference.hits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace small

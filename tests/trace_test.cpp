@@ -75,6 +75,67 @@ TEST(Trace, ContentCountsCallsAndDepth) {
   EXPECT_EQ(content.maxCallDepth, 2u);
 }
 
+TEST(Trace, ContentFlagsUnbalancedExits) {
+  // Exits at depth 0 (a truncated or corrupted stream) must be counted,
+  // not silently clamped away.
+  Trace trace;
+  const auto f = trace.internFunction("f");
+  Event exit;
+  exit.kind = EventKind::kFunctionExit;
+  exit.functionId = f;
+  Event enter;
+  enter.kind = EventKind::kFunctionEnter;
+  enter.functionId = f;
+  enter.argCount = 1;
+
+  trace.append(exit);   // unbalanced: nothing was entered yet
+  trace.append(enter);
+  trace.append(exit);   // balanced
+  trace.append(exit);   // unbalanced again
+
+  const TraceContent content = trace.content();
+  EXPECT_EQ(content.functionCalls, 1u);
+  EXPECT_EQ(content.unbalancedExits, 2u);
+  EXPECT_FALSE(content.balanced());
+
+  // The preprocessed view reports the identical counts.
+  const TraceContent preContent = preprocess(trace).content();
+  EXPECT_EQ(preContent.functionCalls, content.functionCalls);
+  EXPECT_EQ(preContent.maxCallDepth, content.maxCallDepth);
+  EXPECT_EQ(preContent.unbalancedExits, 2u);
+}
+
+TEST(Trace, BalancedTraceHasNoUnbalancedExits) {
+  Trace trace;
+  Event enter;
+  enter.kind = EventKind::kFunctionEnter;
+  enter.functionId = trace.internFunction("g");
+  Event exit;
+  exit.kind = EventKind::kFunctionExit;
+  exit.functionId = enter.functionId;
+  trace.append(enter);
+  trace.append(primitiveEvent(Primitive::kCons, {listObject(1)},
+                              listObject(2)));
+  trace.append(exit);
+  EXPECT_TRUE(trace.content().balanced());
+  EXPECT_TRUE(preprocess(trace).content().balanced());
+}
+
+TEST(TraceIo, RoundtripPreservesUnbalancedExitCount) {
+  // A malformed trace must stay visibly malformed through save/load.
+  Trace trace;
+  trace.name = "truncated";
+  Event exit;
+  exit.kind = EventKind::kFunctionExit;
+  exit.functionId = trace.internFunction("h");
+  trace.append(exit);
+  std::stringstream buffer;
+  save(trace, buffer);
+  const Trace loaded = load(buffer);
+  EXPECT_EQ(loaded.content().unbalancedExits, 1u);
+  EXPECT_FALSE(loaded.content().balanced());
+}
+
 TEST(TraceIo, SaveLoadRoundtrip) {
   Trace trace;
   trace.name = "unit";

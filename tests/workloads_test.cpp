@@ -42,6 +42,22 @@ TEST_P(WorkloadRun, ScaleGrowsTheTrace) {
   EXPECT_GT(b.primitiveLength(), a.primitiveLength());
 }
 
+TEST_P(WorkloadRun, FractionalScaleShrinksTheTrace) {
+  // Sub-1.0 scales used to truncate to 1 on the workload path while the
+  // synthetic generator honored them; both sources must now agree that a
+  // half-scale run is a shorter run. Editor's driver count is already 1
+  // at full scale, so it is the one workload that legitimately can't
+  // shrink further.
+  if (GetParam() == Workload::kEditor) GTEST_SKIP();
+  RunOptions half;
+  half.scale = 0.5;
+  RunOptions full;
+  full.scale = 1.0;
+  const auto a = runWorkload(GetParam(), half);
+  const auto b = runWorkload(GetParam(), full);
+  EXPECT_LT(a.primitiveLength(), b.primitiveLength());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     All, WorkloadRun, ::testing::ValuesIn(kAllWorkloads),
     [](const ::testing::TestParamInfo<Workload>& info) {
