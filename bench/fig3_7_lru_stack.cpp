@@ -2,40 +2,49 @@
 //
 // Paper shape: "a stack depth of 4 list sets captures from 70-90% of all
 // accesses" — list sets are objects of high temporal reference locality.
+//
+// The per-trace partition+CDF passes are independent over the shared
+// preprocessed traces, so they fan out through support::runSweep behind
+// --jobs N; table rows and plot curves come from id-ordered slots, so the
+// output is byte-identical at any job count.
 #include <cstdio>
 
 #include "analysis/list_sets.hpp"
 #include "bench_util.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "trace/preprocess.hpp"
 
 int main(int argc, char** argv) {
   using namespace small;
   const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  const int jobs = benchutil::jobsFlag(argc, argv);
+
+  const auto traces = benchutil::prepareChapter3(fromWorkloads, jobs);
+  const auto cdfs = support::runSweep<support::Series>(
+      traces.size(), jobs, [&](std::size_t i) {
+        const analysis::ListSetPartition partition =
+            analysis::partitionListSets(traces[i].pre);
+        support::Series cdf = partition.lruDepthCdf(16);
+        cdf.name = traces[i].name;
+        return cdf;
+      });
 
   std::puts("Fig 3.7: LRU stack distances over list sets");
   support::TextTable table(
       {"Benchmark", "depth<=1", "depth<=2", "depth<=4", "depth<=8",
        "depth<=16"});
-  std::vector<support::Series> curves;
-  for (const auto& [name, raw] :
-       benchutil::chapter3Traces(fromWorkloads)) {
-    const auto pre = trace::preprocess(raw);
-    const analysis::ListSetPartition partition =
-        analysis::partitionListSets(pre);
-    const support::Series cdf = partition.lruDepthCdf(16);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const support::Series& cdf = cdfs[i];
     auto at = [&](std::size_t depth) -> std::string {
       if (cdf.y.size() < depth) return "-";
       return support::formatPercent(cdf.y[depth - 1], 1);
     };
-    table.addRow({name, at(1), at(2), at(4), at(8), at(16)});
-    support::Series series = cdf;
-    series.name = name;
-    curves.push_back(std::move(series));
+    table.addRow({traces[i].name, at(1), at(2), at(4), at(8), at(16)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\ncumulative fraction of references vs list-set LRU depth:");
-  std::fputs(support::asciiPlot(curves).c_str(), stdout);
+  std::fputs(support::asciiPlot(cdfs).c_str(), stdout);
   std::puts("paper: depth 4 captures 70-90% of all accesses across the "
             "suite.");
   return 0;

@@ -1,0 +1,140 @@
+// Collector comparison — the three conventional collectors (stop-the-world
+// mark-sweep, semispace copying, deferred reference counting with a bounded
+// zero-count table) against the LPT's lazy reference counting, on the same
+// deterministic mutator scripts derived from the Chapter 3 workload traces.
+//
+// Each (trace × collector × heap backend) cell replays the identical
+// gc::Script, so the final live set is a pure function of the script: every
+// collector on every backend must land on exactly the LPT baseline's live
+// count and per-root reachability fingerprint. Any divergence is a
+// correctness failure of a reclamation policy — reported on stderr AND the
+// bench exits nonzero, so CI gates on it. What legitimately differs is the
+// *cost profile*, in simulated heap-touch units (backend touches plus
+// collector-metadata touches): mark-sweep pays tracing at every collection,
+// semispace pays copying but only touches live cells, deferred RC spreads
+// barrier work across the mutator and pauses only to drain the ZCT, and the
+// LPT baseline pays per-operation reference bookkeeping with no pauses at
+// all beyond the final cycle-recovery sweep (§4.3.2).
+//
+// The (trace × collector × backend) runs are independent (each task owns
+// its backend and collector; scripts are shared read-only), so they fan out
+// through support::runSweep behind --jobs N. Tables are emitted from
+// id-ordered slots — byte-identical output at any job count.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gc/script.hpp"
+#include "small/gc_baseline.hpp"
+#include "support/parallel.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace small;
+  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  const bool quick = benchutil::hasFlag(argc, argv, "--quick");
+  const int jobs = benchutil::jobsFlag(argc, argv);
+
+  const auto traces =
+      benchutil::prepareChapter3(fromWorkloads, jobs, quick ? 0.25 : 1.0);
+
+  gc::ScriptOptions scriptOptions;
+  if (quick) scriptOptions.cellBudget = 50000;
+
+  // Scripts are derived once per trace with a seed fixed by trace position
+  // (independent of --jobs), then shared read-only by every run.
+  std::vector<gc::Script> scripts(traces.size());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    scripts[t] = gc::scriptFromTrace(traces[t].pre, scriptOptions,
+                                     support::deriveTaskSeed(2026, t));
+  }
+
+  constexpr std::size_t kBackendCount =
+      std::size(heap::kAllHeapBackendKinds);
+  constexpr std::size_t kPolicyCount = std::size(gc::kAllCollectorPolicies);
+  constexpr std::size_t kPerTrace = kBackendCount * kPolicyCount;
+
+  gc::Collector::Options collectorOptions;
+  if (quick) collectorOptions.triggerLiveCells = 1024;
+
+  const auto baselines = support::runSweep<core::GcBaselineResult>(
+      traces.size(), jobs,
+      [&](std::size_t t) { return core::runScriptOnLpt(scripts[t]); });
+
+  const auto runs = support::runSweep<gc::ScriptResult>(
+      traces.size() * kPerTrace, jobs, [&](std::size_t id) {
+        const std::size_t t = id / kPerTrace;
+        const gc::Policy policy =
+            gc::kAllCollectorPolicies[(id % kPerTrace) / kBackendCount];
+        const heap::HeapBackendKind kind =
+            heap::kAllHeapBackendKinds[id % kBackendCount];
+        const auto backend = heap::makeHeapBackend(kind);
+        const auto collector =
+            gc::makeCollector(policy, *backend, collectorOptions);
+        return gc::runScript(*collector, scripts[t]);
+      });
+
+  support::TextTable table({"Trace", "Collector", "Backend", "Live",
+                            "Reclaimed", "Traced", "Colls", "Heap touches",
+                            "Meta touches", "Max pause", "Avg pause"});
+  bool diverged = false;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const std::string& name = traces[t].name;
+    const core::GcBaselineResult& baseline = baselines[t];
+    table.addRow(
+        {name, "refcount (LPT)", "-",
+         std::to_string(baseline.finalLiveEntries),
+         std::to_string(baseline.lptStats.gets - baseline.finalLiveEntries),
+         std::to_string(baseline.cycleReclaimed), "-", "-",
+         std::to_string(baseline.lptStats.refOps), "-", "-"});
+    for (std::size_t c = 0; c < kPerTrace; ++c) {
+      const gc::ScriptResult& run = runs[t * kPerTrace + c];
+      const char* backend =
+          heap::heapBackendName(heap::kAllHeapBackendKinds[c % kBackendCount]);
+      const double avgPause =
+          run.stats.collections == 0
+              ? 0.0
+              : static_cast<double>(run.stats.totalPause) /
+                    static_cast<double>(run.stats.collections);
+      table.addRow({name, run.collectorName, backend,
+                    std::to_string(run.finalLiveCells),
+                    std::to_string(run.stats.cellsReclaimed),
+                    std::to_string(run.stats.cellsTraced),
+                    std::to_string(run.stats.collections),
+                    std::to_string(run.stats.heapTouches),
+                    std::to_string(run.stats.tableTouches),
+                    std::to_string(run.stats.maxPause),
+                    support::formatDouble(avgPause, 1)});
+      if (run.finalLiveCells != baseline.finalLiveEntries ||
+          run.rootReachable != baseline.rootReachable) {
+        std::fprintf(stderr,
+                     "ERROR: %s/%s/%s final live set diverged from the LPT "
+                     "baseline (%llu cells vs %llu entries)\n",
+                     name.c_str(), run.collectorName.c_str(), backend,
+                     static_cast<unsigned long long>(run.finalLiveCells),
+                     static_cast<unsigned long long>(
+                         baseline.finalLiveEntries));
+        diverged = true;
+      }
+    }
+  }
+
+  std::puts(
+      "GC comparison: final live cells and collection cost per collector "
+      "(costs in\nsimulated heap-touch units; LPT row's Meta touches are "
+      "its reference-count\noperations, its Traced column the entries its "
+      "cycle recovery reclaimed)");
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nshape: every collector lands on the LPT baseline's live set "
+      "exactly; mark-sweep\npays tracing per collection, semispace copies "
+      "only live cells but moves them,\ndeferred RC trades pauses for "
+      "mutator barrier work (§4.3.2).");
+  if (diverged) {
+    std::fputs("FAIL: collector live set diverged from the LPT baseline\n",
+               stderr);
+    return 1;
+  }
+  return 0;
+}

@@ -4,37 +4,62 @@
 //
 // Paper shape (Figs 6.2/6.3/6.6): weighting removes all copy messages;
 // combining queues absorb the reference-count bursts of function returns.
+//
+// Each (nodes × queue capacity) simulation owns its node system and an Rng
+// seeded by its node count alone, so the runs are independent and fan out
+// through support::runSweep behind --jobs N; rows are emitted from
+// id-ordered slots, byte-identical at any job count.
 #include <cstdio>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "multilisp/nodes.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace small;
+  const int jobs = benchutil::jobsFlag(argc, argv);
+
+  struct Config {
+    std::uint32_t nodes;
+    std::size_t queueCapacity;
+  };
+  std::vector<Config> configs;
+  for (const std::uint32_t nodes : {2u, 4u, 8u, 16u}) {
+    for (const std::size_t queueCapacity : {8u, 64u, 512u}) {
+      configs.push_back({nodes, queueCapacity});
+    }
+  }
+
+  const auto reports = support::runSweep<multilisp::TrafficReport>(
+      configs, jobs, [](const Config& config, std::size_t) {
+        support::Rng rng(1000 + config.nodes);
+        multilisp::NodeSystem::Params params;
+        params.nodeCount = config.nodes;
+        params.queueCapacity = config.queueCapacity;
+        multilisp::NodeSystem system(params, rng);
+        return system.run(100000);
+      });
+
   std::puts("Ch. 6: remote reference-management messages per 100k events");
   support::TextTable table({"nodes", "queue cap", "events", "plain",
                             "weighted", "combined", "saving vs plain"});
-  for (const std::uint32_t nodes : {2u, 4u, 8u, 16u}) {
-    for (const std::size_t queueCapacity : {8u, 64u, 512u}) {
-      support::Rng rng(1000 + nodes);
-      multilisp::NodeSystem::Params params;
-      params.nodeCount = nodes;
-      params.queueCapacity = queueCapacity;
-      multilisp::NodeSystem system(params, rng);
-      const multilisp::TrafficReport report = system.run(100000);
-      const double saving =
-          report.plainMessages == 0
-              ? 0.0
-              : 1.0 - static_cast<double>(report.combinedMessages) /
-                          static_cast<double>(report.plainMessages);
-      table.addRow({std::to_string(nodes), std::to_string(queueCapacity),
-                    std::to_string(report.referenceEvents),
-                    std::to_string(report.plainMessages),
-                    std::to_string(report.weightedMessages),
-                    std::to_string(report.combinedMessages),
-                    support::formatPercent(saving, 1)});
-    }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const multilisp::TrafficReport& report = reports[i];
+    const double saving =
+        report.plainMessages == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(report.combinedMessages) /
+                        static_cast<double>(report.plainMessages);
+    table.addRow({std::to_string(configs[i].nodes),
+                  std::to_string(configs[i].queueCapacity),
+                  std::to_string(report.referenceEvents),
+                  std::to_string(report.plainMessages),
+                  std::to_string(report.weightedMessages),
+                  std::to_string(report.combinedMessages),
+                  support::formatPercent(saving, 1)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\npaper: weighting eliminates the copy-message half of the "

@@ -1,0 +1,64 @@
+#include "gc/collector.hpp"
+
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace small::gc {
+
+const char* policyName(Policy policy) {
+  switch (policy) {
+    case Policy::kNone:
+      return "refcount";
+    case Policy::kMarkSweep:
+      return "mark-sweep";
+    case Policy::kSemispace:
+      return "semispace";
+    case Policy::kDeferredRc:
+      return "deferred-rc";
+  }
+  return "unknown";
+}
+
+std::uint64_t Collector::reachableFrom(CellRef cell) const {
+  if (cell == kNull) return 0;
+  std::unordered_set<CellRef> seen;
+  std::vector<CellRef> work{cell};
+  seen.insert(cell);
+  while (!work.empty()) {
+    const CellRef current = work.back();
+    work.pop_back();
+    for (const heap::HeapWord word :
+         {heap_.car(current), heap_.cdr(current)}) {
+      if (word.isPointer() && seen.insert(word.payload).second) {
+        work.push_back(word.payload);
+      }
+    }
+  }
+  return seen.size();
+}
+
+std::vector<std::uint64_t> Collector::rootReachability() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(roots_.size());
+  for (const CellRef root : roots_) counts.push_back(reachableFrom(root));
+  return counts;
+}
+
+std::unique_ptr<Collector> makeCollector(Policy policy,
+                                         heap::HeapBackend& heap,
+                                         const Collector::Options& options) {
+  switch (policy) {
+    case Policy::kMarkSweep:
+      return makeMarkSweepCollector(heap, options);
+    case Policy::kSemispace:
+      return makeSemispaceCollector(heap, options);
+    case Policy::kDeferredRc:
+      return makeDeferredRcCollector(heap, options);
+    case Policy::kNone:
+      break;
+  }
+  throw support::Error("makeCollector: policy has no collector");
+}
+
+}  // namespace small::gc

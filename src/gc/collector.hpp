@@ -1,0 +1,172 @@
+// The Collector interface: a cell-level mutator API plus root slots in,
+// reclaimed cells and GcStats out, parametric over heap::HeapBackend.
+//
+// A collector owns a registry of the logical cons cells the mutator has
+// allocated through it (the backend has no global enumeration — physical
+// layout is each representation's business), a fixed file of root slots
+// (the EP's registers in this model), and the collection machinery. All
+// heap structure flows through the virtual backend interface, so each
+// collector pays the representation's genuine touch profile: a cdr-coded
+// sweep pays invisible-pointer hops, a linked-vector trace pays boundary
+// indirections, two-pointer pays a pointer chase per edge.
+//
+// Discipline contract with the mutator:
+//   * every pointer word stored into the heap references a cell allocated
+//     through cons() (the registry is closed under tracing);
+//   * collections happen only at safepoints: the mutator polls
+//     shouldCollect() between operations and calls collect() — cons() and
+//     the write barriers never collect, so unrooted intermediates are safe
+//     while one logical operation is in flight;
+//   * the semispace collector MOVES cells: after collect(), previously
+//     held CellRefs are invalid and roots must be re-read from the slots
+//     (which every collector rewrites as needed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gc/gc.hpp"
+#include "heap/backend.hpp"
+
+namespace small::gc {
+
+class Collector {
+ public:
+  using CellRef = heap::HeapBackend::CellRef;
+  static constexpr CellRef kNull = heap::HeapBackend::kNull;
+
+  struct Options {
+    /// Collect when the live registry reaches this size (and at least a
+    /// quarter of it was allocated since the last collection, so a large
+    /// stable live set does not thrash).
+    std::uint64_t triggerLiveCells = 4096;
+    /// Deferred-RC only: zero-count-table bound; exceeding it forces a
+    /// collection at the next safepoint.
+    std::size_t zctLimit = 64;
+    /// Deferred-RC only: run the §4.3.2.3-style mark/sweep cycle-recovery
+    /// backstop as part of every collection (what makes the final live set
+    /// agree with the tracing collectors and Lpt::recoverCycles).
+    bool cycleRecovery = true;
+  };
+
+  Collector(heap::HeapBackend& heap, Options options)
+      : heap_(heap), options_(options) {}
+  virtual ~Collector() = default;
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // --- mutator interface ---
+
+  /// Allocate one cons cell and register it with the collector. Never
+  /// collects (safepoints are the mutator's job).
+  CellRef cons(heap::HeapWord car, heap::HeapWord cdr) {
+    const CellRef cell = heap_.allocate(car, cdr);
+    cells_.push_back(cell);
+    ++allocsSinceCollect_;
+    onAllocate(cell, car, cdr);
+    return cell;
+  }
+
+  heap::HeapWord car(CellRef cell) const { return heap_.car(cell); }
+  heap::HeapWord cdr(CellRef cell) const { return heap_.cdr(cell); }
+
+  /// Field writes, routed through the collector so barrier-based policies
+  /// see them (deferred RC counts child references here).
+  virtual void setCar(CellRef cell, heap::HeapWord value) {
+    heap_.setCar(cell, value);
+  }
+  virtual void setCdr(CellRef cell, heap::HeapWord value) {
+    heap_.setCdr(cell, value);
+  }
+
+  // --- roots ---
+
+  void resizeRoots(std::size_t slots) { roots_.resize(slots, kNull); }
+  std::size_t rootCount() const { return roots_.size(); }
+  CellRef root(std::size_t slot) const { return roots_.at(slot); }
+  void setRoot(std::size_t slot, CellRef cell) { roots_.at(slot) = cell; }
+
+  // --- collection ---
+
+  /// Should the mutator pause for a collection at this safepoint?
+  bool shouldCollect() const {
+    if (pendingCollect_) return true;
+    return cells_.size() >= options_.triggerLiveCells &&
+           allocsSinceCollect_ * 4 >= options_.triggerLiveCells;
+  }
+
+  /// Run one collection; returns cells reclaimed. Updates the pause
+  /// distribution from the heap-touch and metadata-touch deltas.
+  std::uint64_t collect() {
+    const std::uint64_t heapBefore = heap_.stats().touches();
+    const std::uint64_t tableBefore = stats_.tableTouches;
+    const std::uint64_t reclaimed = doCollect();
+    const std::uint64_t heapCost = heap_.stats().touches() - heapBefore;
+    const std::uint64_t pause =
+        heapCost + (stats_.tableTouches - tableBefore);
+    ++stats_.collections;
+    stats_.cellsReclaimed += reclaimed;
+    stats_.heapTouches += heapCost;
+    stats_.totalPause += pause;
+    if (pause > stats_.maxPause) stats_.maxPause = pause;
+    pendingCollect_ = false;
+    allocsSinceCollect_ = 0;
+    return reclaimed;
+  }
+
+  // --- introspection ---
+
+  /// Logical cells currently registered (live set after a full collect).
+  std::uint64_t liveCells() const { return cells_.size(); }
+
+  const GcStats& stats() const { return stats_; }
+  const heap::HeapBackend& heap() const { return heap_; }
+
+  /// Cells reachable from `cell` through stored pointer words. Walks the
+  /// backend's virtual car/cdr, so it perturbs the backend's read
+  /// counters — snapshot stats first when reporting.
+  std::uint64_t reachableFrom(CellRef cell) const;
+
+  /// reachableFrom for every root slot, in slot order (the live-set
+  /// fingerprint the differential tests compare against the LPT).
+  std::vector<std::uint64_t> rootReachability() const;
+
+ protected:
+  /// Policy hook: a fresh cell was registered (deferred RC counts the
+  /// child references and enters the cell into the ZCT here).
+  virtual void onAllocate(CellRef cell, heap::HeapWord car,
+                          heap::HeapWord cdr) {
+    (void)cell;
+    (void)car;
+    (void)cdr;
+  }
+
+  /// Policy body of collect(); returns cells reclaimed.
+  virtual std::uint64_t doCollect() = 0;
+
+  heap::HeapBackend& heap_;
+  Options options_;
+  std::vector<CellRef> cells_;  ///< registry, insertion-ordered
+  std::vector<CellRef> roots_;  ///< root slots (kNull = empty)
+  GcStats stats_;
+  bool pendingCollect_ = false;
+  std::uint64_t allocsSinceCollect_ = 0;
+};
+
+std::unique_ptr<Collector> makeMarkSweepCollector(
+    heap::HeapBackend& heap, const Collector::Options& options);
+std::unique_ptr<Collector> makeSemispaceCollector(
+    heap::HeapBackend& heap, const Collector::Options& options);
+std::unique_ptr<Collector> makeDeferredRcCollector(
+    heap::HeapBackend& heap, const Collector::Options& options);
+
+/// Factory over the collector policies (kNone is not a collector).
+std::unique_ptr<Collector> makeCollector(Policy policy,
+                                         heap::HeapBackend& heap,
+                                         const Collector::Options& options);
+
+}  // namespace small::gc

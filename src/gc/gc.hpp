@@ -1,0 +1,58 @@
+// The pluggable garbage-collection subsystem: shared policy and statistics
+// vocabulary.
+//
+// The paper's memory-management claim (§4.3.2) is comparative: the LP's
+// reference counting with lazy child decrements — backed by the §4.3.2.3
+// mark/sweep cycle recovery — against conventional collectors. This
+// subsystem supplies the "conventional" side of that comparison as three
+// collectors driven over any heap::HeapBackend (gc/collector.hpp), a
+// deterministic trace-driven mutator to exercise them (gc/script.hpp), and
+// the Policy/GcStats vocabulary the SMALL machine's Config uses to select
+// a reclamation discipline (small/machine.hpp).
+//
+// Costs are reported in *simulated heap-touch units*: every backend read
+// or write the collector causes, plus every access to collector-side
+// metadata (mark tables, forwarding tables, the zero-count table). A
+// collection's pause is the touch units spent inside that collection, so
+// pause distributions are comparable across collectors, backends and the
+// refcounting baseline without any wall-clock noise.
+#pragma once
+
+#include <cstdint>
+
+namespace small::gc {
+
+/// Reclamation discipline. kNone leaves reclamation to the owner's
+/// reference counting (the SMALL machine's eager frees); the other values
+/// select a collector.
+enum class Policy : std::uint8_t {
+  kNone,        ///< refcount-driven eager frees (the LP baseline)
+  kMarkSweep,   ///< stop-the-world mark-sweep
+  kSemispace,   ///< semispace copying with address forwarding
+  kDeferredRc,  ///< deferred reference counting with a bounded ZCT
+};
+
+const char* policyName(Policy policy);
+
+/// The three collector policies (kNone is the baseline, not a collector).
+inline constexpr Policy kAllCollectorPolicies[] = {
+    Policy::kMarkSweep, Policy::kSemispace, Policy::kDeferredRc};
+
+/// Collection and cost counters, maintained by every collector (and by the
+/// SMALL machine's scavenger). Pauses are in simulated heap-touch cost
+/// units: backend touches plus collector-metadata touches.
+struct GcStats {
+  std::uint64_t collections = 0;     ///< collection cycles run
+  std::uint64_t cellsReclaimed = 0;  ///< garbage cells reclaimed
+  std::uint64_t cellsTraced = 0;     ///< live cells marked/copied/examined
+  std::uint64_t heapTouches = 0;     ///< backend reads+writes while collecting
+  std::uint64_t tableTouches = 0;    ///< mark/forward/ZCT metadata accesses
+  std::uint64_t barrierOps = 0;      ///< mutator-side write-barrier work
+  std::uint64_t deferredDecrements = 0;  ///< child decs deferred to collection
+  std::uint64_t zctOverflows = 0;    ///< bounded ZCT forced a collection
+  std::uint64_t zctHighWater = 0;    ///< max zero-count-table occupancy
+  std::uint64_t maxPause = 0;        ///< costliest single collection
+  std::uint64_t totalPause = 0;      ///< sum of per-collection pauses
+};
+
+}  // namespace small::gc

@@ -1,0 +1,199 @@
+#include "gc/script.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace small::gc {
+
+using heap::HeapWord;
+
+std::uint64_t Script::allocationBound() const {
+  std::uint64_t cells = 0;
+  for (const ScriptOp& op : ops) {
+    if (op.kind == ScriptOp::Kind::kNewList) cells += op.length;
+    if (op.kind == ScriptOp::Kind::kCons) ++cells;
+  }
+  return cells;
+}
+
+Script scriptFromTrace(const trace::PreprocessedTrace& trace,
+                       const ScriptOptions& options, std::uint64_t seed) {
+  Script script;
+  script.name = trace.name;
+  script.slots = options.slots;
+  support::Rng rng(seed);
+  const auto slot = [&] {
+    return static_cast<std::uint16_t>(rng.below(options.slots));
+  };
+  std::uint64_t consed = 0;
+
+  for (const trace::PreprocessedEvent& event : trace.events) {
+    if (options.maxOps != 0 && script.ops.size() >= options.maxOps) break;
+    ScriptOp op;
+    switch (event.kind) {
+      case trace::EventKind::kFunctionEnter:
+        // Binding arguments: the callee sees values the caller holds.
+        op.kind = ScriptOp::Kind::kCopy;
+        op.dst = slot();
+        op.a = slot();
+        break;
+      case trace::EventKind::kFunctionExit:
+        // Frame teardown drops a binding — the main garbage faucet.
+        op.kind = ScriptOp::Kind::kClear;
+        op.dst = slot();
+        break;
+      case trace::EventKind::kPrimitive:
+        switch (event.primitive) {
+          case trace::Primitive::kRead: {
+            const std::uint32_t shape =
+                event.result.n != 0
+                    ? event.result.n
+                    : (event.args.empty() ? 1 : event.args[0].n);
+            op.kind = ScriptOp::Kind::kNewList;
+            op.dst = slot();
+            op.length = static_cast<std::uint16_t>(
+                std::clamp<std::uint32_t>(shape, 1, options.maxSpine));
+            op.share = event.result.p > 0 ? 3 : 0;
+            if (consed + op.length > options.cellBudget) {
+              // Over budget: keep the access pressure, skip the growth.
+              op = ScriptOp{ScriptOp::Kind::kCdr, slot(), slot(), 0, 0, 0};
+            } else {
+              consed += op.length;
+            }
+            break;
+          }
+          case trace::Primitive::kCar:
+            op.kind = ScriptOp::Kind::kCar;
+            op.dst = slot();
+            op.a = slot();
+            break;
+          case trace::Primitive::kCdr:
+            op.kind = ScriptOp::Kind::kCdr;
+            op.dst = slot();
+            op.a = slot();
+            break;
+          case trace::Primitive::kCons:
+          case trace::Primitive::kAppend:
+            op.kind = ScriptOp::Kind::kCons;
+            op.dst = slot();
+            op.a = slot();
+            op.b = slot();
+            if (consed + 1 > options.cellBudget) {
+              op.kind = ScriptOp::Kind::kCopy;
+            } else {
+              ++consed;
+            }
+            break;
+          case trace::Primitive::kRplaca:
+            op.kind = ScriptOp::Kind::kSetCar;
+            op.a = slot();
+            op.b = slot();
+            break;
+          case trace::Primitive::kRplacd:
+            op.kind = ScriptOp::Kind::kSetCdr;
+            op.a = slot();
+            op.b = slot();
+            break;
+          case trace::Primitive::kAtom:
+          case trace::Primitive::kNull:
+          case trace::Primitive::kEqual:
+            // Predicates keep or drop the tested value.
+            if (rng.chance(0.5)) {
+              op.kind = ScriptOp::Kind::kCopy;
+              op.dst = slot();
+              op.a = slot();
+            } else {
+              op.kind = ScriptOp::Kind::kClear;
+              op.dst = slot();
+            }
+            break;
+          case trace::Primitive::kWrite:
+            // writelist releases the EP's value once materialized.
+            op.kind = ScriptOp::Kind::kClear;
+            op.dst = slot();
+            break;
+        }
+        break;
+    }
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+ScriptResult runScript(Collector& collector, const Script& script) {
+  using CellRef = Collector::CellRef;
+  collector.resizeRoots(script.slots);
+  const auto rootWordOr = [&](std::uint16_t slot, HeapWord fallback) {
+    const CellRef cell = collector.root(slot);
+    return cell == Collector::kNull ? fallback : HeapWord::pointer(cell);
+  };
+
+  for (const ScriptOp& op : script.ops) {
+    if (collector.shouldCollect()) collector.collect();
+    switch (op.kind) {
+      case ScriptOp::Kind::kNewList: {
+        CellRef spine = Collector::kNull;
+        for (std::uint16_t k = 0; k < op.length; ++k) {
+          const HeapWord cdrWord = spine == Collector::kNull
+                                       ? HeapWord::nil()
+                                       : HeapWord::pointer(spine);
+          const bool shared = op.share > 0 && k > 0 && k % op.share == 0;
+          const HeapWord carWord =
+              shared ? HeapWord::pointer(spine) : HeapWord::symbol(k % 7);
+          spine = collector.cons(carWord, cdrWord);
+        }
+        collector.setRoot(op.dst, spine);
+        break;
+      }
+      case ScriptOp::Kind::kCar:
+      case ScriptOp::Kind::kCdr: {
+        const CellRef cell = collector.root(op.a);
+        CellRef target = Collector::kNull;
+        if (cell != Collector::kNull) {
+          const HeapWord word = op.kind == ScriptOp::Kind::kCar
+                                    ? collector.car(cell)
+                                    : collector.cdr(cell);
+          if (word.isPointer()) target = word.payload;
+        }
+        collector.setRoot(op.dst, target);
+        break;
+      }
+      case ScriptOp::Kind::kCons:
+        collector.setRoot(op.dst,
+                          collector.cons(rootWordOr(op.a, HeapWord::symbol(1)),
+                                         rootWordOr(op.b, HeapWord::nil())));
+        break;
+      case ScriptOp::Kind::kSetCar: {
+        const CellRef cell = collector.root(op.a);
+        if (cell != Collector::kNull) {
+          collector.setCar(cell, rootWordOr(op.b, HeapWord::symbol(2)));
+        }
+        break;
+      }
+      case ScriptOp::Kind::kSetCdr: {
+        const CellRef cell = collector.root(op.a);
+        if (cell != Collector::kNull) {
+          collector.setCdr(cell, rootWordOr(op.b, HeapWord::nil()));
+        }
+        break;
+      }
+      case ScriptOp::Kind::kCopy:
+        collector.setRoot(op.dst, collector.root(op.a));
+        break;
+      case ScriptOp::Kind::kClear:
+        collector.setRoot(op.dst, Collector::kNull);
+        break;
+    }
+  }
+  collector.collect();
+
+  ScriptResult result;
+  result.collectorName = collector.name();
+  result.finalLiveCells = collector.liveCells();
+  result.rootReachable = collector.rootReachability();
+  result.stats = collector.stats();
+  return result;
+}
+
+}  // namespace small::gc

@@ -1,0 +1,106 @@
+// The deterministic trace-driven mutator for the collector comparison.
+//
+// A Script is a fixed sequence of slot-level list operations derived from
+// a preprocessed access trace (§5.2.1) by scriptFromTrace: readlist events
+// become list constructions sized by the traced (n, p) shape, car/cdr and
+// rplaca/rplacd map directly, predicates and function entry/exit become
+// root-slot copies and clears (the EP binding and dropping values). All
+// randomness — slot choices, predicate coin flips — is spent at script
+// *generation* time from the caller's seed; replaying a script is pure.
+//
+// The op semantics below are the shared contract: runScript drives them
+// over a gc::Collector, and small/gc_baseline.* drives the same ops over
+// the LPT's reference-counting discipline, building graphs isomorphic
+// cell-for-entry. That is what entitles the differential tests and
+// bench/gc_comparison to demand bit-equal final live sets:
+//
+//   newlist dst len share   build a len-cell spine tail-first; cell k
+//                           (k = 0 at the tail) has cdr = previous cell
+//                           (nil at the tail) and car = pointer to the
+//                           previous cell when share > 0, k > 0 and
+//                           k % share == 0 (traced p > 0 ⇒ shared
+//                           substructure), else symbol(k mod 7); the head
+//                           cell lands in root slot dst
+//   car dst a / cdr dst a   dst = the cell the field points at, or empty
+//                           when slot a is empty / the field is an atom
+//   cons dst a b            fresh cell: car = slot a's cell (symbol(1)
+//                           when empty), cdr = slot b's cell (nil when
+//                           empty); lands in dst
+//   setcar a b              when slot a is nonempty, car(a) = slot b's
+//                           cell, or symbol(2) when b is empty
+//   setcdr a b              when slot a is nonempty, cdr(a) = slot b's
+//                           cell, or nil when b is empty (aiming a cdr
+//                           back into reachable structure is what builds
+//                           the cycles the recovery paths must reclaim)
+//   copy dst a              dst = slot a
+//   clear dst               empty slot dst
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gc/collector.hpp"
+#include "trace/preprocess.hpp"
+
+namespace small::gc {
+
+struct ScriptOp {
+  enum class Kind : std::uint8_t {
+    kNewList,
+    kCar,
+    kCdr,
+    kCons,
+    kSetCar,
+    kSetCdr,
+    kCopy,
+    kClear,
+  };
+  Kind kind = Kind::kClear;
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t length = 0;  ///< kNewList: spine cells
+  std::uint16_t share = 0;   ///< kNewList: car-sharing stride (0 = none)
+};
+
+struct Script {
+  std::string name;
+  std::uint32_t slots = 0;
+  std::vector<ScriptOp> ops;
+
+  /// Cells cons'd over the whole run (kNewList lengths + kCons count) —
+  /// the table-sizing bound for the LPT baseline.
+  std::uint64_t allocationBound() const;
+};
+
+struct ScriptOptions {
+  std::uint32_t slots = 48;      ///< root-slot file size
+  std::uint32_t maxSpine = 24;   ///< kNewList length clamp
+  std::uint64_t maxOps = 0;      ///< 0 = the whole trace
+  /// Allocation budget: once reached, further readlist/cons events degrade
+  /// to non-allocating ops so table-sized baselines stay bounded.
+  std::uint64_t cellBudget = 200000;
+};
+
+/// Derive the mutator script for `trace`, spending `seed` deterministically.
+Script scriptFromTrace(const trace::PreprocessedTrace& trace,
+                       const ScriptOptions& options, std::uint64_t seed);
+
+/// One collector's run over a script.
+struct ScriptResult {
+  std::string collectorName;
+  std::uint64_t finalLiveCells = 0;
+  /// Cells reachable per root slot, in slot order — the live-set
+  /// fingerprint compared across collectors and against the LPT baseline.
+  std::vector<std::uint64_t> rootReachable;
+  GcStats stats;
+};
+
+/// Replay `script` on `collector` (which must be freshly constructed over
+/// an otherwise unused backend): collect at op-boundary safepoints when
+/// the collector asks, then a final full collection so finalLiveCells is
+/// exactly the root-reachable set.
+ScriptResult runScript(Collector& collector, const Script& script);
+
+}  // namespace small::gc

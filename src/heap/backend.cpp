@@ -123,6 +123,42 @@ class TwoPointerBackend final : public HeapBackend {
     return word;
   }
 
+  CollectResult collectGarbage(const std::vector<HeapWord>& roots) override {
+    // Mark: one cell fetch yields both words of each traced cell.
+    std::vector<bool> marked(heap_.cellsAllocated(), false);
+    std::vector<CellRef> work;
+    const auto visit = [&](CellRef cell) {
+      if (!marked[cell]) {
+        marked[cell] = true;
+        work.push_back(cell);
+      }
+    };
+    for (const HeapWord& root : roots) {
+      if (root.isPointer()) visit(root.payload);
+    }
+    CollectResult result;
+    while (!work.empty()) {
+      const CellRef cell = work.back();
+      work.pop_back();
+      ++result.traced;
+      stats_.reads += 2;
+      if (heap_.car(cell).isPointer()) visit(heap_.car(cell).payload);
+      if (heap_.cdr(cell).isPointer()) visit(heap_.cdr(cell).payload);
+    }
+    // Sweep: a linear scan of the cell store; a read per occupied cell
+    // examined, a free-list write per cell reclaimed.
+    for (CellRef cell = 0; cell < marked.size(); ++cell) {
+      if (heap_.isFree(cell)) continue;
+      ++stats_.reads;
+      if (marked[cell]) continue;
+      heap_.free(cell);
+      ++stats_.writes;
+      noteFree(1);
+      ++result.reclaimed;
+    }
+    return result;
+  }
+
   std::uint64_t cellsAllocated() const override {
     return heap_.cellsAllocated();
   }
@@ -357,6 +393,87 @@ class CdrCodedBackend final : public HeapBackend {
     stats_.writes += laid;
     noteAlloc(laid);
     return HeapWord::pointer(start);
+  }
+
+  CollectResult collectGarbage(const std::vector<HeapWord>& roots) override {
+    // Mark. Invisible forwarding chains are marked as part of the object
+    // that forwards through them (they die together, they live together);
+    // a cdr-normal head marks its cdr-error partner; a cdr-next cell's
+    // implicit successor is part of the same run and traces as a cell of
+    // its own.
+    std::vector<bool> marked(cells_.size(), false);
+    std::vector<CellRef> work;
+    const auto visit = [&](CellRef cell) {
+      while (!marked[cell] && cells_[cell].car.tag == CdrWord::Tag::kInvisible) {
+        marked[cell] = true;
+        ++stats_.reads;
+        cell = cells_[cell].car.payload;
+      }
+      if (!marked[cell]) {
+        marked[cell] = true;
+        work.push_back(cell);
+      }
+    };
+    for (const HeapWord& root : roots) {
+      if (root.isPointer()) visit(root.payload);
+    }
+    CollectResult result;
+    while (!work.empty()) {
+      const CellRef cell = work.back();
+      work.pop_back();
+      ++result.traced;
+      const Cell& slot = cells_[cell];
+      ++stats_.reads;
+      if (slot.car.isPointer()) visit(slot.car.payload);
+      switch (slot.code) {
+        case CdrCode::kNext:
+          visit(cell + 1);
+          break;
+        case CdrCode::kNil:
+          break;
+        case CdrCode::kNormal: {
+          marked[cell + 1] = true;
+          ++stats_.reads;
+          const CdrWord tail = cells_[cell + 1].car;
+          if (tail.isPointer()) visit(tail.payload);
+          break;
+        }
+        case CdrCode::kError:
+          throw SimulationError(
+              "CdrCodedBackend: collectGarbage traced into a cdr-error "
+              "cell");
+      }
+    }
+    // Sweep ascending. An unmarked cdr-normal head takes its partner with
+    // it (freePair), so a directly encountered live-looking cdr-error cell
+    // means the store is corrupt.
+    for (CellRef cell = 0; cell < marked.size(); ++cell) {
+      const Cell& slot = cells_[cell];
+      if (slot.free) continue;
+      ++stats_.reads;
+      if (marked[cell]) continue;
+      if (slot.car.tag == CdrWord::Tag::kInvisible) {
+        freeSingle(cell);
+        ++result.reclaimed;
+        continue;
+      }
+      switch (slot.code) {
+        case CdrCode::kNext:
+        case CdrCode::kNil:
+          freeSingle(cell);
+          ++result.reclaimed;
+          break;
+        case CdrCode::kNormal:
+          freePair(cell);
+          result.reclaimed += 2;
+          break;
+        case CdrCode::kError:
+          throw SimulationError(
+              "CdrCodedBackend: collectGarbage swept an orphaned cdr-error "
+              "cell");
+      }
+    }
+    return result;
   }
 
   std::uint64_t cellsAllocated() const override { return cells_.size(); }
@@ -786,6 +903,90 @@ class LinkedVectorBackend final : public HeapBackend {
       }
     }
     return HeapWord::pointer(first);
+  }
+
+  CollectResult collectGarbage(const std::vector<HeapWord>& roots) override {
+    // Mark, with the same shape discipline as freeObject: indirection
+    // chains mark with the object forwarding through them, a kCdrCell
+    // head marks its cdr slot, a kNext element's successor is the next
+    // slot of the same run.
+    std::vector<bool> marked(elements_.size(), false);
+    std::vector<CellRef> work;
+    const auto visit = [&](CellRef ref) {
+      while (!marked[ref] && elements_[ref].tag == Tag::kIndirect) {
+        marked[ref] = true;
+        ++stats_.reads;
+        ref = elements_[ref].value.payload;
+      }
+      if (!marked[ref]) {
+        marked[ref] = true;
+        work.push_back(ref);
+      }
+    };
+    for (const HeapWord& root : roots) {
+      if (root.isPointer()) visit(root.payload);
+    }
+    CollectResult result;
+    while (!work.empty()) {
+      const CellRef ref = work.back();
+      work.pop_back();
+      ++result.traced;
+      const Element& element = elements_[ref];
+      ++stats_.reads;
+      if (element.value.isPointer()) visit(element.value.payload);
+      switch (element.tag) {
+        case Tag::kNext:
+          visit(ref + 1);
+          break;
+        case Tag::kCdrNil:
+          break;
+        case Tag::kCdrCell: {
+          marked[ref + 1] = true;
+          ++stats_.reads;
+          const HeapWord tail = elements_[ref + 1].value;
+          if (tail.isPointer()) visit(tail.payload);
+          break;
+        }
+        case Tag::kCdrSlot:
+        case Tag::kIndirect:
+        case Tag::kUnused:
+          throw SimulationError(
+              "LinkedVectorBackend: collectGarbage traced a non-cons "
+              "element");
+      }
+    }
+    // Sweep ascending over the element store. An unmarked kCdrCell head
+    // frees its pair with the usual adjacent-pair bookkeeping; a directly
+    // encountered unmarked cdr slot means its head vanished without it.
+    for (CellRef ref = 0; ref < marked.size(); ++ref) {
+      const Element& element = elements_[ref];
+      if (element.tag == Tag::kUnused) continue;
+      ++stats_.reads;
+      if (marked[ref]) continue;
+      switch (element.tag) {
+        case Tag::kNext:
+        case Tag::kCdrNil:
+        case Tag::kIndirect:
+          freeSlot(ref);
+          ++result.reclaimed;
+          break;
+        case Tag::kCdrCell:
+          freeSlot(ref + 1);
+          freeSlot(ref);
+          freePairs_.push_back(ref);
+          freeSingles_.pop_back();
+          freeSingles_.pop_back();
+          result.reclaimed += 2;
+          break;
+        case Tag::kCdrSlot:
+          throw SimulationError(
+              "LinkedVectorBackend: collectGarbage swept an orphaned cdr "
+              "slot");
+        case Tag::kUnused:
+          break;
+      }
+    }
+    return result;
   }
 
   std::uint64_t cellsAllocated() const override { return elements_.size(); }

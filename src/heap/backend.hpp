@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "heap/word.hpp"
 #include "sexpr/arena.hpp"
@@ -84,6 +85,21 @@ class HeapBackend {
   /// natural layout (vectorized runs for coded backends); returns the
   /// root word. Atoms encode as immediate words without heap activity.
   virtual HeapWord encode(const sexpr::Arena& arena, sexpr::NodeRef root) = 0;
+
+  struct CollectResult {
+    std::uint64_t reclaimed = 0;  ///< physical cells freed
+    std::uint64_t traced = 0;     ///< live cons cells marked
+  };
+
+  /// Stop-the-world mark-sweep over the *physical* cell store: mark
+  /// everything reachable from the given root words, free every other
+  /// occupied cell. Representation metadata participates — forwarding
+  /// cells (invisible pointers, indirection elements) survive with the
+  /// object that forwards through them, cdr-error/cdr-slot cells with
+  /// their pair head — so reads/writes land in stats() with the same
+  /// touch accounting as mutator activity. Used by SmallMachine when
+  /// Config::gcPolicy defers its refcount-driven frees to a collector.
+  virtual CollectResult collectGarbage(const std::vector<HeapWord>& roots) = 0;
 
   /// Rebuild an s-expression from heap structure. Implemented once over
   /// the virtual car/cdr so every backend's decode pays its own touch

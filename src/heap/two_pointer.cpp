@@ -58,6 +58,8 @@ std::uint64_t TwoPointerHeap::freeObject(CellRef root) {
   return reclaimed;
 }
 
+bool TwoPointerHeap::isFree(CellRef cell) const { return at(cell).free; }
+
 const HeapWord& TwoPointerHeap::car(CellRef cell) const {
   const Cell& slot = at(cell);
   if (slot.free) throw SimulationError("TwoPointerHeap: car of freed cell");

@@ -58,6 +58,10 @@ class TwoPointerHeap {
   std::uint64_t cellsLive() const { return cells_.size() - freeList_.size(); }
   std::uint64_t freeListLength() const { return freeList_.size(); }
 
+  /// Is the cell on the free list? (Sweep support: car/cdr of a freed cell
+  /// throw, so a collector enumerating the cell store needs this test.)
+  bool isFree(CellRef cell) const;
+
  private:
   struct Cell {
     HeapWord car;

@@ -1,0 +1,37 @@
+// The LPT reference-counting baseline for the gc comparison: replay a
+// gc::Script (the shared mutator contract documented in gc/script.hpp)
+// against core::Lpt's lazy-decrement discipline, entry-for-cell. Root
+// slots hold counted references (incRef on bind, decRef on displace),
+// cell edges are LPT car/cdr edges, and atoms map to absent edges — so
+// the entry graph is isomorphic to the collectors' cell graphs and the
+// final live sets must agree exactly.
+//
+// The run finishes with settleLazyFrees (performing the §4.3.2.1 deferred
+// child decrements now) followed by recoverCycles from the root slots,
+// after which inUseCount() is plain root-reachability — the ground truth
+// bench/gc_comparison and the differential tests hold every collector to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gc/script.hpp"
+#include "small/lpt.hpp"
+
+namespace small::core {
+
+struct GcBaselineResult {
+  std::uint64_t finalLiveEntries = 0;
+  /// Entries reachable per root slot, in slot order (matches
+  /// gc::ScriptResult::rootReachable for an isomorphic run).
+  std::vector<std::uint64_t> rootReachable;
+  std::uint64_t cycleReclaimed = 0;   ///< entries freed by recoverCycles
+  std::uint64_t lazySettled = 0;      ///< deferred edges released at the end
+  LptStats lptStats;
+};
+
+/// Replay `script` over a fresh lazy-policy Lpt sized from the script's
+/// allocation bound.
+GcBaselineResult runScriptOnLpt(const gc::Script& script);
+
+}  // namespace small::core

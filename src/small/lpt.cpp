@@ -111,6 +111,38 @@ void Lpt::dropChildren(EntryId id) {
   if (oldCdr != kNoEntry) decRef(oldCdr);
 }
 
+std::uint64_t Lpt::settleLazyFrees() {
+  // Releasing a free entry's edges can drive other counts to zero, which
+  // frees more entries — whose edges are retained in turn under the lazy
+  // policy — so the scan repeats until no free entry holds an edge.
+  std::uint64_t released = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (EntryId id = 0; id < size_; ++id) {
+      LptEntry& slot = entries_[id];
+      if (slot.inUse) continue;
+      if (slot.car == kNoEntry && slot.cdr == kNoEntry) continue;
+      const EntryId oldCar = slot.car;
+      const EntryId oldCdr = slot.cdr;
+      slot.car = kNoEntry;
+      slot.cdr = kNoEntry;
+      if (oldCar != kNoEntry) {
+        ++stats_.lazyDecrements;
+        ++released;
+        decRef(oldCar);
+      }
+      if (oldCdr != kNoEntry) {
+        ++stats_.lazyDecrements;
+        ++released;
+        decRef(oldCdr);
+      }
+      progress = true;
+    }
+  }
+  return released;
+}
+
 std::uint64_t Lpt::recoverCycles(const std::vector<EntryId>& roots) {
   // Mark phase: everything reachable from an external root stays. Entries
   // on the free stack still hold deferred (lazy) references through their

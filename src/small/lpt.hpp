@@ -93,6 +93,15 @@ class Lpt {
   /// number of entries reclaimed.
   std::uint64_t recoverCycles(const std::vector<EntryId>& roots);
 
+  /// Perform every outstanding lazy child decrement now: free-stack
+  /// entries keep their car/cdr edges referenced until reuse (§4.3.2.1),
+  /// so the in-use set normally overshoots plain reachability. Settling
+  /// runs those deferred decrements to a fixpoint, after which
+  /// recoverCycles(roots) leaves *exactly* the root-reachable entries in
+  /// use — the live-set ground truth the gc subsystem's differential
+  /// comparison needs. Returns the number of deferred edges released.
+  std::uint64_t settleLazyFrees();
+
   LptStats& stats() { return stats_; }
   const LptStats& stats() const { return stats_; }
 

@@ -14,6 +14,12 @@ SmallMachine::SmallMachine(Config config)
   if (config_.tableSize == 0) {
     throw SimulationError("SmallMachine: zero-sized table");
   }
+  if (config_.gcPolicy != gc::Policy::kNone &&
+      config_.gcPolicy != gc::Policy::kMarkSweep) {
+    throw support::Error(
+        "SmallMachine: only kNone/kMarkSweep run in-machine; drive "
+        "semispace and deferred-rc with the gc/script harness");
+  }
   entries_.resize(config_.tableSize);
   freeStack_.reserve(config_.tableSize);
   for (std::uint32_t id = config_.tableSize; id-- > 0;) {
@@ -85,6 +91,11 @@ void SmallMachine::freeEntry(std::uint32_t id) {
 }
 
 void SmallMachine::queueHeapFree(HeapWord word) {
+  if (config_.gcPolicy == gc::Policy::kMarkSweep) {
+    // The structure is simply dropped; the collector finds it by not
+    // finding it (unreachable from the table's address words).
+    return;
+  }
   freeQueue_.push_back(word.payload);
   stats_.freeQueueHighWater =
       std::max(stats_.freeQueueHighWater, freeQueue_.size());
@@ -101,11 +112,48 @@ void SmallMachine::queueHeapFree(HeapWord word) {
 }
 
 void SmallMachine::serviceAllHeapFrees() {
+  if (config_.gcPolicy == gc::Policy::kMarkSweep) {
+    collectHeapGarbage();
+    return;
+  }
   while (!freeQueue_.empty()) {
     heap_->freeObject(freeQueue_.front());
     freeQueue_.pop_front();
     ++stats_.heapFreesServiced;
   }
+}
+
+std::uint64_t SmallMachine::collectHeapGarbage() {
+  // Every live heap object is owned by exactly one unsplit in-use entry's
+  // address word (split transfers ownership of the halves to fresh
+  // entries, merge transfers it back), so those words are the complete
+  // root set.
+  std::vector<HeapWord> roots;
+  for (const Entry& e : entries_) {
+    if (e.inUse && !e.hasFields && e.addr.isPointer()) {
+      roots.push_back(e.addr);
+    }
+  }
+  const std::uint64_t touchesBefore = heap_->stats().touches();
+  const heap::HeapBackend::CollectResult result =
+      heap_->collectGarbage(roots);
+  const std::uint64_t pause = heap_->stats().touches() - touchesBefore;
+  ++gcStats_.collections;
+  gcStats_.cellsReclaimed += result.reclaimed;
+  gcStats_.cellsTraced += result.traced;
+  gcStats_.heapTouches += pause;
+  gcStats_.totalPause += pause;
+  if (pause > gcStats_.maxPause) gcStats_.maxPause = pause;
+  gcFloorLive_ = heap_->cellsLive();
+  return result.reclaimed;
+}
+
+void SmallMachine::maybeCollectHeap() {
+  if (config_.gcPolicy != gc::Policy::kMarkSweep) return;
+  const std::uint64_t live = heap_->cellsLive();
+  if (live < config_.gcTriggerCells) return;
+  if (live < gcFloorLive_ + config_.gcTriggerCells / 4) return;
+  collectHeapGarbage();
 }
 
 bool SmallMachine::ensureFree(std::uint32_t needed) {
@@ -239,6 +287,7 @@ SmallMachine::Value SmallMachine::readList(const sexpr::Arena& arena,
   Value value;
   value.kind = Value::Kind::kObject;
   value.id = id;
+  maybeCollectHeap();  // safepoint: the new structure is rooted by `e`
   return value;
 }
 
@@ -256,6 +305,7 @@ void SmallMachine::release(Value value) {
   }
   if (--it->second == 0) epRefs_.erase(it);
   decRef(value.id);
+  maybeCollectHeap();  // safepoint: any dropped structure is now garbage
 }
 
 void SmallMachine::split(std::uint32_t id) {
@@ -334,6 +384,7 @@ void SmallMachine::modify(Value list, Value value, bool isCar) {
   field = value;
   if (value.isObject()) incRef(value.id);
   if (old.isObject()) decRef(old.id);
+  maybeCollectHeap();  // safepoint: the displaced field may have died
 }
 
 sexpr::NodeRef SmallMachine::writeList(sexpr::Arena& arena,

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gc/gc.hpp"
 #include "heap/backend.hpp"
 #include "sexpr/arena.hpp"
 #include "small/config.hpp"
@@ -58,6 +59,18 @@ class SmallMachine {
     /// across backends; only the physical heap activity differs.
     heap::HeapBackendKind heapBackend = heap::HeapBackendKind::kTwoPointer;
     heap::HeapBackendOptions heapOptions;
+    /// Heap reclamation discipline. kNone is the paper's machine: counts
+    /// reaching zero queue eager heap frees (§4.3.3.1). kMarkSweep drops
+    /// those frees and instead runs HeapBackend::collectGarbage from the
+    /// table's address words at operation-boundary safepoints once
+    /// cellsLive reaches gcTriggerCells (counters in gcStats()). The
+    /// relocating and registry-based collectors (kSemispace, kDeferredRc)
+    /// cannot run under the LPT's pinned address words — drive them with
+    /// the standalone gc/script harness instead; selecting them here
+    /// throws.
+    gc::Policy gcPolicy = gc::Policy::kNone;
+    /// Physical-cell occupancy that arms a collection (kMarkSweep only).
+    std::uint64_t gcTriggerCells = 4096;
   };
 
   /// Representation-independent event counters: these depend only on the
@@ -122,8 +135,20 @@ class SmallMachine {
   /// Fig 4.8 tests; normally triggered by table pressure).
   std::uint64_t compress(bool all);
 
-  /// Drain the heap free queue completely.
+  /// Drain the heap free queue completely (under kMarkSweep, where no
+  /// frees are queued, this runs a full collection instead — the
+  /// shutdown-time "everything not in the table is garbage" sweep).
   void serviceAllHeapFrees();
+
+  /// Run one heap collection now, regardless of the trigger: mark from
+  /// the in-use entries' address words, sweep the rest of the cell store.
+  /// Returns physical cells reclaimed.
+  std::uint64_t collectHeapGarbage();
+
+  /// Collection counters (kMarkSweep). Kept apart from Stats: collection
+  /// timing depends on *physical* occupancy, which differs per backend,
+  /// while Stats must stay backend-invariant.
+  const gc::GcStats& gcStats() const { return gcStats_; }
 
   /// Render the in-use LPT entries in the style of Fig 4.9's tables
   /// (ID | CAR | CDR | REF | ADDR).
@@ -169,6 +194,12 @@ class SmallMachine {
 
   void queueHeapFree(heap::HeapWord word);
 
+  /// Operation-boundary safepoint: collect if armed. Only called where no
+  /// transient heap words are held outside the table (end of readList /
+  /// release / modify), so the table's address words are a complete root
+  /// set.
+  void maybeCollectHeap();
+
   std::uint32_t externalRefs(std::uint32_t id) const;
 
   Config config_;
@@ -179,6 +210,10 @@ class SmallMachine {
   std::unordered_map<std::uint32_t, std::uint32_t> epRefs_;
   std::deque<heap::HeapBackend::CellRef> freeQueue_;
   Stats stats_;
+  gc::GcStats gcStats_;
+  /// Live-cell floor after the last collection (anti-thrash: the next one
+  /// waits for gcTriggerCells/4 cells of fresh growth).
+  std::uint64_t gcFloorLive_ = 0;
 };
 
 }  // namespace small::core

@@ -73,6 +73,7 @@ class Replayer {
     result.functionCalls = functionCalls_;
     result.residualEntries = machine_.entriesInUse();
     result.residualHeapCells = machine_.heapCellsLive();
+    result.gcStats = machine_.gcStats();
     return result;
   }
 

@@ -63,6 +63,8 @@ struct ReplayResult {
   std::uint32_t residualEntries = 0;
   /// Heap cells still live after shutdown (pinned by residual entries).
   std::uint64_t residualHeapCells = 0;
+  /// Scavenger counters (all zero under the default refcount policy).
+  gc::GcStats gcStats;
 };
 
 /// Replay a preprocessed trace through a SmallMachine configured per

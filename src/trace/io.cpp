@@ -1,5 +1,6 @@
 #include "trace/io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -11,21 +12,112 @@ using support::ParseError;
 
 namespace {
 
+[[noreturn]] void fail(std::size_t lineNo, const std::string& message) {
+  throw ParseError("trace line " + std::to_string(lineNo) + ": " + message);
+}
+
+// Function names are stored percent-encoded so names containing record
+// separators (spaces, tabs) or characters that look like syntax ('#', '%')
+// round-trip through the line-oriented format.
+bool needsEscape(char c) {
+  return c == '%' || c == '#' || c == ' ' || c == '\t' || c == '\n' ||
+         c == '\r';
+}
+
+std::string escapeName(const std::string& name) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (needsEscape(c)) {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(hex[byte >> 4]);
+      out.push_back(hex[byte & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+int hexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string unescapeName(const std::string& token, std::size_t lineNo) {
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out.push_back(token[i]);
+      continue;
+    }
+    if (i + 2 >= token.size()) {
+      fail(lineNo, "truncated escape in function name '" + token + "'");
+    }
+    const int hi = hexDigit(token[i + 1]);
+    const int lo = hexDigit(token[i + 2]);
+    if (hi < 0 || lo < 0) {
+      fail(lineNo, "bad escape in function name '" + token + "'");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+// Strict unsigned parse of a complete token: rejects empty tokens, signs,
+// non-digits, trailing garbage, and overflow.
+std::uint64_t parseNumber(const std::string& token, std::size_t lineNo,
+                          const char* what, std::uint64_t max) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || token.empty()) {
+    fail(lineNo, std::string("non-numeric ") + what + " '" + token + "'");
+  }
+  if (value > max) {
+    fail(lineNo, std::string(what) + " " + token + " out of range (max " +
+                     std::to_string(max) + ")");
+  }
+  return value;
+}
+
 void writeObject(std::ostream& out, const ObjectRecord& object) {
   out << object.fingerprint << ":" << object.n << ":" << object.p << ":"
       << (object.isList ? 1 : 0);
 }
 
-ObjectRecord parseObject(const std::string& token) {
-  ObjectRecord object;
-  std::istringstream in(token);
-  char sep1 = 0, sep2 = 0, sep3 = 0;
-  int isList = 0;
-  in >> object.fingerprint >> sep1 >> object.n >> sep2 >> object.p >> sep3 >>
-      isList;
-  if (!in || sep1 != ':' || sep2 != ':' || sep3 != ':') {
-    throw ParseError("trace: malformed object record '" + token + "'");
+ObjectRecord parseObject(const std::string& token, std::size_t lineNo) {
+  // An object is exactly four ':'-separated unsigned fields: fp:n:p:l.
+  std::string parts[4];
+  std::size_t part = 0;
+  for (const char c : token) {
+    if (c == ':') {
+      if (++part == 4) {
+        fail(lineNo, "malformed object record '" + token + "'");
+      }
+    } else {
+      parts[part].push_back(c);
+    }
   }
+  if (part != 3) {
+    fail(lineNo, "truncated object record '" + token + "'");
+  }
+  ObjectRecord object;
+  object.fingerprint =
+      parseNumber(parts[0], lineNo, "object fingerprint", ~0ull);
+  object.n = static_cast<std::uint32_t>(
+      parseNumber(parts[1], lineNo, "object n field", 0xFFFFFFFFull));
+  object.p = static_cast<std::uint32_t>(
+      parseNumber(parts[2], lineNo, "object p field", 0xFFFFFFFFull));
+  const std::uint64_t isList =
+      parseNumber(parts[3], lineNo, "object list flag", 1);
   object.isList = isList != 0;
   return object;
 }
@@ -47,11 +139,12 @@ void save(const Trace& trace, std::ostream& out) {
         break;
       }
       case EventKind::kFunctionEnter:
-        out << "E " << trace.functionName(event.functionId) << " "
-            << static_cast<int>(event.argCount) << "\n";
+        out << "E " << escapeName(trace.functionName(event.functionId))
+            << " " << static_cast<int>(event.argCount) << "\n";
         break;
       case EventKind::kFunctionExit:
-        out << "X " << trace.functionName(event.functionId) << "\n";
+        out << "X " << escapeName(trace.functionName(event.functionId))
+            << "\n";
         break;
     }
   }
@@ -85,43 +178,53 @@ Trace load(std::istream& in) {
       fields >> name;
       const auto primitive = primitiveFromName(name);
       if (!primitive) {
-        throw ParseError("trace line " + std::to_string(lineNo) +
-                         ": unknown primitive '" + name + "'");
+        fail(lineNo, "unknown primitive '" + name + "'");
       }
       event.primitive = *primitive;
       std::string token;
       bool first = true;
       while (fields >> token) {
         if (first) {
-          event.result = parseObject(token);
+          event.result = parseObject(token, lineNo);
           first = false;
         } else {
-          event.args.push_back(parseObject(token));
+          event.args.push_back(parseObject(token, lineNo));
         }
       }
       if (first) {
-        throw ParseError("trace line " + std::to_string(lineNo) +
-                         ": primitive record missing result");
+        fail(lineNo, "primitive record missing result");
       }
     } else if (tag == "E") {
       event.kind = EventKind::kFunctionEnter;
       std::string name;
-      int argCount = 0;
-      fields >> name >> argCount;
-      if (!fields) {
-        throw ParseError("trace line " + std::to_string(lineNo) +
-                         ": malformed function-enter record");
+      std::string countToken;
+      fields >> name >> countToken;
+      if (name.empty() || countToken.empty()) {
+        fail(lineNo, "truncated function-enter record");
       }
-      event.functionId = trace.internFunction(name);
-      event.argCount = static_cast<std::uint8_t>(argCount);
+      std::string extra;
+      if (fields >> extra) {
+        fail(lineNo, "trailing garbage '" + extra +
+                         "' after function-enter record");
+      }
+      event.functionId = trace.internFunction(unescapeName(name, lineNo));
+      event.argCount = static_cast<std::uint8_t>(
+          parseNumber(countToken, lineNo, "argCount", 255));
     } else if (tag == "X") {
       event.kind = EventKind::kFunctionExit;
       std::string name;
       fields >> name;
-      event.functionId = trace.internFunction(name);
+      if (name.empty()) {
+        fail(lineNo, "truncated function-exit record");
+      }
+      std::string extra;
+      if (fields >> extra) {
+        fail(lineNo, "trailing garbage '" + extra +
+                         "' after function-exit record");
+      }
+      event.functionId = trace.internFunction(unescapeName(name, lineNo));
     } else {
-      throw ParseError("trace line " + std::to_string(lineNo) +
-                       ": unknown record tag '" + tag + "'");
+      fail(lineNo, "unknown record tag '" + tag + "'");
     }
     trace.append(std::move(event));
   }

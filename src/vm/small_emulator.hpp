@@ -49,6 +49,9 @@ class SmallEmulator {
   const std::vector<std::string>& output() const { return output_; }
 
   const core::SmallMachine& machine() const { return machine_; }
+  /// Heap-collection counters when Options::machine.gcPolicy selects a
+  /// collector (all zero under the default refcount policy).
+  const gc::GcStats& gcStats() const { return machine_.gcStats(); }
   std::uint64_t instructionsExecuted() const { return instructions_; }
   std::uint64_t functionCalls() const { return functionCalls_; }
 

@@ -175,6 +175,101 @@ TEST(TraceIo, RejectsGarbage) {
   EXPECT_THROW(load(buffer), support::ParseError);
 }
 
+namespace {
+
+// What load() says about `text`, or "" if it loads cleanly.
+std::string loadError(const std::string& text) {
+  std::stringstream in(text);
+  try {
+    load(in);
+  } catch (const support::ParseError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+TEST(TraceIo, FunctionNamesWithSeparatorsRoundtrip) {
+  // Names containing the format's own separators (spaces, tabs) and syntax
+  // characters ('#', '%') must survive save/load via percent-encoding.
+  const std::vector<std::string> names = {"my func", "weird#name",
+                                          "100%scheme", "tab\there",
+                                          "a b#c%d"};
+  Trace trace;
+  trace.name = "escaping";
+  for (const std::string& name : names) {
+    Event enter;
+    enter.kind = EventKind::kFunctionEnter;
+    enter.functionId = trace.internFunction(name);
+    enter.argCount = 1;
+    trace.append(enter);
+    Event exit;
+    exit.kind = EventKind::kFunctionExit;
+    exit.functionId = enter.functionId;
+    trace.append(exit);
+  }
+
+  std::stringstream buffer;
+  save(trace, buffer);
+  const Trace loaded = load(buffer);
+  ASSERT_EQ(loaded.events().size(), 2 * names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(loaded.functionName(loaded.events()[2 * i].functionId),
+              names[i]);
+    EXPECT_EQ(loaded.functionName(loaded.events()[2 * i + 1].functionId),
+              names[i]);
+  }
+}
+
+TEST(TraceIo, UnknownTagReportsLineNumber) {
+  const std::string error = loadError("E f 1\nQ bogus\n");
+  EXPECT_TRUE(contains(error, "line 2")) << error;
+  EXPECT_TRUE(contains(error, "unknown record tag")) << error;
+}
+
+TEST(TraceIo, UnknownPrimitiveReportsLineNumber) {
+  const std::string error = loadError("P frob 1:2:3:1\n");
+  EXPECT_TRUE(contains(error, "line 1")) << error;
+  EXPECT_TRUE(contains(error, "unknown primitive")) << error;
+}
+
+TEST(TraceIo, TruncatedObjectFieldThrows) {
+  // Three of four ':'-separated fields.
+  const std::string error = loadError("E f 1\n\nP car 1:2:3\n");
+  EXPECT_TRUE(contains(error, "line 3")) << error;
+  EXPECT_TRUE(contains(error, "truncated object record")) << error;
+  // Five fields is just as malformed.
+  EXPECT_TRUE(
+      contains(loadError("P car 1:2:3:1:9\n"), "malformed object record"));
+  // Non-numeric and signed fields are rejected, not coerced.
+  EXPECT_TRUE(contains(loadError("P car x:2:3:1\n"), "non-numeric"));
+  EXPECT_TRUE(contains(loadError("P car 1:-2:3:1\n"), "non-numeric"));
+  EXPECT_TRUE(contains(loadError("P car 1:2:3:7\n"), "out of range"));
+  EXPECT_TRUE(contains(loadError("P car\n"), "missing result"));
+}
+
+TEST(TraceIo, BadArgCountThrows) {
+  const std::string nonNumeric = loadError("E f abc\n");
+  EXPECT_TRUE(contains(nonNumeric, "line 1")) << nonNumeric;
+  EXPECT_TRUE(contains(nonNumeric, "non-numeric argCount")) << nonNumeric;
+  EXPECT_TRUE(contains(loadError("E f -1\n"), "non-numeric argCount"));
+  EXPECT_TRUE(contains(loadError("E f 300\n"), "out of range"));
+  EXPECT_TRUE(contains(loadError("E f 1 junk\n"), "trailing garbage"));
+  EXPECT_TRUE(contains(loadError("E f\n"), "truncated function-enter"));
+}
+
+TEST(TraceIo, MalformedFunctionExitThrows) {
+  EXPECT_TRUE(contains(loadError("X\n"), "truncated function-exit"));
+  EXPECT_TRUE(contains(loadError("X f junk\n"), "trailing garbage"));
+  EXPECT_TRUE(contains(loadError("X f%GG\n"), "bad escape"));
+  EXPECT_TRUE(contains(loadError("X f%2\n"), "truncated escape"));
+}
+
 TEST(TraceIo, FileRoundtrip) {
   Trace trace;
   trace.name = "filetest";

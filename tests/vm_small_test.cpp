@@ -92,6 +92,48 @@ TEST_F(SmallVmTest, ShutdownDrainsMachine) {
   EXPECT_EQ(lastHeapAfterShutdown, 0u);
 }
 
+TEST_F(SmallVmTest, MarkSweepScavengerPreservesProgramOutput) {
+  // Build and drop three 40-cons chains through a 24-entry table, so
+  // endo-structure is compressed into real heap cells and each dropped
+  // chain becomes heap garbage. Run once with eager refcount-driven
+  // frees, once with the mark-sweep scavenger: output identical, and the
+  // scavenger genuinely collected.
+  const char* source = R"(
+    (def build (lambda (m)
+      (prog (acc n)
+        (setq acc nil)
+        (setq n m)
+        loop
+        (cond ((= n 0) (write (car acc)) (return nil)))
+        (setq acc (cons n acc))
+        (setq n (- n 1))
+        (go loop))))
+    (build 40)
+    (build 40)
+    (build 40))";
+  Compiler compiler(arena, symbols);
+  const Program program = compiler.compile(source);
+
+  SmallEmulator::Options options;
+  options.machine.tableSize = 24;
+  SmallEmulator eager(arena, symbols, options);
+  eager.run(program);
+  const std::vector<std::string> reference = eager.output();
+  ASSERT_EQ(reference.size(), 3u);
+  EXPECT_EQ(eager.gcStats().collections, 0u);
+
+  options.machine.gcPolicy = gc::Policy::kMarkSweep;
+  options.machine.gcTriggerCells = 16;  // collect often in a small run
+  SmallEmulator scavenged(arena, symbols, options);
+  scavenged.run(program);
+  EXPECT_EQ(scavenged.output(), reference);
+  EXPECT_GT(scavenged.gcStats().collections, 0u);
+  EXPECT_GT(scavenged.gcStats().cellsReclaimed, 0u);
+  scavenged.shutdown();
+  EXPECT_EQ(scavenged.machine().entriesInUse(), 0u);
+  EXPECT_EQ(scavenged.machine().heapCellsLive(), 0u);
+}
+
 TEST_F(SmallVmTest, OutputSnapshotsAtWriteTime) {
   // Unlike the reference emulator (whose outputs are live references),
   // WRLIST here records the printed text immediately, so a later rplacd
