@@ -8,12 +8,18 @@
 //     programs under the tracing interpreter (pass --workload).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/contrib.hpp"
+#include "obs/report.hpp"
+#include "obs/sweep.hpp"
+#include "small/simulator.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "trace/preprocess.hpp"
@@ -22,30 +28,201 @@
 
 namespace small::benchutil {
 
-inline bool hasFlag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  }
-  return false;
-}
+/// A flag a bench declares: its literal name and whether it consumes the
+/// following argument as a value.
+struct FlagSpec {
+  const char* name;
+  bool takesValue = false;
+};
 
-/// Value of a `--flag value` pair, or nullptr if absent.
-inline const char* flagValue(int argc, char** argv, const char* flag) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+/// Per-bench argument parser + bench_report emitter. Every table/figure
+/// bench constructs one of these first:
+///
+///   benchutil::BenchRun bench("fig5_1_2_lpt_size", argc, argv,
+///                             {{"--workload"}, {"--quick"}});
+///
+/// Parsing is strict: anything not declared and not one of the built-in
+/// flags (--jobs N, --metrics-out FILE, --trace-out FILE, --help) prints
+/// a usage message and exits nonzero — unknown flags are never silently
+/// ignored (consistent with the hardened trace::load error style).
+///
+/// Declared flags are automatically recorded into the bench_report
+/// config block; --jobs and the output paths are deliberately NOT (the
+/// report must be byte-identical at any job count — obs/report.hpp).
+///
+/// `finish(exitCode)` writes the report/trace files when the
+/// corresponding flags were given; with the flags absent nothing is
+/// written and the bench's stdout/stderr are untouched, keeping the text
+/// output byte-identical to the pre-obs benches.
+class BenchRun {
+ public:
+  BenchRun(std::string name, int argc, char** argv,
+           std::initializer_list<FlagSpec> flags)
+      : name_(std::move(name)), flags_(flags), report_(name_) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      const auto takeValue = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: %s requires a value\n", name_.c_str(),
+                       flag);
+          usage(stderr);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (std::strcmp(arg, "--help") == 0) {
+        usage(stdout);
+        std::exit(0);
+      }
+      if (std::strcmp(arg, "--jobs") == 0) {
+        const int jobs = std::atoi(takeValue("--jobs"));
+        jobs_ = jobs >= 1 ? jobs : support::hardwareJobs();
+        continue;
+      }
+      if (std::strcmp(arg, "--metrics-out") == 0) {
+        metricsPath_ = takeValue("--metrics-out");
+        continue;
+      }
+      if (std::strcmp(arg, "--trace-out") == 0) {
+        tracePath_ = takeValue("--trace-out");
+        continue;
+      }
+      const FlagSpec* spec = findSpec(arg);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "%s: unrecognized argument '%s'\n",
+                     name_.c_str(), arg);
+        usage(stderr);
+        std::exit(2);
+      }
+      if (spec->takesValue) {
+        values_.emplace_back(spec->name, takeValue(spec->name));
+      } else {
+        given_.emplace_back(spec->name);
+      }
+    }
+    // Record the workload-shaping flags in the report's config block.
+    for (const FlagSpec& spec : flags_) {
+      const std::string key = configKey(spec.name);
+      if (spec.takesValue) {
+        if (const char* v = value(spec.name)) report_.setConfig(key, v);
+      } else {
+        report_.setConfig(key, has(spec.name));
+      }
+    }
   }
-  return nullptr;
-}
 
-/// The common `--jobs N` flag shared by every sweep bench: worker threads
-/// for the deterministic parallel runner. Defaults to the hardware
-/// concurrency; `--jobs 1` reproduces the serial path bit for bit (the
-/// runner then executes inline, in task order, on the calling thread).
-inline int jobsFlag(int argc, char** argv) {
-  const char* value = flagValue(argc, argv, "--jobs");
-  if (value == nullptr) return support::hardwareJobs();
-  const int jobs = std::atoi(value);
-  return jobs >= 1 ? jobs : support::hardwareJobs();
+  const std::string& name() const { return name_; }
+
+  bool has(const char* flag) const {
+    for (const std::string& f : given_) {
+      if (f == flag) return true;
+    }
+    return false;
+  }
+
+  /// Value of a declared `--flag value` pair, or nullptr if absent.
+  const char* value(const char* flag) const {
+    for (const auto& [f, v] : values_) {
+      if (f == flag) return v.c_str();
+    }
+    return nullptr;
+  }
+
+  /// Worker threads for the deterministic parallel runner (`--jobs N`,
+  /// default hardware concurrency; `--jobs 1` is bit-for-bit serial).
+  int jobs() const { return jobs_; }
+
+  /// True when `--metrics-out` or `--trace-out` was given — gates span
+  /// sinks and shard allocation so undecorated runs pay nothing.
+  bool obsEnabled() const {
+    return !metricsPath_.empty() || !tracePath_.empty();
+  }
+
+  obs::BenchReport& report() { return report_; }
+  obs::Registry& registry() { return report_.registry(); }
+
+  /// The bench's top-level span sink (null without --trace-out).
+  obs::TraceSink* sink() { return tracePath_.empty() ? nullptr : &sink_; }
+
+  /// Merge a sweep's shard metrics into the report registry and queue its
+  /// sinks for the trace export (id order — deterministic metrics).
+  void collectShards(const obs::ShardSet& shards) {
+    shards.mergeInto(registry());
+    for (const obs::TraceSink* s : shards.sinksInOrder()) {
+      extraSinks_.push_back(s);
+    }
+  }
+
+  /// Write the requested artifacts; returns `exitCode`, or 1 if a write
+  /// failed. Call as the last statement of main().
+  int finish(int exitCode = 0) {
+    bool ok = true;
+    if (!metricsPath_.empty()) ok = report_.writeTo(metricsPath_) && ok;
+    if (!tracePath_.empty()) {
+      std::vector<const obs::TraceSink*> sinks;
+      sinks.push_back(&sink_);
+      sinks.insert(sinks.end(), extraSinks_.begin(), extraSinks_.end());
+      ok = obs::writeChromeTrace(tracePath_, sinks) && ok;
+    }
+    if (!ok && exitCode == 0) return 1;
+    return exitCode;
+  }
+
+ private:
+  const FlagSpec* findSpec(const char* arg) const {
+    for (const FlagSpec& spec : flags_) {
+      if (std::strcmp(spec.name, arg) == 0) return &spec;
+    }
+    return nullptr;
+  }
+
+  static std::string configKey(const char* flag) {
+    std::string key(flag);
+    while (!key.empty() && key.front() == '-') key.erase(key.begin());
+    for (char& c : key) {
+      if (c == '-') c = '_';
+    }
+    return key;
+  }
+
+  void usage(std::FILE* out) const {
+    std::fprintf(out,
+                 "usage: %s [--jobs N] [--metrics-out FILE] "
+                 "[--trace-out FILE]",
+                 name_.c_str());
+    for (const FlagSpec& spec : flags_) {
+      std::fprintf(out, spec.takesValue ? " [%s VALUE]" : " [%s]",
+                   spec.name);
+    }
+    std::fputc('\n', out);
+  }
+
+  std::string name_;
+  std::vector<FlagSpec> flags_;
+  std::vector<std::string> given_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::string metricsPath_;
+  std::string tracePath_;
+  int jobs_ = support::hardwareJobs();
+  obs::BenchReport report_;
+  obs::TraceSink sink_;
+  std::vector<const obs::TraceSink*> extraSinks_;
+};
+
+/// Publish one simulator run's counters into a (usually per-task shard)
+/// registry under the canonical obs names. Null-safe so callers can pass
+/// `shards.registryAt(id)` unguarded.
+inline void contributeSimResult(obs::Registry* registry,
+                                const core::SimResult& result) {
+  if (registry == nullptr) return;
+  obs::contributeLptStats(*registry, result.lptStats);
+  obs::contributeLpStats(*registry, result.lpStats);
+  registry->recordMax(obs::names::kLptPeakOccupancy, result.peakOccupancy);
+  support::Histogram& lifetimes =
+      registry->histogram(obs::names::kLptLifetimeMaxCounts);
+  for (const auto& [value, count] : result.lifetimeMaxCounts.buckets()) {
+    lifetimes.add(value, count);
+  }
 }
 
 struct NamedTrace {

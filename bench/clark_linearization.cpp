@@ -10,6 +10,7 @@
 //      linearized" — destructive edits erode it only slowly.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "heap/linearization.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -39,7 +40,8 @@ LinearizingHeap::DistanceReport interleavedBuild(ConsPolicy policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::BenchRun bench("clark_linearization", argc, argv, {});
   support::Rng rng(1983);
 
   std::puts("Clark §3.2: cons-policy and linearization study\n");
@@ -51,6 +53,9 @@ int main() {
                   support::formatPercent(report.adjacentFraction(), 1),
                   support::formatPercent(report.distanceOneFraction(), 1),
                   support::formatDouble(report.magnitude.mean(), 2)});
+    bench.report().addFigure(std::string("clark.distance1.") + scenario +
+                                 "." + policy,
+                             report.distanceOneFraction());
   };
 
   // 1. single-list sequential build (the common case).
@@ -107,5 +112,5 @@ int main() {
   std::puts("\npaper (via Clark): naive ~= clever; linearization yields "
             "~100% distance-1 cdrs;\nlinearized lists stay well "
             "linearized under modification.");
-  return 0;
+  return bench.finish(0);
 }

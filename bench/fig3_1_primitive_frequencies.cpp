@@ -12,7 +12,9 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  benchutil::BenchRun bench("fig3_1_primitive_frequencies", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
 
   std::puts("Fig 3.1: primitive execution frequencies (% of traced calls)");
   support::TextTable table(
@@ -30,10 +32,13 @@ int main(int argc, char** argv) {
                   support::formatPercent(cons, 1),
                   support::formatPercent(rplac, 1),
                   support::formatPercent(1.0 - car - cdr - cons - rplac, 1)});
+    bench.report().addFigure("fig3_1.access_fraction." + name, car + cdr);
+    bench.report().addFigure("fig3_1.cons_fraction." + name, cons);
+    bench.report().addFigure("fig3_1.rplac_fraction." + name, rplac);
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\npaper: car+cdr dominate every trace; Slang has the highest "
             "cons share,\nPearl the highest rplaca/rplacd share "
             "(its data lives in direct-access hunks).");
-  return 0;
+  return bench.finish(0);
 }

@@ -15,8 +15,10 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const bool csv = benchutil::hasFlag(argc, argv, "--csv");
+  benchutil::BenchRun bench("fig3_4_6_list_sets", argc, argv,
+                            {{"--workload"}, {"--csv"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const bool csv = bench.has("--csv");
 
   std::puts("Figs 3.4-3.6: list-set partition (10% separation constraint)");
   support::TextTable table({"Benchmark", "refs", "sets", "top-1", "top-10",
@@ -62,6 +64,15 @@ int main(int argc, char** argv) {
                        static_cast<double>(partition.totalReferences),
                    1)});
 
+    if (!cumulative.y.empty()) {
+      const std::size_t top10 = std::min<std::size_t>(10, cumulative.y.size());
+      bench.report().addFigure("fig3_4.top10_cover." + name,
+                               cumulative.y[top10 - 1]);
+    }
+    bench.report().addFigure("fig3_4.sets." + name,
+                             static_cast<std::uint64_t>(
+                                 partition.sets.size()));
+
     support::Series series = cumulative;
     series.name = name;
     // Truncate to the first 60 ranks for plotting.
@@ -80,5 +91,5 @@ int main(int argc, char** argv) {
   std::puts("paper: ~10 list sets cover ~80% of references; few sets are "
             "long-lived,\nbut the long-lived ones hold most references "
             "(inverse-exponential Fig 3.4).");
-  return 0;
+  return bench.finish(0);
 }

@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  benchutil::BenchRun bench("fig4_10_13_timing", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
 
   core::TimingParams params;
   std::puts("Figs 4.10-4.13: per-operation EP/LP timing diagrams");
@@ -39,10 +41,13 @@ int main(int argc, char** argv) {
                   support::formatPercent(report.epUtilization(), 1),
                   support::formatPercent(report.lpUtilization(), 1),
                   support::formatDouble(report.speedup(), 2) + "x"});
+    bench.report().addFigure("fig4_13.speedup." + name, report.speedup());
+    bench.report().addFigure("fig4_13.ep_util." + name,
+                             report.epUtilization());
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\npaper: the partition overlaps LP table maintenance and "
             "refcount bursts with EP\nevaluation; only readlist and "
             "splits stall the EP (§4.3.2.5, §5.3.3).");
-  return 0;
+  return bench.finish(0);
 }

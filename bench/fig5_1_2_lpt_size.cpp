@@ -25,9 +25,11 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const bool quick = benchutil::hasFlag(argc, argv, "--quick");
-  const int jobs = benchutil::jobsFlag(argc, argv);
+  benchutil::BenchRun bench("fig5_1_2_lpt_size", argc, argv,
+                            {{"--workload"}, {"--quick"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const bool quick = bench.has("--quick");
+  const int jobs = bench.jobs();
 
   const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
 
@@ -85,6 +87,11 @@ int main(int argc, char** argv) {
     }
     kneeTable.addRow({pres[t].name, std::to_string(smallestNoTrue),
                       std::to_string(knees[t])});
+    bench.report().addFigure("fig5_1.knee." + pres[t].name,
+                             static_cast<std::uint64_t>(knees[t]));
+    bench.report().addFigure("fig5_1.smallest_no_true_overflow." +
+                                 pres[t].name,
+                             static_cast<std::uint64_t>(smallestNoTrue));
     curves.push_back(std::move(series));
   }
   std::fputs(support::asciiPlot(curves).c_str(), stdout);
@@ -98,16 +105,24 @@ int main(int argc, char** argv) {
               "runs\n", seeds);
   support::TextTable intervals(
       {"Trace", "min knee", "mean", "max knee", "95%% ci half-width"});
-  const std::vector<std::uint32_t> peaks = support::runSweep<std::uint32_t>(
-      pres.size() * static_cast<std::size_t>(seeds), jobs,
-      [&](std::size_t id) {
-        const std::size_t traceIdx = id / seeds;
-        const int seed = static_cast<int>(id % seeds) + 1;
-        core::SimConfig config;
-        config.tableSize = 1u << 18;
-        config.seed = static_cast<std::uint64_t>(seed) * 7919;
-        return core::simulateTrace(config, pres[traceIdx].pre).peakOccupancy;
-      });
+  // Per-task obs shards: each reseeded run contributes its counters to
+  // its own id's shard; merged metrics are identical at any --jobs.
+  const std::size_t taskCount =
+      pres.size() * static_cast<std::size_t>(seeds);
+  obs::ShardSet shards(taskCount, bench.obsEnabled());
+  std::vector<std::uint32_t> peaks(taskCount);
+  obs::runIndexedObs(taskCount, jobs, shards, [&](std::size_t id) {
+    const std::size_t traceIdx = id / seeds;
+    const int seed = static_cast<int>(id % seeds) + 1;
+    core::SimConfig config;
+    config.tableSize = 1u << 18;
+    config.seed = static_cast<std::uint64_t>(seed) * 7919;
+    const core::SimResult result =
+        core::simulateTrace(config, pres[traceIdx].pre);
+    benchutil::contributeSimResult(shards.registryAt(id), result);
+    peaks[id] = result.peakOccupancy;
+  });
+  bench.collectShards(shards);
   for (std::size_t t = 0; t < pres.size(); ++t) {
     // Accumulate in seed order: RunningStats' floating-point state is then
     // independent of worker scheduling.
@@ -118,10 +133,12 @@ int main(int argc, char** argv) {
                       support::formatDouble(knees52.max(), 0),
                       support::formatDouble(
                           knees52.confidenceHalfWidth95(), 2)});
+    bench.report().addFigure("fig5_2.mean_knee." + pres[t].name,
+                             knees52.mean());
   }
   std::fputs(intervals.render().c_str(), stdout);
   std::puts("paper: Lyra's interval stands out (intrinsically larger "
             "working set); PlaGen and\nEditor behave alike despite an "
             "order of magnitude difference in length.");
-  return 0;
+  return bench.finish(0);
 }

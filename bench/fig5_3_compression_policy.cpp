@@ -20,8 +20,10 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const int jobs = benchutil::jobsFlag(argc, argv);
+  benchutil::BenchRun bench("fig5_3_compression_policy", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const int jobs = bench.jobs();
 
   std::puts("Fig 5.3: average LPT occupancy, Compress-One vs Compress-All");
   support::TextTable table({"Trace", "table size", "avg occ (One)",
@@ -46,22 +48,24 @@ int main(int argc, char** argv) {
       core::CompressionPolicy::kHybrid};
   constexpr std::size_t kFractionCount = std::size(kFractions);
   constexpr std::size_t kPolicyCount = std::size(kPolicies);
-  const auto results = support::runSweep<core::SimResult>(
-      pres.size() * kFractionCount * kPolicyCount, jobs,
-      [&](std::size_t id) {
-        const std::size_t traceIdx = id / (kFractionCount * kPolicyCount);
-        const std::size_t fractionIdx =
-            (id / kPolicyCount) % kFractionCount;
-        const core::CompressionPolicy policy = kPolicies[id % kPolicyCount];
-        const auto size = std::max<std::uint32_t>(
-            8, static_cast<std::uint32_t>(knees[traceIdx] *
-                                          kFractions[fractionIdx]));
-        core::SimConfig config;
-        config.tableSize = size;
-        config.compression = policy;
-        config.seed = 17;
-        return core::simulateTrace(config, pres[traceIdx].pre);
-      });
+  const std::size_t taskCount = pres.size() * kFractionCount * kPolicyCount;
+  obs::ShardSet shards(taskCount, bench.obsEnabled());
+  std::vector<core::SimResult> results(taskCount);
+  obs::runIndexedObs(taskCount, jobs, shards, [&](std::size_t id) {
+    const std::size_t traceIdx = id / (kFractionCount * kPolicyCount);
+    const std::size_t fractionIdx = (id / kPolicyCount) % kFractionCount;
+    const core::CompressionPolicy policy = kPolicies[id % kPolicyCount];
+    const auto size = std::max<std::uint32_t>(
+        8, static_cast<std::uint32_t>(knees[traceIdx] *
+                                      kFractions[fractionIdx]));
+    core::SimConfig config;
+    config.tableSize = size;
+    config.compression = policy;
+    config.seed = 17;
+    results[id] = core::simulateTrace(config, pres[traceIdx].pre);
+    benchutil::contributeSimResult(shards.registryAt(id), results[id]);
+  });
+  bench.collectShards(shards);
 
   for (std::size_t t = 0; t < pres.size(); ++t) {
     // The paper plots Slang and Editor; we run all four.
@@ -78,11 +82,17 @@ int main(int argc, char** argv) {
                     support::formatDouble(hybrid.averageOccupancy, 1),
                     std::to_string(one.lpStats.pseudoOverflows),
                     std::to_string(all.lpStats.pseudoOverflows)});
+      bench.report().addFigure(
+          "fig5_3.avg_occ_one." + pres[t].name + "." + std::to_string(size),
+          one.averageOccupancy);
+      bench.report().addFigure(
+          "fig5_3.avg_occ_all." + pres[t].name + "." + std::to_string(size),
+          all.averageOccupancy);
     }
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\npaper: Compress-One rides at higher average occupancy than "
             "Compress-All, but the\nmean difference is modest — so the "
             "bounded-work policy wins; a hybrid is conceivable.");
-  return 0;
+  return bench.finish(0);
 }

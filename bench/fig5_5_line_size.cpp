@@ -14,7 +14,9 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  benchutil::BenchRun bench("fig5_5_line_size", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
 
   std::puts("Fig 5.5: cache-miss / LPT-miss ratio vs cache line size "
             "(cache entries are half LPT-entry size => 2x cells)");
@@ -51,6 +53,10 @@ int main(int argc, char** argv) {
                       static_cast<double>(result.lptMisses);
         series.add(lineSize, ratio);
         row.push_back(support::formatDouble(ratio, 2));
+        bench.report().addFigure("fig5_5.miss_ratio." + name + "." +
+                                     std::to_string(tableSize) + ".L" +
+                                     std::to_string(lineSize),
+                                 ratio);
       }
       table.addRow(row);
       curves.push_back(std::move(series));
@@ -61,5 +67,5 @@ int main(int argc, char** argv) {
   std::puts("paper: ratios span ~0.7-2.8 with several points below 1 "
             "(the doubled entry count\nhelps the cache); prefetching pays "
             "only while lines match the trace's structural locality.");
-  return 0;
+  return bench.finish(0);
 }

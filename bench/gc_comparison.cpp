@@ -32,9 +32,11 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const bool quick = benchutil::hasFlag(argc, argv, "--quick");
-  const int jobs = benchutil::jobsFlag(argc, argv);
+  benchutil::BenchRun bench("gc_comparison", argc, argv,
+                            {{"--workload"}, {"--quick"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const bool quick = bench.has("--quick");
+  const int jobs = bench.jobs();
 
   const auto traces =
       benchutil::prepareChapter3(fromWorkloads, jobs, quick ? 0.25 : 1.0);
@@ -58,12 +60,24 @@ int main(int argc, char** argv) {
   gc::Collector::Options collectorOptions;
   if (quick) collectorOptions.triggerLiveCells = 1024;
 
-  const auto baselines = support::runSweep<core::GcBaselineResult>(
-      traces.size(), jobs,
-      [&](std::size_t t) { return core::runScriptOnLpt(scripts[t]); });
+  obs::ShardSet baselineShards(traces.size(), bench.obsEnabled());
+  std::vector<core::GcBaselineResult> baselines(traces.size());
+  obs::runIndexedObs(traces.size(), jobs, baselineShards,
+                     [&](std::size_t t) {
+                       baselines[t] = core::runScriptOnLpt(scripts[t]);
+                       if (obs::Registry* r = baselineShards.registryAt(t)) {
+                         obs::contributeLptStats(*r,
+                                                 baselines[t].lptStats);
+                       }
+                     });
 
-  const auto runs = support::runSweep<gc::ScriptResult>(
-      traces.size() * kPerTrace, jobs, [&](std::size_t id) {
+  // Each collector run owns its task id's shard: GcStats and heap
+  // activity merge into the metrics report, and attachObs streams one
+  // "gc" span per collection cycle into the shard's trace lane.
+  obs::ShardSet runShards(traces.size() * kPerTrace, bench.obsEnabled());
+  std::vector<gc::ScriptResult> runs(traces.size() * kPerTrace);
+  obs::runIndexedObs(
+      traces.size() * kPerTrace, jobs, runShards, [&](std::size_t id) {
         const std::size_t t = id / kPerTrace;
         const gc::Policy policy =
             gc::kAllCollectorPolicies[(id % kPerTrace) / kBackendCount];
@@ -72,9 +86,21 @@ int main(int argc, char** argv) {
         const auto backend = heap::makeHeapBackend(kind);
         const auto collector =
             gc::makeCollector(policy, *backend, collectorOptions);
-        return gc::runScript(*collector, scripts[t]);
+        collector->attachObs(runShards.registryAt(id),
+                             runShards.sinkAt(id));
+        runs[id] = gc::runScript(*collector, scripts[t]);
+        if (obs::Registry* r = runShards.registryAt(id)) {
+          obs::contributeGcStats(*r, runs[id].stats);
+          obs::contributeHeapStats(*r, backend->stats());
+        }
       });
+  bench.collectShards(baselineShards);
+  bench.collectShards(runShards);
 
+  // Both accounting schemes report through the shared obs::Registry
+  // vocabulary (obs/names.hpp): the LPT baseline's LptStats and each
+  // collector's GcStats land on the same mem.*/gc.* names, so this table
+  // and table5_2_3_lpt_activity read from the same counters.
   support::TextTable table({"Trace", "Collector", "Backend", "Live",
                             "Reclaimed", "Traced", "Colls", "Heap touches",
                             "Meta touches", "Max pause", "Avg pause"});
@@ -82,29 +108,42 @@ int main(int argc, char** argv) {
   for (std::size_t t = 0; t < traces.size(); ++t) {
     const std::string& name = traces[t].name;
     const core::GcBaselineResult& baseline = baselines[t];
+    obs::Registry lptReg;
+    obs::contributeLptStats(lptReg, baseline.lptStats);
     table.addRow(
         {name, "refcount (LPT)", "-",
          std::to_string(baseline.finalLiveEntries),
-         std::to_string(baseline.lptStats.gets - baseline.finalLiveEntries),
+         std::to_string(lptReg.counterValue(obs::names::kMemAllocs) -
+                        baseline.finalLiveEntries),
          std::to_string(baseline.cycleReclaimed), "-", "-",
-         std::to_string(baseline.lptStats.refOps), "-", "-"});
+         std::to_string(lptReg.counterValue(obs::names::kMemRcOps)), "-",
+         "-"});
     for (std::size_t c = 0; c < kPerTrace; ++c) {
       const gc::ScriptResult& run = runs[t * kPerTrace + c];
       const char* backend =
           heap::heapBackendName(heap::kAllHeapBackendKinds[c % kBackendCount]);
+      obs::Registry gcReg;
+      obs::contributeGcStats(gcReg, run.stats);
+      const std::uint64_t collections =
+          gcReg.counterValue(obs::names::kGcCollections);
       const double avgPause =
-          run.stats.collections == 0
+          collections == 0
               ? 0.0
-              : static_cast<double>(run.stats.totalPause) /
-                    static_cast<double>(run.stats.collections);
+              : static_cast<double>(
+                    gcReg.counterValue(obs::names::kGcTotalPause)) /
+                    static_cast<double>(collections);
       table.addRow({name, run.collectorName, backend,
                     std::to_string(run.finalLiveCells),
-                    std::to_string(run.stats.cellsReclaimed),
-                    std::to_string(run.stats.cellsTraced),
-                    std::to_string(run.stats.collections),
-                    std::to_string(run.stats.heapTouches),
-                    std::to_string(run.stats.tableTouches),
-                    std::to_string(run.stats.maxPause),
+                    std::to_string(
+                        gcReg.counterValue(obs::names::kMemFrees)),
+                    std::to_string(
+                        gcReg.counterValue(obs::names::kGcCellsTraced)),
+                    std::to_string(collections),
+                    std::to_string(
+                        gcReg.counterValue(obs::names::kGcHeapTouches)),
+                    std::to_string(
+                        gcReg.counterValue(obs::names::kGcTableTouches)),
+                    std::to_string(gcReg.maxValue(obs::names::kGcMaxPause)),
                     support::formatDouble(avgPause, 1)});
       if (run.finalLiveCells != baseline.finalLiveEntries ||
           run.rootReachable != baseline.rootReachable) {
@@ -131,10 +170,29 @@ int main(int argc, char** argv) {
       "exactly; mark-sweep\npays tracing per collection, semispace copies "
       "only live cells but moves them,\ndeferred RC trades pauses for "
       "mutator barrier work (§4.3.2).");
+  // Key figures: per (collector × backend) cost totals summed over the
+  // trace suite — the regression-trackable shape of this comparison.
+  for (std::size_t c = 0; c < kPerTrace; ++c) {
+    const char* backend =
+        heap::heapBackendName(heap::kAllHeapBackendKinds[c % kBackendCount]);
+    const char* collector = gc::policyName(
+        gc::kAllCollectorPolicies[c / kBackendCount]);
+    std::uint64_t totalPause = 0;
+    std::uint64_t reclaimed = 0;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const gc::ScriptResult& run = runs[t * kPerTrace + c];
+      totalPause += run.stats.totalPause;
+      reclaimed += run.stats.cellsReclaimed;
+    }
+    const std::string key = std::string(collector) + "." + backend;
+    bench.report().addFigure("gc.pause_total." + key, totalPause);
+    bench.report().addFigure("gc.reclaimed." + key, reclaimed);
+  }
+
   if (diverged) {
     std::fputs("FAIL: collector live set diverged from the LPT baseline\n",
                stderr);
-    return 1;
+    return bench.finish(1);
   }
-  return 0;
+  return bench.finish(0);
 }

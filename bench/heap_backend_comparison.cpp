@@ -33,8 +33,10 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const int jobs = benchutil::jobsFlag(argc, argv);
+  benchutil::BenchRun bench("heap_backend_comparison", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const int jobs = bench.jobs();
 
   support::TextTable machineTable(
       {"Trace", "Prims", "Gets", "Frees", "Splits", "Merges", "Hits",
@@ -47,8 +49,10 @@ int main(int argc, char** argv) {
   constexpr std::size_t kBackendCount =
       std::size(heap::kAllHeapBackendKinds);
 
-  const auto results = support::runSweep<core::ReplayResult>(
-      traces.size() * kBackendCount, jobs, [&](std::size_t id) {
+  obs::ShardSet shards(traces.size() * kBackendCount, bench.obsEnabled());
+  std::vector<core::ReplayResult> results(traces.size() * kBackendCount);
+  obs::runIndexedObs(
+      traces.size() * kBackendCount, jobs, shards, [&](std::size_t id) {
         core::ReplayConfig config;
         config.seed = 17;
         config.machine.heapBackend =
@@ -56,8 +60,12 @@ int main(int argc, char** argv) {
         // Small enough that the busier traces overflow the table and force
         // Fig 4.8 compression — so the merge path shows up per backend.
         config.machine.tableSize = 512;
-        return core::replayTrace(config, traces[id / kBackendCount].pre);
+        results[id] = core::replayTrace(config, traces[id / kBackendCount].pre);
+        if (obs::Registry* r = shards.registryAt(id)) {
+          obs::contributeHeapStats(*r, results[id].heap);
+        }
       });
+  bench.collectShards(shards);
 
   bool invarianceViolated = false;
   for (std::size_t t = 0; t < traces.size(); ++t) {
@@ -101,6 +109,9 @@ int main(int argc, char** argv) {
            std::to_string(result.heap.peakLiveCells),
            std::to_string(report.lpBusy),
            support::formatDouble(report.speedup(), 2)});
+      bench.report().addFigure(
+          "heap.touches." + name + "." + result.backend,
+          result.heap.touches());
     }
   }
 
@@ -119,7 +130,7 @@ int main(int argc, char** argv) {
   if (invarianceViolated) {
     std::fputs("FAIL: cross-backend machine-counter invariance violated\n",
                stderr);
-    return 1;
+    return bench.finish(1);
   }
-  return 0;
+  return bench.finish(0);
 }

@@ -20,7 +20,9 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  benchutil::BenchRun bench("m3l_truncated_counts", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
 
   std::puts("M3L §2.3.4: garbage reclaimable with k-bit sticky reference "
             "counts");
@@ -46,6 +48,12 @@ int main(int argc, char** argv) {
         const double fraction = result.lifetimeMaxCounts.cumulativeFraction(
             (1 << bits) - 1);
         row.push_back(support::formatPercent(fraction, 1));
+        if (bits == 3) {
+          bench.report().addFigure(std::string("m3l.reclaim3bit.") +
+                                       (split ? "split." : "combined.") +
+                                       name,
+                                   fraction);
+        }
       }
       row.push_back(std::to_string(result.lptStats.maxRefCount));
       table.addRow(row);
@@ -55,5 +63,5 @@ int main(int argc, char** argv) {
   std::puts("\npaper (M3L): 3 bits reclaim ~98% of inaccessible cells when "
             "stack references are\ncounted separately — the 'split' rows "
             "are the comparable configuration.");
-  return 0;
+  return bench.finish(0);
 }

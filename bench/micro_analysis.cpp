@@ -2,6 +2,8 @@
 // partitioning, and Mattson stack-distance throughput.
 #include <benchmark/benchmark.h>
 
+#include "micro_util.hpp"
+
 #include "analysis/list_sets.hpp"
 #include "analysis/lru.hpp"
 #include "support/rng.hpp"
@@ -62,3 +64,5 @@ void BM_SyntheticGeneration(benchmark::State& state) {
 BENCHMARK(BM_SyntheticGeneration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+SMALL_MICRO_MAIN("micro_analysis")

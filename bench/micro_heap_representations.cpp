@@ -3,6 +3,8 @@
 // quantitative version of §2.3.3's qualitative comparison.
 #include <benchmark/benchmark.h>
 
+#include "micro_util.hpp"
+
 #include <memory>
 #include <sstream>
 
@@ -237,3 +239,5 @@ void BM_BackendEncode(benchmark::State& state) {
 BENCHMARK(BM_BackendEncode)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
+
+SMALL_MICRO_MAIN("micro_heap_representations")

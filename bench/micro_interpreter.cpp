@@ -3,6 +3,8 @@
 // the cost of the trace hook.
 #include <benchmark/benchmark.h>
 
+#include "micro_util.hpp"
+
 #include "lisp/interpreter.hpp"
 #include "lisp/tracer.hpp"
 #include "trace/trace.hpp"
@@ -102,3 +104,5 @@ void BM_WorkloadEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_WorkloadEndToEnd)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+SMALL_MICRO_MAIN("micro_interpreter")

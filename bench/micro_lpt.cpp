@@ -5,6 +5,9 @@
 //   * compression scan cost at varying occupancy.
 #include <benchmark/benchmark.h>
 
+#include "micro_util.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "small/list_processor.hpp"
 
 namespace {
@@ -129,4 +132,63 @@ void BM_CompressionScan(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressionScan)->Arg(256)->Arg(1024)->Arg(4096);
 
+// --- obs overhead ablations -------------------------------------------
+// The acceptance gate for the metrics subsystem: the instrumented path
+// must stay within 10% of the raw path. Counters are plain uint64
+// increments behind a stable handle, and a Span without a sink is a
+// no-op, so both pairs below should be near-identical.
+
+void BM_RawIncrement(benchmark::State& state) {
+  std::uint64_t raw = 0;
+  for (auto _ : state) {
+    ++raw;
+    benchmark::DoNotOptimize(raw);
+  }
+  benchutil::microRegistry().add("micro.raw_increment_iters",
+                                 state.iterations());
+}
+BENCHMARK(BM_RawIncrement);
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter counter = registry.counter("micro.counter");
+  for (auto _ : state) {
+    counter.add();
+    benchmark::DoNotOptimize(&counter);
+  }
+  benchutil::microRegistry().add("micro.obs_increment_iters",
+                                 state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_LptRefCountOpsInstrumented(benchmark::State& state) {
+  // The BM_LptRefCountOps loop with an obs counter alongside — the shape
+  // an instrumented List Processor hot path takes.
+  core::Lpt lpt(16, core::ReclaimPolicy::kLazy);
+  obs::Registry registry;
+  obs::Counter rcOps = registry.counter("micro.rc_ops");
+  const core::EntryId id = lpt.allocate();
+  lpt.incRef(id);
+  for (auto _ : state) {
+    lpt.incRef(id);
+    rcOps.add();
+    lpt.decRef(id);
+    rcOps.add();
+    benchmark::DoNotOptimize(&lpt);
+  }
+}
+BENCHMARK(BM_LptRefCountOpsInstrumented);
+
+void BM_NullSinkSpan(benchmark::State& state) {
+  // Span against a null sink: the cost a traced region pays when tracing
+  // is disabled (two pointer tests, no clock reads).
+  for (auto _ : state) {
+    obs::Span span(nullptr, "noop");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_NullSinkSpan);
+
 }  // namespace
+
+SMALL_MICRO_MAIN("micro_lpt")

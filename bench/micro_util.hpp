@@ -1,0 +1,82 @@
+// Shared main() for the google-benchmark micro suites, replacing
+// benchmark_main so the micros speak the same artifact protocol as the
+// table/figure benches:
+//   * `--metrics-out FILE` / `--trace-out FILE` are stripped before
+//     benchmark::Initialize and produce a bench_report / Chrome trace;
+//   * anything google-benchmark does not recognize either is reported by
+//     ReportUnrecognizedArguments and the process exits nonzero — no
+//     silently ignored flags.
+//
+// Micro code can publish deterministic counters through `microRegistry()`
+// (e.g. micro_lpt's obs-overhead ablations tally their iteration work
+// there); the registry is dumped into the report.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace small::benchutil {
+
+/// Process-wide registry for micro-suite contributions.
+inline obs::Registry& microRegistry() {
+  static obs::Registry registry;
+  return registry;
+}
+
+/// Process-wide span sink for micro-suite contributions (always live;
+/// only exported when --trace-out was given).
+inline obs::TraceSink& microSink() {
+  static obs::TraceSink sink;
+  return sink;
+}
+
+inline int microMain(const char* benchName, int argc, char** argv) {
+  std::string metricsPath;
+  std::string tracePath;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const auto takeValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", benchName, flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metricsPath = takeValue("--metrics-out");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      tracePath = takeValue("--trace-out");
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int restc = static_cast<int>(rest.size());
+  benchmark::Initialize(&restc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(restc, rest.data())) return 2;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bool ok = true;
+  if (!metricsPath.empty()) {
+    obs::BenchReport report(benchName);
+    report.registry().merge(microRegistry());
+    ok = report.writeTo(metricsPath) && ok;
+  }
+  if (!tracePath.empty()) {
+    ok = obs::writeChromeTrace(tracePath, {&microSink()}) && ok;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace small::benchutil
+
+#define SMALL_MICRO_MAIN(name)                                  \
+  int main(int argc, char** argv) {                             \
+    return small::benchutil::microMain(name, argc, argv);       \
+  }

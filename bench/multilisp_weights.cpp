@@ -20,7 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const int jobs = benchutil::jobsFlag(argc, argv);
+  benchutil::BenchRun bench("multilisp_weights", argc, argv, {});
+  const int jobs = bench.jobs();
 
   struct Config {
     std::uint32_t nodes;
@@ -60,10 +61,14 @@ int main(int argc, char** argv) {
                   std::to_string(report.weightedMessages),
                   std::to_string(report.combinedMessages),
                   support::formatPercent(saving, 1)});
+    bench.report().addFigure(
+        "multilisp.saving.n" + std::to_string(configs[i].nodes) + ".q" +
+            std::to_string(configs[i].queueCapacity),
+        saving);
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\npaper: weighting eliminates the copy-message half of the "
             "traffic outright;\ncombining queues soak up bursty decrements "
             "— deeper queues combine more.");
-  return 0;
+  return bench.finish(0);
 }

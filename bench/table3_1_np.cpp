@@ -13,9 +13,10 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const bool distributions =
-      benchutil::hasFlag(argc, argv, "--distributions");
+  benchutil::BenchRun bench("table3_1_np", argc, argv,
+                            {{"--workload"}, {"--distributions"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const bool distributions = bench.has("--distributions");
 
   std::puts("Table 3.1: average values of n and p over traced lists");
   support::TextTable table({"Benchmark", "mean n", "median n", "mean p",
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
                   support::formatDouble(stats.p.mean(), 2),
                   std::to_string(stats.pHistogram.quantile(0.5)), paperN,
                   paperP});
+    bench.report().addFigure("table3_1.mean_n." + name, stats.n.mean());
+    bench.report().addFigure("table3_1.mean_p." + name, stats.p.mean());
   }
   std::fputs(table.render().c_str(), stdout);
 
@@ -72,5 +75,5 @@ int main(int argc, char** argv) {
             "far longer and\nmore deeply structured than the rest of the "
             "suite. The means are heavy-tailed\n(a few giant accumulators "
             "dominate); the medians are the robust view.");
-  return 0;
+  return bench.finish(0);
 }

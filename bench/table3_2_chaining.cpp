@@ -14,7 +14,9 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  benchutil::BenchRun bench("table3_2_chaining", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
 
   std::puts("Table 3.2: % of car/cdr calls inside a primitive function "
             "chain");
@@ -50,9 +52,15 @@ int main(int argc, char** argv) {
          support::formatDouble(
              stats.chainedFraction(trace::Primitive::kCdr) * 100.0, 2),
          paperCar, paperCdr});
+    bench.report().addFigure(
+        "table3_2.car_chained." + name,
+        stats.chainedFraction(trace::Primitive::kCar));
+    bench.report().addFigure(
+        "table3_2.cdr_chained." + name,
+        stats.chainedFraction(trace::Primitive::kCdr));
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\npaper: 25-80%+ of CxR calls chain in list-structured "
             "programs; Pearl is the outlier near zero.");
-  return 0;
+  return bench.finish(0);
 }

@@ -13,7 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  benchutil::BenchRun bench("table5_1_trace_content", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
 
   std::puts("Table 5.1: content of the 4 simulation traces");
   support::TextTable table({"Trace", "Functions", "Primitives", "Max Depth",
@@ -51,7 +53,11 @@ int main(int argc, char** argv) {
                   paper ? paper->functions : "-",
                   paper ? paper->primitives : "-",
                   paper ? paper->depth : "-"});
+    bench.report().addFigure("table5_1.functions." + name,
+                             content.functionCalls);
+    bench.report().addFigure("table5_1.primitives." + name,
+                             content.primitiveCalls);
   }
   std::fputs(table.render().c_str(), stdout);
-  return malformed ? 1 : 0;
+  return bench.finish(malformed ? 1 : 0);
 }

@@ -7,6 +7,11 @@
 //         ops per primitive; 1-4 gets/frees per function call.
 //   5.3 — splitting stack references into an EP-side table cuts LPT
 //         refcount traffic by close to an order of magnitude.
+//
+// Every table cell below is read back from an obs::Registry populated by
+// contributeLptStats — the same mem.*/lpt.* names gc_comparison reports
+// through (obs/names.hpp) — so the two benches' accounting can never
+// drift apart.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -16,7 +21,37 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
+  benchutil::BenchRun bench("table5_2_3_lpt_activity", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const int jobs = bench.jobs();
+
+  const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
+
+  // Three simulator variants per trace (lazy, recursive reclaim, split
+  // reference counts), fanned out one task per (trace x variant) cell.
+  constexpr std::size_t kVariants = 3;
+  const std::size_t taskCount = pres.size() * kVariants;
+  obs::ShardSet shards(taskCount, bench.obsEnabled());
+  std::vector<core::SimResult> results(taskCount);
+  obs::runIndexedObs(taskCount, jobs, shards, [&](std::size_t id) {
+    const std::size_t t = id / kVariants;
+    core::SimConfig config;
+    config.seed = 23;
+    switch (id % kVariants) {
+      case 1:
+        config.reclaim = core::ReclaimPolicy::kRecursive;
+        break;
+      case 2:
+        config.splitRefCounts = true;
+        break;
+      default:
+        break;
+    }
+    results[id] = core::simulateTrace(config, pres[t].pre);
+    benchutil::contributeSimResult(shards.registryAt(id), results[id]);
+  });
+  bench.collectShards(shards);
 
   support::TextTable activity(
       {"Trace", "Refops", "Gets", "Frees", "RecRefops", "refops/prim"});
@@ -24,39 +59,47 @@ int main(int argc, char** argv) {
       {"Trace", "Refops Then", "Refops Now", "MaxCount Then",
        "MaxCount Now (LPT)", "MaxCount Now (EP)"});
 
-  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
-    const auto pre = trace::preprocess(raw);
+  for (std::size_t t = 0; t < pres.size(); ++t) {
+    const std::string& name = pres[t].name;
+    const core::SimResult& lazyResult = results[t * kVariants + 0];
+    const core::SimResult& recursiveResult = results[t * kVariants + 1];
+    const core::SimResult& splitResult = results[t * kVariants + 2];
 
-    core::SimConfig lazy;
-    lazy.seed = 23;
-    const core::SimResult lazyResult = core::simulateTrace(lazy, pre);
+    // Per-variant registries so the table reads each run's counters under
+    // the canonical names rather than reaching into LptStats fields.
+    obs::Registry lazyReg, recursiveReg, splitReg;
+    obs::contributeLptStats(lazyReg, lazyResult.lptStats);
+    obs::contributeLptStats(recursiveReg, recursiveResult.lptStats);
+    obs::contributeLptStats(splitReg, splitResult.lptStats);
+    obs::contributeLpStats(splitReg, splitResult.lpStats);
 
-    core::SimConfig recursive = lazy;
-    recursive.reclaim = core::ReclaimPolicy::kRecursive;
-    const core::SimResult recursiveResult =
-        core::simulateTrace(recursive, pre);
-
-    core::SimConfig splitMode = lazy;
-    splitMode.splitRefCounts = true;
-    const core::SimResult splitResult = core::simulateTrace(splitMode, pre);
+    const std::uint64_t refOps =
+        lazyReg.counterValue(obs::names::kMemRcOps);
+    const std::uint64_t gets = lazyReg.counterValue(obs::names::kMemAllocs);
+    const std::uint64_t frees = lazyReg.counterValue(obs::names::kMemFrees);
+    const std::uint64_t recRefOps =
+        recursiveReg.counterValue(obs::names::kMemRcOps);
+    const std::uint64_t splitRefOps =
+        splitReg.counterValue(obs::names::kMemRcOps) +
+        splitReg.counterValue(obs::names::kLptStackBitMessages);
 
     activity.addRow(
-        {name, std::to_string(lazyResult.lptStats.refOps),
-         std::to_string(lazyResult.lptStats.gets),
-         std::to_string(lazyResult.lptStats.frees),
-         std::to_string(recursiveResult.lptStats.refOps),
+        {name, std::to_string(refOps), std::to_string(gets),
+         std::to_string(frees), std::to_string(recRefOps),
          support::formatDouble(
-             static_cast<double>(lazyResult.lptStats.refOps) /
+             static_cast<double>(refOps) /
                  static_cast<double>(lazyResult.primitivesSimulated),
              2)});
 
     split.addRow(
-        {name, std::to_string(lazyResult.lptStats.refOps),
-         std::to_string(splitResult.lptStats.refOps +
-                        splitResult.lptStats.stackBitMessages),
-         std::to_string(lazyResult.lptStats.maxRefCount),
-         std::to_string(splitResult.lptStats.maxRefCount),
-         std::to_string(splitResult.lpStats.epMaxRefCount)});
+        {name, std::to_string(refOps), std::to_string(splitRefOps),
+         std::to_string(lazyReg.maxValue(obs::names::kLptMaxRefCount)),
+         std::to_string(splitReg.maxValue(obs::names::kLptMaxRefCount)),
+         std::to_string(splitReg.maxValue(obs::names::kLpEpMaxRefCount))});
+
+    bench.report().addFigure("table5_2.refops." + name, refOps);
+    bench.report().addFigure("table5_2.rec_refops." + name, recRefOps);
+    bench.report().addFigure("table5_3.refops_now." + name, splitRefOps);
   }
 
   std::puts("Table 5.2: LPT activity (lazy child decrement vs recursive)");
@@ -70,5 +113,5 @@ int main(int argc, char** argv) {
   std::fputs(split.render().c_str(), stdout);
   std::puts("paper: Then->Now drops near an order of magnitude (e.g. Lyra "
             "170232 -> 17905).");
-  return 0;
+  return bench.finish(0);
 }

@@ -21,9 +21,11 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const bool sweep = benchutil::hasFlag(argc, argv, "--sweep");
-  const int jobs = benchutil::jobsFlag(argc, argv);
+  benchutil::BenchRun bench("table5_4_lpt_vs_cache", argc, argv,
+                            {{"--workload"}, {"--sweep"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const bool sweep = bench.has("--sweep");
+  const int jobs = bench.jobs();
 
   std::puts("Table 5.4: LPT vs fully associative LRU data cache "
             "(unit line, equal entry counts)");
@@ -48,11 +50,13 @@ int main(int argc, char** argv) {
     std::uint32_t size = 0;
     core::SimResult result;
   };
-  const std::vector<Cell> cells = support::runSweep<Cell>(
-      pres.size() * kFractionCount, jobs, [&](std::size_t id) {
+  obs::ShardSet shards(pres.size() * kFractionCount, bench.obsEnabled());
+  std::vector<Cell> cells(pres.size() * kFractionCount);
+  obs::runIndexedObs(
+      pres.size() * kFractionCount, jobs, shards, [&](std::size_t id) {
         const std::size_t traceIdx = id / kFractionCount;
         const double fraction = kFractions[id % kFractionCount];
-        Cell cell;
+        Cell& cell = cells[id];
         cell.size = std::max<std::uint32_t>(
             16, static_cast<std::uint32_t>(knees[traceIdx] * fraction));
         core::SimConfig config;
@@ -62,8 +66,9 @@ int main(int argc, char** argv) {
         config.cacheLineSize = 1;
         config.seed = 31;
         cell.result = core::simulateTrace(config, pres[traceIdx].pre);
-        return cell;
+        benchutil::contributeSimResult(shards.registryAt(id), cell.result);
       });
+  bench.collectShards(shards);
   for (std::size_t t = 0; t < pres.size(); ++t) {
     for (std::size_t f = 0; f < kFractionCount; ++f) {
       const Cell& cell = cells[t * kFractionCount + f];
@@ -72,6 +77,12 @@ int main(int argc, char** argv) {
                     support::formatPercent(cell.result.lptHitRate, 2),
                     std::to_string(cell.result.cacheMisses),
                     support::formatPercent(cell.result.cacheHitRate, 2)});
+      bench.report().addFigure("table5_4.lpt_misses." + pres[t].name + "." +
+                                   std::to_string(cell.size),
+                               cell.result.lptMisses);
+      bench.report().addFigure("table5_4.cache_misses." + pres[t].name +
+                                   "." + std::to_string(cell.size),
+                               cell.result.cacheMisses);
     }
   }
   std::fputs(table.render().c_str(), stdout);
@@ -106,5 +117,5 @@ int main(int argc, char** argv) {
     std::fputs(support::seriesToCsv({lptSeries, cacheSeries}).c_str(),
                stdout);
   }
-  return 0;
+  return bench.finish(0);
 }

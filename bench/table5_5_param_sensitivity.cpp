@@ -19,8 +19,10 @@
 
 int main(int argc, char** argv) {
   using namespace small;
-  const bool fromWorkloads = benchutil::hasFlag(argc, argv, "--workload");
-  const int jobs = benchutil::jobsFlag(argc, argv);
+  benchutil::BenchRun bench("table5_5_param_sensitivity", argc, argv,
+                            {{"--workload"}});
+  const bool fromWorkloads = bench.has("--workload");
+  const int jobs = bench.jobs();
 
   const auto traces = benchutil::prepareChapter5(fromWorkloads, jobs);
   const benchutil::PreparedTrace* slang = &traces[0];
@@ -45,20 +47,23 @@ int main(int argc, char** argv) {
             "probability parameters");
   support::TextTable table({"Statistic", "Control", "HiArg", "HiLoc",
                             "HiRead", "HiBind"});
-  const std::vector<core::SimResult> results =
-      support::runSweep<core::SimResult>(
-          std::size(kSettings), jobs, [&](std::size_t id) {
-            const Setting& setting = kSettings[id];
-            core::SimConfig config;
-            config.tableSize = 64;  // the paper's runs used a small table
-            config.argProb = setting.argProb;
-            config.locProb = setting.locProb;
-            config.bindProb = setting.bindProb;
-            config.readProb = setting.readProb;
-            config.driveCache = true;
-            config.seed = 2026;
-            return core::simulateTrace(config, pre);
-          });
+  obs::ShardSet shards(std::size(kSettings), bench.obsEnabled());
+  std::vector<core::SimResult> results(std::size(kSettings));
+  obs::runIndexedObs(
+      std::size(kSettings), jobs, shards, [&](std::size_t id) {
+        const Setting& setting = kSettings[id];
+        core::SimConfig config;
+        config.tableSize = 64;  // the paper's runs used a small table
+        config.argProb = setting.argProb;
+        config.locProb = setting.locProb;
+        config.bindProb = setting.bindProb;
+        config.readProb = setting.readProb;
+        config.driveCache = true;
+        config.seed = 2026;
+        results[id] = core::simulateTrace(config, pre);
+        benchutil::contributeSimResult(shards.registryAt(id), results[id]);
+      });
+  bench.collectShards(shards);
 
   auto row = [&](const char* label, auto getter) {
     std::vector<std::string> cells{label};
@@ -85,9 +90,17 @@ int main(int argc, char** argv) {
   row("Refops", [](const core::SimResult& r) {
     return static_cast<long long>(r.lptStats.refOps);
   });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    bench.report().addFigure(
+        std::string("table5_5.refops.") + kSettings[i].name,
+        results[i].lptStats.refOps);
+    bench.report().addFigure(
+        std::string("table5_5.lpt_hits.") + kSettings[i].name,
+        results[i].lptHits);
+  }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\npaper (Table 5.5): Ave 49-52, Max 64 in all runs, "
             "LPT hits 2622-2783,\nRefops 12060-12229 — small fluctuations, "
             "same trends.");
-  return 0;
+  return bench.finish(0);
 }

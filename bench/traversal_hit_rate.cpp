@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "small/list_processor.hpp"
 #include "support/table.hpp"
 
@@ -38,7 +39,8 @@ void traverse(core::ListProcessor& lp, core::EntryId node) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::BenchRun bench("traversal_hit_rate", argc, argv, {});
   std::puts("§5.3.1: ordered-traversal LPT hit rate (guaranteed 75%)");
   support::TextTable table({"n", "p", "splits (=n+p)", "hits",
                             "hit rate", "analytic"});
@@ -60,10 +62,13 @@ int main() {
                   std::to_string(static_cast<long long>(hits)),
                   support::formatPercent(hits / (hits + misses), 2),
                   support::formatPercent(analytic, 2)});
+    bench.report().addFigure("traversal.hit_rate.n" + std::to_string(n) +
+                                 ".p" + std::to_string(p),
+                             hits / (hits + misses));
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\npaper: n+p misses against 3(n+p)+1 hits — 75% guaranteed "
             "even under pseudo overflow\n(leaf entries cannot be merged "
             "away mid-traversal).");
-  return 0;
+  return bench.finish(0);
 }

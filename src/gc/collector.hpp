@@ -28,6 +28,9 @@
 
 #include "gc/gc.hpp"
 #include "heap/backend.hpp"
+#include "obs/names.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace small::gc {
 
@@ -99,11 +102,22 @@ class Collector {
            allocsSinceCollect_ * 4 >= options_.triggerLiveCells;
   }
 
+  /// Attach observability (may be null to detach): each collection adds
+  /// its pause to `registry`'s gc.pause.touch_units histogram and records
+  /// a per-cycle "gc.collect" span into `sink`. Detached (the default),
+  /// collect() pays nothing beyond two pointer tests.
+  void attachObs(obs::Registry* registry, obs::TraceSink* sink) {
+    obsRegistry_ = registry;
+    obsSink_ = sink;
+  }
+
   /// Run one collection; returns cells reclaimed. Updates the pause
   /// distribution from the heap-touch and metadata-touch deltas.
   std::uint64_t collect() {
     const std::uint64_t heapBefore = heap_.stats().touches();
     const std::uint64_t tableBefore = stats_.tableTouches;
+    const std::uint64_t startUs =
+        obsSink_ != nullptr ? obs::wallMicrosNow() : 0;
     const std::uint64_t reclaimed = doCollect();
     const std::uint64_t heapCost = heap_.stats().touches() - heapBefore;
     const std::uint64_t pause =
@@ -113,6 +127,21 @@ class Collector {
     stats_.heapTouches += heapCost;
     stats_.totalPause += pause;
     if (pause > stats_.maxPause) stats_.maxPause = pause;
+    if (obsRegistry_ != nullptr) {
+      obsRegistry_->histogram(obs::names::kGcPauseHistogram)
+          .add(static_cast<std::int64_t>(pause));
+    }
+    if (obsSink_ != nullptr) {
+      obs::TraceEvent event;
+      event.name = name();
+      event.category = "gc";
+      event.tid = obsSink_->tid();
+      event.startUs = startUs;
+      event.durUs = obs::wallMicrosNow() - startUs;
+      event.costUnits = pause;
+      event.depth = obsSink_->depth();
+      obsSink_->record(std::move(event));
+    }
     pendingCollect_ = false;
     allocsSinceCollect_ = 0;
     return reclaimed;
@@ -153,6 +182,8 @@ class Collector {
   std::vector<CellRef> cells_;  ///< registry, insertion-ordered
   std::vector<CellRef> roots_;  ///< root slots (kNull = empty)
   GcStats stats_;
+  obs::Registry* obsRegistry_ = nullptr;
+  obs::TraceSink* obsSink_ = nullptr;
   bool pendingCollect_ = false;
   std::uint64_t allocsSinceCollect_ = 0;
 };

@@ -25,6 +25,10 @@
 #include "sexpr/printer.hpp"
 #include "sexpr/reader.hpp"
 
+namespace small::obs {
+class Registry;
+}
+
 namespace small::lisp {
 
 enum class BindingDiscipline {
@@ -72,6 +76,14 @@ class Interpreter {
 
   /// Number of user-defined functions registered.
   std::size_t functionCount() const { return functions_.size(); }
+
+  /// Builtin dispatch tallies resolved to primitive names, sorted by
+  /// name — the interpreter-side Fig 3.1 primitive-frequency mirror.
+  std::vector<std::pair<std::string, std::uint64_t>> primitiveCounts() const;
+
+  /// Publish eval-step and per-primitive dispatch counts into `registry`
+  /// under the obs names ("lisp.eval_steps", "lisp.prim.<name>").
+  void contributeObs(obs::Registry& registry) const;
 
  private:
   struct Function {
@@ -122,6 +134,7 @@ class Interpreter {
   std::deque<NodeRef> input_;
   std::vector<NodeRef> output_;
   std::uint64_t steps_ = 0;
+  std::unordered_map<SymbolId, std::uint64_t> builtinDispatch_;
 
   // Interned special-form and builtin symbols, resolved once.
   struct Syms;

@@ -1,0 +1,76 @@
+// Bridges from each subsystem's plain stats structs into the obs::Registry
+// vocabulary (obs/names.hpp).
+//
+// The hot paths keep their zero-overhead plain-field counters (LptStats,
+// LpStats, HeapStats, GcStats are all bare increments); these functions
+// publish a finished struct into a registry after the fact. Header-only on
+// purpose: the stat structs live above small_obs in the link graph
+// (small_core, small_heap, small_gc all link small_obs), so the bridge
+// must not pull their symbols into the obs library.
+//
+// Note the deliberate overlap: LptStats and GcStats both feed the shared
+// mem.* names (see names.hpp) — the one place the historically duplicated
+// refcount/alloc accounting is reconciled.
+#pragma once
+
+#include "gc/gc.hpp"
+#include "heap/backend.hpp"
+#include "obs/names.hpp"
+#include "obs/registry.hpp"
+#include "small/list_processor.hpp"
+#include "small/lpt.hpp"
+
+namespace small::obs {
+
+inline void contributeLptStats(Registry& registry,
+                               const core::LptStats& stats) {
+  registry.add(names::kMemRcOps, stats.refOps);
+  registry.add(names::kMemAllocs, stats.gets);
+  registry.add(names::kMemFrees, stats.frees);
+  registry.add(names::kLptLazyDecrements, stats.lazyDecrements);
+  registry.recordMax(names::kLptMaxRefCount, stats.maxRefCount);
+  registry.add(names::kLptStackBitMessages, stats.stackBitMessages);
+}
+
+inline void contributeLpStats(Registry& registry,
+                              const core::LpStats& stats) {
+  registry.add(names::kLptHits, stats.hits);
+  registry.add(names::kLpSplits, stats.splits);
+  registry.add(names::kLpModifies, stats.modifies);
+  registry.add(names::kLpCompressionMerges, stats.merges);
+  registry.add(names::kLpPseudoOverflows, stats.pseudoOverflows);
+  registry.add(names::kLpTrueOverflows, stats.trueOverflows);
+  registry.add(names::kLpCycleRecoveries, stats.cycleRecoveries);
+  registry.add(names::kLpCycleReclaimed, stats.cycleEntriesReclaimed);
+  registry.add(names::kLpOverflowModeOps, stats.overflowModeOps);
+  registry.add(names::kLpHeapFrees, stats.heapFrees);
+  registry.add(names::kLpEpRefOps, stats.epRefOps);
+  registry.recordMax(names::kLpEpMaxRefCount, stats.epMaxRefCount);
+}
+
+inline void contributeHeapStats(Registry& registry,
+                                const heap::HeapStats& stats) {
+  registry.add(names::kHeapAllocs, stats.allocs);
+  registry.add(names::kHeapFrees, stats.frees);
+  registry.add(names::kHeapSplits, stats.splits);
+  registry.add(names::kHeapMerges, stats.merges);
+  registry.add(names::kHeapReads, stats.reads);
+  registry.add(names::kHeapWrites, stats.writes);
+  registry.recordMax(names::kHeapPeakLiveCells, stats.peakLiveCells);
+}
+
+inline void contributeGcStats(Registry& registry, const gc::GcStats& stats) {
+  registry.add(names::kGcCollections, stats.collections);
+  registry.add(names::kMemFrees, stats.cellsReclaimed);
+  registry.add(names::kGcCellsTraced, stats.cellsTraced);
+  registry.add(names::kGcHeapTouches, stats.heapTouches);
+  registry.add(names::kGcTableTouches, stats.tableTouches);
+  registry.add(names::kMemRcOps, stats.barrierOps);
+  registry.add(names::kGcDeferredDecrements, stats.deferredDecrements);
+  registry.add(names::kGcZctOverflows, stats.zctOverflows);
+  registry.recordMax(names::kGcZctHighWater, stats.zctHighWater);
+  registry.recordMax(names::kGcMaxPause, stats.maxPause);
+  registry.add(names::kGcTotalPause, stats.totalPause);
+}
+
+}  // namespace small::obs

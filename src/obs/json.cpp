@@ -1,0 +1,388 @@
+#include "obs/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace small::obs {
+
+JsonValue JsonValue::makeBool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::makeInt(std::int64_t v) {
+  JsonValue j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+JsonValue JsonValue::makeUint(std::uint64_t v) {
+  // Counter values fit in int64 in practice; saturate rather than wrap so
+  // a pathological value is visible instead of negative.
+  const std::uint64_t kMax = 0x7fffffffffffffffull;
+  return makeInt(static_cast<std::int64_t>(v > kMax ? kMax : v));
+}
+
+JsonValue JsonValue::makeDouble(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+JsonValue JsonValue::makeString(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::makeArray() {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+JsonValue JsonValue::makeObject() {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string formatJsonDouble(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";  // JSON has no inf/nan
+  if (v == 0.0) return "0";
+  char buf[40];
+  // Shortest precision that round-trips, so 1.5 prints as "1.5" and not
+  // "1.5000000000000000".
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string jsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void dumpTo(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out += v.boolValue() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(v.intValue()));
+      out += buf;
+      break;
+    }
+    case JsonValue::Kind::kDouble:
+      out += formatJsonDouble(v.numberValue());
+      break;
+    case JsonValue::Kind::kString:
+      out += jsonQuote(v.stringValue());
+      break;
+    case JsonValue::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dumpTo(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += jsonQuote(key);
+        out.push_back(':');
+        dumpTo(value, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, JsonError* error)
+      : text_(text), error_(error) {}
+
+  bool parseDocument(JsonValue* out) {
+    skipWs();
+    if (!parseValue(out)) return false;
+    skipWs();
+    if (pos_ != text_.size()) return fail("trailing garbage after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    if (error_ != nullptr) {
+      error_->message = message;
+      error_->line = 1;
+      error_->column = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++error_->line;
+          error_->column = 1;
+        } else {
+          ++error_->column;
+        }
+      }
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parseObject(out);
+      case '[': return parseArray(out);
+      case '"': return parseString(out);
+      case 't':
+      case 'f': return parseKeyword(out);
+      case 'n': return parseKeyword(out);
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseKeyword(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      *out = JsonValue::makeBool(true);
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      *out = JsonValue::makeBool(false);
+      return true;
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      *out = JsonValue();
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    const bool integral =
+        token.find_first_of(".eE") == std::string::npos;
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        *out = JsonValue::makeInt(v);
+        return true;
+      }
+      // fall through to double on int64 overflow
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("invalid number");
+    *out = JsonValue::makeDouble(d);
+    return true;
+  }
+
+  bool parseString(JsonValue* out) {
+    std::string s;
+    if (!parseRawString(&s)) return false;
+    *out = JsonValue::makeString(std::move(s));
+    return true;
+  }
+
+  bool parseRawString(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("invalid \\u escape");
+            }
+            // The exporters only escape control bytes; decode BMP code
+            // points as UTF-8 for completeness.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default: return fail("invalid escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseArray(JsonValue* out) {
+    consume('[');
+    *out = JsonValue::makeArray();
+    skipWs();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue item;
+      skipWs();
+      if (!parseValue(&item)) return false;
+      out->append(std::move(item));
+      skipWs();
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(JsonValue* out) {
+    consume('{');
+    *out = JsonValue::makeObject();
+    skipWs();
+    if (consume('}')) return true;
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!parseRawString(&key)) return false;
+      skipWs();
+      if (!consume(':')) return fail("expected ':' in object");
+      skipWs();
+      JsonValue value;
+      if (!parseValue(&value)) return false;
+      out->set(std::move(key), std::move(value));
+      skipWs();
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  JsonError* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dumpTo(*this, out);
+  return out;
+}
+
+bool parseJson(std::string_view text, JsonValue* out, JsonError* error) {
+  Parser parser(text, error);
+  return parser.parseDocument(out);
+}
+
+}  // namespace small::obs

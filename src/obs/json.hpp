@@ -1,0 +1,115 @@
+// Minimal JSON value, parser and writer for the observability layer.
+//
+// The obs exporters emit machine-readable artifacts (bench_report JSONL,
+// Chrome trace-event JSON) and the repo's own tooling — report_lint,
+// bench_summary, the obs round-trip tests — must read them back without
+// adding a dependency the container does not bake in. This is a small,
+// strict subset implementation: objects, arrays, strings (with \uXXXX
+// escapes for control characters only on output), doubles, 64-bit
+// integers, booleans and null. Numbers that parse as integral stay
+// integral, so counter values round-trip exactly.
+//
+// Writing is deterministic by construction: object members are emitted in
+// insertion order, integers as decimal, and doubles through a fixed
+// shortest-round-trip format — the byte-identical `--metrics-out` contract
+// at any `--jobs` count rests on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace small::obs {
+
+class JsonValue;
+
+/// Parse error with 1-based line/column of the offending byte.
+struct JsonError {
+  std::string message;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue makeBool(bool v);
+  static JsonValue makeInt(std::int64_t v);
+  static JsonValue makeUint(std::uint64_t v);
+  static JsonValue makeDouble(double v);
+  static JsonValue makeString(std::string v);
+  static JsonValue makeArray();
+  static JsonValue makeObject();
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::kNull; }
+  bool isBool() const { return kind_ == Kind::kBool; }
+  bool isInt() const { return kind_ == Kind::kInt; }
+  bool isNumber() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool isString() const { return kind_ == Kind::kString; }
+  bool isArray() const { return kind_ == Kind::kArray; }
+  bool isObject() const { return kind_ == Kind::kObject; }
+
+  bool boolValue() const { return bool_; }
+  std::int64_t intValue() const { return int_; }
+  double numberValue() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& stringValue() const { return string_; }
+
+  // --- arrays ---
+  const std::vector<JsonValue>& items() const { return items_; }
+  void append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  // --- objects (insertion-ordered) ---
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Set (or overwrite) a member, preserving first-insertion order.
+  void set(std::string key, JsonValue v);
+  /// Member lookup; nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Serialize (no trailing newline). Deterministic; see header comment.
+  std::string dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Deterministic double formatting shared by every obs exporter: shortest
+/// representation that round-trips (printf %.17g tightened when fewer
+/// digits suffice), "0" for zero, no locale dependence.
+std::string formatJsonDouble(double v);
+
+/// Escape a string into a JSON string literal (with the quotes).
+std::string jsonQuote(std::string_view s);
+
+/// Parse one JSON document from `text`. Trailing whitespace is allowed,
+/// trailing garbage is an error. Returns false and fills `error` on
+/// malformed input.
+bool parseJson(std::string_view text, JsonValue* out, JsonError* error);
+
+}  // namespace small::obs

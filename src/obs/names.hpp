@@ -1,0 +1,94 @@
+// The canonical metric naming scheme — the one place every obs name is
+// declared (DESIGN.md §obs documents the conventions).
+//
+// Names are dot-separated, lowercase, `<subsystem>.<event>`:
+//   mem.*   — memory-management events shared across accounting schemes.
+//             The LPT's reference counting (core::LptStats) and the gc
+//             subsystem's collectors (gc::GcStats) historically counted
+//             the same physical events under different field names;
+//             both contribute to these shared names so
+//             table5_2_3_lpt_activity and gc_comparison report from the
+//             same counters:
+//               mem.allocs  <- LptStats.gets            (entry allocations)
+//               mem.frees   <- LptStats.frees + GcStats.cellsReclaimed
+//               mem.rc_ops  <- LptStats.refOps + GcStats.barrierOps
+//   lpt.*   — List Processor Table events beyond the shared ones.
+//   lp.*    — List Processor request stream (hits/splits/compression).
+//   heap.*  — physical heap-backend activity (heap::HeapStats).
+//   gc.*    — collection machinery (gc::GcStats) and pause distributions.
+//   lisp.*  — interpreter primitive dispatch ("lisp.prim.<name>").
+//   vm.*    — emulator instruction dispatch ("vm.op.<mnemonic>").
+//   sweep.* — parallel harness task accounting.
+//   bench.* — per-bench figures (free-form under the bench's namespace).
+//
+// Family conventions: monotone event tallies are counters (sum-merge);
+// high-water marks end in `.max` or `.peak` and are max metrics
+// (max-merge); distributions are histograms (bucket-add merge). Merge
+// associativity is what keeps `--metrics-out` byte-identical at any
+// `--jobs` count.
+#pragma once
+
+namespace small::obs::names {
+
+// --- shared memory accounting (LptStats ∪ GcStats) ---
+inline constexpr char kMemAllocs[] = "mem.allocs";
+inline constexpr char kMemFrees[] = "mem.frees";
+inline constexpr char kMemRcOps[] = "mem.rc_ops";
+
+// --- LPT (core::LptStats, core::Lpt) ---
+inline constexpr char kLptLazyDecrements[] = "lpt.lazy_decrements";
+inline constexpr char kLptMaxRefCount[] = "lpt.ref_count.max";
+inline constexpr char kLptStackBitMessages[] = "lpt.stack_bit_messages";
+inline constexpr char kLptSettledLazyFrees[] = "lpt.settled_lazy_frees";
+inline constexpr char kLptLifetimeMaxCounts[] = "lpt.lifetime_max_counts";
+inline constexpr char kLptPeakOccupancy[] = "lpt.occupancy.peak";
+inline constexpr char kLptHits[] = "lpt.hits";
+inline constexpr char kLptMisses[] = "lpt.misses";
+
+// --- List Processor request stream (core::LpStats) ---
+inline constexpr char kLpSplits[] = "lp.splits";
+inline constexpr char kLpModifies[] = "lp.modifies";
+inline constexpr char kLpCompressionMerges[] = "lp.compression_merges";
+inline constexpr char kLpPseudoOverflows[] = "lp.pseudo_overflows";
+inline constexpr char kLpTrueOverflows[] = "lp.true_overflows";
+inline constexpr char kLpCycleRecoveries[] = "lp.cycle_recoveries";
+inline constexpr char kLpCycleReclaimed[] = "lp.cycle_entries_reclaimed";
+inline constexpr char kLpOverflowModeOps[] = "lp.overflow_mode_ops";
+inline constexpr char kLpHeapFrees[] = "lp.heap_frees";
+inline constexpr char kLpEpRefOps[] = "lp.ep_ref_ops";
+inline constexpr char kLpEpMaxRefCount[] = "lp.ep_ref_count.max";
+
+// --- physical heap backends (heap::HeapStats) ---
+inline constexpr char kHeapAllocs[] = "heap.allocs";
+inline constexpr char kHeapFrees[] = "heap.frees";
+inline constexpr char kHeapSplits[] = "heap.splits";
+inline constexpr char kHeapMerges[] = "heap.merges";
+inline constexpr char kHeapReads[] = "heap.reads";
+inline constexpr char kHeapWrites[] = "heap.writes";
+inline constexpr char kHeapPeakLiveCells[] = "heap.live_cells.peak";
+
+// --- collection machinery (gc::GcStats) ---
+inline constexpr char kGcCollections[] = "gc.collections";
+inline constexpr char kGcCellsTraced[] = "gc.cells_traced";
+inline constexpr char kGcHeapTouches[] = "gc.heap_touches";
+inline constexpr char kGcTableTouches[] = "gc.table_touches";
+inline constexpr char kGcDeferredDecrements[] = "gc.deferred_decrements";
+inline constexpr char kGcZctOverflows[] = "gc.zct_overflows";
+inline constexpr char kGcZctHighWater[] = "gc.zct_occupancy.max";
+inline constexpr char kGcMaxPause[] = "gc.pause.max";
+inline constexpr char kGcTotalPause[] = "gc.pause.total";
+inline constexpr char kGcPauseHistogram[] = "gc.pause.touch_units";
+
+// --- interpreter / emulator dispatch ---
+inline constexpr char kLispPrimPrefix[] = "lisp.prim.";  // + primitive name
+inline constexpr char kLispSteps[] = "lisp.eval_steps";
+inline constexpr char kVmOpPrefix[] = "vm.op.";          // + mnemonic
+inline constexpr char kVmInstructions[] = "vm.instructions";
+inline constexpr char kVmListOps[] = "vm.list_ops";
+inline constexpr char kVmFunctionCalls[] = "vm.function_calls";
+inline constexpr char kVmMaxStackDepth[] = "vm.stack_depth.max";
+
+// --- parallel sweep harness ---
+inline constexpr char kSweepTasks[] = "sweep.tasks";
+
+}  // namespace small::obs::names

@@ -1,0 +1,90 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace small::obs {
+
+void BenchReport::setConfig(const std::string& key, bool value) {
+  config_.push_back({key, value ? "true" : "false"});
+}
+
+void BenchReport::setConfig(const std::string& key, std::int64_t value) {
+  config_.push_back({key, JsonValue::makeInt(value).dump()});
+}
+
+void BenchReport::setConfig(const std::string& key, double value) {
+  config_.push_back({key, JsonValue::makeDouble(value).dump()});
+}
+
+void BenchReport::setConfig(const std::string& key,
+                            const std::string& value) {
+  config_.push_back({key, jsonQuote(value)});
+}
+
+void BenchReport::addFigure(const std::string& name, double value) {
+  figures_.push_back({name, JsonValue::makeDouble(value).dump()});
+}
+
+void BenchReport::addFigure(const std::string& name, std::uint64_t value) {
+  figures_.push_back({name, JsonValue::makeUint(value).dump()});
+}
+
+std::string BenchReport::render() const {
+  std::string out;
+  out += "{\"type\":\"bench_report\",\"version\":1,\"bench\":";
+  out += jsonQuote(bench_);
+  out += ",\"config\":{";
+  bool first = true;
+  for (const ConfigEntry& entry : config_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += jsonQuote(entry.key);
+    out.push_back(':');
+    out += entry.jsonValue;
+  }
+  out += "}}\n";
+  for (const Figure& figure : figures_) {
+    out += "{\"type\":\"figure\",\"name\":";
+    out += jsonQuote(figure.name);
+    out += ",\"value\":";
+    out += figure.jsonValue;
+    out += "}\n";
+  }
+  out += registry_.exportJsonLines();
+  return out;
+}
+
+namespace {
+
+bool writeFile(const std::string& path, const std::string& content,
+               const char* what) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "ERROR: cannot open %s file '%s' for writing\n",
+                 what, path.c_str());
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  const bool ok = written == content.size() && std::fclose(file) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "ERROR: short write to %s file '%s'\n", what,
+                 path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool BenchReport::writeTo(const std::string& path) const {
+  return writeFile(path, render(), "metrics");
+}
+
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<const TraceSink*>& sinks) {
+  return writeFile(path, exportChromeTrace(sinks), "trace");
+}
+
+}  // namespace small::obs

@@ -1,0 +1,83 @@
+// The versioned bench_report artifact and its exporters.
+//
+// Every bench emits (behind `--metrics-out FILE`) one machine-readable
+// report of its run: bench name, the workload-shaping configuration, the
+// key figures the paper's tables carry, and a dump of the metric
+// registry. The format is JSONL — one self-describing JSON object per
+// line — so tools can stream it and `diff` shows per-metric changes:
+//
+//   {"type":"bench_report","version":1,"bench":"<name>","config":{...}}
+//   {"type":"figure","name":"...","value":...}                 (0+ lines)
+//   {"type":"counter"|"max"|"gauge"|"histogram",...}           (0+ lines)
+//
+// tools/bench_report.schema.json is the checked-in schema; tools/
+// report_lint validates emitted files against it in CI, and tools/
+// bench_summary folds a directory of reports into one BENCH_<date>.json
+// trajectory entry.
+//
+// Determinism contract: everything in the report must be a pure function
+// of (bench, config, seed) — counters, cost units, figures; never
+// wall-clock. The config block deliberately excludes `--jobs` and the
+// output paths, so reports are byte-identical at any job count (CI diffs
+// them). Wall-clock lives only in the `--trace-out` Chrome trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace small::obs {
+
+inline constexpr int kBenchReportVersion = 1;
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string benchName)
+      : bench_(std::move(benchName)) {}
+
+  /// Workload-shaping configuration (bool flags, scales, trace sources).
+  /// NEVER record --jobs or file paths here (see determinism contract).
+  void setConfig(const std::string& key, bool value);
+  void setConfig(const std::string& key, std::int64_t value);
+  void setConfig(const std::string& key, double value);
+  void setConfig(const std::string& key, const std::string& value);
+
+  /// A key figure (one number a paper table/figure reports).
+  void addFigure(const std::string& name, double value);
+  void addFigure(const std::string& name, std::uint64_t value);
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+
+  /// The full JSONL document (header, figures, registry dump).
+  std::string render() const;
+
+  /// Write `render()` to `path`; returns false (with a message on stderr)
+  /// on I/O failure.
+  bool writeTo(const std::string& path) const;
+
+ private:
+  struct ConfigEntry {
+    std::string key;
+    std::string jsonValue;  ///< pre-rendered JSON
+  };
+  struct Figure {
+    std::string name;
+    std::string jsonValue;
+  };
+
+  std::string bench_;
+  std::vector<ConfigEntry> config_;
+  std::vector<Figure> figures_;
+  Registry registry_;
+};
+
+/// Write a Chrome trace-event JSON file from the given sinks (in order);
+/// returns false on I/O failure.
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<const TraceSink*>& sinks);
+
+}  // namespace small::obs

@@ -1,0 +1,42 @@
+#include "obs/sweep.hpp"
+
+#include "obs/names.hpp"
+
+namespace small::obs {
+
+ShardSet::ShardSet(std::size_t taskCount, bool enabled) : enabled_(enabled) {
+  if (!enabled_) return;
+  registries_.resize(taskCount);
+  sinks_.reserve(taskCount);
+  for (std::size_t id = 0; id < taskCount; ++id) {
+    sinks_.emplace_back(static_cast<std::uint32_t>(id));
+  }
+}
+
+void ShardSet::mergeInto(Registry& target) const {
+  for (const Registry& shard : registries_) {
+    target.merge(shard);
+  }
+}
+
+std::vector<const TraceSink*> ShardSet::sinksInOrder() const {
+  std::vector<const TraceSink*> sinks;
+  sinks.reserve(sinks_.size());
+  for (const TraceSink& sink : sinks_) {
+    sinks.push_back(&sink);
+  }
+  return sinks;
+}
+
+void runIndexedObs(std::size_t taskCount, int jobs, ShardSet& shards,
+                   const std::function<void(std::size_t)>& task) {
+  support::runIndexed(taskCount, jobs, [&](std::size_t id) {
+    TraceSink* sink = shards.sinkAt(id);
+    Registry* registry = shards.registryAt(id);
+    if (registry != nullptr) registry->add(names::kSweepTasks, 1);
+    Span span(sink, "task", "sweep");
+    task(id);
+  });
+}
+
+}  // namespace small::obs

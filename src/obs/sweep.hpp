@@ -1,0 +1,68 @@
+// Per-task observability shards for the deterministic parallel sweep
+// harness (support/parallel.hpp).
+//
+// The harness's determinism contract is id-indexed slots: nothing a task
+// produces may depend on claim order. Observability follows the same
+// discipline — each task id owns a private (Registry, TraceSink) shard, so
+// no locking is needed and the merged registry is a fold over shards in id
+// order. Since registry merge is associative/commutative (sum/max/
+// bucket-add only), the merged metrics are identical at every `--jobs`
+// count; only the spans' wall-clock fields vary run to run, and those are
+// exported solely through `--trace-out`.
+//
+// `runIndexedObs` wraps support::runIndexed and records one "task" span
+// per task id into that task's shard (category "sweep", tid = task id) —
+// the per-task queue/run lanes the tentpole asks for. `queue_us` is
+// implicit: a task's span starts when a worker claims it, so the gap from
+// the sweep span's start to the task span's start is its queue time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "support/parallel.hpp"
+
+namespace small::obs {
+
+class ShardSet {
+ public:
+  /// One shard per task id. A disabled ShardSet (`enabled == false`)
+  /// hands out null sinks/registries so instrumented sweeps cost nothing
+  /// when no `--metrics-out`/`--trace-out` was requested.
+  explicit ShardSet(std::size_t taskCount, bool enabled = true);
+
+  bool enabled() const { return enabled_; }
+  std::size_t size() const { return registries_.size(); }
+
+  /// The shard owned by task `id`; null when disabled.
+  Registry* registryAt(std::size_t id) {
+    return enabled_ ? &registries_[id] : nullptr;
+  }
+  TraceSink* sinkAt(std::size_t id) {
+    return enabled_ ? &sinks_[id] : nullptr;
+  }
+
+  /// Fold every shard registry into `target`, in id order.
+  void mergeInto(Registry& target) const;
+
+  /// Shard sinks in id order (for exportChromeTrace).
+  std::vector<const TraceSink*> sinksInOrder() const;
+
+ private:
+  bool enabled_;
+  std::vector<Registry> registries_;
+  std::vector<TraceSink> sinks_;
+};
+
+/// support::runIndexed with per-task spans recorded into `shards`. The
+/// task callback receives (id); it should write its own metrics through
+/// `shards.registryAt(id)` / `shards.sinkAt(id)`.
+void runIndexedObs(std::size_t taskCount, int jobs, ShardSet& shards,
+                   const std::function<void(std::size_t)>& task);
+
+}  // namespace small::obs

@@ -1,7 +1,10 @@
 #include "vm/emulator.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/names.hpp"
+#include "obs/registry.hpp"
 #include "support/error.hpp"
 
 namespace small::vm {
@@ -60,6 +63,7 @@ void Emulator::run(const Program& program) {
     if (pc >= program.code.size()) error("pc out of range");
     const Instruction insn = program.code[pc];
     ++pc;
+    ++opcodeCounts_[static_cast<std::size_t>(insn.op)];
     switch (insn.op) {
       case Opcode::kHalt:
         return;
@@ -260,6 +264,19 @@ void Emulator::run(const Program& program) {
         output_.push_back(pop());
         break;
     }
+  }
+}
+
+void Emulator::contributeObs(obs::Registry& registry) const {
+  registry.add(obs::names::kVmInstructions, instructions_);
+  registry.add(obs::names::kVmListOps, listOps_);
+  registry.add(obs::names::kVmFunctionCalls, functionCalls_);
+  registry.recordMax(obs::names::kVmMaxStackDepth, maxStackDepth_);
+  for (std::size_t op = 0; op < kOpcodeCount; ++op) {
+    if (opcodeCounts_[op] == 0) continue;
+    registry.add(std::string(obs::names::kVmOpPrefix) +
+                     opcodeName(static_cast<Opcode>(op)),
+                 opcodeCounts_[op]);
   }
 }
 

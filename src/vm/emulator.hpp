@@ -9,6 +9,7 @@
 // compiled-code behaviour with interpreter traces.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <string_view>
@@ -16,6 +17,10 @@
 
 #include "sexpr/arena.hpp"
 #include "vm/isa.hpp"
+
+namespace small::obs {
+class Registry;
+}
 
 namespace small::vm {
 
@@ -40,6 +45,16 @@ class Emulator {
   std::uint64_t listOps() const { return listOps_; }
   std::uint64_t functionCalls() const { return functionCalls_; }
   std::uint32_t maxStackDepth() const { return maxStackDepth_; }
+
+  /// Per-opcode dispatch tallies, indexed by Opcode — the emulator-side
+  /// mirror of the interpreter's primitive frequencies (Fig 3.1).
+  const std::array<std::uint64_t, kOpcodeCount>& opcodeCounts() const {
+    return opcodeCounts_;
+  }
+
+  /// Publish dispatch tallies into `registry` under the obs names
+  /// ("vm.instructions", "vm.op.<MNEMONIC>", ...; obs/names.hpp).
+  void contributeObs(obs::Registry& registry) const;
 
  private:
   struct Binding {
@@ -77,6 +92,7 @@ class Emulator {
   std::uint64_t listOps_ = 0;
   std::uint64_t functionCalls_ = 0;
   std::uint32_t maxStackDepth_ = 0;
+  std::array<std::uint64_t, kOpcodeCount> opcodeCounts_{};
 };
 
 }  // namespace small::vm

@@ -13,8 +13,6 @@ const Program::Function* Program::findFunction(std::string_view name) const {
   return nullptr;
 }
 
-namespace {
-
 const char* opcodeName(Opcode op) {
   switch (op) {
     case Opcode::kBindN: return "BINDN";
@@ -49,6 +47,8 @@ const char* opcodeName(Opcode op) {
   }
   return "?";
 }
+
+namespace {
 
 bool usesSym(Opcode op) {
   return op == Opcode::kBindN || op == Opcode::kPushVar ||

@@ -66,6 +66,14 @@ enum class Opcode : std::uint8_t {
   kHalt,
 };
 
+/// Number of opcodes (kHalt is last); sizes per-opcode dispatch tallies.
+inline constexpr std::size_t kOpcodeCount =
+    static_cast<std::size_t>(Opcode::kHalt) + 1;
+
+/// Assembly mnemonic ("BINDN", "FCALL", ...), also the obs metric suffix
+/// under "vm.op.".
+const char* opcodeName(Opcode op);
+
 struct Instruction {
   Opcode op = Opcode::kHalt;
   std::int32_t operand = 0;        ///< branch target / arg index / pool index

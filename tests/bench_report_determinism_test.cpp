@@ -1,0 +1,145 @@
+// End-to-end artifact tests against the real bench binaries (paths baked
+// in by CMake): the `--metrics-out` bytes must be identical at --jobs 1
+// and --jobs 4 (the obs determinism contract), `--trace-out` must be a
+// loadable Chrome trace-event document, text output must not change when
+// the artifact flags are added, and unknown flags must be rejected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using small::obs::JsonError;
+using small::obs::JsonValue;
+using small::obs::parseJson;
+
+std::string tempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+int runCommand(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class BenchArtifacts : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::string benchPath() const {
+    const std::string name = GetParam();
+    if (name == "fig5_1_2_lpt_size") return FIG5_BENCH;
+    return GC_BENCH;
+  }
+  std::string benchName() const { return GetParam(); }
+};
+
+TEST_P(BenchArtifacts, MetricsIdenticalAcrossJobCounts) {
+  const std::string metrics1 = tempPath(benchName() + ".j1.jsonl");
+  const std::string metrics4 = tempPath(benchName() + ".j4.jsonl");
+  const std::string text1 = tempPath(benchName() + ".j1.txt");
+  const std::string text4 = tempPath(benchName() + ".j4.txt");
+  ASSERT_EQ(runCommand(benchPath() + " --quick --jobs 1 --metrics-out " +
+                       metrics1 + " > " + text1),
+            0);
+  ASSERT_EQ(runCommand(benchPath() + " --quick --jobs 4 --metrics-out " +
+                       metrics4 + " > " + text4),
+            0);
+  const std::string bytes1 = slurp(metrics1);
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, slurp(metrics4))
+      << "--metrics-out differs between --jobs 1 and --jobs 4";
+  EXPECT_EQ(slurp(text1), slurp(text4))
+      << "text output differs between --jobs 1 and --jobs 4";
+
+  // The report must start with the versioned header naming the bench,
+  // and every line must parse as a JSON object.
+  std::istringstream lines(bytes1);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    JsonValue value;
+    JsonError error;
+    ASSERT_TRUE(parseJson(line, &value, &error))
+        << "line " << lineNo << ": " << error.message;
+    ASSERT_TRUE(value.isObject());
+    if (lineNo == 1) {
+      EXPECT_EQ(value.find("type")->stringValue(), "bench_report");
+      EXPECT_EQ(value.find("bench")->stringValue(), benchName());
+      EXPECT_EQ(value.find("version")->intValue(), 1);
+      // --jobs and output paths must NOT leak into the config block.
+      const JsonValue* config = value.find("config");
+      ASSERT_NE(config, nullptr);
+      EXPECT_EQ(config->find("jobs"), nullptr);
+      EXPECT_EQ(config->find("metrics_out"), nullptr);
+    }
+  }
+  EXPECT_GT(lineNo, 1u) << "report should carry figures/metrics lines";
+}
+
+TEST_P(BenchArtifacts, TextOutputUnchangedByArtifactFlags) {
+  const std::string plain = tempPath(benchName() + ".plain.txt");
+  const std::string decorated = tempPath(benchName() + ".decorated.txt");
+  ASSERT_EQ(runCommand(benchPath() + " --quick --jobs 2 > " + plain), 0);
+  ASSERT_EQ(runCommand(benchPath() + " --quick --jobs 2 --metrics-out " +
+                       tempPath(benchName() + ".dec.jsonl") +
+                       " --trace-out " +
+                       tempPath(benchName() + ".dec.trace.json") + " > " +
+                       decorated),
+            0);
+  EXPECT_EQ(slurp(plain), slurp(decorated))
+      << "--metrics-out/--trace-out must not change the text output";
+}
+
+TEST_P(BenchArtifacts, ChromeTraceLoads) {
+  const std::string tracePath = tempPath(benchName() + ".trace.json");
+  ASSERT_EQ(runCommand(benchPath() + " --quick --trace-out " + tracePath +
+                       " > /dev/null"),
+            0);
+  JsonValue trace;
+  JsonError error;
+  ASSERT_TRUE(parseJson(slurp(tracePath), &trace, &error))
+      << error.message;
+  ASSERT_TRUE(trace.isArray());
+  ASSERT_FALSE(trace.items().empty());
+  for (const JsonValue& event : trace.items()) {
+    ASSERT_TRUE(event.isObject());
+    ASSERT_NE(event.find("name"), nullptr);
+    EXPECT_TRUE(event.find("name")->isString());
+    ASSERT_NE(event.find("ph"), nullptr);
+    EXPECT_EQ(event.find("ph")->stringValue(), "X");
+    ASSERT_NE(event.find("ts"), nullptr);
+    EXPECT_TRUE(event.find("ts")->isInt());
+    ASSERT_NE(event.find("dur"), nullptr);
+    ASSERT_NE(event.find("pid"), nullptr);
+    ASSERT_NE(event.find("tid"), nullptr);
+  }
+}
+
+TEST_P(BenchArtifacts, UnknownFlagRejected) {
+  EXPECT_EQ(runCommand(benchPath() +
+                       " --definitely-not-a-flag > /dev/null 2>&1"),
+            2);
+  EXPECT_EQ(runCommand(benchPath() + " --metrics-out > /dev/null 2>&1"), 2)
+      << "--metrics-out without a value must be rejected";
+}
+
+INSTANTIATE_TEST_SUITE_P(Benches, BenchArtifacts,
+                         ::testing::Values("fig5_1_2_lpt_size",
+                                           "gc_comparison"));
+
+}  // namespace

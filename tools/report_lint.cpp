@@ -1,0 +1,278 @@
+// report_lint — validate obs artifacts against the checked-in schema.
+//
+//   report_lint --schema tools/bench_report.schema.json
+//       [--chrome-trace] FILE...
+//
+// Without --chrome-trace each FILE is a --metrics-out JSONL report: every
+// line must parse as a JSON object, the first line must be the
+// bench_report header, and each line must satisfy the schema selected by
+// its "type" member. With --chrome-trace each FILE is a --trace-out
+// Chrome trace-event JSON array and every event is validated against
+// traceEventSchema (the ph/ts/dur/pid/tid contract Perfetto loads).
+//
+// The validator implements the subset of JSON Schema the checked-in file
+// uses — type, const, minimum, required, properties, items — which keeps
+// it dependency-free (obs/json is the only JSON code in the repo).
+// Exit: 0 all files valid, 1 any violation, 2 usage/schema error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using small::obs::JsonError;
+using small::obs::JsonValue;
+using small::obs::parseJson;
+
+bool readFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Validate `value` against the JSON-Schema subset in `schema`.
+/// Appends "context: message" lines to `errors`.
+void validateSchema(const JsonValue& value, const JsonValue& schema,
+                    const std::string& context,
+                    std::vector<std::string>* errors) {
+  if (const JsonValue* expected = schema.find("const")) {
+    if (!value.isString() || !expected->isString() ||
+        value.stringValue() != expected->stringValue()) {
+      errors->push_back(context + ": expected constant " +
+                        expected->dump() + ", got " + value.dump());
+      return;
+    }
+  }
+  if (const JsonValue* type = schema.find("type")) {
+    const std::string& t = type->stringValue();
+    const bool ok = (t == "object" && value.isObject()) ||
+                    (t == "array" && value.isArray()) ||
+                    (t == "string" && value.isString()) ||
+                    (t == "number" && value.isNumber()) ||
+                    (t == "integer" && value.isInt()) ||
+                    (t == "boolean" && value.isBool());
+    if (!ok) {
+      errors->push_back(context + ": expected " + t + ", got " +
+                        value.dump());
+      return;
+    }
+  }
+  if (const JsonValue* minimum = schema.find("minimum")) {
+    if (value.isNumber() &&
+        value.numberValue() < minimum->numberValue()) {
+      errors->push_back(context + ": value " + value.dump() +
+                        " below minimum " + minimum->dump());
+    }
+  }
+  if (const JsonValue* required = schema.find("required")) {
+    for (const JsonValue& key : required->items()) {
+      if (value.isObject() && value.find(key.stringValue()) == nullptr) {
+        errors->push_back(context + ": missing required member \"" +
+                          key.stringValue() + "\"");
+      }
+    }
+  }
+  if (const JsonValue* properties = schema.find("properties")) {
+    if (value.isObject()) {
+      for (const auto& [key, memberSchema] : properties->members()) {
+        if (const JsonValue* member = value.find(key)) {
+          validateSchema(*member, memberSchema, context + "." + key,
+                         errors);
+        }
+      }
+    }
+  }
+  if (const JsonValue* items = schema.find("items")) {
+    if (value.isArray()) {
+      for (std::size_t i = 0; i < value.items().size(); ++i) {
+        validateSchema(value.items()[i], *items,
+                       context + "[" + std::to_string(i) + "]", errors);
+      }
+    }
+  }
+}
+
+int lintMetricsFile(const std::string& path, const JsonValue& lineSchemas) {
+  std::string text;
+  if (!readFile(path, &text)) {
+    std::fprintf(stderr, "report_lint: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  int violations = 0;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  bool sawHeader = false;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    JsonValue value;
+    JsonError error;
+    if (!parseJson(line, &value, &error)) {
+      std::fprintf(stderr, "%s:%zu: JSON parse error: %s\n", path.c_str(),
+                   lineNo, error.message.c_str());
+      ++violations;
+      continue;
+    }
+    const JsonValue* type =
+        value.isObject() ? value.find("type") : nullptr;
+    if (type == nullptr || !type->isString()) {
+      std::fprintf(stderr, "%s:%zu: line is not an object with a "
+                   "string \"type\"\n", path.c_str(), lineNo);
+      ++violations;
+      continue;
+    }
+    if (lineNo == 1) {
+      if (type->stringValue() != "bench_report") {
+        std::fprintf(stderr, "%s:1: first line must be the bench_report "
+                     "header, got type \"%s\"\n", path.c_str(),
+                     type->stringValue().c_str());
+        ++violations;
+      } else {
+        sawHeader = true;
+        const JsonValue* version = value.find("version");
+        if (version != nullptr && version->isInt() &&
+            version->intValue() != small::obs::kBenchReportVersion) {
+          std::fprintf(stderr, "%s:1: report version %lld does not match "
+                       "this tool's version %d\n", path.c_str(),
+                       static_cast<long long>(version->intValue()),
+                       small::obs::kBenchReportVersion);
+          ++violations;
+        }
+      }
+    } else if (type->stringValue() == "bench_report") {
+      std::fprintf(stderr, "%s:%zu: duplicate bench_report header\n",
+                   path.c_str(), lineNo);
+      ++violations;
+    }
+    const JsonValue* schema = lineSchemas.find(type->stringValue());
+    if (schema == nullptr) {
+      std::fprintf(stderr, "%s:%zu: unknown line type \"%s\"\n",
+                   path.c_str(), lineNo, type->stringValue().c_str());
+      ++violations;
+      continue;
+    }
+    std::vector<std::string> errors;
+    validateSchema(value, *schema, "line", &errors);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineNo,
+                   e.c_str());
+      ++violations;
+    }
+  }
+  if (!sawHeader) {
+    std::fprintf(stderr, "%s: no bench_report header line\n", path.c_str());
+    ++violations;
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+int lintChromeTrace(const std::string& path, const JsonValue& eventSchema) {
+  std::string text;
+  if (!readFile(path, &text)) {
+    std::fprintf(stderr, "report_lint: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  JsonValue value;
+  JsonError error;
+  if (!parseJson(text, &value, &error)) {
+    std::fprintf(stderr, "%s:%zu:%zu: JSON parse error: %s\n",
+                 path.c_str(), error.line, error.column,
+                 error.message.c_str());
+    return 1;
+  }
+  if (!value.isArray()) {
+    std::fprintf(stderr, "%s: Chrome trace must be a JSON array\n",
+                 path.c_str());
+    return 1;
+  }
+  int violations = 0;
+  for (std::size_t i = 0; i < value.items().size(); ++i) {
+    std::vector<std::string> errors;
+    validateSchema(value.items()[i], eventSchema,
+                   "event[" + std::to_string(i) + "]", &errors);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.c_str());
+      ++violations;
+    }
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: report_lint --schema SCHEMA.json [--chrome-trace] "
+               "FILE...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schemaPath;
+  bool chromeTrace = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
+      schemaPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0) {
+      chromeTrace = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "report_lint: unrecognized argument '%s'\n",
+                   argv[i]);
+      usage(stderr);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (schemaPath.empty() || files.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  std::string schemaText;
+  if (!readFile(schemaPath, &schemaText)) {
+    std::fprintf(stderr, "report_lint: cannot read schema %s\n",
+                 schemaPath.c_str());
+    return 2;
+  }
+  JsonValue schema;
+  JsonError error;
+  if (!parseJson(schemaText, &schema, &error)) {
+    std::fprintf(stderr, "%s:%zu:%zu: schema parse error: %s\n",
+                 schemaPath.c_str(), error.line, error.column,
+                 error.message.c_str());
+    return 2;
+  }
+  const JsonValue* lineSchemas = schema.find("lineSchemas");
+  const JsonValue* eventSchema = schema.find("traceEventSchema");
+  if (lineSchemas == nullptr || eventSchema == nullptr) {
+    std::fprintf(stderr, "%s: missing lineSchemas/traceEventSchema\n",
+                 schemaPath.c_str());
+    return 2;
+  }
+
+  int rc = 0;
+  for (const std::string& file : files) {
+    const int fileRc = chromeTrace
+                           ? lintChromeTrace(file, *eventSchema)
+                           : lintMetricsFile(file, *lineSchemas);
+    if (fileRc != 0) rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("report_lint: %zu file(s) OK\n", files.size());
+  }
+  return rc;
+}
