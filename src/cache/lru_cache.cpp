@@ -2,34 +2,114 @@
 
 namespace small::cache {
 
+namespace {
+
+/// Smallest power of two >= max(2 * want, 16): load factor stays <= 1/2,
+/// keeping linear-probe chains short.
+std::uint64_t tableSizeFor(std::uint64_t want) {
+  std::uint64_t size = 16;
+  while (size < want * 2) size <<= 1;
+  return size;
+}
+
+}  // namespace
+
 LruCache::LruCache(std::uint64_t entryCount, std::uint32_t lineSize)
     : entryCount_(entryCount), lineSize_(lineSize) {
   if (entryCount == 0) throw support::Error("LruCache: zero entries");
   if (lineSize == 0) throw support::Error("LruCache: zero line size");
+  table_.assign(tableSizeFor(entryCount), kNil);
+  mask_ = table_.size() - 1;
+}
+
+std::uint64_t LruCache::findSlot(std::uint64_t line) const {
+  std::uint64_t i = mixLine(line) & mask_;
+  while (table_[i] != kNil && nodes_[table_[i]].line != line) {
+    i = (i + 1) & mask_;
+  }
+  return i;
+}
+
+void LruCache::unlink(std::uint32_t n) {
+  const Node& node = nodes_[n];
+  if (node.prev != kNil) {
+    nodes_[node.prev].next = node.next;
+  } else {
+    head_ = node.next;
+  }
+  if (node.next != kNil) {
+    nodes_[node.next].prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+}
+
+void LruCache::linkFront(std::uint32_t n) {
+  Node& node = nodes_[n];
+  node.prev = kNil;
+  node.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = n;
+  head_ = n;
+  if (tail_ == kNil) tail_ = n;
+}
+
+void LruCache::eraseLine(std::uint64_t line) {
+  std::uint64_t i = findSlot(line);
+  table_[i] = kNil;
+  // Backward-shift: any displaced entry downstream of the hole whose home
+  // slot lies at or before the hole (cyclically) moves back into it.
+  std::uint64_t j = i;
+  while (true) {
+    j = (j + 1) & mask_;
+    if (table_[j] == kNil) break;
+    const std::uint64_t home = mixLine(nodes_[table_[j]].line) & mask_;
+    if (((j - home) & mask_) >= ((j - i) & mask_)) {
+      table_[i] = table_[j];
+      table_[j] = kNil;
+      i = j;
+    }
+  }
 }
 
 bool LruCache::access(std::uint64_t address) {
   const std::uint64_t line = address / lineSize_;
-  const auto it = map_.find(line);
-  if (it != map_.end()) {
+  const std::uint64_t slot = findSlot(line);
+  if (table_[slot] != kNil) {
     ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    const std::uint32_t n = table_[slot];
+    if (head_ != n) {
+      unlink(n);
+      linkFront(n);
+    }
     return true;
   }
   ++misses_;
-  if (map_.size() >= entryCount_) {
-    const std::uint64_t victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
+  std::uint32_t n;
+  if (used_ < entryCount_) {
+    n = used_++;
+    if (n == nodes_.size()) nodes_.emplace_back();
+    nodes_[n].line = line;
+    linkFront(n);
+    table_[slot] = n;
+    return false;
   }
-  lru_.push_front(line);
-  map_[line] = lru_.begin();
+  // At capacity: evict the LRU line, reusing its node in place. The
+  // backward shift may move entries into `slot`, so re-probe to insert.
+  n = tail_;
+  eraseLine(nodes_[n].line);
+  nodes_[n].line = line;
+  unlink(n);
+  linkFront(n);
+  table_[findSlot(line)] = n;
   return false;
 }
 
 void LruCache::reset() {
-  lru_.clear();
-  map_.clear();
+  nodes_.clear();
+  used_ = 0;
+  head_ = kNil;
+  tail_ = kNil;
+  table_.assign(table_.size(), kNil);
   hits_ = 0;
   misses_ = 0;
 }

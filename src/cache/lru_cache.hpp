@@ -6,13 +6,19 @@
 //  to 16 cells while holding total capacity fixed (so entry count shrinks
 //  as lines grow) and halves the per-entry size relative to LPT entries.
 //
-// The implementation keeps an LRU-ordered intrusive list over a hash map of
-// resident lines, so each access is O(1) rather than O(entries).
+// Flat, allocation-free layout: the LRU order is an intrusive doubly
+// linked list of u32 indices threaded through a fixed vector of line
+// nodes, and residency is an open-addressing (linear probing,
+// backward-shift deletion) hash table of node indices. A hit is one probe
+// plus four index writes; a miss at capacity reuses the victim's node in
+// place — no per-access allocation and no pointer chasing. Semantics are
+// identical to the node-based original, kept as cache::ReferenceLruCache
+// (reference_lru.hpp) and asserted equivalent by the randomized
+// differential test.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -21,7 +27,7 @@ namespace small::cache {
 class LruCache {
  public:
   /// `entryCount` lines of `lineSize` cells each (addresses are in cells).
-  LruCache(std::uint64_t entryCount, std::uint32_t lineSize = 1);
+  explicit LruCache(std::uint64_t entryCount, std::uint32_t lineSize = 1);
 
   /// Access the cell at `address`. Returns true on hit. Misses fill the
   /// containing line, evicting the LRU line if full (prefetching the rest
@@ -38,17 +44,51 @@ class LruCache {
 
   std::uint64_t entryCount() const { return entryCount_; }
   std::uint32_t lineSize() const { return lineSize_; }
-  std::uint64_t residentLines() const { return map_.size(); }
+  std::uint64_t residentLines() const { return used_; }
 
   void reset();
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// A resident line: its address and its intrusive LRU links. Nodes are
+  /// allocated once (index = arrival order until capacity) and reused in
+  /// place on eviction.
+  struct Node {
+    std::uint64_t line = 0;
+    std::uint32_t prev = kNil;  ///< toward most-recent
+    std::uint32_t next = kNil;  ///< toward least-recent
+  };
+
+  /// splitmix64 finalizer — full-avalanche mix of the line address.
+  static std::uint64_t mixLine(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Slot holding `line`'s node index, or the empty slot where it would
+  /// be inserted (linear probe; load factor is capped at 1/2).
+  std::uint64_t findSlot(std::uint64_t line) const;
+
+  /// Remove `line` from the hash table (backward-shift deletion keeps
+  /// probe chains contiguous — no tombstones to accumulate).
+  void eraseLine(std::uint64_t line);
+
+  void unlink(std::uint32_t n);
+  void linkFront(std::uint32_t n);
+
   std::uint64_t entryCount_;
   std::uint32_t lineSize_;
 
-  // Most-recent at front. Values in map_ point into lru_.
-  std::list<std::uint64_t> lru_;
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::vector<Node> nodes_;   ///< grows to entryCount_, then fixed
+  std::uint32_t used_ = 0;    ///< live nodes (== resident lines)
+  std::uint32_t head_ = kNil; ///< most recently used
+  std::uint32_t tail_ = kNil; ///< least recently used (eviction victim)
+
+  std::vector<std::uint32_t> table_;  ///< node index or kNil
+  std::uint64_t mask_ = 0;            ///< table_.size() - 1 (power of two)
 
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -7,15 +7,25 @@ namespace small::core {
 using support::SimulationError;
 
 ListProcessor::ListProcessor(const SimConfig& config, support::Rng& rng)
-    : config_(config), rng_(rng), lpt_(config.tableSize, config.reclaim) {}
+    : config_(config),
+      rng_(rng),
+      lpt_(config.tableSize, config.reclaim),
+      epRefs_(config.tableSize, 0),
+      epPos_(config.tableSize, kNoEntry) {}
 
 std::uint32_t ListProcessor::externalRefs(EntryId id) const {
-  const auto it = epRefs_.find(id);
-  return it == epRefs_.end() ? 0 : it->second;
+  return id < epRefs_.size() ? epRefs_[id] : 0;
 }
 
 void ListProcessor::epIncrement(EntryId id) {
+  if (id >= epRefs_.size()) {
+    throw SimulationError("ListProcessor: EP reference to bad entry id");
+  }
   std::uint32_t& count = epRefs_[id];
+  if (count == 0) {
+    epPos_[id] = static_cast<std::uint32_t>(epNonZero_.size());
+    epNonZero_.push_back(id);
+  }
   ++count;
   ++stats_.epRefOps;
   stats_.epMaxRefCount = std::max(stats_.epMaxRefCount, count);
@@ -25,13 +35,18 @@ void ListProcessor::epIncrement(EntryId id) {
 }
 
 void ListProcessor::epDecrement(EntryId id) {
-  const auto it = epRefs_.find(id);
-  if (it == epRefs_.end() || it->second == 0) {
+  if (id >= epRefs_.size() || epRefs_[id] == 0) {
     throw SimulationError("ListProcessor: EP reference underflow");
   }
   ++stats_.epRefOps;
-  if (--it->second == 0) {
-    epRefs_.erase(it);
+  if (--epRefs_[id] == 0) {
+    // Swap-remove from the non-zero set; O(1) either way.
+    const std::uint32_t pos = epPos_[id];
+    const EntryId last = epNonZero_.back();
+    epNonZero_[pos] = last;
+    epPos_[last] = pos;
+    epNonZero_.pop_back();
+    epPos_[id] = kNoEntry;
     if (config_.splitRefCounts) lpt_.setStackBit(id, false);
   }
 }
@@ -69,11 +84,10 @@ void ListProcessor::largeUnbind() {
 }
 
 std::vector<EntryId> ListProcessor::externalRoots() const {
-  std::vector<EntryId> roots;
-  roots.reserve(epRefs_.size());
-  for (const auto& [id, count] : epRefs_) {
-    if (count > 0) roots.push_back(id);
-  }
+  // The mark phase is order-independent, but downstream consumers (and
+  // any future order-sensitive stat) get a canonical ascending order.
+  std::vector<EntryId> roots(epNonZero_.begin(), epNonZero_.end());
+  std::sort(roots.begin(), roots.end());
   return roots;
 }
 
@@ -141,11 +155,15 @@ void ListProcessor::mergePair(EntryId parent, EntryId carChild,
 }
 
 std::uint64_t ListProcessor::compress(bool all) {
+  // Ascending in-use scan via the Lpt's packed flag bytes: O(in-use)
+  // entries touched per pass instead of O(table). The ascending order is
+  // what keeps Compress-One merge sequences deterministic.
   std::uint64_t merges = 0;
   bool progress = true;
   while (progress) {
     progress = false;
-    for (EntryId id = 0; id < lpt_.size(); ++id) {
+    for (EntryId id = lpt_.firstInUse(); id != kNoEntry;
+         id = lpt_.nextInUse(id + 1)) {
       EntryId carChild = kNoEntry;
       EntryId cdrChild = kNoEntry;
       if (!compressiblePair(id, &carChild, &cdrChild)) continue;

@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "heap/address_model.hpp"
@@ -110,6 +109,12 @@ class ListProcessor {
   /// Run one compression pass by hand (exposed for tests/benches).
   std::uint64_t compress(bool all);
 
+  /// The cycle-recovery root set: every id the EP currently holds a
+  /// reference to, in ascending EntryId order. O(live roots) — built from
+  /// the incrementally maintained non-zero set, so the order (and every
+  /// order-sensitive stat downstream) is independent of hash-table layout.
+  std::vector<EntryId> externalRoots() const;
+
  private:
   AccessResult access(EntryId id, bool wantCar);
   void modify(EntryId target, EntryId value, bool isCar);
@@ -142,8 +147,6 @@ class ListProcessor {
                         EntryId* cdrChild) const;
   void mergePair(EntryId parent, EntryId carChild, EntryId cdrChild);
 
-  std::vector<EntryId> externalRoots() const;
-
   // split-refcount mode helpers
   void epIncrement(EntryId id);
   void epDecrement(EntryId id);
@@ -156,7 +159,12 @@ class ListProcessor {
 
   // EP-side reference table. In base mode it is a shadow used only for
   // compressibility/root decisions; in split mode it is the real count.
-  std::unordered_map<EntryId, std::uint32_t> epRefs_;
+  // Dense layout, indexed by EntryId (bounded by the table size): lookups
+  // are a single load, and the separately maintained non-zero id set makes
+  // root collection O(live roots) instead of a hash-table walk.
+  std::vector<std::uint32_t> epRefs_;   ///< count per id
+  std::vector<EntryId> epNonZero_;      ///< ids with count > 0 (unordered)
+  std::vector<std::uint32_t> epPos_;    ///< id -> index in epNonZero_
 
   // Overflow (bypass) mode: operations create "large address" objects in a
   // side table; the LP returns to fast mode when none remain outstanding.

@@ -1,13 +1,19 @@
 #include "small/lpt.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 namespace small::core {
 
 using support::SimulationError;
 
 Lpt::Lpt(std::uint32_t size, ReclaimPolicy reclaim)
-    : size_(size), reclaim_(reclaim), entries_(size), freeTop_(kNoEntry) {
+    : size_(size),
+      reclaim_(reclaim),
+      entries_(size),
+      flags_((static_cast<std::uint64_t>(size) + 7) & ~std::uint64_t{7}, 0),
+      freeTop_(kNoEntry) {
   if (size == 0) throw SimulationError("Lpt: zero-sized table");
   // Build the initial free stack, low ids on top.
   for (std::uint32_t id = size; id-- > 0;) {
@@ -26,6 +32,51 @@ const LptEntry& Lpt::entry(EntryId id) const {
   return entries_[id];
 }
 
+EntryId Lpt::nextInUse(EntryId from) const {
+  if (from >= size_) return kNoEntry;
+  const std::uint8_t* bytes = flags_.data();
+  std::uint64_t i = from;
+  // Byte-scan to the next word boundary (padding bytes are always zero),
+  // then skip eight entries at a time through empty words.
+  while ((i & 7) != 0) {
+    if (bytes[i] & kFlagInUse) return static_cast<EntryId>(i);
+    ++i;
+  }
+  const std::uint64_t words = flags_.size() / 8;
+  for (std::uint64_t w = i / 8; w < words; ++w) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes + w * 8, 8);
+    word &= 0x0101010101010101ull * kFlagInUse;
+    if (word != 0) {
+      const auto byte = static_cast<std::uint64_t>(std::countr_zero(word)) / 8;
+      return static_cast<EntryId>(w * 8 + byte);
+    }
+  }
+  return kNoEntry;
+}
+
+void Lpt::linkInUse(EntryId id) {
+  LptEntry& slot = entries_[id];
+  slot.inUsePrev = kNoEntry;
+  slot.inUseNext = inUseHead_;
+  if (inUseHead_ != kNoEntry) entries_[inUseHead_].inUsePrev = id;
+  inUseHead_ = id;
+}
+
+void Lpt::unlinkInUse(EntryId id) {
+  LptEntry& slot = entries_[id];
+  if (slot.inUsePrev != kNoEntry) {
+    entries_[slot.inUsePrev].inUseNext = slot.inUseNext;
+  } else {
+    inUseHead_ = slot.inUseNext;
+  }
+  if (slot.inUseNext != kNoEntry) {
+    entries_[slot.inUseNext].inUsePrev = slot.inUsePrev;
+  }
+  slot.inUsePrev = kNoEntry;
+  slot.inUseNext = kNoEntry;
+}
+
 EntryId Lpt::allocate() {
   if (freeTop_ == kNoEntry) return kNoEntry;
   const EntryId id = freeTop_;
@@ -38,6 +89,8 @@ EntryId Lpt::allocate() {
   const EntryId oldCdr = slot.cdr;
   slot = LptEntry{};
   slot.inUse = true;
+  flags_[id] = kFlagInUse;
+  linkInUse(id);
   ++inUseCount_;
   ++stats_.gets;
   if (oldCar != kNoEntry) {
@@ -90,6 +143,8 @@ void Lpt::freeEntry(EntryId id) {
   slot.lifetimeMaxCount = 0;
   slot.inUse = false;
   slot.stackBit = false;
+  flags_[id] = 0;
+  unlinkInUse(id);
   --inUseCount_;
   ++stats_.frees;
   if (reclaim_ == ReclaimPolicy::kRecursive) {
@@ -114,14 +169,17 @@ void Lpt::dropChildren(EntryId id) {
 std::uint64_t Lpt::settleLazyFrees() {
   // Releasing a free entry's edges can drive other counts to zero, which
   // frees more entries — whose edges are retained in turn under the lazy
-  // policy — so the scan repeats until no free entry holds an edge.
+  // policy — so the scan repeats until no free entry holds an edge. The
+  // ascending fixpoint scan is load-bearing: it fixes the order entries
+  // are pushed back onto the free stack, hence the ids later allocations
+  // hand out.
   std::uint64_t released = 0;
   bool progress = true;
   while (progress) {
     progress = false;
     for (EntryId id = 0; id < size_; ++id) {
+      if (flags_[id] & kFlagInUse) continue;
       LptEntry& slot = entries_[id];
-      if (slot.inUse) continue;
       if (slot.car == kNoEntry && slot.cdr == kNoEntry) continue;
       const EntryId oldCar = slot.car;
       const EntryId oldCdr = slot.cdr;
@@ -144,13 +202,16 @@ std::uint64_t Lpt::settleLazyFrees() {
 }
 
 std::uint64_t Lpt::recoverCycles(const std::vector<EntryId>& roots) {
-  // Mark phase: everything reachable from an external root stays. Entries
-  // on the free stack still hold deferred (lazy) references through their
-  // car/cdr fields until reuse, so those edges are roots as well.
-  for (LptEntry& slot : entries_) slot.mark = false;
+  // Mark phase: everything reachable from an external root stays. Stale
+  // marks only ever live on in-use entries (freeing clears the flag byte),
+  // so clearing them walks the intrusive list — O(in-use), not O(table).
+  forEachInUseUnordered([this](EntryId id) { clearMark(id); });
   std::vector<EntryId> work = roots;
-  for (const LptEntry& slot : entries_) {
-    if (slot.inUse) continue;
+  // Entries on the free stack still hold deferred (lazy) references
+  // through their car/cdr fields until reuse, so those edges are roots as
+  // well; the stack is exactly the free set, so walk it — O(free).
+  for (EntryId id = freeTop_; id != kNoEntry; id = entries_[id].freeNext) {
+    const LptEntry& slot = entries_[id];
     if (slot.car != kNoEntry) work.push_back(slot.car);
     if (slot.cdr != kNoEntry) work.push_back(slot.cdr);
   }
@@ -159,18 +220,22 @@ std::uint64_t Lpt::recoverCycles(const std::vector<EntryId>& roots) {
     work.pop_back();
     if (id == kNoEntry) continue;
     LptEntry& slot = entry(id);
-    if (!slot.inUse || slot.mark) continue;
-    slot.mark = true;
+    if (!slot.inUse || marked(id)) continue;
+    setMark(id);
     if (slot.car != kNoEntry) work.push_back(slot.car);
     if (slot.cdr != kNoEntry) work.push_back(slot.cdr);
   }
   // Sweep phase: in-use unmarked entries form unreferenced cycles. Edges
   // from a swept entry into a *surviving* entry must release their count;
-  // edges into fellow swept entries are simply severed.
+  // edges into fellow swept entries are simply severed. The ascending
+  // order (via the packed flags) matches the free-stack push order the
+  // rest of the simulation depends on. A marked survivor always retains
+  // at least the counted edge along its marking path — no edge on that
+  // path is swept — so the decRefs here can never free one mid-sweep.
   std::uint64_t reclaimed = 0;
-  for (EntryId id = 0; id < size_; ++id) {
+  for (EntryId id = firstInUse(); id != kNoEntry; id = nextInUse(id + 1)) {
+    if (marked(id)) continue;
     LptEntry& slot = entries_[id];
-    if (!slot.inUse || slot.mark) continue;
     const EntryId oldCar = slot.car;
     const EntryId oldCdr = slot.cdr;
     slot.car = kNoEntry;
@@ -179,8 +244,8 @@ std::uint64_t Lpt::recoverCycles(const std::vector<EntryId>& roots) {
     slot.stackBit = false;
     freeEntry(id);
     ++reclaimed;
-    if (oldCar != kNoEntry && entries_[oldCar].mark) decRef(oldCar);
-    if (oldCdr != kNoEntry && entries_[oldCdr].mark) decRef(oldCdr);
+    if (oldCar != kNoEntry && marked(oldCar)) decRef(oldCar);
+    if (oldCdr != kNoEntry && marked(oldCdr)) decRef(oldCdr);
   }
   return reclaimed;
 }

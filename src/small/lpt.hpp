@@ -12,6 +12,17 @@
 // reallocated (§4.3.2.1's lazy policy), bounding the work per free at the
 // price of transiently occupied child entries. The recursive policy
 // (immediate child decrement) is selectable for the Table 5.2 comparison.
+//
+// Hot-path layout: alongside the entry array the table maintains
+//   * a packed flag byte per entry (in-use + cycle-recovery mark bits),
+//     scanned eight entries per 64-bit word — `firstInUse`/`nextInUse`
+//     walk the live set in ascending id order touching one byte per
+//     entry instead of the full LptEntry record, and
+//   * an intrusive doubly linked in-use list (prev/next ids threaded
+//     through the entries), giving O(in-use) iteration where visit order
+//     does not matter (mark clearing, occupancy walks).
+// Compression and cycle-recovery sweeps therefore touch O(in-use)
+// entries, not O(table).
 #pragma once
 
 #include <cstdint>
@@ -33,7 +44,6 @@ struct LptEntry {
   std::uint32_t refCount = 0;
   std::uint64_t addr = 0;  ///< heap address (meaningful when hasAddr)
   bool hasAddr = false;
-  bool mark = false;       ///< cycle-recovery mark bit
   bool inUse = false;
   bool isAtom = false;     ///< atom object: cannot be split further
   bool stackBit = false;   ///< split-refcount mode: stack references exist
@@ -46,7 +56,9 @@ struct LptEntry {
   // object in the conventional-memory shadow model (§5.2.5).
   std::uint64_t cacheAddr = 0;
 
-  EntryId freeNext = kNoEntry;  ///< free-stack link
+  EntryId freeNext = kNoEntry;   ///< free-stack link
+  EntryId inUsePrev = kNoEntry;  ///< intrusive in-use list links
+  EntryId inUseNext = kNoEntry;
 
   /// Largest count this entry reached during its current lifetime — the
   /// input to the §2.3.4 truncated-count (M3L) study.
@@ -113,22 +125,57 @@ class Lpt {
     return lifetimeMaxCounts_;
   }
 
-  /// Iterate in-use entry ids (for compression scans).
+  /// First in-use id >= `from` (ascending order), or kNoEntry. Scans the
+  /// packed flag bytes eight entries per 64-bit word, so a sweep costs
+  /// O(size/8 + visited) byte touches rather than O(size) entry loads.
+  /// Safe against entries freed mid-iteration (the flag is re-read);
+  /// callers must not allocate while iterating.
+  EntryId nextInUse(EntryId from) const;
+  EntryId firstInUse() const { return nextInUse(0); }
+
+  /// Iterate in-use entry ids in ascending order (compression scans rely
+  /// on this order — it is what keeps merge sequences deterministic).
   template <typename Fn>
   void forEachInUse(Fn&& fn) const {
-    for (EntryId id = 0; id < size_; ++id) {
-      if (entries_[id].inUse) fn(id);
+    for (EntryId id = firstInUse(); id != kNoEntry; id = nextInUse(id + 1)) {
+      fn(id);
+    }
+  }
+
+  /// Iterate in-use entry ids in *unspecified* order via the intrusive
+  /// in-use list: O(live entries) with no dependence on table size. The
+  /// callback must not allocate or free entries.
+  template <typename Fn>
+  void forEachInUseUnordered(Fn&& fn) const {
+    for (EntryId id = inUseHead_; id != kNoEntry;
+         id = entries_[id].inUseNext) {
+      fn(id);
     }
   }
 
  private:
+  // Packed per-entry flag byte (scanned word-at-a-time by nextInUse).
+  static constexpr std::uint8_t kFlagInUse = 0x01;
+  static constexpr std::uint8_t kFlagMark = 0x02;
+
+  bool marked(EntryId id) const { return (flags_[id] & kFlagMark) != 0; }
+  void setMark(EntryId id) { flags_[id] |= kFlagMark; }
+  void clearMark(EntryId id) { flags_[id] &= static_cast<std::uint8_t>(~kFlagMark); }
+
+  void linkInUse(EntryId id);
+  void unlinkInUse(EntryId id);
+
   void freeEntry(EntryId id);
   void dropChildren(EntryId id);  ///< decrement both children now
 
   std::uint32_t size_;
   ReclaimPolicy reclaim_;
   std::vector<LptEntry> entries_;
+  /// One flag byte per entry, zero-padded to a multiple of 8 so the
+  /// word-at-a-time scan never reads past the table.
+  std::vector<std::uint8_t> flags_;
   EntryId freeTop_;
+  EntryId inUseHead_ = kNoEntry;
   std::uint32_t inUseCount_ = 0;
   LptStats stats_;
   support::Histogram lifetimeMaxCounts_;

@@ -25,6 +25,8 @@ SmallMachine::SmallMachine(Config config)
   for (std::uint32_t id = config_.tableSize; id-- > 0;) {
     freeStack_.push_back(id);
   }
+  epRefs_.assign(config_.tableSize, 0);
+  epPos_.assign(config_.tableSize, 0xffffffffu);
 }
 
 SmallMachine::Entry& SmallMachine::entry(std::uint32_t id) {
@@ -38,8 +40,28 @@ const SmallMachine::Entry& SmallMachine::entry(std::uint32_t id) const {
 }
 
 std::uint32_t SmallMachine::externalRefs(std::uint32_t id) const {
-  const auto it = epRefs_.find(id);
-  return it == epRefs_.end() ? 0 : it->second;
+  return id < epRefs_.size() ? epRefs_[id] : 0;
+}
+
+void SmallMachine::epIncrement(std::uint32_t id) {
+  if (epRefs_[id]++ == 0) {
+    epPos_[id] = static_cast<std::uint32_t>(epNonZero_.size());
+    epNonZero_.push_back(id);
+  }
+}
+
+void SmallMachine::epDecrement(std::uint32_t id) {
+  if (id >= epRefs_.size() || epRefs_[id] == 0) {
+    throw SimulationError("SmallMachine: release without EP reference");
+  }
+  if (--epRefs_[id] == 0) {
+    const std::uint32_t pos = epPos_[id];
+    const std::uint32_t last = epNonZero_.back();
+    epNonZero_[pos] = last;
+    epPos_[last] = pos;
+    epNonZero_.pop_back();
+    epPos_[id] = 0xffffffffu;
+  }
 }
 
 std::uint32_t SmallMachine::allocateEntry() {
@@ -172,10 +194,11 @@ bool SmallMachine::ensureFree(std::uint32_t needed) {
 
 std::uint64_t SmallMachine::recoverCycles() {
   for (Entry& e : entries_) e.mark = false;
-  std::vector<std::uint32_t> work;
-  for (const auto& [id, count] : epRefs_) {
-    if (count > 0) work.push_back(id);
-  }
+  // Roots in ascending id order: the mark set is order-independent, but a
+  // canonical order keeps every run (and any order-sensitive stat added
+  // later) reproducible across standard-library implementations.
+  std::vector<std::uint32_t> work(epNonZero_.begin(), epNonZero_.end());
+  std::sort(work.begin(), work.end());
   while (!work.empty()) {
     const std::uint32_t id = work.back();
     work.pop_back();
@@ -283,7 +306,7 @@ SmallMachine::Value SmallMachine::readList(const sexpr::Arena& arena,
   Entry& e = entries_[id];
   e.addr = word;
   e.refCount = 1;  // the EP's reference
-  ++epRefs_[id];
+  epIncrement(id);
   Value value;
   value.kind = Value::Kind::kObject;
   value.id = id;
@@ -294,16 +317,12 @@ SmallMachine::Value SmallMachine::readList(const sexpr::Arena& arena,
 void SmallMachine::retain(Value value) {
   if (!value.isObject()) return;
   incRef(value.id);
-  ++epRefs_[value.id];
+  epIncrement(value.id);
 }
 
 void SmallMachine::release(Value value) {
   if (!value.isObject()) return;
-  const auto it = epRefs_.find(value.id);
-  if (it == epRefs_.end() || it->second == 0) {
-    throw SimulationError("SmallMachine: release without EP reference");
-  }
-  if (--it->second == 0) epRefs_.erase(it);
+  epDecrement(value.id);
   decRef(value.id);
   maybeCollectHeap();  // safepoint: any dropped structure is now garbage
 }
@@ -347,7 +366,7 @@ SmallMachine::Value SmallMachine::access(Value list, bool wantCar) {
       wantCar ? entry(list.id).carField : entry(list.id).cdrField;
   if (field.isObject()) {
     incRef(field.id);
-    ++epRefs_[field.id];
+    epIncrement(field.id);
   }
   return field;
 }
@@ -363,7 +382,7 @@ SmallMachine::Value SmallMachine::cons(Value head, Value tail) {
   if (tail.isObject()) incRef(tail.id);
   e.refCount += 1;  // the EP's reference to the new cell
   ++stats_.refOps;
-  ++epRefs_[id];
+  epIncrement(id);
   Value value;
   value.kind = Value::Kind::kObject;
   value.id = id;

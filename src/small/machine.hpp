@@ -20,7 +20,6 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "gc/gc.hpp"
@@ -201,13 +200,20 @@ class SmallMachine {
   void maybeCollectHeap();
 
   std::uint32_t externalRefs(std::uint32_t id) const;
+  void epIncrement(std::uint32_t id);
+  void epDecrement(std::uint32_t id);
 
   Config config_;
   std::unique_ptr<heap::HeapBackend> heap_;
   std::vector<Entry> entries_;
   std::vector<std::uint32_t> freeStack_;
   std::uint32_t inUse_ = 0;
-  std::unordered_map<std::uint32_t, std::uint32_t> epRefs_;
+  // Dense EP reference shadow, indexed by entry id (the table never
+  // grows): one load per lookup, and the non-zero id set keeps
+  // cycle-recovery root collection O(live roots) and deterministic.
+  std::vector<std::uint32_t> epRefs_;   ///< count per id
+  std::vector<std::uint32_t> epNonZero_;  ///< ids with count > 0 (unordered)
+  std::vector<std::uint32_t> epPos_;    ///< id -> index in epNonZero_
   std::deque<heap::HeapBackend::CellRef> freeQueue_;
   Stats stats_;
   gc::GcStats gcStats_;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/lru_cache.hpp"
+#include "cache/reference_lru.hpp"
 #include "support/rng.hpp"
 
 namespace small::cache {
@@ -86,6 +87,87 @@ TEST(LruCache, RejectsDegenerateConfigs) {
   EXPECT_THROW(LruCache(0), support::Error);
   EXPECT_THROW(LruCache(4, 0), support::Error);
 }
+
+TEST(LruCache, LineAliasingAtWideLines) {
+  // Distinct addresses that collapse onto the same line must behave as one
+  // residency unit: one miss fills them all, and re-touching any alias
+  // refreshes the whole line's recency.
+  LruCache cache(2, /*lineSize=*/8);
+  EXPECT_FALSE(cache.access(0));    // line 0 resident
+  EXPECT_FALSE(cache.access(8));    // line 1 resident
+  EXPECT_TRUE(cache.access(7));     // alias of line 0; line 0 now MRU
+  EXPECT_FALSE(cache.access(16));   // line 2 evicts line 1 (LRU)
+  EXPECT_TRUE(cache.access(3));     // line 0 survived
+  EXPECT_FALSE(cache.access(15));   // line 1 was the victim
+}
+
+TEST(LruCache, RepeatedHitsDoNotPerturbEvictionOrder) {
+  // Hammering the MRU line must not change which line is the victim.
+  LruCache cache(3);
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);            // recency: 3 2 1
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(cache.access(3));
+  cache.access(4);            // evicts 1
+  EXPECT_TRUE(cache.access(2));
+  EXPECT_TRUE(cache.access(3));
+  EXPECT_FALSE(cache.access(1));
+}
+
+TEST(LruCache, ResetMidStreamMatchesFreshCache) {
+  // A reset cache and a fresh cache must agree on the rest of the stream.
+  support::Rng rng(101);
+  LruCache resetted(8, 2);
+  for (int i = 0; i < 500; ++i) resetted.access(rng.below(64));
+  resetted.reset();
+  LruCache fresh(8, 2);
+  support::Rng replay(202);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = replay.below(64);
+    EXPECT_EQ(resetted.access(a), fresh.access(a));
+  }
+  EXPECT_EQ(resetted.hits(), fresh.hits());
+  EXPECT_EQ(resetted.residentLines(), fresh.residentLines());
+}
+
+/// Randomized differential harness: the flat cache must agree with the
+/// retained node-based original access by access — hit/miss, counters,
+/// and residency — across capacities, line sizes, and mid-stream resets.
+class LruDifferential
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint32_t>> {
+};
+
+TEST_P(LruDifferential, FlatMatchesReferenceAccessByAccess) {
+  const auto [capacity, lineSize] = GetParam();
+  LruCache flat(capacity, lineSize);
+  ReferenceLruCache reference(capacity, lineSize);
+  support::Rng rng(911 + capacity * 31 + lineSize);
+  const std::uint64_t addressSpan = capacity * lineSize * 4;
+  for (int i = 0; i < 30000; ++i) {
+    if (rng.chance(0.0005)) {  // occasional mid-stream reset
+      flat.reset();
+      reference.reset();
+    }
+    // Mix of uniform traffic and a hot set to exercise both hit paths.
+    const std::uint64_t a = rng.chance(0.3)
+                                ? rng.below(std::max<std::uint64_t>(
+                                      addressSpan / 16, 1))
+                                : rng.below(addressSpan);
+    ASSERT_EQ(flat.access(a), reference.access(a)) << "at access " << i;
+    ASSERT_EQ(flat.hits(), reference.hits());
+    ASSERT_EQ(flat.misses(), reference.misses());
+    ASSERT_EQ(flat.residentLines(), reference.residentLines());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LruDifferential,
+    ::testing::Values(std::pair<std::uint64_t, std::uint32_t>{1, 1},
+                      std::pair<std::uint64_t, std::uint32_t>{2, 16},
+                      std::pair<std::uint64_t, std::uint32_t>{7, 3},
+                      std::pair<std::uint64_t, std::uint32_t>{64, 1},
+                      std::pair<std::uint64_t, std::uint32_t>{64, 8},
+                      std::pair<std::uint64_t, std::uint32_t>{512, 4}));
 
 class LruMattsonEquivalence : public ::testing::TestWithParam<std::uint64_t> {
 };

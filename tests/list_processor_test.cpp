@@ -3,6 +3,9 @@
 // reference-count optimization (§5.2.4).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "small/list_processor.hpp"
 
 namespace small::core {
@@ -304,6 +307,72 @@ TEST_F(LpTest, HybridPolicyEscalates) {
   // No assertion beyond surviving with consistent stats: the escalation
   // path ran if pseudo overflows occurred.
   SUCCEED();
+}
+
+TEST_F(LpTest, ExternalRootsAreAscendingAndExact) {
+  SimConfig config = smallConfig(64);
+  ListProcessor lp(config, rng);
+  // Create a handful of bindings, then drop some so the non-zero set's
+  // internal (swap-remove) order is well scrambled.
+  std::vector<EntryId> ids;
+  for (int i = 0; i < 12; ++i) ids.push_back(lp.readList(std::nullopt, 1, 0));
+  lp.unbind(ids[1]);
+  lp.unbind(ids[4]);
+  lp.unbind(ids[10]);
+  lp.bind(ids[7]);  // a second reference must not duplicate the root
+  const std::vector<EntryId> roots = lp.externalRoots();
+  std::vector<EntryId> expected;
+  for (int i = 0; i < 12; ++i) {
+    if (i != 1 && i != 4 && i != 10) expected.push_back(ids[i]);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(roots, expected);
+  EXPECT_TRUE(std::is_sorted(roots.begin(), roots.end()));
+}
+
+// Shared workload for the cross-table-size recovery regression: builds
+// `cycles` unreachable two-entry cycles plus one live root, then runs
+// cycle recovery directly.
+struct RecoveryOutcome {
+  std::uint64_t reclaimed = 0;
+  std::uint64_t frees = 0;
+  std::uint32_t inUseAfter = 0;
+};
+
+RecoveryOutcome runCyclicWorkload(std::uint32_t tableSize, support::Rng& rng) {
+  SimConfig config;
+  config.tableSize = tableSize;
+  ListProcessor lp(config, rng);
+  const EntryId keep = lp.readList(std::nullopt, 2, 1);
+  for (int i = 0; i < 10; ++i) {
+    const EntryId a = lp.readList(std::nullopt, 1, 0);
+    const EntryId c = lp.cons(a, a);
+    lp.rplaca(c, c);  // self-cycle through the car field
+    lp.unbind(c);
+    lp.unbind(a);     // {a, c} is now an unreachable cycle
+  }
+  RecoveryOutcome out;
+  out.reclaimed = lp.lpt().recoverCycles(lp.externalRoots());
+  out.frees = lp.lpt().stats().frees;
+  out.inUseAfter = lp.lpt().inUseCount();
+  EXPECT_TRUE(lp.lpt().entry(keep).inUse);  // the root must survive
+  return out;
+}
+
+TEST_F(LpTest, RecoveryStatsArePinnedAcrossTableSizes) {
+  // Before the dense-shadow rewrite, root order came from an unordered_map
+  // walk, so it silently depended on table size and hashing. The recovery
+  // outcome is now pinned: 10 two-entry cycles reclaimed, identical at
+  // both sizes.
+  support::Rng rngA{1234};
+  support::Rng rngB{1234};
+  const RecoveryOutcome small = runCyclicWorkload(64, rngA);
+  const RecoveryOutcome large = runCyclicWorkload(512, rngB);
+  EXPECT_EQ(small.reclaimed, 20u);
+  EXPECT_EQ(large.reclaimed, 20u);
+  EXPECT_EQ(small.frees, large.frees);
+  EXPECT_EQ(small.inUseAfter, large.inUseAfter);
+  EXPECT_EQ(small.inUseAfter, 1u);  // only the kept root remains
 }
 
 }  // namespace

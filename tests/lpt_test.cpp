@@ -2,6 +2,8 @@
 // lazy vs recursive reclamation (§4.3.2.1), and cycle recovery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "small/lpt.hpp"
 
 namespace small::core {
@@ -300,6 +302,56 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(ReclaimPolicy::kLazy,
                                          ReclaimPolicy::kRecursive),
                        ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(LptIteration, ForEachInUseVisitsAscendingLiveIds) {
+  // Table size 20 straddles flag-word boundaries (padded to 24), so the
+  // scan exercises both the byte-wise head and the word-skipping body.
+  Lpt lpt(20, ReclaimPolicy::kLazy);
+  std::vector<EntryId> held;
+  for (int i = 0; i < 20; ++i) {
+    const EntryId id = lpt.allocate();
+    lpt.incRef(id);
+    held.push_back(id);
+  }
+  // Free a scattered subset, including both ends and a full word's worth.
+  for (const EntryId id : {0u, 1u, 5u, 8u, 9u, 10u, 11u, 12u, 13u, 14u,
+                           15u, 19u}) {
+    lpt.decRef(id);
+  }
+  std::vector<EntryId> visited;
+  lpt.forEachInUse([&](EntryId id) { visited.push_back(id); });
+  EXPECT_EQ(visited, (std::vector<EntryId>{2, 3, 4, 6, 7, 16, 17, 18}));
+
+  std::vector<EntryId> unordered;
+  lpt.forEachInUseUnordered([&](EntryId id) { unordered.push_back(id); });
+  std::sort(unordered.begin(), unordered.end());
+  EXPECT_EQ(unordered, visited);
+}
+
+TEST(LptIteration, EmptyAndFullTables) {
+  Lpt lpt(9, ReclaimPolicy::kLazy);
+  EXPECT_EQ(lpt.firstInUse(), kNoEntry);
+  std::vector<EntryId> all;
+  for (int i = 0; i < 9; ++i) lpt.incRef(lpt.allocate());
+  lpt.forEachInUse([&](EntryId id) { all.push_back(id); });
+  EXPECT_EQ(all, (std::vector<EntryId>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(lpt.nextInUse(9), kNoEntry);
+  EXPECT_EQ(lpt.nextInUse(kNoEntry - 1), kNoEntry);
+}
+
+TEST(LptIteration, NextInUseSkipsFreedEntriesMidSweep) {
+  // forEachInUse re-reads the flag byte, so entries freed by the callback
+  // after the cursor are simply not visited.
+  Lpt lpt(16, ReclaimPolicy::kLazy);
+  for (int i = 0; i < 16; ++i) lpt.incRef(lpt.allocate());
+  std::vector<EntryId> visited;
+  lpt.forEachInUse([&](EntryId id) {
+    visited.push_back(id);
+    if (id % 3 == 0 && id + 1 < 16) lpt.decRef(id + 1);  // free the next id
+  });
+  EXPECT_EQ(visited,
+            (std::vector<EntryId>{0, 2, 3, 5, 6, 8, 9, 11, 12, 14, 15}));
+}
 
 }  // namespace
 }  // namespace small::core

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Byte-identical differential gate for the 21 table/figure bench texts.
+#
+# Runs every table/figure bench from BUILD_DIR (default: build) with its
+# golden arguments and diffs stdout against bench/goldens/<name>.txt.
+# Any drift fails the gate; a refactor that is supposed to be behavior-
+# preserving must leave all 21 texts untouched. Benches whose numbers
+# legitimately change (a bugfix altering modeled behavior) must regenerate
+# their goldens in the same commit:
+#
+#   tools/check_bench_goldens.sh --update   # rewrite goldens from HEAD
+#
+# The micro suites are intentionally not gated: their output contains
+# wall-clock timings.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+goldens="$repo/bench/goldens"
+update=0
+[[ "${1:-}" == "--update" ]] && update=1
+
+# bench binary -> golden stem + extra args. table5_4 contributes two
+# texts: the default table and the --sweep variant.
+runs=(
+  "clark_linearization|clark_linearization|"
+  "fig3_1_primitive_frequencies|fig3_1_primitive_frequencies|"
+  "fig3_4_6_list_sets|fig3_4_6_list_sets|"
+  "fig3_7_lru_stack|fig3_7_lru_stack|"
+  "fig3_8_13_sensitivity|fig3_8_13_sensitivity|"
+  "fig4_10_13_timing|fig4_10_13_timing|"
+  "fig5_1_2_lpt_size|fig5_1_2_lpt_size|"
+  "fig5_3_compression_policy|fig5_3_compression_policy|"
+  "fig5_5_line_size|fig5_5_line_size|"
+  "gc_comparison|gc_comparison|"
+  "heap_backend_comparison|heap_backend_comparison|"
+  "m3l_truncated_counts|m3l_truncated_counts|"
+  "multilisp_weights|multilisp_weights|"
+  "table3_1_np|table3_1_np|"
+  "table3_2_chaining|table3_2_chaining|"
+  "table5_1_trace_content|table5_1_trace_content|"
+  "table5_2_3_lpt_activity|table5_2_3_lpt_activity|"
+  "table5_4_lpt_vs_cache|table5_4_lpt_vs_cache|"
+  "table5_4_lpt_vs_cache|table5_4_lpt_vs_cache.sweep|--sweep"
+  "table5_5_param_sensitivity|table5_5_param_sensitivity|"
+  "traversal_hit_rate|traversal_hit_rate|"
+)
+
+fail=0
+for spec in "${runs[@]}"; do
+  IFS='|' read -r bin stem args <<<"$spec"
+  exe="$build/bench/$bin"
+  if [[ ! -x "$exe" ]]; then
+    echo "MISSING BINARY: $exe" >&2
+    fail=1
+    continue
+  fi
+  out="$("$exe" $args)"
+  golden="$goldens/$stem.txt"
+  if [[ "$update" == 1 ]]; then
+    printf '%s\n' "$out" >"$golden"
+    echo "updated $stem"
+    continue
+  fi
+  if ! diff -u "$golden" <(printf '%s\n' "$out") >/tmp/golden_diff.$$ 2>&1; then
+    echo "GOLDEN DRIFT: $stem" >&2
+    cat /tmp/golden_diff.$$ >&2
+    fail=1
+  else
+    echo "ok $stem"
+  fi
+  rm -f /tmp/golden_diff.$$
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "bench golden gate FAILED" >&2
+  exit 1
+fi
+echo "bench golden gate passed: ${#runs[@]} texts byte-identical"
