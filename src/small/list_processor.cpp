@@ -93,7 +93,6 @@ std::vector<EntryId> ListProcessor::externalRoots() const {
 
 bool ListProcessor::ensureFree(std::uint32_t needed) {
   while (lpt_.size() - lpt_.inUseCount() < needed) {
-    ++opCounter_;
     bool all = config_.compression == CompressionPolicy::kCompressAll;
     if (config_.compression == CompressionPolicy::kHybrid) {
       if (opCounter_ - windowStart_ > config_.hybridWindow) {
@@ -249,6 +248,7 @@ bool ListProcessor::split(EntryId id) {
 }
 
 AccessResult ListProcessor::access(EntryId id, bool wantCar) {
+  notePrimitive();
   const LptEntry& slot = lpt_.entry(id);
   if (!slot.inUse) throw SimulationError("ListProcessor: access free entry");
   if (slot.isAtom) throw SimulationError("ListProcessor: car/cdr of atom");
@@ -279,6 +279,7 @@ AccessResult ListProcessor::access(EntryId id, bool wantCar) {
 }
 
 void ListProcessor::modify(EntryId target, EntryId value, bool isCar) {
+  notePrimitive();
   {
     const LptEntry& slot = lpt_.entry(target);
     if (slot.isAtom) {
@@ -304,6 +305,7 @@ void ListProcessor::modify(EntryId target, EntryId value, bool isCar) {
 }
 
 EntryId ListProcessor::cons(EntryId head, EntryId tail) {
+  notePrimitive();
   const EntryId id = allocateEntry();
   if (id == kNoEntry) {
     ++stats_.overflowModeOps;
@@ -327,6 +329,7 @@ EntryId ListProcessor::cons(EntryId head, EntryId tail) {
 
 EntryId ListProcessor::readList(std::optional<EntryId> previous,
                                 std::uint32_t n, std::uint32_t p) {
+  notePrimitive();
   if (previous) unbind(*previous);
   const EntryId id = allocateEntry();
   if (id == kNoEntry) {
@@ -347,6 +350,7 @@ EntryId ListProcessor::readList(std::optional<EntryId> previous,
 }
 
 EntryId ListProcessor::copy(EntryId id) {
+  notePrimitive();
   const LptEntry source = lpt_.entry(id);
   const EntryId fresh = allocateEntry();
   if (fresh == kNoEntry) {

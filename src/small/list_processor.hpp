@@ -119,6 +119,11 @@ class ListProcessor {
   AccessResult access(EntryId id, bool wantCar);
   void modify(EntryId target, EntryId value, bool isCar);
 
+  /// Advance the hybrid policy's notion of time. §4.3.3.2 windows are
+  /// measured in elapsed primitive operations, so every primitive entry
+  /// point ticks this — not just overflow attempts.
+  void notePrimitive() { ++opCounter_; }
+
   /// Run the overflow ladder (compress -> cycle-recover) until at least
   /// `needed` entries are free; false means bypass mode is unavoidable.
   bool ensureFree(std::uint32_t needed);
