@@ -155,6 +155,43 @@ TEST(RunningStats, EmptyIsSafe) {
   EXPECT_EQ(stats.confidenceHalfWidth95(), 0.0);
 }
 
+TEST(RunningStats, ConfidenceIntervalUsesStudentTForSmallSamples) {
+  // {1,2,3,4}: mean 2.5, sample variance 5/3, s/sqrt(4) = 0.6455.
+  // With df = 3 the two-sided 95% critical value is 3.182, so the
+  // half-width is 3.182 * 0.6455 = 2.0540 — the z approximation (1.96)
+  // would claim a 35% tighter interval than the data supports.
+  RunningStats four;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) four.add(x);
+  EXPECT_NEAR(four.confidenceHalfWidth95(), 2.0540, 1e-3);
+
+  // n = 2, the most extreme case: s = sqrt(2)/2 per-mean error with
+  // t(df=1) = 12.706 -> 12.706 * 1 / sqrt(2) * ... : values {0, 2} have
+  // s = sqrt(2), half-width = 12.706 * sqrt(2) / sqrt(2) = 12.706.
+  RunningStats two;
+  two.add(0.0);
+  two.add(2.0);
+  EXPECT_NEAR(two.confidenceHalfWidth95(), 12.706, 1e-3);
+}
+
+TEST(RunningStats, ConfidenceIntervalFallsBackToNormalAtThirty) {
+  // At n >= 30 the normal approximation applies: 30 values with known
+  // stddev. Use 15 pairs of (0, 2): mean 1, sample variance 30/29.
+  RunningStats stats;
+  for (int i = 0; i < 15; ++i) {
+    stats.add(0.0);
+    stats.add(2.0);
+  }
+  ASSERT_EQ(stats.count(), 30u);
+  const double expected = 1.96 * std::sqrt(30.0 / 29.0) / std::sqrt(30.0);
+  EXPECT_NEAR(stats.confidenceHalfWidth95(), expected, 1e-9);
+
+  // One sample fewer uses t(df=28) = 2.048, strictly wider than z.
+  RunningStats under;
+  for (int i = 0; i < 29; ++i) under.add(i % 2 == 0 ? 0.0 : 2.0);
+  const double s29 = under.stddev() / std::sqrt(29.0);
+  EXPECT_NEAR(under.confidenceHalfWidth95(), 2.048 * s29, 1e-9);
+}
+
 TEST(Histogram, CumulativeFractionAndQuantile) {
   Histogram h;
   h.add(1, 50);
