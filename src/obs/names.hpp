@@ -91,4 +91,29 @@ inline constexpr char kVmMaxStackDepth[] = "vm.stack_depth.max";
 // --- parallel sweep harness ---
 inline constexpr char kSweepTasks[] = "sweep.tasks";
 
+// --- simulator throughput (micro-suite only) ---
+// Wall-clock-derived rates, recorded as maxima (best observed rate).
+// These are published by the micro suites' registries, never by the
+// table/figure benches: wall-clock values are not deterministic, and the
+// sweep benches' `--metrics-out` must stay byte-identical at any
+// `--jobs`. The `..._node_*` / `..._naive_*` / `..._map_*` variants are
+// the retained node-based baselines measured in the same run, so each
+// BENCH_<date> summary carries its own before/after pair.
+inline constexpr char kSimPrimitivesPerSec[] =
+    "sim.throughput.primitives_per_sec";
+inline constexpr char kSimCellsTouchedPerSec[] =
+    "sim.throughput.cells_touched_per_sec";
+inline constexpr char kSimLruFlatAccessesPerSec[] =
+    "sim.throughput.lru_flat_accesses_per_sec";
+inline constexpr char kSimLruNodeAccessesPerSec[] =
+    "sim.throughput.lru_node_accesses_per_sec";
+inline constexpr char kSimScanFlatEntriesPerSec[] =
+    "sim.throughput.inuse_scan_flat_entries_per_sec";
+inline constexpr char kSimScanNaiveEntriesPerSec[] =
+    "sim.throughput.inuse_scan_naive_entries_per_sec";
+inline constexpr char kSimEpDenseOpsPerSec[] =
+    "sim.throughput.ep_shadow_dense_ops_per_sec";
+inline constexpr char kSimEpMapOpsPerSec[] =
+    "sim.throughput.ep_shadow_map_ops_per_sec";
+
 }  // namespace small::obs::names

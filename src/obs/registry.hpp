@@ -92,6 +92,9 @@ class Registry {
   /// Read accessors: 0 / empty when the metric does not exist.
   std::uint64_t counterValue(const std::string& name) const;
   std::uint64_t maxValue(const std::string& name) const;
+  /// Names of all max metrics, sorted (the map order). Lets callers
+  /// promote families of maxima (e.g. sim.throughput.*) into figures.
+  std::vector<std::string> maxNames() const;
   double gaugeValue(const std::string& name) const;
   const support::Histogram* findHistogram(const std::string& name) const;
 
