@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <initializer_list>
 #include <string>
 #include <utility>
@@ -22,11 +23,25 @@
 #include "small/simulator.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "trace/io.hpp"
 #include "trace/preprocess.hpp"
 #include "trace/synthetic.hpp"
 #include "workloads/driver.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace small::benchutil {
+
+/// How a bench's prepared workload traces reach the experiment: handed
+/// over in memory (the default), or round-tripped through an on-disk
+/// file in the given trace::FileFormat first (`--trace-format
+/// {text,binary}`). The round trip is lossless, so every golden text is
+/// byte-identical in all three modes — which is exactly what
+/// tools/check_bench_goldens.sh proves when driven with
+/// TRACE_FORMAT=binary.
+enum class TraceRoundTrip { kDirect, kText, kBinary };
 
 /// A flag a bench declares: its literal name and whether it consumes the
 /// following argument as a value.
@@ -87,6 +102,22 @@ class BenchRun {
         tracePath_ = takeValue("--trace-out");
         continue;
       }
+      if (std::strcmp(arg, "--trace-format") == 0) {
+        const char* format = takeValue("--trace-format");
+        if (std::strcmp(format, "text") == 0) {
+          roundTrip_ = TraceRoundTrip::kText;
+        } else if (std::strcmp(format, "binary") == 0) {
+          roundTrip_ = TraceRoundTrip::kBinary;
+        } else {
+          std::fprintf(stderr,
+                       "%s: --trace-format must be 'text' or 'binary' "
+                       "(got '%s')\n",
+                       name_.c_str(), format);
+          usage(stderr);
+          std::exit(2);
+        }
+        continue;
+      }
       const FlagSpec* spec = findSpec(arg);
       if (spec == nullptr) {
         std::fprintf(stderr, "%s: unrecognized argument '%s'\n",
@@ -131,6 +162,11 @@ class BenchRun {
   /// Worker threads for the deterministic parallel runner (`--jobs N`,
   /// default hardware concurrency; `--jobs 1` is bit-for-bit serial).
   int jobs() const { return jobs_; }
+
+  /// How prepared traces reach the experiment (`--trace-format`). Like
+  /// --jobs, deliberately NOT recorded in the report config: output must
+  /// be byte-identical in every mode.
+  TraceRoundTrip traceRoundTrip() const { return roundTrip_; }
 
   /// True when `--metrics-out` or `--trace-out` was given — gates span
   /// sinks and shard allocation so undecorated runs pay nothing.
@@ -188,7 +224,7 @@ class BenchRun {
   void usage(std::FILE* out) const {
     std::fprintf(out,
                  "usage: %s [--jobs N] [--metrics-out FILE] "
-                 "[--trace-out FILE]",
+                 "[--trace-out FILE] [--trace-format text|binary]",
                  name_.c_str());
     for (const FlagSpec& spec : flags_) {
       std::fprintf(out, spec.takesValue ? " [%s VALUE]" : " [%s]",
@@ -204,6 +240,7 @@ class BenchRun {
   std::string metricsPath_;
   std::string tracePath_;
   int jobs_ = support::hardwareJobs();
+  TraceRoundTrip roundTrip_ = TraceRoundTrip::kDirect;
   obs::BenchReport report_;
   obs::TraceSink sink_;
   std::vector<const obs::TraceSink*> extraSinks_;
@@ -230,6 +267,34 @@ struct NamedTrace {
   trace::Trace raw;
 };
 
+/// Round-trip every trace through an on-disk file in the requested
+/// format (no-op for kDirect): save, load back via the sniffing
+/// trace::loadFile (so kBinary exercises the mmap + batched-decode
+/// path end to end), delete the file. Lossless by construction — the
+/// benches' outputs must not change, which the golden gate enforces.
+inline void roundTripTraces(std::vector<NamedTrace>& traces,
+                            TraceRoundTrip mode, const std::string& tag) {
+  if (mode == TraceRoundTrip::kDirect) return;
+  const trace::FileFormat format = mode == TraceRoundTrip::kBinary
+                                       ? trace::FileFormat::kBinary
+                                       : trace::FileFormat::kText;
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const std::filesystem::path file =
+        dir / ("small_" + tag + "_" + std::to_string(pid) + "_" +
+               std::to_string(i) + ".trace");
+    trace::saveFile(traces[i].raw, file.string(), format);
+    traces[i].raw = trace::loadFile(file.string());
+    std::filesystem::remove(file);
+  }
+}
+
 /// A workload trace generated and preprocessed exactly once, shared
 /// read-only by every simulation task fanned out over it. Generation stays
 /// serial (the synthetic profiles share one generator stream); the
@@ -254,8 +319,9 @@ inline std::vector<PreparedTrace> prepareTraces(
 }
 
 /// The Chapter 3 suite (five workloads at thesis §3.3.1 lengths).
-inline std::vector<NamedTrace> chapter3Traces(bool fromWorkloads,
-                                              double scale = 1.0) {
+inline std::vector<NamedTrace> chapter3Traces(
+    bool fromWorkloads, double scale = 1.0,
+    TraceRoundTrip roundTrip = TraceRoundTrip::kDirect) {
   std::vector<NamedTrace> traces;
   if (fromWorkloads) {
     for (const workloads::Workload w : workloads::kAllWorkloads) {
@@ -264,20 +330,23 @@ inline std::vector<NamedTrace> chapter3Traces(bool fromWorkloads,
       traces.push_back({workloads::workloadName(w),
                         workloads::runWorkload(w, options)});
     }
-    return traces;
+  } else {
+    support::Rng rng(2026);
+    for (const auto& profile :
+         {trace::slangProfile(scale), trace::plagenProfile(scale),
+          trace::lyraProfile(scale), trace::editorProfile(scale),
+          trace::pearlProfile(scale)}) {
+      traces.push_back({profile.name, trace::generate(profile, rng)});
+    }
   }
-  support::Rng rng(2026);
-  for (const auto& profile :
-       {trace::slangProfile(scale), trace::plagenProfile(scale),
-        trace::lyraProfile(scale), trace::editorProfile(scale),
-        trace::pearlProfile(scale)}) {
-    traces.push_back({profile.name, trace::generate(profile, rng)});
-  }
+  roundTripTraces(traces, roundTrip, "ch3");
   return traces;
 }
 
 /// The Chapter 5 simulation suite (four workloads at Table 5.1 lengths).
-inline std::vector<NamedTrace> chapter5Traces(bool fromWorkloads) {
+inline std::vector<NamedTrace> chapter5Traces(
+    bool fromWorkloads,
+    TraceRoundTrip roundTrip = TraceRoundTrip::kDirect) {
   std::vector<NamedTrace> traces;
   if (fromWorkloads) {
     for (const workloads::Workload w :
@@ -286,28 +355,31 @@ inline std::vector<NamedTrace> chapter5Traces(bool fromWorkloads) {
       traces.push_back(
           {workloads::workloadName(w), workloads::runWorkload(w)});
     }
-    return traces;
+  } else {
+    support::Rng rng(2026);
+    for (const auto& profile :
+         {trace::lyraSimProfile(), trace::plagenSimProfile(),
+          trace::slangSimProfile(), trace::editorSimProfile()}) {
+      traces.push_back({profile.name, trace::generate(profile, rng)});
+    }
   }
-  support::Rng rng(2026);
-  for (const auto& profile :
-       {trace::lyraSimProfile(), trace::plagenSimProfile(),
-        trace::slangSimProfile(), trace::editorSimProfile()}) {
-    traces.push_back({profile.name, trace::generate(profile, rng)});
-  }
+  roundTripTraces(traces, roundTrip, "ch5");
   return traces;
 }
 
 /// chapter3Traces + shared one-time preprocessing.
-inline std::vector<PreparedTrace> prepareChapter3(bool fromWorkloads,
-                                                  int jobs,
-                                                  double scale = 1.0) {
-  return prepareTraces(chapter3Traces(fromWorkloads, scale), jobs);
+inline std::vector<PreparedTrace> prepareChapter3(
+    bool fromWorkloads, int jobs, double scale = 1.0,
+    TraceRoundTrip roundTrip = TraceRoundTrip::kDirect) {
+  return prepareTraces(chapter3Traces(fromWorkloads, scale, roundTrip),
+                       jobs);
 }
 
 /// chapter5Traces + shared one-time preprocessing.
-inline std::vector<PreparedTrace> prepareChapter5(bool fromWorkloads,
-                                                  int jobs) {
-  return prepareTraces(chapter5Traces(fromWorkloads), jobs);
+inline std::vector<PreparedTrace> prepareChapter5(
+    bool fromWorkloads, int jobs,
+    TraceRoundTrip roundTrip = TraceRoundTrip::kDirect) {
+  return prepareTraces(chapter5Traces(fromWorkloads, roundTrip), jobs);
 }
 
 }  // namespace small::benchutil

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   support::TextTable table(
       {"Benchmark", "car", "cdr", "cons", "rplaca+rplacd", "other"});
   for (const auto& [name, raw] :
-       benchutil::chapter3Traces(fromWorkloads)) {
+       benchutil::chapter3Traces(
+           fromWorkloads, 1.0, bench.traceRoundTrip())) {
     const analysis::PrimitiveCensus census = analysis::censusPrimitives(raw);
     const double car = census.fraction(trace::Primitive::kCar);
     const double cdr = census.fraction(trace::Primitive::kCdr);

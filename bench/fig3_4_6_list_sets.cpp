@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
 
   std::vector<support::Series> fig34;
   for (const auto& [name, raw] :
-       benchutil::chapter3Traces(fromWorkloads)) {
+       benchutil::chapter3Traces(
+           fromWorkloads, 1.0, bench.traceRoundTrip())) {
     const auto pre = trace::preprocess(raw);
     const analysis::ListSetPartition partition =
         analysis::partitionListSets(pre);

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   const bool fromWorkloads = bench.has("--workload");
   const int jobs = bench.jobs();
 
-  const auto traces = benchutil::prepareChapter3(fromWorkloads, jobs);
+  const auto traces = benchutil::prepareChapter3(
+      fromWorkloads, jobs, 1.0, bench.traceRoundTrip());
   const auto cdfs = support::runSweep<support::Series>(
       traces.size(), jobs, [&](std::size_t i) {
         const analysis::ListSetPartition partition =

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
                             {{"--workload"}});
   const bool fromWorkloads = bench.has("--workload");
   const int jobs = bench.jobs();
-  const auto traces = benchutil::prepareChapter3(fromWorkloads, jobs);
+  const auto traces = benchutil::prepareChapter3(
+      fromWorkloads, jobs, 1.0, bench.traceRoundTrip());
 
   // --- Figs 3.8-3.10: sweep the fractional constraint on Slang ---
   std::puts("Figs 3.8-3.10: varying separation constraint (Slang trace)");

@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   std::puts("§4.3.2.5: whole-run concurrency (trace-driven op counts)");
   support::TextTable table({"Trace", "EP busy", "EP idle", "LP busy",
                             "EP util", "LP util", "speedup vs Class M"});
-  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
+  for (const auto& [name, raw] : benchutil::chapter5Traces(
+           fromWorkloads, bench.traceRoundTrip())) {
     const auto pre = trace::preprocess(raw);
     core::SimConfig config;
     config.tableSize = 4096;

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   const bool quick = bench.has("--quick");
   const int jobs = bench.jobs();
 
-  const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
+  const auto pres = benchutil::prepareChapter5(
+      fromWorkloads, jobs, bench.traceRoundTrip());
 
   // --- Fig 5.1: peak usage vs table size, one seed ---
   std::puts("Fig 5.1: peak LPT usage vs table size (Compress-One)");

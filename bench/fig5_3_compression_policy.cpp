@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
                             "avg occ (All)", "avg occ (Hybrid)",
                             "pseudo ovfl (One)", "pseudo ovfl (All)"});
 
-  const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
+  const auto pres = benchutil::prepareChapter5(
+      fromWorkloads, jobs, bench.traceRoundTrip());
 
   const std::vector<std::uint32_t> knees =
       support::runSweep<std::uint32_t>(pres, jobs, [](const auto& named,

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
   support::TextTable table(
       {"Trace", "table", "L=1", "L=2", "L=4", "L=8", "L=16"});
 
-  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
+  for (const auto& [name, raw] : benchutil::chapter5Traces(
+           fromWorkloads, bench.traceRoundTrip())) {
     if (name == "PlaGen") continue;  // the paper plots Lyra/Slang/Editor
     const auto pre = trace::preprocess(raw);
     core::SimConfig big;

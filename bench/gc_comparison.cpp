@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
   const int jobs = bench.jobs();
 
   const auto traces =
-      benchutil::prepareChapter3(fromWorkloads, jobs, quick ? 0.25 : 1.0);
+      benchutil::prepareChapter3(fromWorkloads, jobs, quick ? 0.25 : 1.0,
+                                 bench.traceRoundTrip());
 
   gc::ScriptOptions scriptOptions;
   if (quick) scriptOptions.cellBudget = 50000;

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
       {"Trace", "Backend", "Allocs", "Frees", "Touches", "Splits", "Merges",
        "Peak cells", "LP busy", "Speedup"});
 
-  const auto traces = benchutil::prepareChapter3(fromWorkloads, jobs);
+  const auto traces = benchutil::prepareChapter3(
+      fromWorkloads, jobs, 1.0, bench.traceRoundTrip());
   constexpr std::size_t kBackendCount =
       std::size(heap::kAllHeapBackendKinds);
 

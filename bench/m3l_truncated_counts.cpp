@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   support::TextTable table({"Trace", "mode", "1 bit", "2 bits", "3 bits",
                             "4 bits", "max count seen"});
 
-  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
+  for (const auto& [name, raw] : benchutil::chapter5Traces(
+           fromWorkloads, bench.traceRoundTrip())) {
     const auto pre = trace::preprocess(raw);
     for (const bool split : {false, true}) {
       core::SimConfig config;

@@ -1,0 +1,157 @@
+// Microbenchmarks for trace ingestion: the line-oriented text parser vs
+// the mmap'd SMTR binary format's batched zero-copy decoder, over the
+// same synthetic workload trace. Publishes
+// sim.throughput.trace_text_parse_primitives_per_sec and
+// sim.throughput.trace_binary_decode_primitives_per_sec so each
+// BENCH_<date> summary carries the before/after pair.
+//
+// SMALL_TRACE_MICRO_PRIMS scales the trace (default 200000 primitive
+// calls — sized for the CI smoke run). The headline binary-vs-text ratio
+// in BENCH files is measured at 10^7 primitives:
+//
+//   SMALL_TRACE_MICRO_PRIMS=10000000 ./bench/micro_trace
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "micro_util.hpp"
+
+#include "obs/names.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace small;
+
+void recordRate(const char* name, std::uint64_t ops,
+                std::chrono::steady_clock::time_point start) {
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (secs > 0.0 && ops > 0) {
+    benchutil::microRegistry().recordMax(
+        name, static_cast<std::uint64_t>(static_cast<double>(ops) / secs));
+  }
+}
+
+/// One shared trace, saved once in both formats; every benchmark reads
+/// the same files so the text/binary rates are directly comparable.
+struct TraceFiles {
+  std::string textPath;
+  std::string binaryPath;
+  std::uint64_t primitives = 0;
+
+  TraceFiles() {
+    std::uint64_t prims = 200000;
+    if (const char* env = std::getenv("SMALL_TRACE_MICRO_PRIMS")) {
+      const long long parsed = std::atoll(env);
+      if (parsed > 0) prims = static_cast<std::uint64_t>(parsed);
+    }
+    trace::WorkloadProfile profile = trace::slangProfile();
+    profile.name = "micro-trace";
+    profile.primitiveCalls = prims;
+    support::Rng rng(41);
+    const trace::Trace trace = trace::generate(profile, rng);
+    primitives = trace.content().primitiveCalls;
+    const std::string dir = std::filesystem::temp_directory_path().string();
+    textPath = dir + "/small_micro_trace.txt.trace";
+    binaryPath = dir + "/small_micro_trace.bin.trace";
+    trace::saveFile(trace, textPath, trace::FileFormat::kText);
+    trace::saveFile(trace, binaryPath, trace::FileFormat::kBinary);
+  }
+  ~TraceFiles() {
+    std::remove(textPath.c_str());
+    std::remove(binaryPath.c_str());
+  }
+};
+
+const TraceFiles& files() {
+  static TraceFiles instance;
+  return instance;
+}
+
+// Baseline: full text parse (getline + tokenize + name interning) into a
+// materialized Trace — what every bench paid before the binary format.
+void BM_TextParse(benchmark::State& state) {
+  const TraceFiles& f = files();
+  std::uint64_t prims = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    const trace::Trace trace = trace::loadFile(f.textPath);
+    prims += trace.content().primitiveCalls;
+    benchmark::DoNotOptimize(trace.events().size());
+  }
+  recordRate(obs::names::kSimTraceTextParsePrimitivesPerSec, prims, start);
+  state.counters["primitives"] = static_cast<double>(f.primitives);
+}
+BENCHMARK(BM_TextParse)->Unit(benchmark::kMillisecond);
+
+// The contender: mmap the file, decode records in batches into one reused
+// caller-owned buffer. No Trace is materialized and no bytes are copied
+// out of the mapping except the decoded fields themselves.
+void BM_BinaryBatchedDecode(benchmark::State& state) {
+  const TraceFiles& f = files();
+  std::uint64_t prims = 0;
+  std::vector<trace::Event> batch(
+      static_cast<std::size_t>(state.range(0)));
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    const trace::MappedTrace mapped = trace::MappedTrace::open(f.binaryPath);
+    trace::BinaryDecoder decoder(mapped);
+    std::uint64_t seen = 0;
+    for (std::size_t k = decoder.decodeBatch(batch); k != 0;
+         k = decoder.decodeBatch(batch)) {
+      for (std::size_t i = 0; i < k; ++i) {
+        seen += batch[i].kind == trace::EventKind::kPrimitive ? 1 : 0;
+      }
+    }
+    prims += seen;
+    benchmark::DoNotOptimize(seen);
+  }
+  if (state.range(0) == 1024) {
+    recordRate(obs::names::kSimTraceBinaryDecodePrimitivesPerSec, prims,
+               start);
+  }
+  state.counters["primitives"] = static_cast<double>(f.primitives);
+}
+BENCHMARK(BM_BinaryBatchedDecode)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// Binary load materialized into a Trace — isolates how much of the text
+// parser's cost is format, not materialization.
+void BM_BinaryToTrace(benchmark::State& state) {
+  const TraceFiles& f = files();
+  for (auto _ : state) {
+    const trace::Trace trace = trace::loadFile(f.binaryPath);
+    benchmark::DoNotOptimize(trace.events().size());
+  }
+}
+BENCHMARK(BM_BinaryToTrace)->Unit(benchmark::kMillisecond);
+
+// End-to-end streaming preprocess (§5.2.1) straight off the mapping —
+// the full replay-side ingestion path at O(batch) memory.
+void BM_BinaryPreprocessMapped(benchmark::State& state) {
+  const TraceFiles& f = files();
+  for (auto _ : state) {
+    const trace::MappedTrace mapped = trace::MappedTrace::open(f.binaryPath);
+    const trace::PreprocessedTrace pre = trace::preprocessMapped(mapped);
+    benchmark::DoNotOptimize(pre.events.size());
+  }
+}
+BENCHMARK(BM_BinaryPreprocessMapped)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SMALL_MICRO_MAIN("micro_trace")

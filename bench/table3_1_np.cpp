@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::pair<std::string, analysis::ShapeStatistics>> collected;
   for (const auto& [name, raw] :
-       benchutil::chapter3Traces(fromWorkloads)) {
+       benchutil::chapter3Traces(
+           fromWorkloads, 1.0, bench.traceRoundTrip())) {
     collected.emplace_back(name, analysis::censusShapes(raw));
   }
   for (const auto& [name, stats] : collected) {

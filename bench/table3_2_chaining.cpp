@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
                                  {"Pearl", 0.88, 1.00}};
 
   for (const auto& [name, raw] :
-       benchutil::chapter3Traces(fromWorkloads)) {
+       benchutil::chapter3Traces(
+           fromWorkloads, 1.0, bench.traceRoundTrip())) {
     const auto pre = trace::preprocess(raw);
     const analysis::ChainingStats stats = analysis::analyzeChaining(pre);
     std::string paperCar = "-";

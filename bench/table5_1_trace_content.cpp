@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
       {"Editor", "342", "1437", "29"},
   };
   bool malformed = false;
-  for (const auto& [name, raw] : benchutil::chapter5Traces(fromWorkloads)) {
+  for (const auto& [name, raw] : benchutil::chapter5Traces(
+           fromWorkloads, bench.traceRoundTrip())) {
     const trace::TraceContent content = raw.content();
     if (!content.balanced()) {
       std::fprintf(stderr,

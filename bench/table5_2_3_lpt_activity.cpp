@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   const bool fromWorkloads = bench.has("--workload");
   const int jobs = bench.jobs();
 
-  const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
+  const auto pres = benchutil::prepareChapter5(
+      fromWorkloads, jobs, bench.traceRoundTrip());
 
   // Three simulator variants per trace (lazy, recursive reclaim, split
   // reference counts), fanned out one task per (trace x variant) cell.

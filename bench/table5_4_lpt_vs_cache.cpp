@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   support::TextTable table({"Trace", "Size", "LPTMisses", "LPT HitRate",
                             "CacheMisses", "Cache HitRate"});
 
-  const auto pres = benchutil::prepareChapter5(fromWorkloads, jobs);
+  const auto pres = benchutil::prepareChapter5(
+      fromWorkloads, jobs, bench.traceRoundTrip());
 
   const std::vector<std::uint32_t> knees =
       support::runSweep<std::uint32_t>(pres, jobs, [](const auto& named,

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
   const bool fromWorkloads = bench.has("--workload");
   const int jobs = bench.jobs();
 
-  const auto traces = benchutil::prepareChapter5(fromWorkloads, jobs);
+  const auto traces = benchutil::prepareChapter5(
+      fromWorkloads, jobs, bench.traceRoundTrip());
   const benchutil::PreparedTrace* slang = &traces[0];
   for (const auto& named : traces) {
     if (named.name == "Slang") slang = &named;

@@ -115,5 +115,11 @@ inline constexpr char kSimEpDenseOpsPerSec[] =
     "sim.throughput.ep_shadow_dense_ops_per_sec";
 inline constexpr char kSimEpMapOpsPerSec[] =
     "sim.throughput.ep_shadow_map_ops_per_sec";
+// Trace ingestion: text-parse baseline vs mmap'd binary batched decode,
+// measured over the same workload trace by micro_trace.
+inline constexpr char kSimTraceTextParsePrimitivesPerSec[] =
+    "sim.throughput.trace_text_parse_primitives_per_sec";
+inline constexpr char kSimTraceBinaryDecodePrimitivesPerSec[] =
+    "sim.throughput.trace_binary_decode_primitives_per_sec";
 
 }  // namespace small::obs::names

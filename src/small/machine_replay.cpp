@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/binary.hpp"
+
 namespace small::core {
 
 using trace::EventKind;
@@ -33,30 +35,30 @@ sexpr::NodeRef synthesizeShape(sexpr::Arena& arena, std::uint32_t n,
   return list;
 }
 
+// Event-at-a-time replay core: the whole-trace and streaming entry
+// points below differ only in how they iterate events into feed().
 class Replayer {
  public:
-  Replayer(const ReplayConfig& config, const trace::PreprocessedTrace& trace)
-      : config_(config),
-        trace_(trace),
-        rng_(config.seed),
-        machine_(config.machine) {
+  explicit Replayer(const ReplayConfig& config)
+      : config_(config), rng_(config.seed), machine_(config.machine) {
     frames_.push_back(Frame{0, 0});  // top level
   }
 
-  ReplayResult run() {
-    for (const PreprocessedEvent& event : trace_.events) {
-      switch (event.kind) {
-        case EventKind::kFunctionEnter:
-          onFunctionEnter(event);
-          break;
-        case EventKind::kFunctionExit:
-          onFunctionExit();
-          break;
-        case EventKind::kPrimitive:
-          onPrimitive(event);
-          break;
-      }
+  void feed(const PreprocessedEvent& event) {
+    switch (event.kind) {
+      case EventKind::kFunctionEnter:
+        onFunctionEnter(event);
+        break;
+      case EventKind::kFunctionExit:
+        onFunctionExit();
+        break;
+      case EventKind::kPrimitive:
+        onPrimitive(event);
+        break;
     }
+  }
+
+  ReplayResult finish() {
     // Shutdown: unwind every frame and drain the free queue. Whatever
     // stays in the table is cyclic structure from rplac traffic.
     while (!stack_.empty()) {
@@ -288,7 +290,6 @@ class Replayer {
   }
 
   ReplayConfig config_;
-  const trace::PreprocessedTrace& trace_;
   support::Rng rng_;
   SmallMachine machine_;
   std::vector<Item> stack_;
@@ -301,8 +302,32 @@ class Replayer {
 
 ReplayResult replayTrace(const ReplayConfig& config,
                          const trace::PreprocessedTrace& trace) {
-  Replayer replayer(config, trace);
-  return replayer.run();
+  Replayer replayer(config);
+  for (const PreprocessedEvent& event : trace.events) {
+    replayer.feed(event);
+  }
+  return replayer.finish();
+}
+
+ReplayResult replayMappedTrace(const ReplayConfig& config,
+                               const trace::MappedTrace& mapped,
+                               std::size_t batchSize) {
+  Replayer replayer(config);
+  trace::Preprocessor preprocessor;
+  trace::BinaryDecoder decoder(mapped);
+  // Two caller-owned buffers, reused every batch: raw events decoded from
+  // the mapping, and their preprocessed forms. Steady state allocates
+  // nothing, independent of trace length.
+  std::vector<trace::Event> raw(std::max<std::size_t>(batchSize, 1));
+  std::vector<PreprocessedEvent> pre(raw.size());
+  for (std::size_t k = decoder.decodeBatch(raw); k != 0;
+       k = decoder.decodeBatch(raw)) {
+    for (std::size_t i = 0; i < k; ++i) {
+      preprocessor.process(raw[i], pre[i]);
+      replayer.feed(pre[i]);
+    }
+  }
+  return replayer.finish();
 }
 
 }  // namespace small::core

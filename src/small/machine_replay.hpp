@@ -72,4 +72,14 @@ struct ReplayResult {
 ReplayResult replayTrace(const ReplayConfig& config,
                          const trace::PreprocessedTrace& trace);
 
+/// Replay a mmap'd binary trace without ever materializing it: records
+/// are decoded in caller-sized batches (trace::BinaryDecoder), run
+/// through the incremental §5.2.1 preprocessor, and fed straight to the
+/// machine, so the resident footprint is O(batch) regardless of trace
+/// length and the whole loop stays in i-cache. Bit-identical to
+/// replayTrace(config, preprocess(mapped.toTrace())) for the same seed.
+ReplayResult replayMappedTrace(const ReplayConfig& config,
+                               const trace::MappedTrace& mapped,
+                               std::size_t batchSize = 1024);
+
 }  // namespace small::core

@@ -1,0 +1,433 @@
+#include "trace/binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SMALL_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace small::trace {
+
+using support::ParseError;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, std::size_t offset,
+                       const std::string& message) {
+  throw ParseError("trace file '" + path + "' offset " +
+                   std::to_string(offset) + ": " + message);
+}
+
+// --- varint (unsigned LEB128, u64) ---
+
+void appendVarint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+// Strict decode: at most 10 bytes, the 10th may only carry bit 63, and a
+// continuation bit past the end of the buffer is a truncation.
+std::uint64_t readVarint(const unsigned char* data, std::size_t size,
+                         std::size_t& offset, const std::string& path,
+                         const char* what) {
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (offset >= size) {
+      fail(path, offset, std::string("truncated ") + what +
+                             " (file ends inside a varint)");
+    }
+    const unsigned char byte = data[offset++];
+    if (shift == 63 && (byte & 0xFE) != 0) {
+      fail(path, offset - 1,
+           std::string("varint overrun in ") + what + " (value exceeds 64 bits)");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+  }
+  fail(path, offset, std::string("varint overrun in ") + what);
+}
+
+std::string readBlob(const unsigned char* data, std::size_t size,
+                     std::size_t& offset, const std::string& path,
+                     const char* what) {
+  const std::uint64_t length = readVarint(data, size, offset, path, what);
+  if (length > size - offset) {
+    fail(path, offset, std::string("truncated ") + what + " (" +
+                           std::to_string(length) + " bytes declared, " +
+                           std::to_string(size - offset) + " remain)");
+  }
+  std::string blob(reinterpret_cast<const char*>(data) + offset,
+                   static_cast<std::size_t>(length));
+  offset += static_cast<std::size_t>(length);
+  return blob;
+}
+
+void appendObject(std::string& out, const ObjectRecord& object) {
+  appendVarint(out, object.fingerprint);
+  appendVarint(out, (static_cast<std::uint64_t>(object.n) << 1) |
+                        (object.isList ? 1 : 0));
+  appendVarint(out, object.p);
+}
+
+ObjectRecord readObject(const unsigned char* data, std::size_t size,
+                        std::size_t& offset, const std::string& path) {
+  ObjectRecord object;
+  object.fingerprint =
+      readVarint(data, size, offset, path, "object fingerprint");
+  const std::uint64_t packed =
+      readVarint(data, size, offset, path, "object shape");
+  object.isList = (packed & 1) != 0;
+  const std::uint64_t n = packed >> 1;
+  if (n > 0xFFFFFFFFull) {
+    fail(path, offset, "object n field " + std::to_string(n) +
+                           " out of range (max 4294967295)");
+  }
+  object.n = static_cast<std::uint32_t>(n);
+  const std::uint64_t p =
+      readVarint(data, size, offset, path, "object p field");
+  if (p > 0xFFFFFFFFull) {
+    fail(path, offset, "object p field " + std::to_string(p) +
+                           " out of range (max 4294967295)");
+  }
+  object.p = static_cast<std::uint32_t>(p);
+  return object;
+}
+
+constexpr std::size_t kWriterFlushBytes = 1 << 20;
+
+}  // namespace
+
+bool looksBinary(const char* bytes, std::size_t size) {
+  return size >= sizeof(kBinaryTraceMagic) &&
+         std::memcmp(bytes, kBinaryTraceMagic, sizeof(kBinaryTraceMagic)) ==
+             0;
+}
+
+void saveBinary(const Trace& trace, std::ostream& out) {
+  std::string buffer;
+  buffer.reserve(kWriterFlushBytes + 64);
+  buffer.append(kBinaryTraceMagic, sizeof(kBinaryTraceMagic));
+  for (unsigned shift = 0; shift < 32; shift += 8) {
+    buffer.push_back(
+        static_cast<char>((kBinaryTraceVersion >> shift) & 0xFF));
+  }
+  appendVarint(buffer, trace.name.size());
+  buffer.append(trace.name);
+  const std::size_t functionCount = trace.functionCount();
+  appendVarint(buffer, functionCount);
+  for (std::size_t id = 0; id < functionCount; ++id) {
+    const std::string& name =
+        trace.functionName(static_cast<std::uint32_t>(id));
+    appendVarint(buffer, name.size());
+    buffer.append(name);
+  }
+  appendVarint(buffer, trace.events().size());
+
+  for (const Event& event : trace.events()) {
+    switch (event.kind) {
+      case EventKind::kPrimitive: {
+        const auto primitive = static_cast<unsigned>(event.primitive);
+        buffer.push_back(static_cast<char>(primitive << 2));
+        appendVarint(buffer, event.args.size());
+        appendObject(buffer, event.result);
+        for (const ObjectRecord& arg : event.args) {
+          appendObject(buffer, arg);
+        }
+        break;
+      }
+      case EventKind::kFunctionEnter:
+      case EventKind::kFunctionExit: {
+        if (event.functionId >= functionCount) {
+          throw support::Error(
+              "trace save: function id " + std::to_string(event.functionId) +
+              " out of range (name table holds " +
+              std::to_string(functionCount) + ")");
+        }
+        buffer.push_back(
+            event.kind == EventKind::kFunctionEnter ? '\x01' : '\x02');
+        appendVarint(buffer, event.functionId);
+        if (event.kind == EventKind::kFunctionEnter) {
+          appendVarint(buffer, event.argCount);
+        }
+        break;
+      }
+    }
+    if (buffer.size() >= kWriterFlushBytes) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+}
+
+void saveBinaryFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw support::Error("trace: cannot open for write: " + path);
+  }
+  saveBinary(trace, out);
+  out.flush();
+  if (!out) {
+    throw support::Error("trace: write failed: " + path);
+  }
+}
+
+MappedTrace MappedTrace::open(const std::string& path) {
+  MappedTrace trace;
+  trace.path_ = path;
+
+#if SMALL_TRACE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw support::Error("trace: cannot open for read: " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw support::Error("trace: cannot stat: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw support::Error("trace: empty trace file: " + path);
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    throw support::Error("trace: mmap failed: " + path);
+  }
+  trace.data_ = static_cast<const unsigned char*>(base);
+  trace.size_ = size;
+  trace.mapped_ = true;
+#else
+  // Portability fallback: read the whole file into an owned buffer. Same
+  // decoder, same validation — only the zero-copy property is lost.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw support::Error("trace: cannot open for read: " + path);
+  }
+  const std::streamsize size = in.tellg();
+  if (size <= 0) {
+    throw support::Error("trace: empty trace file: " + path);
+  }
+  auto* buffer = new unsigned char[static_cast<std::size_t>(size)];
+  in.seekg(0);
+  if (!in.read(reinterpret_cast<char*>(buffer), size)) {
+    delete[] buffer;
+    throw support::Error("trace: read failed: " + path);
+  }
+  trace.data_ = buffer;
+  trace.size_ = static_cast<std::size_t>(size);
+  trace.mapped_ = false;
+#endif
+
+  // --- header ---
+  const unsigned char* data = trace.data_;
+  const std::size_t total = trace.size_;
+  if (total < sizeof(kBinaryTraceMagic) + 4) {
+    fail(path, total, "truncated header (file smaller than magic+version)");
+  }
+  if (!looksBinary(reinterpret_cast<const char*>(data), total)) {
+    fail(path, 0, "bad magic (not an SMTR binary trace)");
+  }
+  std::size_t offset = sizeof(kBinaryTraceMagic);
+  std::uint32_t version = 0;
+  for (unsigned shift = 0; shift < 32; shift += 8) {
+    version |= static_cast<std::uint32_t>(data[offset++]) << shift;
+  }
+  if (version != kBinaryTraceVersion) {
+    fail(path, sizeof(kBinaryTraceMagic),
+         "unsupported version " + std::to_string(version) +
+             " (this build reads version " +
+             std::to_string(kBinaryTraceVersion) + ")");
+  }
+  trace.version_ = version;
+  trace.name_ = readBlob(data, total, offset, path, "trace name");
+  const std::uint64_t functionCount =
+      readVarint(data, total, offset, path, "function-name count");
+  // Each table entry occupies at least one byte (its length varint), so a
+  // count exceeding the remaining bytes is structurally impossible.
+  if (functionCount > total - offset) {
+    fail(path, offset, "function-name count " +
+                           std::to_string(functionCount) +
+                           " exceeds remaining file bytes");
+  }
+  trace.functionNames_.reserve(static_cast<std::size_t>(functionCount));
+  for (std::uint64_t i = 0; i < functionCount; ++i) {
+    trace.functionNames_.push_back(
+        readBlob(data, total, offset, path, "function name"));
+  }
+  trace.recordCount_ = readVarint(data, total, offset, path, "record count");
+  trace.recordOffset_ = offset;
+  if (trace.recordCount_ == 0 && offset != total) {
+    fail(path, offset, "trailing bytes after empty record stream");
+  }
+  // A record is at least one tag byte.
+  if (trace.recordCount_ > total - offset) {
+    fail(path, offset, "record count " + std::to_string(trace.recordCount_) +
+                           " exceeds remaining file bytes");
+  }
+  return trace;
+}
+
+MappedTrace::MappedTrace(MappedTrace&& other) noexcept
+    : path_(std::move(other.path_)),
+      data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      version_(other.version_),
+      name_(std::move(other.name_)),
+      functionNames_(std::move(other.functionNames_)),
+      recordCount_(other.recordCount_),
+      recordOffset_(other.recordOffset_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedTrace& MappedTrace::operator=(MappedTrace&& other) noexcept {
+  if (this != &other) {
+    this->~MappedTrace();
+    new (this) MappedTrace(std::move(other));
+  }
+  return *this;
+}
+
+MappedTrace::~MappedTrace() {
+  if (data_ == nullptr) return;
+#if SMALL_TRACE_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+    return;
+  }
+#endif
+  delete[] data_;
+}
+
+Trace MappedTrace::toTrace() const {
+  Trace trace;
+  trace.name = name_;
+  for (std::size_t id = 0; id < functionNames_.size(); ++id) {
+    const std::uint32_t interned = trace.internFunction(functionNames_[id]);
+    if (interned != id) {
+      fail(path_, recordOffset_,
+           "duplicate function name '" + functionNames_[id] +
+               "' in name table");
+    }
+  }
+  trace.events().reserve(static_cast<std::size_t>(recordCount_));
+  BinaryDecoder decoder(*this);
+  std::vector<Event> batch(1024);
+  for (std::size_t k = decoder.decodeBatch(batch); k != 0;
+       k = decoder.decodeBatch(batch)) {
+    for (std::size_t i = 0; i < k; ++i) {
+      trace.append(batch[i]);
+    }
+  }
+  return trace;
+}
+
+BinaryDecoder::BinaryDecoder(const MappedTrace& trace)
+    : trace_(&trace), offset_(trace.recordOffset_) {}
+
+std::size_t BinaryDecoder::decodeBatch(std::vector<Event>& out) {
+  const unsigned char* data = trace_->data_;
+  const std::size_t size = trace_->size_;
+  const std::string& path = trace_->path_;
+  const std::uint64_t total = trace_->recordCount_;
+  const std::size_t functionCount = trace_->functionNames_.size();
+
+  std::size_t produced = 0;
+  while (produced < out.size() && decoded_ < total) {
+    if (offset_ >= size) {
+      fail(path, offset_,
+           "truncated record stream (" + std::to_string(decoded_) + " of " +
+               std::to_string(total) + " records decoded)");
+    }
+    Event& event = out[produced];
+    const unsigned char tag = data[offset_++];
+    const unsigned kind = tag & 0x03;
+    const unsigned high = tag >> 2;
+    switch (kind) {
+      case 0: {
+        if (high >= kPrimitiveCount) {
+          fail(path, offset_ - 1,
+               "unknown primitive id " + std::to_string(high));
+        }
+        event.kind = EventKind::kPrimitive;
+        event.primitive = static_cast<Primitive>(high);
+        event.functionId = 0;
+        event.argCount = 0;
+        const std::uint64_t args =
+            readVarint(data, size, offset_, path, "argument count");
+        // Every object is at least three bytes, so this bounds the resize.
+        if (args > (size - offset_) / 3) {
+          fail(path, offset_, "argument count " + std::to_string(args) +
+                                  " exceeds remaining file bytes");
+        }
+        event.result = readObject(data, size, offset_, path);
+        event.args.resize(static_cast<std::size_t>(args));
+        for (std::size_t i = 0; i < args; ++i) {
+          event.args[i] = readObject(data, size, offset_, path);
+        }
+        break;
+      }
+      case 1:
+      case 2: {
+        if (high != 0) {
+          fail(path, offset_ - 1,
+               "malformed tag byte (nonzero primitive bits on a function "
+               "record)");
+        }
+        event.kind = kind == 1 ? EventKind::kFunctionEnter
+                               : EventKind::kFunctionExit;
+        event.primitive = Primitive::kCar;
+        event.args.clear();
+        event.result = ObjectRecord{};
+        const std::uint64_t functionId =
+            readVarint(data, size, offset_, path, "function id");
+        if (functionId >= functionCount) {
+          fail(path, offset_,
+               "function name index " + std::to_string(functionId) +
+                   " out of range (name table holds " +
+                   std::to_string(functionCount) + ")");
+        }
+        event.functionId = static_cast<std::uint32_t>(functionId);
+        if (kind == 1) {
+          const std::uint64_t argCount =
+              readVarint(data, size, offset_, path, "argCount");
+          if (argCount > 255) {
+            fail(path, offset_, "argCount " + std::to_string(argCount) +
+                                    " out of range (max 255)");
+          }
+          event.argCount = static_cast<std::uint8_t>(argCount);
+        } else {
+          event.argCount = 0;
+        }
+        break;
+      }
+      default:
+        fail(path, offset_ - 1,
+             "unknown record kind " + std::to_string(kind));
+    }
+    ++produced;
+    ++decoded_;
+  }
+  if (decoded_ == total && offset_ != size) {
+    fail(path, offset_, "trailing bytes after last record");
+  }
+  return produced;
+}
+
+}  // namespace small::trace

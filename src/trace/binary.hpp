@@ -1,0 +1,136 @@
+// Binary serialization of raw traces (the `SMTR` format).
+//
+// The text format (trace/io.hpp) is the archival/interchange form; this is
+// the scale form: a versioned little-endian layout that `MappedTrace` can
+// mmap and decode in place, so loading a trace is a memory-bandwidth
+// problem instead of a parsing problem. The two formats are lossless
+// mirrors of each other — text -> binary -> text is byte-identical
+// (tools/trace_convert, gated in CI).
+//
+// Layout (all multi-byte integers are unsigned LEB128 varints unless
+// noted; DESIGN.md §Trace formats has the full diagram):
+//
+//   magic    4 bytes       'S' 'M' 'T' 'R'
+//   version  u32 LE        format version (kBinaryTraceVersion)
+//   name     varint + raw  workload label, length-prefixed bytes
+//   names    varint F, then F x (varint + raw) interned function names
+//   count    varint        number of event records that follow
+//   records  count x record
+//   (end of file — trailing bytes are an error)
+//
+// One record:
+//   tag      u8            bits 0-1: kind (0 primitive, 1 enter, 2 exit)
+//                          bits 2-7: primitive id (kind 0 only, else 0)
+//   kind 0:  varint argCount, then (1 + argCount) objects, result first
+//   kind 1:  varint functionId, varint argCount
+//   kind 2:  varint functionId
+// One object (the text format's fp:n:p:l tuple, packed):
+//   varint fingerprint, varint (n << 1 | isList), varint p
+//
+// Every malformed input — bad magic, unsupported version, truncation,
+// varint overrun, out-of-range field, name-table index out of range,
+// trailing bytes — raises support::Error carrying the file path and the
+// byte offset (the binary analogue of the text loader's line numbers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace small::trace {
+
+inline constexpr char kBinaryTraceMagic[4] = {'S', 'M', 'T', 'R'};
+inline constexpr std::uint32_t kBinaryTraceVersion = 1;
+
+/// True when `bytes` (at least 4 of them) start with the SMTR magic —
+/// the sniff loadFile() uses to dispatch between formats.
+bool looksBinary(const char* bytes, std::size_t size);
+
+void saveBinary(const Trace& trace, std::ostream& out);
+void saveBinaryFile(const Trace& trace, const std::string& path);
+
+/// A trace file mapped read-only into memory. Owns the mapping (unmapped
+/// on destruction); the header (name + function-name table) is decoded
+/// and validated eagerly at open, the record stream is decoded on the fly
+/// by BinaryDecoder so a billion-primitive trace costs page cache, not
+/// heap. Movable, not copyable.
+class MappedTrace {
+ public:
+  /// Map `path` and validate its header. Throws support::Error (with the
+  /// path in the message) on open/map failure, empty file, bad magic,
+  /// unsupported version, or a malformed header.
+  static MappedTrace open(const std::string& path);
+
+  MappedTrace(MappedTrace&& other) noexcept;
+  MappedTrace& operator=(MappedTrace&& other) noexcept;
+  MappedTrace(const MappedTrace&) = delete;
+  MappedTrace& operator=(const MappedTrace&) = delete;
+  ~MappedTrace();
+
+  const std::string& path() const { return path_; }
+  std::uint32_t version() const { return version_; }
+  const std::string& traceName() const { return name_; }
+  std::size_t functionCount() const { return functionNames_.size(); }
+  const std::vector<std::string>& functionNames() const {
+    return functionNames_;
+  }
+  /// Declared number of event records in the stream.
+  std::uint64_t recordCount() const { return recordCount_; }
+  /// Total mapped size in bytes.
+  std::size_t fileBytes() const { return size_; }
+  /// Bytes occupied by the record stream (fileBytes minus the header).
+  std::size_t recordBytes() const { return size_ - recordOffset_; }
+
+  /// Materialize the whole file as an in-memory Trace (what
+  /// trace::loadFile does after sniffing the magic). Validates every
+  /// record; throws support::Error on corruption.
+  Trace toTrace() const;
+
+ private:
+  friend class BinaryDecoder;
+  MappedTrace() = default;
+
+  std::string path_;
+  const unsigned char* data_ = nullptr;  // mapping base (or owned buffer)
+  std::size_t size_ = 0;
+  bool mapped_ = false;          // munmap on destroy (else delete[])
+  std::uint32_t version_ = 0;
+  std::string name_;
+  std::vector<std::string> functionNames_;
+  std::uint64_t recordCount_ = 0;
+  std::size_t recordOffset_ = 0;  // byte offset of the first record
+};
+
+/// Zero-copy batched cursor over a MappedTrace's record stream.
+///
+/// decodeBatch() materializes up to `out.size()` events per call into a
+/// caller-owned buffer, reusing the Events' arg vectors across batches so
+/// the steady state allocates nothing — the consumer loop (preprocessing,
+/// replay) stays in i-cache instead of ping-ponging with a parser.
+class BinaryDecoder {
+ public:
+  explicit BinaryDecoder(const MappedTrace& trace);
+
+  /// Decode up to out.size() events into out[0..k); returns k (0 at end
+  /// of stream). The buffer must be non-empty. Events are overwritten in
+  /// place; their args capacity is reused. Throws support::Error on any
+  /// malformed record, with the file path and byte offset.
+  std::size_t decodeBatch(std::vector<Event>& out);
+
+  /// Events decoded so far.
+  std::uint64_t decoded() const { return decoded_; }
+  /// True once the declared record count has been consumed (and the
+  /// stream end has been verified to coincide with the file end).
+  bool done() const { return decoded_ == trace_->recordCount(); }
+
+ private:
+  const MappedTrace* trace_;
+  std::size_t offset_;    // current byte offset into the mapping
+  std::uint64_t decoded_ = 0;
+};
+
+}  // namespace small::trace

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "trace/binary.hpp"
 
 namespace small::trace {
 
@@ -231,16 +232,46 @@ Trace load(std::istream& in) {
   return trace;
 }
 
-void saveFile(const Trace& trace, const std::string& path) {
+const char* fileFormatName(FileFormat format) {
+  return format == FileFormat::kText ? "text" : "binary";
+}
+
+void saveFile(const Trace& trace, const std::string& path,
+              FileFormat format) {
+  if (format == FileFormat::kBinary) {
+    saveBinaryFile(trace, path);
+    return;
+  }
   std::ofstream out(path);
   if (!out) throw support::Error("trace: cannot open for write: " + path);
   save(trace, out);
+  out.flush();
+  if (!out) throw support::Error("trace: write failed: " + path);
+}
+
+FileFormat sniffFileFormat(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw support::Error("trace: cannot open for read: " + path);
+  char magic[sizeof(kBinaryTraceMagic)] = {};
+  in.read(magic, sizeof(magic));
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got == 0) throw support::Error("trace: empty trace file: " + path);
+  return looksBinary(magic, got) ? FileFormat::kBinary : FileFormat::kText;
 }
 
 Trace loadFile(const std::string& path) {
+  if (sniffFileFormat(path) == FileFormat::kBinary) {
+    return MappedTrace::open(path).toTrace();
+  }
   std::ifstream in(path);
   if (!in) throw support::Error("trace: cannot open for read: " + path);
-  return load(in);
+  try {
+    return load(in);
+  } catch (const ParseError& error) {
+    // The line-oriented loader reports "trace line N: ..."; prefix the
+    // path so a failure in a multi-file pipeline names its file.
+    throw ParseError("trace file '" + path + "': " + error.what());
+  }
 }
 
 }  // namespace small::trace

@@ -1,10 +1,20 @@
-// Text serialization of raw traces.
+// Text serialization of raw traces, and the format-dispatching file API.
 //
 // One record per line:
 //   P <primitive> <result> <arg>...     where an object is fp:n:p:l
 //   E <functionName> <argCount>         function enter
 //   X <functionName>                    function exit
 // A `# name <label>` header carries the workload name.
+//
+// loadFile() sniffs the first bytes: files starting with the `SMTR` magic
+// take the mmap-backed binary path (trace/binary.hpp), everything else is
+// parsed as text. saveFile() writes the requested FileFormat (text by
+// default). Both formats are lossless mirrors: text -> binary -> text is
+// byte-identical.
+//
+// Every error raised through the file API carries the file path; an
+// empty file is reported distinctly (never silently loaded as an empty
+// trace).
 #pragma once
 
 #include <iosfwd>
@@ -14,10 +24,24 @@
 
 namespace small::trace {
 
+/// On-disk trace representations understood by saveFile/loadFile.
+enum class FileFormat {
+  kText,    ///< line-oriented archival format (this header)
+  kBinary,  ///< mmap-able SMTR format (trace/binary.hpp)
+};
+
+const char* fileFormatName(FileFormat format);
+
 void save(const Trace& trace, std::ostream& out);
 Trace load(std::istream& in);
 
-void saveFile(const Trace& trace, const std::string& path);
+void saveFile(const Trace& trace, const std::string& path,
+              FileFormat format = FileFormat::kText);
 Trace loadFile(const std::string& path);
+
+/// The format loadFile() would pick for `path`: kBinary when the file
+/// starts with the SMTR magic, kText otherwise. Throws support::Error
+/// (with the path) when the file is missing, unreadable, or empty.
+FileFormat sniffFileFormat(const std::string& path);
 
 }  // namespace small::trace

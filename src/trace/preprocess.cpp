@@ -1,7 +1,8 @@
 #include "trace/preprocess.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "trace/binary.hpp"
 
 namespace small::trace {
 
@@ -30,58 +31,72 @@ TraceContent PreprocessedTrace::content() const {
   return content;
 }
 
+PreprocessedObject Preprocessor::resolve(const ObjectRecord& record) {
+  PreprocessedObject object;
+  object.n = record.n;
+  object.p = record.p;
+  if (!record.isList) return object;  // atoms carry no identifier
+  const auto [it, inserted] = idByFingerprint_.try_emplace(
+      record.fingerprint,
+      static_cast<std::uint32_t>(idByFingerprint_.size()));
+  object.id = it->second;
+  (void)inserted;
+  return object;
+}
+
+void Preprocessor::process(const Event& event, PreprocessedEvent& out) {
+  out.kind = event.kind;
+  out.functionId = event.functionId;
+  out.argCount = event.argCount;
+  out.args.clear();
+  out.result = PreprocessedObject{};
+  if (event.kind != EventKind::kPrimitive) return;
+
+  out.primitive = event.primitive;
+  out.args.reserve(event.args.size());
+  for (const ObjectRecord& arg : event.args) {
+    PreprocessedObject object = resolve(arg);
+    if (arg.isList && havePreviousResult_ &&
+        arg.fingerprint == previousResult_) {
+      object.chained = true;
+    }
+    out.args.push_back(object);
+  }
+  out.result = resolve(event.result);
+  havePreviousResult_ = event.result.isList;
+  previousResult_ = event.result.fingerprint;
+  ++primitiveCount_;
+}
+
 PreprocessedTrace preprocess(const Trace& trace) {
   PreprocessedTrace out;
   out.name = trace.name;
-
-  std::unordered_map<std::uint64_t, std::uint32_t> idByFingerprint;
-  auto resolve = [&](const ObjectRecord& record) {
-    PreprocessedObject object;
-    object.n = record.n;
-    object.p = record.p;
-    if (!record.isList) return object;  // atoms carry no identifier
-    const auto [it, inserted] = idByFingerprint.try_emplace(
-        record.fingerprint,
-        static_cast<std::uint32_t>(idByFingerprint.size()));
-    object.id = it->second;
-    (void)inserted;
-    return object;
-  };
-
-  // Fingerprint of the previous primitive call's return value; the chaining
-  // flag compares against it. Function enter/exit events do not interrupt a
-  // chain (the thesis notes chained calls "might actually be separated by
-  // several function calls" — what matters is that no list creation or
-  // modification intervened, which holds because any such operation is
-  // itself a traced primitive).
-  std::uint64_t previousResult = 0;
-  bool havePreviousResult = false;
-
-  out.events.reserve(trace.events().size());
-  for (const Event& event : trace.events()) {
-    PreprocessedEvent pre;
-    pre.kind = event.kind;
-    pre.functionId = event.functionId;
-    pre.argCount = event.argCount;
-    if (event.kind == EventKind::kPrimitive) {
-      pre.primitive = event.primitive;
-      pre.args.reserve(event.args.size());
-      for (const ObjectRecord& arg : event.args) {
-        PreprocessedObject object = resolve(arg);
-        if (arg.isList && havePreviousResult &&
-            arg.fingerprint == previousResult) {
-          object.chained = true;
-        }
-        pre.args.push_back(object);
-      }
-      pre.result = resolve(event.result);
-      havePreviousResult = event.result.isList;
-      previousResult = event.result.fingerprint;
-      ++out.primitiveCount;
-    }
-    out.events.push_back(std::move(pre));
+  Preprocessor pre;
+  out.events.resize(trace.events().size());
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    pre.process(trace.events()[i], out.events[i]);
   }
-  out.uniqueListCount = static_cast<std::uint32_t>(idByFingerprint.size());
+  out.uniqueListCount = pre.uniqueListCount();
+  out.primitiveCount = pre.primitiveCount();
+  return out;
+}
+
+PreprocessedTrace preprocessMapped(const MappedTrace& mapped) {
+  PreprocessedTrace out;
+  out.name = mapped.traceName();
+  Preprocessor pre;
+  out.events.reserve(static_cast<std::size_t>(mapped.recordCount()));
+  BinaryDecoder decoder(mapped);
+  std::vector<Event> batch(1024);
+  for (std::size_t k = decoder.decodeBatch(batch); k != 0;
+       k = decoder.decodeBatch(batch)) {
+    for (std::size_t i = 0; i < k; ++i) {
+      PreprocessedEvent& slot = out.events.emplace_back();
+      pre.process(batch[i], slot);
+    }
+  }
+  out.uniqueListCount = pre.uniqueListCount();
+  out.primitiveCount = pre.primitiveCount();
   return out;
 }
 

@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/trace.hpp"
 
 namespace small::trace {
+
+class MappedTrace;
 
 /// Sentinel for "not a list object" (atom argument/result).
 inline constexpr std::uint32_t kNoObject = 0xffffffffu;
@@ -45,7 +48,46 @@ struct PreprocessedTrace {
   TraceContent content() const;
 };
 
+/// The §5.2.1 pass as an incremental state machine: feed events one at a
+/// time and get their preprocessed form back. The fingerprint->id map and
+/// the previous-result chaining state live here, so the same class serves
+/// the whole-trace preprocess() below and the batched streaming path over
+/// a mmap'd binary trace (preprocessMapped, core::replayMappedTrace) —
+/// one implementation, bit-identical output either way.
+class Preprocessor {
+ public:
+  /// Preprocess one event in stream order, writing into `out` (whose args
+  /// storage is reused — suitable for caller-owned batch buffers).
+  void process(const Event& event, PreprocessedEvent& out);
+
+  /// Unique list identifiers assigned so far.
+  std::uint32_t uniqueListCount() const {
+    return static_cast<std::uint32_t>(idByFingerprint_.size());
+  }
+  /// Primitive events seen so far.
+  std::uint64_t primitiveCount() const { return primitiveCount_; }
+
+ private:
+  PreprocessedObject resolve(const ObjectRecord& record);
+
+  std::unordered_map<std::uint64_t, std::uint32_t> idByFingerprint_;
+  // Fingerprint of the previous primitive call's return value; the
+  // chaining flag compares against it. Function enter/exit events do not
+  // interrupt a chain (the thesis notes chained calls "might actually be
+  // separated by several function calls" — what matters is that no list
+  // creation or modification intervened, which holds because any such
+  // operation is itself a traced primitive).
+  std::uint64_t previousResult_ = 0;
+  bool havePreviousResult_ = false;
+  std::uint64_t primitiveCount_ = 0;
+};
+
 /// Run the §5.2.1 preprocessing pass over a raw trace.
 PreprocessedTrace preprocess(const Trace& trace);
+
+/// The same pass over a mmap'd binary trace, decoding in batches so the
+/// record stream is read exactly once and never materialized as a Trace.
+/// Produces output bit-identical to preprocess(mapped.toTrace()).
+PreprocessedTrace preprocessMapped(const MappedTrace& mapped);
 
 }  // namespace small::trace

@@ -6,7 +6,11 @@
 // allowed to differ.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "small/machine_replay.hpp"
+#include "trace/binary.hpp"
 #include "trace/preprocess.hpp"
 #include "trace/synthetic.hpp"
 
@@ -91,6 +95,46 @@ TEST(MachineReplay, MachineCountersInvariantAcrossBackends) {
     // is free to differ.
     EXPECT_GT(run.heap.touches(), 0u) << backend;
   }
+}
+
+TEST(MachineReplay, MappedReplayMatchesInMemoryReplay) {
+  // The streaming path (mmap'd binary trace -> batched decode -> feed)
+  // must produce the exact counters of the materialize-then-replay path,
+  // at any batch size — including a batch of one event.
+  trace::WorkloadProfile profile;
+  profile.name = "replay-mapped";
+  profile.primitiveCalls = 4000;
+  support::Rng rng(5);
+  const trace::Trace raw = trace::generate(profile, rng);
+
+  ReplayConfig config;
+  config.seed = 13;
+  config.machine.heapBackend = heap::HeapBackendKind::kTwoPointer;
+  config.machine.tableSize = 256;
+  const ReplayResult expected = replayTrace(config, trace::preprocess(raw));
+
+  const std::string path =
+      ::testing::TempDir() + "/small_replay_mapped.trace";
+  trace::saveBinaryFile(raw, path);
+  const trace::MappedTrace mapped = trace::MappedTrace::open(path);
+  for (const std::size_t batchSize :
+       {std::size_t{1}, std::size_t{7}, std::size_t{1024}}) {
+    const ReplayResult run = replayMappedTrace(config, mapped, batchSize);
+    EXPECT_EQ(expected.primitives, run.primitives) << batchSize;
+    EXPECT_EQ(expected.functionCalls, run.functionCalls) << batchSize;
+    EXPECT_EQ(expected.machine.gets, run.machine.gets) << batchSize;
+    EXPECT_EQ(expected.machine.frees, run.machine.frees) << batchSize;
+    EXPECT_EQ(expected.machine.splits, run.machine.splits) << batchSize;
+    EXPECT_EQ(expected.machine.merges, run.machine.merges) << batchSize;
+    EXPECT_EQ(expected.machine.conses, run.machine.conses) << batchSize;
+    EXPECT_EQ(expected.machine.peakEntriesInUse,
+              run.machine.peakEntriesInUse)
+        << batchSize;
+    EXPECT_EQ(expected.heap.allocs, run.heap.allocs) << batchSize;
+    EXPECT_EQ(expected.heap.touches(), run.heap.touches()) << batchSize;
+    EXPECT_EQ(expected.residualEntries, run.residualEntries) << batchSize;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -10,6 +10,12 @@
 #
 #   tools/check_bench_goldens.sh --update   # rewrite goldens from HEAD
 #
+# TRACE_FORMAT=text|binary appends --trace-format to every bench, which
+# round-trips each prepared workload trace through an on-disk file in that
+# format before use. The goldens are shared across modes: running the gate
+# with TRACE_FORMAT=binary proves the binary format is a lossless mirror
+# of the text format all the way through the simulator (CI does both).
+#
 # The micro suites are intentionally not gated: their output contains
 # wall-clock timings.
 set -euo pipefail
@@ -19,6 +25,17 @@ build="${BUILD_DIR:-$repo/build}"
 goldens="$repo/bench/goldens"
 update=0
 [[ "${1:-}" == "--update" ]] && update=1
+
+format_args=()
+if [[ -n "${TRACE_FORMAT:-}" ]]; then
+  case "$TRACE_FORMAT" in
+    text|binary) format_args=(--trace-format "$TRACE_FORMAT") ;;
+    *)
+      echo "check_bench_goldens: bad TRACE_FORMAT '$TRACE_FORMAT'" >&2
+      exit 2
+      ;;
+  esac
+fi
 
 # bench binary -> golden stem + extra args. table5_4 contributes two
 # texts: the default table and the --sweep variant.
@@ -55,11 +72,26 @@ for spec in "${runs[@]}"; do
     fail=1
     continue
   fi
-  out="$("$exe" $args)"
+  # A bench that exits nonzero must fail the gate with its own message,
+  # not silently contribute empty output (or abort the loop via set -e).
+  status=0
+  out="$("$exe" $args ${format_args[@]+"${format_args[@]}"})" || status=$?
+  if [[ "$status" != 0 ]]; then
+    echo "BENCH FAILED: $bin $args (exit $status)" >&2
+    fail=1
+    continue
+  fi
   golden="$goldens/$stem.txt"
   if [[ "$update" == 1 ]]; then
     printf '%s\n' "$out" >"$golden"
     echo "updated $stem"
+    continue
+  fi
+  # A missing golden is a broken gate, not a diff: name it loudly so a
+  # renamed bench or a forgotten `git add` can't pass as "no drift".
+  if [[ ! -f "$golden" ]]; then
+    echo "MISSING GOLDEN: $golden (run with --update and commit it)" >&2
+    fail=1
     continue
   fi
   if ! diff -u "$golden" <(printf '%s\n' "$out") >/tmp/golden_diff.$$ 2>&1; then
@@ -76,4 +108,5 @@ if [[ "$fail" != 0 ]]; then
   echo "bench golden gate FAILED" >&2
   exit 1
 fi
-echo "bench golden gate passed: ${#runs[@]} texts byte-identical"
+mode="${TRACE_FORMAT:-direct}"
+echo "bench golden gate passed: ${#runs[@]} texts byte-identical ($mode traces)"

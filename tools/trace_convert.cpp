@@ -1,0 +1,156 @@
+// trace_convert — convert traces between the text and SMTR binary
+// formats, and report header/record-count statistics.
+//
+//   trace_convert IN OUT [--to text|binary]   convert IN into OUT
+//   trace_convert --stats IN                  print stats, convert nothing
+//
+// The input format is sniffed from the file's first bytes (SMTR magic =>
+// binary). Without --to, the output format is the opposite of the input,
+// so `trace_convert a.txt a.smtr && trace_convert a.smtr b.txt` round-
+// trips — and `cmp a.txt b.txt` proves the formats are lossless mirrors
+// (CI does exactly that). Stats for a binary input come from the mmap'd
+// header plus one streaming decode pass: the trace is never materialized,
+// so --stats works on traces far larger than memory.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace small;
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  trace_convert IN OUT [--to text|binary]\n"
+      "  trace_convert --stats IN\n"
+      "The input format is sniffed (SMTR magic => binary); without --to\n"
+      "the output format is the opposite of the input's.\n",
+      stderr);
+  return 2;
+}
+
+void printContent(const trace::TraceContent& content) {
+  std::printf("records: %llu primitives, %llu function calls, "
+              "max depth %u\n",
+              (unsigned long long)content.primitiveCalls,
+              (unsigned long long)content.functionCalls,
+              content.maxCallDepth);
+  if (!content.balanced()) {
+    std::printf("WARNING: %llu unbalanced function exits (truncated or "
+                "corrupted stream)\n",
+                (unsigned long long)content.unbalancedExits);
+  }
+}
+
+/// Header + record stats for a binary trace via one streaming decode —
+/// the whole point of the format is that this never builds a Trace.
+int statsBinary(const std::string& path) {
+  const trace::MappedTrace mapped = trace::MappedTrace::open(path);
+  std::printf("format: binary (SMTR v%u), %zu bytes (%zu header, %zu "
+              "records)\n",
+              mapped.version(), mapped.fileBytes(),
+              mapped.fileBytes() - mapped.recordBytes(),
+              mapped.recordBytes());
+  std::printf("name: %s\n", mapped.traceName().c_str());
+  std::printf("functions interned: %zu\n", mapped.functionCount());
+  std::printf("declared records: %llu\n",
+              (unsigned long long)mapped.recordCount());
+  trace::TraceContent content{};
+  std::uint32_t depth = 0;
+  trace::BinaryDecoder decoder(mapped);
+  std::vector<trace::Event> batch(1024);
+  for (std::size_t k = decoder.decodeBatch(batch); k != 0;
+       k = decoder.decodeBatch(batch)) {
+    for (std::size_t i = 0; i < k; ++i) {
+      switch (batch[i].kind) {
+        case trace::EventKind::kPrimitive:
+          ++content.primitiveCalls;
+          break;
+        case trace::EventKind::kFunctionEnter:
+          ++content.functionCalls;
+          ++depth;
+          content.maxCallDepth = std::max(content.maxCallDepth, depth);
+          break;
+        case trace::EventKind::kFunctionExit:
+          if (depth > 0) {
+            --depth;
+          } else {
+            ++content.unbalancedExits;
+          }
+          break;
+      }
+    }
+  }
+  printContent(content);
+  return 0;
+}
+
+int statsText(const std::string& path) {
+  const trace::Trace raw = trace::loadFile(path);
+  std::printf("format: text\n");
+  std::printf("name: %s\n", raw.name.c_str());
+  std::printf("functions interned: %zu\n", raw.functionCount());
+  std::printf("records: %zu\n", raw.events().size());
+  printContent(raw.content());
+  return 0;
+}
+
+int stats(const std::string& path) {
+  return trace::sniffFileFormat(path) == trace::FileFormat::kBinary
+             ? statsBinary(path)
+             : statsText(path);
+}
+
+int convert(const std::string& inPath, const std::string& outPath,
+            const char* toArg) {
+  const trace::FileFormat inFormat = trace::sniffFileFormat(inPath);
+  trace::FileFormat outFormat = inFormat == trace::FileFormat::kText
+                                    ? trace::FileFormat::kBinary
+                                    : trace::FileFormat::kText;
+  if (toArg != nullptr) {
+    if (std::strcmp(toArg, "text") == 0) {
+      outFormat = trace::FileFormat::kText;
+    } else if (std::strcmp(toArg, "binary") == 0) {
+      outFormat = trace::FileFormat::kBinary;
+    } else {
+      return usage();
+    }
+  }
+  const trace::Trace raw = trace::loadFile(inPath);
+  trace::saveFile(raw, outPath, outFormat);
+  const trace::TraceContent content = raw.content();
+  std::printf("%s (%s) -> %s (%s): %zu events, %zu functions\n",
+              inPath.c_str(), trace::fileFormatName(inFormat),
+              outPath.c_str(), trace::fileFormatName(outFormat),
+              raw.events().size(), raw.functionCount());
+  printContent(content);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 3 && std::strcmp(argv[1], "--stats") == 0) {
+      return stats(argv[2]);
+    }
+    if (argc == 3) {
+      return convert(argv[1], argv[2], nullptr);
+    }
+    if (argc == 5 && std::strcmp(argv[3], "--to") == 0) {
+      return convert(argv[1], argv[2], argv[4]);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trace_convert: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
