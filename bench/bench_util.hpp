@@ -8,11 +8,13 @@
 //     programs under the tracing interpreter (pass --workload).
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <initializer_list>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,11 +45,16 @@ namespace small::benchutil {
 /// TRACE_FORMAT=binary.
 enum class TraceRoundTrip { kDirect, kText, kBinary };
 
-/// A flag a bench declares: its literal name and whether it consumes the
-/// following argument as a value.
+/// A flag a bench declares: its literal name, whether it consumes the
+/// following argument as a value, and whether it lands in the
+/// bench_report config block. Flags that only shape *how* the experiment
+/// runs (concurrency, machine-local paths) set `inConfig = false` so the
+/// report stays byte-identical across runs that must agree
+/// (obs/report.hpp's determinism contract).
 struct FlagSpec {
   const char* name;
   bool takesValue = false;
+  bool inConfig = true;
 };
 
 /// Per-bench argument parser + bench_report emitter. Every table/figure
@@ -90,8 +97,7 @@ class BenchRun {
         std::exit(0);
       }
       if (std::strcmp(arg, "--jobs") == 0) {
-        const int jobs = std::atoi(takeValue("--jobs"));
-        jobs_ = jobs >= 1 ? jobs : support::hardwareJobs();
+        jobs_ = requirePositive("--jobs", takeValue("--jobs"));
         continue;
       }
       if (std::strcmp(arg, "--metrics-out") == 0) {
@@ -131,8 +137,11 @@ class BenchRun {
         given_.emplace_back(spec->name);
       }
     }
-    // Record the workload-shaping flags in the report's config block.
+    // Record the workload-shaping flags in the report's config block
+    // (flags declared with inConfig = false shape execution, not the
+    // experiment, and must stay out).
     for (const FlagSpec& spec : flags_) {
+      if (!spec.inConfig) continue;
       const std::string key = configKey(spec.name);
       if (spec.takesValue) {
         if (const char* v = value(spec.name)) report_.setConfig(key, v);
@@ -162,6 +171,29 @@ class BenchRun {
   /// Worker threads for the deterministic parallel runner (`--jobs N`,
   /// default hardware concurrency; `--jobs 1` is bit-for-bit serial).
   int jobs() const { return jobs_; }
+
+  /// Parse `text` as a strictly positive int. Returns false when the
+  /// token is not a whole base-10 number, does not fit in int, or is
+  /// < 1 — `0`, `-3`, `two`, and `4x` are all rejected, never silently
+  /// mapped to a default (the old std::atoi behavior).
+  static bool parsePositive(const char* text, int* out) {
+    if (text == nullptr || *text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') return false;
+    if (value < 1 || value > std::numeric_limits<int>::max()) return false;
+    *out = static_cast<int>(value);
+    return true;
+  }
+
+  /// Value of a declared positive-integer flag, validated like --jobs
+  /// (exit 2 with usage on garbage); `fallback` when the flag is absent.
+  int positiveIntValue(const char* flag, int fallback) const {
+    const char* text = value(flag);
+    if (text == nullptr) return fallback;
+    return requirePositive(flag, text);
+  }
 
   /// How prepared traces reach the experiment (`--trace-format`). Like
   /// --jobs, deliberately NOT recorded in the report config: output must
@@ -205,6 +237,17 @@ class BenchRun {
   }
 
  private:
+  int requirePositive(const char* flag, const char* text) const {
+    int parsed = 0;
+    if (!parsePositive(text, &parsed)) {
+      std::fprintf(stderr, "%s: %s requires a positive integer (got '%s')\n",
+                   name_.c_str(), flag, text);
+      usage(stderr);
+      std::exit(2);
+    }
+    return parsed;
+  }
+
   const FlagSpec* findSpec(const char* arg) const {
     for (const FlagSpec& spec : flags_) {
       if (std::strcmp(spec.name, arg) == 0) return &spec;

@@ -1,0 +1,83 @@
+#include "multilisp/combining.hpp"
+
+namespace small::multilisp {
+
+using support::SimulationError;
+
+ShardWeightTable::Object& ShardWeightTable::live(ObjectId id) {
+  if (id >= objects_.size()) {
+    throw SimulationError("ShardWeightTable: bad object id");
+  }
+  Object& object = objects_[id];
+  if (!object.live) {
+    throw SimulationError("ShardWeightTable: operation on a dead object");
+  }
+  return object;
+}
+
+ObjectId ShardWeightTable::allocateId() {
+  if (!freeIds_.empty()) {
+    const ObjectId id = freeIds_.back();
+    freeIds_.pop_back();
+    return id;
+  }
+  objects_.emplace_back();
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+ShardRef ShardWeightTable::create(core::EntryId entry) {
+  const ObjectId id = allocateId();
+  Object& object = objects_[id];
+  object = Object{};
+  object.weight = kInitialWeight;
+  object.live = true;
+  object.entry = entry;
+  ++liveCount_;
+  return ShardRef{shard_, id, kInitialWeight};
+}
+
+ShardRef ShardWeightTable::indirect(const ShardRef& exhausted) {
+  if (exhausted.weight == 0) {
+    throw SimulationError("ShardWeightTable: indirect over a dead ref");
+  }
+  const ObjectId id = allocateId();
+  Object& object = objects_[id];
+  object = Object{};
+  object.weight = kInitialWeight;
+  object.live = true;
+  object.isIndirection = true;
+  object.target = exhausted;
+  ++liveCount_;
+  ++indirectionsCreated_;
+  return ShardRef{shard_, id, kInitialWeight};
+}
+
+void ShardWeightTable::applyDecrement(ObjectId id, std::uint64_t weight,
+                                      std::vector<ShardRef>& releases,
+                                      std::vector<core::EntryId>& freedEntries) {
+  Object& object = live(id);
+  if (object.weight < weight) {
+    throw SimulationError("ShardWeightTable: weight underflow");
+  }
+  object.weight -= weight;
+  if (object.weight != 0) return;
+  object.live = false;
+  --liveCount_;
+  if (object.isIndirection) {
+    // The indirection held (usually weight-1) a reference of its own,
+    // possibly to another shard; hand it back for re-enqueueing.
+    releases.push_back(object.target);
+  } else {
+    freedEntries.push_back(object.entry);
+  }
+  freeIds_.push_back(id);
+}
+
+bool ShardWeightTable::isLive(ObjectId id) const {
+  if (id >= objects_.size()) {
+    throw SimulationError("ShardWeightTable: bad object id");
+  }
+  return objects_[id].live;
+}
+
+}  // namespace small::multilisp

@@ -1,0 +1,193 @@
+// Cross-shard reference weighting with combining update queues (Ch. 6).
+//
+// The single-node model (ref_weight.hpp) counts messages; this is the
+// executable version the service mode runs: objects live in per-shard
+// weight tables (one per ShardedLpt shard, guarded by that shard's lock),
+// references carry weight across shards freely, and weight *decrements* —
+// the only operation that must reach a remote shard — pass through a
+// session-local CombiningUpdateQueue that merges decrements addressed to
+// the same object and batches everything bound for one shard into a
+// single message (one lock acquisition), the paper's combining-queue
+// discipline.
+//
+// Protocol invariants the service relies on:
+//   * copy never locks: a weight >= 2 reference splits locally
+//     (splitRef); a weight-1 reference interposes an indirection object
+//     in the *holder's home* table (one home-shard lock, no remote
+//     traffic) — the Fig 6.5 escape.
+//   * destroy never locks: it enqueues the carried weight; the queue
+//     locks each target shard once per flush.
+//   * an object's id is recycled only after its outstanding weight hits
+//     zero, and every unit of weight is consumed exactly once — so a
+//     pending queue entry can never outlive (or alias) its target.
+//   * base objects pin exactly one LPT entry in their home shard;
+//     indirection objects pin none. When a base object dies its entry id
+//     is handed back through applyDecrement's freedEntries so the caller
+//     can decRef it under the very shard lock it already holds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "small/lpt.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace small::multilisp {
+
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kNoShardObject = 0xffffffffu;
+
+/// A reference that may cross shards: where the object lives, which
+/// object, and how much weight this reference carries.
+struct ShardRef {
+  std::uint32_t shard = 0;
+  ObjectId object = kNoShardObject;
+  std::uint32_t weight = 0;
+};
+
+/// Local weight split — the whole point of the scheme: copying a
+/// reference with weight >= 2 touches no shard and sends no message.
+inline ShardRef splitRef(ShardRef& ref) {
+  if (ref.weight < 2) {
+    throw support::SimulationError(
+        "combining: splitRef needs weight >= 2 (use an indirection)");
+  }
+  const std::uint32_t half = ref.weight / 2;
+  ShardRef clone = ref;
+  clone.weight = half;
+  ref.weight -= half;
+  return clone;
+}
+
+/// One shard's weighted objects. Externally synchronized: every call
+/// (after single-threaded setup) must hold the owning ShardedLpt shard's
+/// lock. Ids are dense and recycled after death (safe per the weight-
+/// conservation invariant above).
+class ShardWeightTable {
+ public:
+  static constexpr std::uint32_t kInitialWeight = 1u << 16;
+
+  explicit ShardWeightTable(std::uint32_t shard) : shard_(shard) {}
+
+  /// New base object pinning `entry` in this shard's LPT; returns its
+  /// first (full-weight) reference.
+  ShardRef create(core::EntryId entry);
+
+  /// Interpose an indirection object over `exhausted` (typically weight
+  /// 1, which can no longer split). The indirection lives in THIS table —
+  /// the holder's home shard — absorbs the exhausted reference, and hands
+  /// back a fresh full-weight reference to itself for the holder to split.
+  ShardRef indirect(const ShardRef& exhausted);
+
+  /// Apply one (possibly combined) weight decrement. A dying indirection
+  /// appends the reference it held to `releases` (the caller re-enqueues
+  /// it — it may target another shard); a dying base object appends its
+  /// pinned LPT entry to `freedEntries` for the caller to decRef under
+  /// the shard lock it already holds.
+  void applyDecrement(ObjectId object, std::uint64_t weight,
+                      std::vector<ShardRef>& releases,
+                      std::vector<core::EntryId>& freedEntries);
+
+  bool isLive(ObjectId id) const;
+  std::size_t liveObjects() const { return liveCount_; }
+  std::uint64_t indirectionsCreated() const { return indirectionsCreated_; }
+
+ private:
+  struct Object {
+    std::uint64_t weight = 0;
+    bool live = false;
+    bool isIndirection = false;
+    core::EntryId entry = core::kNoEntry;  ///< base objects only
+    ShardRef target;                       ///< indirections only
+  };
+
+  Object& live(ObjectId id);
+  ObjectId allocateId();
+
+  std::uint32_t shard_;
+  std::vector<Object> objects_;
+  std::vector<ObjectId> freeIds_;
+  std::size_t liveCount_ = 0;
+  std::uint64_t indirectionsCreated_ = 0;
+};
+
+/// Counters a queue keeps about its own traffic (all deterministic for a
+/// session: they depend only on the session's own enqueue sequence).
+struct QueueStats {
+  std::uint64_t enqueued = 0;  ///< decrements handed to add()
+  std::uint64_t combined = 0;  ///< merged into an already-pending update
+  std::uint64_t messages = 0;  ///< per-shard batches sent (lock grabs)
+  std::uint64_t flushes = 0;   ///< non-empty flush() calls
+};
+
+/// Session-local combining queue for weight decrements. No internal
+/// locking — exactly one session owns each queue. Pending updates are
+/// keyed (shard, object) in a sorted map, so combining behavior and
+/// message grouping depend only on the enqueue sequence, never on thread
+/// schedule.
+class CombiningUpdateQueue {
+ public:
+  explicit CombiningUpdateQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Enqueue a reference's weight for decrement. Returns true when the
+  /// queue has reached capacity and the caller should flush.
+  bool add(const ShardRef& ref) {
+    if (ref.weight == 0) {
+      throw support::SimulationError("combining: enqueue of a dead ref");
+    }
+    ++stats_.enqueued;
+    auto [it, inserted] =
+        pending_.try_emplace({ref.shard, ref.object}, std::uint64_t{0});
+    if (!inserted) ++stats_.combined;
+    it->second += ref.weight;
+    return pending_.size() >= capacity_;
+  }
+
+  /// Drain the queue completely, including cascades: `applyShard(shard,
+  /// updates, releases)` must apply every (object, weight) update under
+  /// that shard's lock and append any references released by dying
+  /// indirections to `releases`; those are re-enqueued and flushed in the
+  /// same call, so the queue is empty on return. Each flush's pending
+  /// depth is recorded into `depths` (pass nullptr to skip).
+  template <typename ApplyShard>
+  void flush(ApplyShard&& applyShard, support::Histogram* depths) {
+    if (pending_.empty()) return;
+    ++stats_.flushes;
+    if (depths != nullptr) depths->add(pending_.size());
+    std::vector<std::pair<ObjectId, std::uint64_t>> updates;
+    std::vector<ShardRef> releases;
+    while (!pending_.empty()) {
+      const auto batch = std::move(pending_);
+      pending_.clear();
+      auto it = batch.begin();
+      while (it != batch.end()) {
+        const std::uint32_t shard = it->first.first;
+        updates.clear();
+        for (; it != batch.end() && it->first.first == shard; ++it) {
+          updates.emplace_back(it->first.second, it->second);
+        }
+        ++stats_.messages;
+        releases.clear();
+        applyShard(shard, updates, releases);
+        for (const ShardRef& release : releases) {
+          add(release);  // cascade — drained by the outer loop
+        }
+      }
+    }
+  }
+
+  std::size_t pendingUpdates() const { return pending_.size(); }
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::pair<std::uint32_t, ObjectId>, std::uint64_t> pending_;
+  QueueStats stats_;
+};
+
+}  // namespace small::multilisp

@@ -97,6 +97,18 @@ void WeightedObjectTable::applyDecrement(ObjectId id, std::uint32_t weight) {
 
 bool WeightedObjectTable::isLive(ObjectId id) const { return at(id).live; }
 
+ObjectId WeightedObjectTable::resolve(ObjectId id) const {
+  for (;;) {
+    const Object& object = at(id);
+    if (!object.live) {
+      throw SimulationError(
+          "WeightedObjectTable: resolve reached a dead object");
+    }
+    if (object.indirectTo == kNoObjectId) return id;
+    id = object.indirectTo;
+  }
+}
+
 std::uint32_t WeightedObjectTable::storedWeight(ObjectId id) const {
   return static_cast<std::uint32_t>(at(id).weight);
 }

@@ -60,6 +60,13 @@ class WeightedObjectTable {
   std::uint32_t storedWeight(ObjectId id) const;
   std::size_t liveObjects() const { return liveCount_; }
 
+  /// Follow the indirection chain from `id` down to the base object it
+  /// ultimately reaches. Every hop must be live — a dead hop means a
+  /// reference outlived its target, which the weighting invariant forbids
+  /// — so this throws support::SimulationError on any dead object along
+  /// the chain (the liveness oracle the concurrent stress test leans on).
+  ObjectId resolve(ObjectId id) const;
+
   const WeightMessageStats& stats() const { return stats_; }
 
   /// Baseline comparator: what plain reference counting would have cost

@@ -1,0 +1,255 @@
+#include "multilisp/service.hpp"
+
+#include <string>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/session.hpp"
+
+namespace small::multilisp {
+
+using core::EntryId;
+using support::SimulationError;
+
+namespace {
+
+/// Everything one session owns. Sessions only ever touch their own state
+/// plus, under the owning shard's lock, the shared tables — the
+/// ShardedLpt guard is the only synchronization in the whole service.
+struct SessionState {
+  std::uint32_t home = 0;
+  std::deque<ShardRef> held;
+  CombiningUpdateQueue queue;
+  support::Rng rng;
+  SessionStats stats;
+
+  SessionState(std::size_t queueCapacity, std::uint64_t seed)
+      : queue(queueCapacity), rng(seed) {}
+};
+
+class ServiceRun {
+ public:
+  ServiceRun(const ServiceConfig& config, std::size_t sessionCount)
+      : config_(config),
+        sessionCount_(sessionCount),
+        lpt_(config.shardCount, shardSize(config, sessionCount),
+             core::ReclaimPolicy::kRecursive) {
+    if (sessionCount == 0) {
+      throw SimulationError("service: no sessions");
+    }
+    tables_.reserve(config.shardCount);
+    for (std::uint32_t s = 0; s < config.shardCount; ++s) {
+      tables_.emplace_back(s);
+    }
+    sessions_.reserve(sessionCount);
+    for (std::size_t i = 0; i < sessionCount; ++i) {
+      // The churn RNG is distinct from the replay seed chain so hooking
+      // the replay cannot perturb it (and vice versa).
+      sessions_.emplace_back(
+          config.queueCapacity,
+          support::splitmix64(
+              support::deriveTaskSeed(config.replay.seed, i) ^
+              0x5e551044c0ffee11ull));
+      sessions_.back().home =
+          lpt_.homeShard(static_cast<std::uint64_t>(i));
+    }
+  }
+
+  ServiceResult run(const std::vector<SessionSource>& sources,
+                    int concurrency) {
+    seedPhase();
+    const support::SessionTiming timing = support::runSessions(
+        sessionCount_, concurrency,
+        [&](std::size_t i) { runSession(i, sources[i]); });
+    return collect(timing);
+  }
+
+ private:
+  /// Entries one shard must be able to hold at once. Only base objects
+  /// pin entries (indirections are table-only), so the live bound is the
+  /// homed sessions' working sets plus every queue's pending decrements,
+  /// with slack for cascade transients.
+  static std::uint32_t shardSize(const ServiceConfig& config,
+                                 std::size_t sessionCount) {
+    if (config.shardLptSize != 0) return config.shardLptSize;
+    const std::uint64_t homed =
+        (sessionCount + config.shardCount - 1) / config.shardCount;
+    const std::uint64_t bound =
+        homed * (config.seedObjects + config.maxHeldRefs + 1) +
+        sessionCount * config.queueCapacity + 16 * sessionCount + 256;
+    return static_cast<std::uint32_t>(bound);
+  }
+
+  /// Phase 0, strictly serial in id order: every session publishes its
+  /// seed objects, then hands split references to the next `peerFanout`
+  /// sessions — the deterministic cross-shard seeding.
+  void seedPhase() {
+    for (std::size_t i = 0; i < sessionCount_; ++i) {
+      SessionState& s = sessions_[i];
+      core::Lpt& lpt = lpt_.quiescedShard(s.home);
+      for (std::uint32_t p = 0; p < config_.seedObjects; ++p) {
+        s.held.push_back(tables_[s.home].create(allocateEntry(lpt)));
+        ++s.stats.published;
+      }
+    }
+    if (sessionCount_ < 2) return;
+    std::vector<std::vector<ShardRef>> inboxes(sessionCount_);
+    for (std::size_t i = 0; i < sessionCount_; ++i) {
+      SessionState& s = sessions_[i];
+      if (s.held.empty()) continue;
+      for (std::uint32_t k = 1; k <= config_.peerFanout; ++k) {
+        const std::size_t peer = (i + k) % sessionCount_;
+        if (peer == i) break;
+        ShardRef& ref = s.held[k % s.held.size()];
+        inboxes[peer].push_back(splitRef(ref));
+        ++s.stats.refCopies;
+      }
+    }
+    for (std::size_t i = 0; i < sessionCount_; ++i) {
+      for (const ShardRef& ref : inboxes[i]) {
+        sessions_[i].held.push_back(ref);
+      }
+    }
+  }
+
+  static EntryId allocateEntry(core::Lpt& lpt) {
+    const EntryId entry = lpt.allocate();
+    if (entry == core::kNoEntry) {
+      throw SimulationError(
+          "service: shard LPT overflow (raise shardLptSize)");
+    }
+    lpt.incRef(entry);
+    return entry;
+  }
+
+  void runSession(std::size_t i, const SessionSource& source) {
+    SessionState& s = sessions_[i];
+    core::ReplayConfig replay = config_.replay;
+    replay.seed = support::deriveTaskSeed(config_.replay.seed, i);
+    core::ReplayHook hook;
+    hook.everyPrimitives = config_.publishEvery;
+    hook.onPrimitives = [&](std::uint64_t) { tick(s); };
+    if (source.mapped != nullptr) {
+      s.stats.replay = core::replayMappedTrace(replay, *source.mapped,
+                                               config_.mappedBatch, hook);
+    } else if (source.pre != nullptr) {
+      s.stats.replay = core::replayTrace(replay, *source.pre, hook);
+    } else {
+      throw SimulationError("service: session source has no trace");
+    }
+    // Shutdown: retire the whole working set and drain the queue, so the
+    // session's entire outstanding weight is returned before it joins.
+    while (!s.held.empty()) {
+      destroyRef(s, s.held.front());
+      s.held.pop_front();
+    }
+    flushQueue(s);
+    s.stats.queue = s.queue.stats();
+  }
+
+  /// One service tick, between trace events: publish a fresh object,
+  /// maybe copy a reference, retire beyond the working-set bound.
+  void tick(SessionState& s) {
+    {
+      core::ShardedLpt::Guard guard = lpt_.lock(s.home);
+      s.held.push_back(
+          tables_[s.home].create(allocateEntry(guard.lpt())));
+      ++s.stats.published;
+    }
+    if (s.rng.chance(config_.copyProb)) copyRef(s);
+    while (s.held.size() > config_.maxHeldRefs) {
+      destroyRef(s, s.held.front());
+      s.held.pop_front();
+    }
+  }
+
+  void copyRef(SessionState& s) {
+    if (s.held.empty()) return;
+    // Split one lineage clone-of-clone so its weight halves every step:
+    // a burst longer than 16 drives a fresh 2^16 reference all the way
+    // to weight 1, which is what makes the indirection escape real
+    // traffic instead of a theoretical path.
+    const std::size_t idx = s.rng.below(s.held.size());
+    const std::uint32_t burst =
+        1 + static_cast<std::uint32_t>(s.rng.below(config_.splitBurst));
+    for (std::uint32_t b = 0; b < burst; ++b) {
+      // deque never invalidates references on push_back.
+      ShardRef& ref = b == 0 ? s.held[idx] : s.held.back();
+      if (ref.weight >= 2) {
+        // The common case Ch. 6 optimizes for: split locally, no lock.
+        s.held.push_back(splitRef(ref));
+      } else {
+        // Weight exhausted: interpose an indirection in OUR home shard
+        // (one home lock, no remote traffic), then split that.
+        core::ShardedLpt::Guard guard = lpt_.lock(s.home);
+        ShardRef indirection = tables_[s.home].indirect(ref);
+        ++s.stats.indirections;
+        ShardRef clone = splitRef(indirection);
+        ref = indirection;
+        s.held.push_back(clone);
+      }
+      ++s.stats.refCopies;
+    }
+  }
+
+  void destroyRef(SessionState& s, const ShardRef& ref) {
+    ++s.stats.refDestroys;
+    if (s.queue.add(ref)) flushQueue(s);
+  }
+
+  void flushQueue(SessionState& s) {
+    s.queue.flush(
+        [&](std::uint32_t shard,
+            const std::vector<std::pair<ObjectId, std::uint64_t>>& updates,
+            std::vector<ShardRef>& releases) {
+          // One lock acquisition serves the whole per-shard batch — the
+          // combining queue's entire purpose.
+          core::ShardedLpt::Guard guard = lpt_.lock(shard);
+          std::vector<EntryId> freed;
+          for (const auto& [object, weight] : updates) {
+            tables_[shard].applyDecrement(object, weight, releases, freed);
+          }
+          for (const EntryId entry : freed) {
+            guard.lpt().decRef(entry);
+          }
+        },
+        &s.stats.queueDepths);
+  }
+
+  ServiceResult collect(const support::SessionTiming& timing) {
+    ServiceResult result;
+    result.sessions.reserve(sessionCount_);
+    for (SessionState& s : sessions_) {
+      result.totalPrimitives += s.stats.replay.primitives;
+      result.sessions.push_back(std::move(s.stats));
+    }
+    for (std::uint32_t shard = 0; shard < lpt_.shardCount(); ++shard) {
+      core::Lpt& lpt = lpt_.quiescedShard(shard);
+      result.shardLpt.push_back(lpt.stats());
+      result.residualEntries += lpt.inUseCount();
+      result.residualObjects += tables_[shard].liveObjects();
+      result.shardAcquisitions.push_back(lpt_.acquisitions(shard));
+      result.shardContended.push_back(lpt_.contended(shard));
+    }
+    result.wallSeconds = timing.wallSeconds;
+    return result;
+  }
+
+  const ServiceConfig& config_;
+  std::size_t sessionCount_;
+  core::ShardedLpt lpt_;
+  std::vector<ShardWeightTable> tables_;
+  std::vector<SessionState> sessions_;
+};
+
+}  // namespace
+
+ServiceResult runService(const ServiceConfig& config,
+                         const std::vector<SessionSource>& sources,
+                         int concurrency) {
+  ServiceRun run(config, sources.size());
+  return run.run(sources, concurrency);
+}
+
+}  // namespace small::multilisp

@@ -1,0 +1,119 @@
+// The long-lived multi-session SMALL service (Ch. 6 at production
+// scale): N tenant sessions replay independent traces concurrently, each
+// on its own SmallMachine, while sharing one sharded structured memory
+// (core::ShardedLpt) through the Ch. 6 reference-weighting protocol
+// (multilisp/combining.hpp).
+//
+// Every session periodically (ReplayHook, every `publishEvery`
+// primitives) publishes an object into its home shard, copies references
+// — weight splits locally, weight-1 copies interpose an indirection in
+// the home shard — and retires its oldest references through a
+// session-local combining queue that batches weight decrements per
+// target shard.
+//
+// Determinism contract (what may go into a deterministic --metrics-out):
+//   * SessionStats are a pure function of (session id, trace, seed): the
+//     replay result, publish/copy/destroy/indirection counts, and the
+//     combining queue's counters + depth histogram depend only on the
+//     session's own deterministic op sequence, never on thread schedule.
+//   * Per-shard LptStats totals are schedule-independent too: each base
+//     object is exactly one allocate + one incRef + one decRef + one
+//     free, and weight conservation fixes the totals regardless of which
+//     session applies the dying decrement.
+//   * Wall-clock throughput and lock acquisition/contention counts ARE
+//     schedule-dependent; they live in ServiceResult's perf plane and
+//     must only reach stdout / --perf-out.
+// bench/service_throughput enforces the contract by byte-diffing merged
+// metrics across session counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "multilisp/combining.hpp"
+#include "small/machine_replay.hpp"
+#include "small/sharded_lpt.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace small::multilisp {
+
+struct ServiceConfig {
+  std::uint32_t shardCount = 4;
+  /// Entries per shard LPT; 0 derives a safe bound from the session
+  /// count and the knobs below (only base objects pin entries).
+  std::uint32_t shardLptSize = 0;
+  /// Objects each session publishes during serial setup (phase 0).
+  std::uint32_t seedObjects = 4;
+  /// Cross-session references handed out in phase 0: session i seeds a
+  /// split reference into the next `peerFanout` sessions' working sets,
+  /// so remote decrements exist from the start.
+  std::uint32_t peerFanout = 2;
+  /// Primitives replayed between shard ticks (publish/copy/retire).
+  std::uint64_t publishEvery = 64;
+  /// Working-set bound: oldest references retire beyond this.
+  std::size_t maxHeldRefs = 64;
+  /// Pending-update bound of each session's combining queue.
+  std::size_t queueCapacity = 32;
+  /// Probability a tick copies a random held reference.
+  double copyProb = 0.75;
+  /// A copy tick splits one lineage up to this many times in a row
+  /// (clone-of-clone), so carried weights decay geometrically. Must be
+  /// > 16 for kInitialWeight = 2^16 references to ever reach weight 1
+  /// and exercise the indirection escape.
+  std::uint32_t splitBurst = 18;
+  /// Batch size for SMTR-mapped session sources.
+  std::size_t mappedBatch = 1024;
+  /// Per-session replay: session i derives its seed as
+  /// deriveTaskSeed(replay.seed, i).
+  core::ReplayConfig replay;
+};
+
+/// What one session replays: exactly one of `pre` (in-memory
+/// preprocessed text trace) or `mapped` (SMTR file, streamed through
+/// replayMappedTrace at O(batch) memory).
+struct SessionSource {
+  const trace::PreprocessedTrace* pre = nullptr;
+  const trace::MappedTrace* mapped = nullptr;
+};
+
+/// Deterministic per-session stats (see the contract above).
+struct SessionStats {
+  core::ReplayResult replay;
+  std::uint64_t published = 0;
+  std::uint64_t refCopies = 0;
+  std::uint64_t refDestroys = 0;
+  std::uint64_t indirections = 0;
+  QueueStats queue;
+  support::Histogram queueDepths;
+};
+
+struct ServiceResult {
+  // --- deterministic plane ---
+  std::vector<SessionStats> sessions;        ///< id order
+  std::vector<core::LptStats> shardLpt;      ///< per-shard totals
+  /// Weighted objects / LPT entries still live after shutdown. Weight
+  /// conservation says both must be zero; callers should treat nonzero
+  /// as a protocol bug and fail.
+  std::uint64_t residualObjects = 0;
+  std::uint64_t residualEntries = 0;
+
+  // --- perf plane (schedule-dependent: stdout / --perf-out only) ---
+  double wallSeconds = 0.0;
+  std::uint64_t totalPrimitives = 0;
+  std::vector<std::uint64_t> shardAcquisitions;
+  std::vector<std::uint64_t> shardContended;
+};
+
+/// Run `sources.size()` sessions over at most `concurrency` threads
+/// (<= 0: hardware concurrency). The tenant roster — and with it every
+/// deterministic stat — is fixed by `sources`; `concurrency` only sets
+/// how many run at once.
+ServiceResult runService(const ServiceConfig& config,
+                         const std::vector<SessionSource>& sources,
+                         int concurrency);
+
+}  // namespace small::multilisp

@@ -15,6 +15,7 @@
 
 #include "gc/gc.hpp"
 #include "heap/backend.hpp"
+#include "multilisp/service.hpp"
 #include "obs/names.hpp"
 #include "obs/registry.hpp"
 #include "small/list_processor.hpp"
@@ -71,6 +72,30 @@ inline void contributeGcStats(Registry& registry, const gc::GcStats& stats) {
   registry.recordMax(names::kGcZctHighWater, stats.zctHighWater);
   registry.recordMax(names::kGcMaxPause, stats.maxPause);
   registry.add(names::kGcTotalPause, stats.totalPause);
+}
+
+/// One service session's deterministic stats under the svc.* names (plus
+/// the session's replay heap/gc activity under the shared families). The
+/// schedule-dependent ServiceResult fields (wall clock, lock contention)
+/// are deliberately NOT bridged here — they must never reach a
+/// deterministic --metrics-out.
+inline void contributeServiceSession(Registry& registry,
+                                     const multilisp::SessionStats& stats) {
+  registry.add(names::kSvcPrimitives, stats.replay.primitives);
+  registry.add(names::kSvcPublished, stats.published);
+  registry.add(names::kSvcRefCopies, stats.refCopies);
+  registry.add(names::kSvcRefDestroys, stats.refDestroys);
+  registry.add(names::kSvcIndirections, stats.indirections);
+  registry.add(names::kSvcQueueEnqueued, stats.queue.enqueued);
+  registry.add(names::kSvcQueueCombined, stats.queue.combined);
+  registry.add(names::kSvcQueueMessages, stats.queue.messages);
+  registry.add(names::kSvcQueueFlushes, stats.queue.flushes);
+  support::Histogram& depths = registry.histogram(names::kSvcQueueDepths);
+  for (const auto& [value, count] : stats.queueDepths.buckets()) {
+    depths.add(value, count);
+  }
+  contributeHeapStats(registry, stats.replay.heap);
+  contributeGcStats(registry, stats.replay.gcStats);
 }
 
 }  // namespace small::obs

@@ -91,6 +91,26 @@ inline constexpr char kVmMaxStackDepth[] = "vm.stack_depth.max";
 // --- parallel sweep harness ---
 inline constexpr char kSweepTasks[] = "sweep.tasks";
 
+// --- multi-session service mode (multilisp/service.hpp) ---
+// The deterministic family: pure functions of (session id, trace, seed),
+// safe for --metrics-out at any session count.
+inline constexpr char kSvcPrimitives[] = "svc.primitives_replayed";
+inline constexpr char kSvcPublished[] = "svc.objects_published";
+inline constexpr char kSvcRefCopies[] = "svc.ref_copies";
+inline constexpr char kSvcRefDestroys[] = "svc.ref_destroys";
+inline constexpr char kSvcIndirections[] = "svc.indirections_created";
+inline constexpr char kSvcQueueEnqueued[] = "svc.queue.updates_enqueued";
+inline constexpr char kSvcQueueCombined[] = "svc.queue.updates_combined";
+inline constexpr char kSvcQueueMessages[] = "svc.queue.messages_sent";
+inline constexpr char kSvcQueueFlushes[] = "svc.queue.flushes";
+inline constexpr char kSvcQueueDepths[] = "svc.queue.depth_at_flush";
+// The schedule-dependent family: lock traffic on the sharded LPT.
+// Perf plane only (stdout / --perf-out), like the sim.throughput rates.
+inline constexpr char kSvcLockAcquisitions[] = "svc.lock.acquisitions";
+inline constexpr char kSvcLockContended[] = "svc.lock.contended";
+inline constexpr char kSvcLockContendedPerShard[] =
+    "svc.lock.contended_per_shard";
+
 // --- simulator throughput (micro-suite only) ---
 // Wall-clock-derived rates, recorded as maxima (best observed rate).
 // These are published by the micro suites' registries, never by the

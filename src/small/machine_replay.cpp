@@ -39,8 +39,12 @@ sexpr::NodeRef synthesizeShape(sexpr::Arena& arena, std::uint32_t n,
 // points below differ only in how they iterate events into feed().
 class Replayer {
  public:
-  explicit Replayer(const ReplayConfig& config)
+  explicit Replayer(const ReplayConfig& config,
+                    const ReplayHook* hook = nullptr)
       : config_(config), rng_(config.seed), machine_(config.machine) {
+    if (hook != nullptr && hook->everyPrimitives > 0 && hook->onPrimitives) {
+      hook_ = hook;
+    }
     frames_.push_back(Frame{0, 0});  // top level
   }
 
@@ -191,6 +195,11 @@ class Replayer {
 
   void onPrimitive(const PreprocessedEvent& event) {
     ++primitives_;
+    // The hook fires between events and never draws from rng_, so the
+    // replay's own event sequence (and ReplayResult) is unaffected.
+    if (hook_ != nullptr && primitives_ % hook_->everyPrimitives == 0) {
+      hook_->onPrimitives(primitives_);
+    }
 
     if (event.primitive == Primitive::kRead) {
       Item item;
@@ -296,23 +305,28 @@ class Replayer {
   std::vector<Frame> frames_;
   std::uint64_t primitives_ = 0;
   std::uint64_t functionCalls_ = 0;
+  const ReplayHook* hook_ = nullptr;
 };
 
 }  // namespace
 
-ReplayResult replayTrace(const ReplayConfig& config,
-                         const trace::PreprocessedTrace& trace) {
-  Replayer replayer(config);
+namespace {
+
+ReplayResult replayTraceImpl(const ReplayConfig& config,
+                             const trace::PreprocessedTrace& trace,
+                             const ReplayHook* hook) {
+  Replayer replayer(config, hook);
   for (const PreprocessedEvent& event : trace.events) {
     replayer.feed(event);
   }
   return replayer.finish();
 }
 
-ReplayResult replayMappedTrace(const ReplayConfig& config,
-                               const trace::MappedTrace& mapped,
-                               std::size_t batchSize) {
-  Replayer replayer(config);
+ReplayResult replayMappedTraceImpl(const ReplayConfig& config,
+                                   const trace::MappedTrace& mapped,
+                                   std::size_t batchSize,
+                                   const ReplayHook* hook) {
+  Replayer replayer(config, hook);
   trace::Preprocessor preprocessor;
   trace::BinaryDecoder decoder(mapped);
   // Two caller-owned buffers, reused every batch: raw events decoded from
@@ -328,6 +342,32 @@ ReplayResult replayMappedTrace(const ReplayConfig& config,
     }
   }
   return replayer.finish();
+}
+
+}  // namespace
+
+ReplayResult replayTrace(const ReplayConfig& config,
+                         const trace::PreprocessedTrace& trace) {
+  return replayTraceImpl(config, trace, nullptr);
+}
+
+ReplayResult replayTrace(const ReplayConfig& config,
+                         const trace::PreprocessedTrace& trace,
+                         const ReplayHook& hook) {
+  return replayTraceImpl(config, trace, &hook);
+}
+
+ReplayResult replayMappedTrace(const ReplayConfig& config,
+                               const trace::MappedTrace& mapped,
+                               std::size_t batchSize) {
+  return replayMappedTraceImpl(config, mapped, batchSize, nullptr);
+}
+
+ReplayResult replayMappedTrace(const ReplayConfig& config,
+                               const trace::MappedTrace& mapped,
+                               std::size_t batchSize,
+                               const ReplayHook& hook) {
+  return replayMappedTraceImpl(config, mapped, batchSize, &hook);
 }
 
 }  // namespace small::core

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -67,10 +68,24 @@ struct ReplayResult {
   gc::GcStats gcStats;
 };
 
+/// Periodic callback out of a replay run — the service mode's sessions
+/// use it to interleave shard traffic with trace-driven interpreter work.
+/// `onPrimitives(total)` fires after every `everyPrimitives`-th primitive
+/// (never with everyPrimitives == 0). The hook runs strictly between
+/// events and never touches the replayer's RNG, so a hooked replay's
+/// ReplayResult is bit-identical to the unhooked one.
+struct ReplayHook {
+  std::uint64_t everyPrimitives = 0;
+  std::function<void(std::uint64_t)> onPrimitives;
+};
+
 /// Replay a preprocessed trace through a SmallMachine configured per
 /// `config` (including which heap backend it runs on).
 ReplayResult replayTrace(const ReplayConfig& config,
                          const trace::PreprocessedTrace& trace);
+ReplayResult replayTrace(const ReplayConfig& config,
+                         const trace::PreprocessedTrace& trace,
+                         const ReplayHook& hook);
 
 /// Replay a mmap'd binary trace without ever materializing it: records
 /// are decoded in caller-sized batches (trace::BinaryDecoder), run
@@ -81,5 +96,9 @@ ReplayResult replayTrace(const ReplayConfig& config,
 ReplayResult replayMappedTrace(const ReplayConfig& config,
                                const trace::MappedTrace& mapped,
                                std::size_t batchSize = 1024);
+ReplayResult replayMappedTrace(const ReplayConfig& config,
+                               const trace::MappedTrace& mapped,
+                               std::size_t batchSize,
+                               const ReplayHook& hook);
 
 }  // namespace small::core

@@ -1,0 +1,58 @@
+#include "small/sharded_lpt.hpp"
+
+#include "support/error.hpp"
+
+namespace small::core {
+
+using support::SimulationError;
+
+ShardedLpt::ShardedLpt(std::uint32_t shardCount, std::uint32_t shardSize,
+                       ReclaimPolicy reclaim) {
+  if (shardCount == 0) {
+    throw SimulationError("ShardedLpt: zero shards");
+  }
+  shards_.reserve(shardCount);
+  for (std::uint32_t i = 0; i < shardCount; ++i) {
+    shards_.push_back(std::make_unique<Shard>(shardSize, reclaim));
+  }
+}
+
+ShardedLpt::Shard& ShardedLpt::at(std::uint32_t shard) {
+  if (shard >= shards_.size()) {
+    throw SimulationError("ShardedLpt: bad shard index");
+  }
+  return *shards_[shard];
+}
+
+const ShardedLpt::Shard& ShardedLpt::at(std::uint32_t shard) const {
+  if (shard >= shards_.size()) {
+    throw SimulationError("ShardedLpt: bad shard index");
+  }
+  return *shards_[shard];
+}
+
+ShardedLpt::Guard ShardedLpt::lock(std::uint32_t shard) {
+  Shard& s = at(shard);
+  s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> held(s.mu, std::try_to_lock);
+  if (!held.owns_lock()) {
+    // Someone else holds the shard: count the contention, then block.
+    s.contended.fetch_add(1, std::memory_order_relaxed);
+    held.lock();
+  }
+  return Guard(std::move(held), &s.lpt);
+}
+
+std::uint64_t ShardedLpt::acquisitions(std::uint32_t shard) const {
+  return at(shard).acquisitions.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedLpt::contended(std::uint32_t shard) const {
+  return at(shard).contended.load(std::memory_order_relaxed);
+}
+
+Lpt& ShardedLpt::quiescedShard(std::uint32_t shard) {
+  return at(shard).lpt;
+}
+
+}  // namespace small::core

@@ -1,0 +1,92 @@
+// A sharded List Processor Table for the multi-session service mode.
+//
+// One `core::Lpt` models the paper's single structured-memory unit; the
+// Ch. 6 multiprocessor shares that memory across processors. This wraps
+// N independent Lpt shards, each behind its own lock, so concurrent
+// sessions touch disjoint shards without serializing on one table —
+// striped locks over the single-LP design rather than a rewrite of it.
+// Cross-shard references never hold two locks at once: they are carried
+// by the Ch. 6 weighting scheme (multilisp/ref_weight, multilisp/
+// combining), whose weight decrements arrive batched per target shard.
+//
+// Contention accounting: every lock() bumps the shard's acquisition
+// counter, and an acquisition that fails its initial try_lock bumps the
+// contended counter before blocking. Both are wall-clock-free but
+// schedule-dependent, so they live on the *nondeterministic* stats plane
+// (stdout / --perf-out), never in a deterministic --metrics-out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "small/lpt.hpp"
+
+namespace small::core {
+
+class ShardedLpt {
+ public:
+  /// `shardCount` independent Lpts of `shardSize` entries each.
+  ShardedLpt(std::uint32_t shardCount, std::uint32_t shardSize,
+             ReclaimPolicy reclaim);
+
+  /// RAII exclusive access to one shard's Lpt. Movable; unlocks on
+  /// destruction. Hold at most one Guard at a time per thread — the
+  /// combining-queue protocol is what makes that sufficient.
+  class Guard {
+   public:
+    Guard(Guard&&) noexcept = default;
+    Guard& operator=(Guard&&) noexcept = default;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    Lpt& lpt() { return *lpt_; }
+
+   private:
+    friend class ShardedLpt;
+    Guard(std::unique_lock<std::mutex> held, Lpt* lpt)
+        : held_(std::move(held)), lpt_(lpt) {}
+
+    std::unique_lock<std::mutex> held_;
+    Lpt* lpt_;
+  };
+
+  Guard lock(std::uint32_t shard);
+
+  std::uint32_t shardCount() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// The shard a session's objects live in (sessions pin their
+  /// allocations to their home shard; only weight messages cross).
+  std::uint32_t homeShard(std::uint64_t key) const {
+    return static_cast<std::uint32_t>(key % shards_.size());
+  }
+
+  std::uint64_t acquisitions(std::uint32_t shard) const;
+  std::uint64_t contended(std::uint32_t shard) const;
+
+  /// Unsynchronized access for quiesced phases (setup before threads
+  /// start, residual audits after they join). Never call concurrently
+  /// with lock() holders.
+  Lpt& quiescedShard(std::uint32_t shard);
+
+ private:
+  // One cache line per lock so two shards' locks never false-share.
+  struct alignas(64) Shard {
+    Shard(std::uint32_t size, ReclaimPolicy reclaim) : lpt(size, reclaim) {}
+    std::mutex mu;
+    std::atomic<std::uint64_t> acquisitions{0};
+    std::atomic<std::uint64_t> contended{0};
+    Lpt lpt;
+  };
+
+  Shard& at(std::uint32_t shard);
+  const Shard& at(std::uint32_t shard) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace small::core

@@ -1,0 +1,22 @@
+#include "support/session.hpp"
+
+#include <chrono>
+
+#include "support/parallel.hpp"
+
+namespace small::support {
+
+SessionTiming runSessions(std::size_t sessionCount, int concurrency,
+                          const std::function<void(std::size_t)>& session) {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point start = clock::now();
+  runIndexed(sessionCount, concurrency, session);
+  const clock::time_point end = clock::now();
+  SessionTiming timing;
+  timing.wallSeconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  return timing;
+}
+
+}  // namespace small::support

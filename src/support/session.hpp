@@ -1,0 +1,31 @@
+// Session runner for the long-lived service mode: run N session bodies
+// across a bounded worker pool and report how long the concurrent phase
+// took.
+//
+// This is runIndexed (support/parallel.hpp) plus wall-clock timing — the
+// sessions inherit the sweep harness's determinism discipline (id-indexed
+// slots, per-session seeds via deriveTaskSeed, dynamic claiming that must
+// not influence results), while the timing feeds the *nondeterministic*
+// stats plane (throughput tables, --perf-out), never a deterministic
+// --metrics-out.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace small::support {
+
+struct SessionTiming {
+  /// Wall seconds from before the first session was claimed to after the
+  /// last one finished (workers joined).
+  double wallSeconds = 0.0;
+};
+
+/// Run `session(id)` for every id in [0, sessionCount) across at most
+/// `concurrency` threads (<= 0 means hardwareJobs(); 1 runs inline in id
+/// order). Propagates the lowest-id failure after all sessions finish,
+/// exactly like runIndexed.
+SessionTiming runSessions(std::size_t sessionCount, int concurrency,
+                          const std::function<void(std::size_t)>& session);
+
+}  // namespace small::support

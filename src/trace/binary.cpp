@@ -184,54 +184,67 @@ void saveBinaryFile(const Trace& trace, const std::string& path) {
   }
 }
 
-MappedTrace MappedTrace::open(const std::string& path) {
+MappedTrace MappedTrace::open(const std::string& path, Backing backing) {
   MappedTrace trace;
   trace.path_ = path;
 
+  bool useMmap = false;
 #if SMALL_TRACE_HAVE_MMAP
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    throw support::Error("trace: cannot open for read: " + path);
-  }
-  struct stat st{};
-  if (::fstat(fd, &st) != 0) {
+  useMmap = backing == Backing::kDefault;
+  if (useMmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw support::Error("trace: cannot open for read: " + path);
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw support::Error("trace: cannot stat: " + path);
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    // mmap(2) rejects a zero-length mapping with EINVAL; catching it here
+    // keeps the error identical to the buffered backing's.
+    if (size == 0) {
+      ::close(fd);
+      throw support::Error("trace: empty trace file: " + path);
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);
-    throw support::Error("trace: cannot stat: " + path);
+    if (base == MAP_FAILED) {
+      throw support::Error("trace: mmap failed: " + path);
+    }
+    trace.data_ = static_cast<const unsigned char*>(base);
+    trace.size_ = size;
+    trace.mapped_ = true;
   }
-  const auto size = static_cast<std::size_t>(st.st_size);
-  if (size == 0) {
-    ::close(fd);
-    throw support::Error("trace: empty trace file: " + path);
-  }
-  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);
-  if (base == MAP_FAILED) {
-    throw support::Error("trace: mmap failed: " + path);
-  }
-  trace.data_ = static_cast<const unsigned char*>(base);
-  trace.size_ = size;
-  trace.mapped_ = true;
 #else
-  // Portability fallback: read the whole file into an owned buffer. Same
-  // decoder, same validation — only the zero-copy property is lost.
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    throw support::Error("trace: cannot open for read: " + path);
-  }
-  const std::streamsize size = in.tellg();
-  if (size <= 0) {
-    throw support::Error("trace: empty trace file: " + path);
-  }
-  auto* buffer = new unsigned char[static_cast<std::size_t>(size)];
-  in.seekg(0);
-  if (!in.read(reinterpret_cast<char*>(buffer), size)) {
-    delete[] buffer;
-    throw support::Error("trace: read failed: " + path);
-  }
-  trace.data_ = buffer;
-  trace.size_ = static_cast<std::size_t>(size);
-  trace.mapped_ = false;
+  (void)backing;
 #endif
+  if (!useMmap) {
+    // Buffered backing (and the only one on platforms without mmap): read
+    // the whole file into an owned buffer. Same decoder, same validation,
+    // same error messages — only the zero-copy property is lost.
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      throw support::Error("trace: cannot open for read: " + path);
+    }
+    const std::streamsize size = in.tellg();
+    if (size < 0) {
+      throw support::Error("trace: cannot stat: " + path);
+    }
+    if (size == 0) {
+      throw support::Error("trace: empty trace file: " + path);
+    }
+    auto* buffer = new unsigned char[static_cast<std::size_t>(size)];
+    in.seekg(0);
+    if (!in.read(reinterpret_cast<char*>(buffer), size)) {
+      delete[] buffer;
+      throw support::Error("trace: read failed: " + path);
+    }
+    trace.data_ = buffer;
+    trace.size_ = static_cast<std::size_t>(size);
+    trace.mapped_ = false;
+  }
 
   // --- header ---
   const unsigned char* data = trace.data_;

@@ -60,10 +60,22 @@ void saveBinaryFile(const Trace& trace, const std::string& path);
 /// heap. Movable, not copyable.
 class MappedTrace {
  public:
-  /// Map `path` and validate its header. Throws support::Error (with the
-  /// path in the message) on open/map failure, empty file, bad magic,
-  /// unsupported version, or a malformed header.
-  static MappedTrace open(const std::string& path);
+  /// How the file bytes are backed. kDefault mmaps where the platform
+  /// supports it; kBuffered always reads the file into an owned buffer.
+  /// Both backings feed the identical header validation and decoder, so
+  /// every malformed input produces the same error text either way —
+  /// trace_binary_test pins that parity (a zero-length file, which mmap(2)
+  /// would reject with EINVAL, is caught before mapping in both).
+  enum class Backing { kDefault, kBuffered };
+
+  /// Map (or read) `path` and validate its header. Throws support::Error
+  /// (with the path in the message) on open/map failure, empty file, bad
+  /// magic, unsupported version, or a malformed header.
+  static MappedTrace open(const std::string& path,
+                          Backing backing = Backing::kDefault);
+
+  /// True when the bytes are an mmap'd view rather than an owned buffer.
+  bool isMapped() const { return mapped_; }
 
   MappedTrace(MappedTrace&& other) noexcept;
   MappedTrace& operator=(MappedTrace&& other) noexcept;

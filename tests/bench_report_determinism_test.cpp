@@ -130,6 +130,28 @@ TEST_P(BenchArtifacts, ChromeTraceLoads) {
   }
 }
 
+TEST_P(BenchArtifacts, InvalidJobsRejected) {
+  // --jobs used to go through std::atoi, which silently mapped 0,
+  // negatives, and garbage to "hardware concurrency". All three must now
+  // be usage errors (exit 2), matching the unknown-flag path.
+  for (const char* bad : {"0", "-3", "banana", "4x", ""}) {
+    const std::string quoted = std::string("'") + bad + "'";
+    EXPECT_EQ(runCommand(benchPath() + " --quick --jobs " + quoted +
+                         " > /dev/null 2>&1"),
+              2)
+        << "--jobs " << quoted << " must exit 2";
+  }
+  const std::string message = tempPath(benchName() + ".jobs.err");
+  ASSERT_EQ(runCommand(benchPath() + " --quick --jobs 0 > /dev/null 2> " +
+                       message),
+            2);
+  const std::string err = slurp(message);
+  EXPECT_NE(err.find("--jobs requires a positive integer (got '0')"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("usage:"), std::string::npos) << err;
+}
+
 TEST_P(BenchArtifacts, UnknownFlagRejected) {
   EXPECT_EQ(runCommand(benchPath() +
                        " --definitely-not-a-flag > /dev/null 2>&1"),

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
@@ -469,6 +470,95 @@ TEST(BinaryRobustness, MalformedRecordFields) {
   hugeArgs += '\x7F';  // 127 args declared, nothing follows
   EXPECT_TRUE(contains(binaryError("hugeargs", hugeArgs),
                        "exceeds remaining file bytes"));
+}
+
+// --- mmap vs read-fallback backing parity ---
+//
+// MappedTrace::open has two backings (mmap by default, plain buffered
+// read as the fallback / explicit kBuffered choice). The format contract
+// is that the choice of backing is invisible: same trace, same errors,
+// byte-for-byte — including the two historical divergences, zero-length
+// files (mmap would EINVAL on Linux) and files truncated to exactly the
+// header.
+
+/// Error messages from opening the same bytes through both backings
+/// (same path, so the messages can be compared byte-for-byte).
+std::pair<std::string, std::string> bothBackingErrors(
+    const char* stem, const std::string& bytes) {
+  const std::string path = tempPath(stem);
+  writeBytes(path, bytes);
+  const auto attempt = [&](MappedTrace::Backing backing) {
+    std::string message;
+    try {
+      const Trace loaded = MappedTrace::open(path, backing).toTrace();
+      (void)loaded;
+    } catch (const support::Error& e) {
+      message = e.what();
+    }
+    return message;
+  };
+  std::pair<std::string, std::string> errors{
+      attempt(MappedTrace::Backing::kDefault),
+      attempt(MappedTrace::Backing::kBuffered)};
+  std::remove(path.c_str());
+  return errors;
+}
+
+TEST(BackingParity, BufferedBackingDecodesIdentically) {
+  const Trace trace = sampleTrace();
+  const std::string path = tempPath("buffered");
+  saveBinaryFile(trace, path);
+  const MappedTrace buffered =
+      MappedTrace::open(path, MappedTrace::Backing::kBuffered);
+  EXPECT_FALSE(buffered.isMapped());
+  expectTracesEqual(trace, buffered.toTrace());
+  expectTracesEqual(trace, MappedTrace::open(path).toTrace());
+  std::remove(path.c_str());
+}
+
+TEST(BackingParity, ZeroLengthFileSameErrorBothBackings) {
+  // mmap(2) of a zero-length file fails with EINVAL on Linux; the empty
+  // file must be caught before the map and reported identically to the
+  // read fallback.
+  const auto [viaMmap, viaRead] = bothBackingErrors("parity_empty", "");
+  EXPECT_FALSE(viaMmap.empty());
+  EXPECT_EQ(viaMmap, viaRead);
+  EXPECT_TRUE(contains(viaMmap, "empty trace file")) << viaMmap;
+}
+
+TEST(BackingParity, HeaderOnlyTruncationSameErrorBothBackings) {
+  // A file cut to exactly the header: valid magic/version/name/table and
+  // a record count promising one record, with zero record bytes behind
+  // it. Both backings must fail the record-count bound check with the
+  // same message (and not, say, diverge into a short-read error).
+  std::string headerOnly("SMTR", 4);
+  headerOnly += '\x01';
+  headerOnly += std::string(3, '\x00');
+  headerOnly += '\x00';  // trace name: empty
+  headerOnly += '\x01';  // function count 1
+  headerOnly += '\x01';  // name length 1
+  headerOnly += 'f';
+  headerOnly += '\x01';  // record count 1 — but the file ends here
+  const auto [viaMmap, viaRead] =
+      bothBackingErrors("parity_header", headerOnly);
+  EXPECT_FALSE(viaMmap.empty());
+  EXPECT_EQ(viaMmap, viaRead);
+  EXPECT_TRUE(contains(viaMmap, "exceeds remaining file bytes"))
+      << viaMmap;
+}
+
+TEST(BackingParity, EveryTruncationPrefixAgreesAcrossBackings) {
+  const Trace trace = sampleTrace();
+  const std::string path = tempPath("parity_prefix");
+  saveBinaryFile(trace, path);
+  const std::string good = fileBytes(path);
+  std::remove(path.c_str());
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    const auto [viaMmap, viaRead] =
+        bothBackingErrors("parity_cut", good.substr(0, cut));
+    EXPECT_FALSE(viaMmap.empty()) << "prefix of " << cut << " bytes loaded";
+    EXPECT_EQ(viaMmap, viaRead) << "backings diverge at prefix " << cut;
+  }
 }
 
 TEST(BinaryRobustness, ErrorsNameTheFileAndOffset) {

@@ -12,10 +12,18 @@
 // header plus one streaming decode pass: the trace is never materialized,
 // so --stats works on traces far larger than memory.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#else
+#include <process.h>
+#define getpid _getpid
+#endif
 
 #include "support/error.hpp"
 #include "trace/binary.hpp"
@@ -125,7 +133,25 @@ int convert(const std::string& inPath, const std::string& outPath,
     }
   }
   const trace::Trace raw = trace::loadFile(inPath);
-  trace::saveFile(raw, outPath, outFormat);
+  // Write to a sibling temp file and rename into place only once the
+  // whole trace is on disk: a failure mid-write (full disk, crash in the
+  // encoder) must never leave a truncated OUT behind masquerading as a
+  // valid trace. rename(2) within a directory is atomic, so OUT is
+  // always either absent, its old content, or the complete conversion.
+  const std::string tmpPath =
+      outPath + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  try {
+    trace::saveFile(raw, tmpPath, outFormat);
+  } catch (...) {
+    std::remove(tmpPath.c_str());
+    throw;
+  }
+  if (std::rename(tmpPath.c_str(), outPath.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmpPath.c_str());
+    throw support::Error("trace_convert: cannot rename " + tmpPath +
+                         " to " + outPath + ": " + std::strerror(err));
+  }
   const trace::TraceContent content = raw.content();
   std::printf("%s (%s) -> %s (%s): %zu events, %zu functions\n",
               inPath.c_str(), trace::fileFormatName(inFormat),
