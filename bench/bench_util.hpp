@@ -24,6 +24,7 @@
 #include "obs/sweep.hpp"
 #include "small/simulator.hpp"
 #include "support/parallel.hpp"
+#include "support/parse.hpp"
 #include "support/rng.hpp"
 #include "trace/io.hpp"
 #include "trace/preprocess.hpp"
@@ -193,6 +194,47 @@ class BenchRun {
     const char* text = value(flag);
     if (text == nullptr) return fallback;
     return requirePositive(flag, text);
+  }
+
+  /// Value of a declared unsigned-count flag parsed by
+  /// support::parseCount — strict like --jobs, but 64-bit and accepting
+  /// exact scientific forms ("1e6") for scale axes. Exit 2 with usage
+  /// when the token is malformed or outside [min, max]; `fallback` when
+  /// the flag is absent.
+  std::uint64_t countValue(const char* flag, std::uint64_t fallback,
+                           std::uint64_t min, std::uint64_t max) const {
+    const char* text = value(flag);
+    if (text == nullptr) return fallback;
+    std::uint64_t parsed = 0;
+    if (!support::parseCount(text, min, max, &parsed)) {
+      std::fprintf(stderr,
+                   "%s: %s requires an integer in [%llu, %llu] (got '%s')\n",
+                   name_.c_str(), flag,
+                   static_cast<unsigned long long>(min),
+                   static_cast<unsigned long long>(max), text);
+      usage(stderr);
+      std::exit(2);
+    }
+    return parsed;
+  }
+
+  /// Value of a declared enumerated-string flag: returns the index into
+  /// `choices` (or `fallback` when absent); any other token exits 2 with
+  /// usage, like every malformed flag.
+  std::size_t choiceValue(const char* flag, std::size_t fallback,
+                          std::initializer_list<const char*> choices) const {
+    const char* text = value(flag);
+    if (text == nullptr) return fallback;
+    std::size_t index = 0;
+    for (const char* choice : choices) {
+      if (std::strcmp(text, choice) == 0) return index;
+      ++index;
+    }
+    std::fprintf(stderr, "%s: %s must be one of", name_.c_str(), flag);
+    for (const char* choice : choices) std::fprintf(stderr, " %s", choice);
+    std::fprintf(stderr, " (got '%s')\n", text);
+    usage(stderr);
+    std::exit(2);
   }
 
   /// How prepared traces reach the experiment (`--trace-format`). Like

@@ -21,13 +21,16 @@
 // through replayMappedTrace (O(batch) memory); text/direct modes replay
 // the in-memory preprocessed traces. Deterministic stats are identical
 // in all modes.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "multilisp/service.hpp"
+#include "workloads/families/family.hpp"
 #include "obs/contrib.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -38,24 +41,55 @@ namespace {
 
 using namespace small;
 
-std::vector<benchutil::NamedTrace> tenantTraces(int tenants, double scale) {
+/// What work the tenants replay: the five Ch. 3 paper distributions, the
+/// three scenario families (workloads/families/), or both interleaved.
+enum class RosterMix { kPaper, kModern, kMixed };
+
+trace::Trace paperTenantTrace(int t, double scale) {
   // Tenants cycle the five Ch. 3 workload profiles, each generated from
   // its own tenant-salted seed so no two tenants replay identical work.
+  support::Rng rng(2026 + t);
+  const trace::WorkloadProfile profile = [&] {
+    switch (t % 5) {
+      case 0: return trace::slangProfile(scale);
+      case 1: return trace::plagenProfile(scale);
+      case 2: return trace::lyraProfile(scale);
+      case 3: return trace::editorProfile(scale);
+      default: return trace::pearlProfile(scale);
+    }
+  }();
+  trace::Trace raw = trace::generate(profile, rng);
+  raw.name = profile.name + "#" + std::to_string(t);
+  return raw;
+}
+
+trace::Trace familyTenantTrace(int t, double scale) {
+  namespace fam = workloads::families;
+  const fam::FamilyKind kind =
+      fam::kAllFamilies[static_cast<std::size_t>(t) %
+                        std::size(fam::kAllFamilies)];
+  fam::FamilyConfig config;
+  // Match the paper profiles' magnitude: scale 0.05 (quick) ~ 3k
+  // primitives per tenant, 0.5 ~ 30k.
+  config.scale = std::max<std::uint64_t>(
+      fam::kMinScale * 2, static_cast<std::uint64_t>(60000.0 * scale));
+  config.seed = static_cast<std::uint64_t>(2026 + t);
+  trace::Trace raw = fam::generateTrace(kind, config);
+  raw.name = std::string(fam::familyName(kind)) + "#" + std::to_string(t);
+  return raw;
+}
+
+std::vector<benchutil::NamedTrace> tenantTraces(RosterMix mix, int tenants,
+                                                double scale) {
   std::vector<benchutil::NamedTrace> traces;
   traces.reserve(static_cast<std::size_t>(tenants));
   for (int t = 0; t < tenants; ++t) {
-    support::Rng rng(2026 + t);
-    const trace::WorkloadProfile profile = [&] {
-      switch (t % 5) {
-        case 0: return trace::slangProfile(scale);
-        case 1: return trace::plagenProfile(scale);
-        case 2: return trace::lyraProfile(scale);
-        case 3: return trace::editorProfile(scale);
-        default: return trace::pearlProfile(scale);
-      }
-    }();
-    traces.push_back({profile.name + "#" + std::to_string(t),
-                      trace::generate(profile, rng)});
+    const bool modern =
+        mix == RosterMix::kModern || (mix == RosterMix::kMixed && t % 2 == 1);
+    trace::Trace raw = modern ? familyTenantTrace(t, scale)
+                              : paperTenantTrace(t, scale);
+    std::string name = raw.name;
+    traces.push_back({std::move(name), std::move(raw)});
   }
   return traces;
 }
@@ -85,6 +119,7 @@ int main(int argc, char** argv) {
       {{"--quick"},
        {"--tenants", true},
        {"--shards", true},
+       {"--roster", true},
        // Concurrency and perf-artifact path shape execution, not the
        // experiment: keep them out of the deterministic report config.
        {"--sessions", true, false},
@@ -97,12 +132,15 @@ int main(int argc, char** argv) {
       bench.positiveIntValue("--sessions", support::hardwareJobs());
   const double scale = quick ? 0.05 : 0.5;
 
+  const RosterMix mix = static_cast<RosterMix>(
+      bench.choiceValue("--roster", 0, {"paper", "modern", "mixed"}));
+
   multilisp::ServiceConfig config;
   config.shardCount = static_cast<std::uint32_t>(shards);
   bench.report().setConfig("scale", scale);
 
   // --- tenant roster (the fixed work; concurrency never changes it) ---
-  std::vector<benchutil::NamedTrace> raw = tenantTraces(tenants, scale);
+  std::vector<benchutil::NamedTrace> raw = tenantTraces(mix, tenants, scale);
   std::vector<benchutil::PreparedTrace> prepared;
   std::vector<trace::MappedTrace> mapped;
   std::vector<std::filesystem::path> smtrFiles;

@@ -20,6 +20,7 @@
 #include "obs/registry.hpp"
 #include "small/list_processor.hpp"
 #include "small/lpt.hpp"
+#include "workloads/families/family.hpp"
 
 namespace small::obs {
 
@@ -96,6 +97,29 @@ inline void contributeServiceSession(Registry& registry,
   }
   contributeHeapStats(registry, stats.replay.heap);
   contributeGcStats(registry, stats.replay.gcStats);
+}
+
+/// One family generation's summary under the workload.* names. Counters
+/// sum-merge and the high-water marks max-merge, so per-task
+/// contributions in a sweep stay `--jobs`-independent like every other
+/// deterministic metric.
+inline void contributeFamilyStats(
+    Registry& registry, const workloads::families::FamilyStats& stats) {
+  registry.add(names::kWorkloadPrimitives, stats.primitives);
+  registry.add(names::kWorkloadFunctionCalls, stats.functionCalls);
+  registry.add(names::kWorkloadObjectsCreated, stats.objectsCreated);
+  registry.recordMax(names::kWorkloadLiveObjectsPeak,
+                     stats.liveObjectsPeak);
+  registry.add(names::kWorkloadChainedCar, stats.carChained);
+  registry.add(names::kWorkloadChainedCdr, stats.cdrChained);
+  registry.recordMax(names::kWorkloadMaxCallDepth, stats.maxCallDepth);
+  for (std::size_t i = 0; i < trace::kPrimitiveCount; ++i) {
+    if (stats.perPrimitive[i] == 0) continue;
+    registry.add(
+        std::string(names::kWorkloadPrimPrefix) +
+            trace::primitiveName(static_cast<trace::Primitive>(i)),
+        stats.perPrimitive[i]);
+  }
 }
 
 }  // namespace small::obs

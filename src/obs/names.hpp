@@ -91,6 +91,20 @@ inline constexpr char kVmMaxStackDepth[] = "vm.stack_depth.max";
 // --- parallel sweep harness ---
 inline constexpr char kSweepTasks[] = "sweep.tasks";
 
+// --- scenario workload families (workloads/families/) ---
+// Generator-side accounting: what the family generators emitted, as
+// opposed to what a simulator did with it. All deterministic functions
+// of (family, scale, seed, knobs).
+inline constexpr char kWorkloadPrimitives[] = "workload.primitives";
+inline constexpr char kWorkloadFunctionCalls[] = "workload.function_calls";
+inline constexpr char kWorkloadObjectsCreated[] = "workload.objects_created";
+inline constexpr char kWorkloadLiveObjectsPeak[] =
+    "workload.live_objects.peak";
+inline constexpr char kWorkloadChainedCar[] = "workload.chained_car";
+inline constexpr char kWorkloadChainedCdr[] = "workload.chained_cdr";
+inline constexpr char kWorkloadMaxCallDepth[] = "workload.call_depth.max";
+inline constexpr char kWorkloadPrimPrefix[] = "workload.prim.";  // + name
+
 // --- multi-session service mode (multilisp/service.hpp) ---
 // The deterministic family: pure functions of (session id, trace, seed),
 // safe for --metrics-out at any session count.

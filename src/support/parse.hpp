@@ -1,0 +1,73 @@
+// Strict numeric CLI parsing, shared by the bench flag layer and the
+// tools (trace_gen's --scale/--seed and per-family knobs).
+//
+// The contract mirrors PR 7's --jobs hardening: a token is either a
+// complete, in-range number or it is rejected — 0 where a positive count
+// is required, negatives, overflow, and trailing garbage are all errors,
+// never silently mapped to a default. Counts additionally accept the
+// scientific forms a 10^8-10^9 scale axis makes ergonomic ("1e8",
+// "2.5e8"), as long as the value is exactly integral.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace small::support {
+
+/// Parse `text` as an unsigned count in [min, max]. Plain digit strings
+/// go through strtoull; tokens containing '.', 'e', or 'E' go through
+/// strtod and must land on an exact integer (so "1e8" works but "1.5"
+/// does not). Returns false — leaving *out untouched — on an empty
+/// token, any sign, non-numeric characters, trailing garbage, overflow,
+/// a non-integral value, or a value outside [min, max].
+inline bool parseCount(const char* text, std::uint64_t min,
+                       std::uint64_t max, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtoull/strtod both accept leading whitespace and signs; the flag
+  // grammar does not ("-3" must be an error, not 2^64-3).
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) return false;
+  const bool scientific = std::strpbrk(text, ".eE") != nullptr;
+  errno = 0;
+  char* end = nullptr;
+  std::uint64_t value = 0;
+  if (scientific) {
+    const double parsed = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0') return false;
+    if (!std::isfinite(parsed) || parsed < 0.0) return false;
+    if (std::floor(parsed) != parsed) return false;
+    // 2^64 is not exactly representable; anything at or past it is out
+    // of range for the integer domain regardless of `max`.
+    if (parsed >= 18446744073709551616.0) return false;
+    value = static_cast<std::uint64_t>(parsed);
+  } else {
+    value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') return false;
+  }
+  if (value < min || value > max) return false;
+  *out = value;
+  return true;
+}
+
+/// Parse `text` as a double in [min, max] via strtod. Rejects empty
+/// tokens, signs (use min = 0.0 and write "0.3", not "+.3"), trailing
+/// garbage, and non-finite values.
+inline bool parseDoubleIn(const char* text, double min, double max,
+                          double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (!std::isdigit(static_cast<unsigned char>(text[0])) && text[0] != '.') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (!std::isfinite(value) || value < min || value > max) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace small::support

@@ -107,6 +107,61 @@ ObjectRecord readObject(const unsigned char* data, std::size_t size,
 
 constexpr std::size_t kWriterFlushBytes = 1 << 20;
 
+// The one record encoder: saveBinary() and BinaryWriter both run this,
+// which is what makes a streamed file byte-identical to a whole-Trace
+// save of the same events.
+void appendEvent(std::string& buffer, const Event& event,
+                 std::size_t functionCount) {
+  switch (event.kind) {
+    case EventKind::kPrimitive: {
+      const auto primitive = static_cast<unsigned>(event.primitive);
+      buffer.push_back(static_cast<char>(primitive << 2));
+      appendVarint(buffer, event.args.size());
+      appendObject(buffer, event.result);
+      for (const ObjectRecord& arg : event.args) {
+        appendObject(buffer, arg);
+      }
+      break;
+    }
+    case EventKind::kFunctionEnter:
+    case EventKind::kFunctionExit: {
+      if (event.functionId >= functionCount) {
+        throw support::Error(
+            "trace save: function id " + std::to_string(event.functionId) +
+            " out of range (name table holds " +
+            std::to_string(functionCount) + ")");
+      }
+      buffer.push_back(
+          event.kind == EventKind::kFunctionEnter ? '\x01' : '\x02');
+      appendVarint(buffer, event.functionId);
+      if (event.kind == EventKind::kFunctionEnter) {
+        appendVarint(buffer, event.argCount);
+      }
+      break;
+    }
+  }
+}
+
+// magic + version + name + name table + record count — everything that
+// precedes the record stream.
+void appendHeader(std::string& buffer, const std::string& name,
+                  const std::vector<std::string>& functionNames,
+                  std::uint64_t recordCount) {
+  buffer.append(kBinaryTraceMagic, sizeof(kBinaryTraceMagic));
+  for (unsigned shift = 0; shift < 32; shift += 8) {
+    buffer.push_back(
+        static_cast<char>((kBinaryTraceVersion >> shift) & 0xFF));
+  }
+  appendVarint(buffer, name.size());
+  buffer.append(name);
+  appendVarint(buffer, functionNames.size());
+  for (const std::string& functionName : functionNames) {
+    appendVarint(buffer, functionName.size());
+    buffer.append(functionName);
+  }
+  appendVarint(buffer, recordCount);
+}
+
 }  // namespace
 
 bool looksBinary(const char* bytes, std::size_t size) {
@@ -118,52 +173,17 @@ bool looksBinary(const char* bytes, std::size_t size) {
 void saveBinary(const Trace& trace, std::ostream& out) {
   std::string buffer;
   buffer.reserve(kWriterFlushBytes + 64);
-  buffer.append(kBinaryTraceMagic, sizeof(kBinaryTraceMagic));
-  for (unsigned shift = 0; shift < 32; shift += 8) {
-    buffer.push_back(
-        static_cast<char>((kBinaryTraceVersion >> shift) & 0xFF));
-  }
-  appendVarint(buffer, trace.name.size());
-  buffer.append(trace.name);
   const std::size_t functionCount = trace.functionCount();
-  appendVarint(buffer, functionCount);
+  std::vector<std::string> functionNames;
+  functionNames.reserve(functionCount);
   for (std::size_t id = 0; id < functionCount; ++id) {
-    const std::string& name =
-        trace.functionName(static_cast<std::uint32_t>(id));
-    appendVarint(buffer, name.size());
-    buffer.append(name);
+    functionNames.push_back(
+        trace.functionName(static_cast<std::uint32_t>(id)));
   }
-  appendVarint(buffer, trace.events().size());
+  appendHeader(buffer, trace.name, functionNames, trace.events().size());
 
   for (const Event& event : trace.events()) {
-    switch (event.kind) {
-      case EventKind::kPrimitive: {
-        const auto primitive = static_cast<unsigned>(event.primitive);
-        buffer.push_back(static_cast<char>(primitive << 2));
-        appendVarint(buffer, event.args.size());
-        appendObject(buffer, event.result);
-        for (const ObjectRecord& arg : event.args) {
-          appendObject(buffer, arg);
-        }
-        break;
-      }
-      case EventKind::kFunctionEnter:
-      case EventKind::kFunctionExit: {
-        if (event.functionId >= functionCount) {
-          throw support::Error(
-              "trace save: function id " + std::to_string(event.functionId) +
-              " out of range (name table holds " +
-              std::to_string(functionCount) + ")");
-        }
-        buffer.push_back(
-            event.kind == EventKind::kFunctionEnter ? '\x01' : '\x02');
-        appendVarint(buffer, event.functionId);
-        if (event.kind == EventKind::kFunctionEnter) {
-          appendVarint(buffer, event.argCount);
-        }
-        break;
-      }
-    }
+    appendEvent(buffer, event, functionCount);
     if (buffer.size() >= kWriterFlushBytes) {
       out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
       buffer.clear();
@@ -182,6 +202,138 @@ void saveBinaryFile(const Trace& trace, const std::string& path) {
   if (!out) {
     throw support::Error("trace: write failed: " + path);
   }
+}
+
+namespace {
+
+long writerPid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(std::string path, std::string traceName)
+    : path_(std::move(path)), name_(std::move(traceName)) {
+  recordsTmp_ =
+      path_ + ".records.tmp." + std::to_string(writerPid());
+  records_ = std::fopen(recordsTmp_.c_str(), "wb");
+  if (records_ == nullptr) {
+    throw support::Error("trace: cannot open for write: " + recordsTmp_);
+  }
+  buffer_.reserve(kWriterFlushBytes + 64);
+}
+
+BinaryWriter::~BinaryWriter() { abort(); }
+
+std::uint32_t BinaryWriter::internFunction(std::string_view name) {
+  for (std::size_t i = 0; i < functionNames_.size(); ++i) {
+    if (functionNames_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  functionNames_.emplace_back(name);
+  return static_cast<std::uint32_t>(functionNames_.size() - 1);
+}
+
+void BinaryWriter::append(const Event& event) {
+  if (records_ == nullptr) {
+    throw support::Error("trace: append on a finished/aborted writer: " +
+                         path_);
+  }
+  appendEvent(buffer_, event, functionNames_.size());
+  ++recordCount_;
+  if (event.kind == EventKind::kPrimitive) ++primitiveCount_;
+  if (buffer_.size() >= kWriterFlushBytes) spill();
+}
+
+void BinaryWriter::spill() {
+  if (buffer_.empty()) return;
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), records_) !=
+      buffer_.size()) {
+    throw support::Error("trace: write failed: " + recordsTmp_);
+  }
+  buffer_.clear();
+}
+
+void BinaryWriter::finish() {
+  if (finished_ || records_ == nullptr) {
+    throw support::Error("trace: finish on a finished/aborted writer: " +
+                         path_);
+  }
+  try {
+    spill();
+    if (std::fclose(records_) != 0) {
+      records_ = nullptr;
+      throw support::Error("trace: write failed: " + recordsTmp_);
+    }
+    records_ = nullptr;
+
+    // Assemble header + records into the final temp, then rename: the
+    // destination only ever changes in one atomic step.
+    const std::string finalTmp =
+        path_ + ".tmp." + std::to_string(writerPid());
+    std::string header;
+    appendHeader(header, name_, functionNames_, recordCount_);
+    std::FILE* out = std::fopen(finalTmp.c_str(), "wb");
+    if (out == nullptr) {
+      throw support::Error("trace: cannot open for write: " + finalTmp);
+    }
+    std::FILE* in = nullptr;
+    const auto failAssembly = [&](const std::string& message) {
+      if (in != nullptr) std::fclose(in);
+      std::fclose(out);
+      std::remove(finalTmp.c_str());
+      throw support::Error(message);
+    };
+    if (std::fwrite(header.data(), 1, header.size(), out) !=
+        header.size()) {
+      failAssembly("trace: write failed: " + finalTmp);
+    }
+    in = std::fopen(recordsTmp_.c_str(), "rb");
+    if (in == nullptr) {
+      failAssembly("trace: cannot open for read: " + recordsTmp_);
+    }
+    std::vector<char> chunk(kWriterFlushBytes);
+    for (;;) {
+      const std::size_t got = std::fread(chunk.data(), 1, chunk.size(), in);
+      if (got > 0 && std::fwrite(chunk.data(), 1, got, out) != got) {
+        failAssembly("trace: write failed: " + finalTmp);
+      }
+      if (got < chunk.size()) {
+        if (std::ferror(in) != 0) {
+          failAssembly("trace: read failed: " + recordsTmp_);
+        }
+        break;
+      }
+    }
+    std::fclose(in);
+    if (std::fclose(out) != 0) {
+      std::remove(finalTmp.c_str());
+      throw support::Error("trace: write failed: " + finalTmp);
+    }
+    if (std::rename(finalTmp.c_str(), path_.c_str()) != 0) {
+      std::remove(finalTmp.c_str());
+      throw support::Error("trace: cannot rename " + finalTmp + " to " +
+                           path_);
+    }
+    std::remove(recordsTmp_.c_str());
+    finished_ = true;
+  } catch (...) {
+    abort();
+    throw;
+  }
+}
+
+void BinaryWriter::abort() noexcept {
+  if (finished_) return;
+  if (records_ != nullptr) {
+    std::fclose(records_);
+    records_ = nullptr;
+  }
+  std::remove(recordsTmp_.c_str());
+  finished_ = true;
 }
 
 MappedTrace MappedTrace::open(const std::string& path, Backing backing) {

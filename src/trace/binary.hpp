@@ -35,8 +35,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -52,6 +54,68 @@ bool looksBinary(const char* bytes, std::size_t size);
 
 void saveBinary(const Trace& trace, std::ostream& out);
 void saveBinaryFile(const Trace& trace, const std::string& path);
+
+/// Incremental SMTR writer: append events one at a time and get a
+/// complete binary trace file on finish(), without ever holding a Trace
+/// (or more than one flush buffer of encoded records) in memory — the
+/// emit side of the streaming story whose read side is MappedTrace.
+///
+/// The header carries the record count *before* the record stream, so a
+/// single-pass writer cannot emit the final file front to back. Instead
+/// records stream into a sibling `<path>.records.tmp.<pid>` spill file;
+/// finish() writes the header (with the now-known count and name table)
+/// to `<path>.tmp.<pid>`, splices the spill file in by bounded-buffer
+/// copy, and renames into place — the same atomic-output contract as
+/// tools/trace_convert: `path` is only ever absent, its old content, or
+/// a complete trace, and no temp survives any outcome (the destructor
+/// aborts an unfinished writer).
+///
+/// Byte-for-byte identical to saveBinaryFile() of the equivalent
+/// in-memory Trace: both run the same record encoder, which is what
+/// lets the family generators' streaming-vs-in-memory equality tests
+/// compare whole files.
+class BinaryWriter {
+ public:
+  /// Create the spill file next to `path`. Throws support::Error when it
+  /// cannot be opened.
+  BinaryWriter(std::string path, std::string traceName);
+  ~BinaryWriter();  ///< aborts (removes temps) unless finish()ed
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Intern a function name exactly like Trace::internFunction (same
+  /// dedup, same id order, hence the same header bytes).
+  std::uint32_t internFunction(std::string_view name);
+
+  /// Encode and buffer one event. Function events must reference an
+  /// already-interned id; records are spilled every ~1 MiB. Throws
+  /// support::Error on an out-of-range function id or a write failure.
+  void append(const Event& event);
+
+  std::uint64_t recordCount() const { return recordCount_; }
+  std::uint64_t primitiveCount() const { return primitiveCount_; }
+
+  /// Assemble header + records and atomically rename into place.
+  /// Throws support::Error on any I/O failure (temps removed first).
+  void finish();
+
+  /// Remove the temp files without producing output. Safe to call at
+  /// any point; no-op after finish().
+  void abort() noexcept;
+
+ private:
+  void spill();
+
+  std::string path_;
+  std::string name_;
+  std::string recordsTmp_;
+  std::FILE* records_ = nullptr;
+  std::string buffer_;
+  std::vector<std::string> functionNames_;
+  std::uint64_t recordCount_ = 0;
+  std::uint64_t primitiveCount_ = 0;
+  bool finished_ = false;
+};
 
 /// A trace file mapped read-only into memory. Owns the mapping (unmapped
 /// on destruction); the header (name + function-name table) is decoded

@@ -125,29 +125,40 @@ ObjectRecord parseObject(const std::string& token, std::size_t lineNo) {
 
 }  // namespace
 
-void save(const Trace& trace, std::ostream& out) {
-  out << "# name " << trace.name << "\n";
-  for (const Event& event : trace.events()) {
-    switch (event.kind) {
-      case EventKind::kPrimitive: {
-        out << "P " << primitiveName(event.primitive) << " ";
-        writeObject(out, event.result);
-        for (const ObjectRecord& arg : event.args) {
-          out << " ";
-          writeObject(out, arg);
-        }
-        out << "\n";
-        break;
+void saveTextHeader(std::ostream& out, const std::string& traceName) {
+  out << "# name " << traceName << "\n";
+}
+
+void saveTextEvent(std::ostream& out, const Event& event,
+                   const std::string& functionName) {
+  switch (event.kind) {
+    case EventKind::kPrimitive: {
+      out << "P " << primitiveName(event.primitive) << " ";
+      writeObject(out, event.result);
+      for (const ObjectRecord& arg : event.args) {
+        out << " ";
+        writeObject(out, arg);
       }
-      case EventKind::kFunctionEnter:
-        out << "E " << escapeName(trace.functionName(event.functionId))
-            << " " << static_cast<int>(event.argCount) << "\n";
-        break;
-      case EventKind::kFunctionExit:
-        out << "X " << escapeName(trace.functionName(event.functionId))
-            << "\n";
-        break;
+      out << "\n";
+      break;
     }
+    case EventKind::kFunctionEnter:
+      out << "E " << escapeName(functionName) << " "
+          << static_cast<int>(event.argCount) << "\n";
+      break;
+    case EventKind::kFunctionExit:
+      out << "X " << escapeName(functionName) << "\n";
+      break;
+  }
+}
+
+void save(const Trace& trace, std::ostream& out) {
+  saveTextHeader(out, trace.name);
+  for (const Event& event : trace.events()) {
+    saveTextEvent(out, event,
+                  event.kind == EventKind::kPrimitive
+                      ? std::string()
+                      : trace.functionName(event.functionId));
   }
 }
 

@@ -35,6 +35,15 @@ const char* fileFormatName(FileFormat format);
 void save(const Trace& trace, std::ostream& out);
 Trace load(std::istream& in);
 
+/// Streaming text emission: save() is exactly saveTextHeader() followed
+/// by saveTextEvent() per event, so a generator that cannot hold a Trace
+/// (tools/trace_gen at 10^8+ primitives) can still produce the identical
+/// text bytes. `functionName` is the un-escaped interned name for
+/// function enter/exit events (ignored for primitives).
+void saveTextHeader(std::ostream& out, const std::string& traceName);
+void saveTextEvent(std::ostream& out, const Event& event,
+                   const std::string& functionName);
+
 void saveFile(const Trace& trace, const std::string& path,
               FileFormat format = FileFormat::kText);
 Trace loadFile(const std::string& path);

@@ -1,0 +1,171 @@
+// agent-loop: one long-lived environment, read-eval-mutate turns.
+//
+// The environment is an a-list: a cdr-linked spine whose cars are
+// binding pairs. The generator keeps the most recent `envEntries` spine
+// cells in a ring (older cells fall out of the window and are never
+// referenced again, so residency is O(envEntries) at any scale). A turn
+//   1. looks up a few bindings: a chained cdr walk down the spine from
+//      the head, then car to the binding pair and car again to the
+//      value (the a-list probe shape),
+//   2. evaluates: conses a result structure off the looked-up values,
+//      sometimes inside a nested tool-call frame,
+//   3. with mutateProb rebinds a recent entry in place (rplacd on the
+//      binding pair — tool-call-state churn),
+//   4. with burstProb grows the environment by burstLength prepended
+//      bindings (tool output entering scope), each prepend a cons of
+//      (new pair, old head),
+// and occasionally writes the turn's result out.
+#include <deque>
+
+#include "workloads/families/emitter.hpp"
+#include "workloads/families/family.hpp"
+
+namespace small::workloads::families::detail {
+
+namespace {
+
+class AgentLoop final : public Family {
+ public:
+  explicit AgentLoop(const FamilyConfig& config) : config_(config) {}
+
+  FamilyKind kind() const override { return FamilyKind::kAgentLoop; }
+
+  FamilyStats generate(EventSink& sink) override {
+    Emitter e(sink, config_);
+    const AgentLoopKnobs& k = config_.agentLoop;
+    const std::uint32_t turnFn = sink.internFunction("agent-turn");
+    const std::uint32_t lookupFn = sink.internFunction("env-lookup");
+    const std::uint32_t toolFn = sink.internFunction("tool-call");
+    const std::uint32_t planFn = sink.internFunction("plan-step");
+
+    // Ring of spine cells, newest first; pairs_[i] is the binding pair
+    // hanging off spine_[i]; values_[i] the bound value.
+    std::deque<Obj> spine, pairs, values;
+    const auto sizeTarget = static_cast<std::size_t>(k.envEntries);
+
+    // Seed the environment: read the initial context, then cons up the
+    // first bindings.
+    Obj seed = e.read(8, 2);
+    prepend(e, seed, spine, pairs, values, sizeTarget);
+    while (spine.size() < sizeTarget && !e.done()) {
+      prepend(e, values.front(), spine, pairs, values, sizeTarget);
+    }
+
+    while (!e.done()) {
+      e.enterFunction(turnFn, 1);
+      // An occasional deeper planning context so call depth has texture.
+      std::uint32_t planFrames = 0;
+      if (e.rng().chance(0.15)) {
+        planFrames = 1 + static_cast<std::uint32_t>(e.rng().below(3));
+        for (std::uint32_t i = 0; i < planFrames; ++i) {
+          e.enterFunction(planFn, 2);
+        }
+      }
+
+      // 1. Lookups.
+      Obj lastValue = values.front();
+      const std::uint64_t lookups = 1 + e.rng().below(3);
+      for (std::uint64_t i = 0; i < lookups && !e.done(); ++i) {
+        e.enterFunction(lookupFn, 2);
+        const std::size_t target = pickRecent(e, spine.size());
+        // assoc walk: cdr down the spine, probing keys along the way
+        // (car to the pair, equal against the probe key) — the probes
+        // are what keeps the walk from being a pure cdr chain.
+        for (std::size_t d = 0; d + 1 <= target && !e.done(); ++d) {
+          e.cdrTo(spine[d], spine[d + 1]);
+          if (e.rng().chance(0.35)) {
+            e.carList(spine[d + 1], pairs[d + 1]);
+            if (e.rng().chance(0.5)) {
+              e.equal(pairs[d + 1], pairs[target]);
+            }
+          }
+        }
+        e.carList(spine[target], pairs[target]);
+        e.carList(pairs[target], values[target]);
+        if (e.rng().chance(0.4)) {
+          e.predicate(trace::Primitive::kNull, values[target]);
+        }
+        lastValue = values[target];
+        e.exitFunction();
+      }
+
+      // 2. Evaluate: build a result structure off the last value.
+      Obj result = lastValue;
+      const bool toolCall = e.rng().chance(0.5);
+      if (toolCall) e.enterFunction(toolFn, 2);
+      const std::uint64_t builds = 2 + e.rng().below(5);
+      for (std::uint64_t i = 0; i < builds && !e.done(); ++i) {
+        result = e.rng().chance(0.8) ? e.consAtom(result)
+                                     : e.cons(lastValue, result);
+      }
+      if (toolCall) {
+        if (e.rng().chance(0.3)) e.equal(result, lastValue);
+        e.exitFunction();
+      }
+
+      // 3. Mutate recent bindings in place (tool-call-state churn).
+      if (e.rng().chance(k.mutateProb)) {
+        const std::uint64_t rebinds = 1 + e.rng().below(4);
+        for (std::uint64_t i = 0; i < rebinds && !e.done(); ++i) {
+          const std::size_t target = pickRecent(e, spine.size());
+          e.rplacd(pairs[target], result);
+          values[target] = result;
+        }
+      }
+
+      // 4. Bursty growth: tool output enters the environment.
+      if (e.rng().chance(k.burstProb)) {
+        for (std::uint64_t i = 0; i < k.burstLength && !e.done(); ++i) {
+          const Obj payload = e.read(4 + e.rng().below(12), 1);
+          prepend(e, payload, spine, pairs, values, sizeTarget);
+        }
+      }
+
+      if (e.rng().chance(0.2) && !e.done()) e.writeOut(result);
+      for (std::uint32_t i = 0; i < planFrames; ++i) e.exitFunction();
+      e.exitFunction();
+      e.noteLive(spine.size() * 3);  // spine cell + pair + value
+    }
+    e.unwindAll();
+    return e.finish();
+  }
+
+ private:
+  /// Recency-biased index: most lookups hit recent bindings, the tail
+  /// still sees traffic (the long-lived-context part of the scenario).
+  static std::size_t pickRecent(Emitter& e, std::size_t size) {
+    const double u = e.rng().uniform();
+    const double biased = u * u;  // quadratic bias toward 0 (the head)
+    auto index = static_cast<std::size_t>(biased *
+                                          static_cast<double>(size));
+    return index >= size ? size - 1 : index;
+  }
+
+  /// Prepend a new binding for `value`: cons the pair, cons it onto the
+  /// spine head, evict the oldest cell past the window.
+  static void prepend(Emitter& e, const Obj& value, std::deque<Obj>& spine,
+                      std::deque<Obj>& pairs, std::deque<Obj>& values,
+                      std::size_t sizeTarget) {
+    const Obj pair = e.consAtom(value);
+    const Obj head = spine.empty() ? e.cons(pair, value)
+                                   : e.cons(pair, spine.front());
+    spine.push_front(head);
+    pairs.push_front(pair);
+    values.push_front(value);
+    if (spine.size() > sizeTarget) {
+      spine.pop_back();
+      pairs.pop_back();
+      values.pop_back();
+    }
+  }
+
+  FamilyConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Family> makeAgentLoop(const FamilyConfig& config) {
+  return std::make_unique<AgentLoop>(config);
+}
+
+}  // namespace small::workloads::families::detail

@@ -1,0 +1,259 @@
+// Internal: the shared emission core of the family generators.
+//
+// Families describe *scenarios* (what gets walked, built, mutated, and
+// dropped); the Emitter owns everything scenario-independent — minting
+// fingerprints, packing ObjectRecords, budget enforcement (exactly
+// `scale` primitives), the function-call stack, and FamilyStats
+// accounting, including the chained-car/cdr detection that mirrors
+// trace::Preprocessor (an argument is chained iff it is a list, the
+// previous primitive's result was a list, and the fingerprints match).
+//
+// Not installed / not part of the public interface; include only from
+// families/*.cpp.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+#include "workloads/families/family.hpp"
+
+namespace small::workloads::families::detail {
+
+/// A list object as the generator tracks it: fingerprint plus the (n, p)
+/// shape it was minted with. Generators keep O(knobs) of these, never
+/// O(scale).
+struct Obj {
+  std::uint64_t fp = 0;
+  std::uint32_t n = 1;
+  std::uint32_t p = 0;
+};
+
+class Emitter {
+ public:
+  Emitter(EventSink& sink, const FamilyConfig& config)
+      : sink_(&sink), scale_(config.scale), rng_(config.seed) {}
+
+  support::Rng& rng() { return rng_; }
+  bool done() const { return stats_.primitives >= scale_; }
+  std::uint64_t remaining() const { return scale_ - stats_.primitives; }
+  std::uint32_t depth() const {
+    return static_cast<std::uint32_t>(callStack_.size());
+  }
+  const FamilyStats& stats() const { return stats_; }
+
+  /// Final statistics; call after unwindAll().
+  FamilyStats finish() {
+    if (!callStack_.empty()) {
+      throw support::Error("family generator left open function frames");
+    }
+    return stats_;
+  }
+
+  // --- fingerprints -------------------------------------------------
+
+  /// Mint a fresh list object.
+  Obj fresh(std::uint32_t n, std::uint32_t p) {
+    ++stats_.objectsCreated;
+    return Obj{nextFp_++, n, p};
+  }
+
+  /// Mint `count` consecutive fingerprints and return the first — the
+  /// cells of a deep chain can then be named arithmetically (base + i)
+  /// without storing any of them.
+  std::uint64_t mintBlock(std::uint64_t count) {
+    const std::uint64_t base = nextFp_;
+    nextFp_ += count;
+    stats_.objectsCreated += count;
+    return base;
+  }
+
+  /// Record the generator's current live-object count (ring/pool
+  /// occupancy) for the liveObjectsPeak high-water mark.
+  void noteLive(std::uint64_t live) {
+    if (live > stats_.liveObjectsPeak) stats_.liveObjectsPeak = live;
+  }
+
+  // --- primitives ---------------------------------------------------
+  // Each helper emits exactly one primitive event (silently dropped once
+  // the scale budget is spent — callers check done() at loop heads, the
+  // budget check here just makes the cut exact mid-phase).
+
+  /// readlist: new data enters the system.
+  Obj read(std::uint32_t n, std::uint32_t p) {
+    const Obj result = fresh(n, p);
+    emit(trace::Primitive::kRead, record(result), {});
+    return result;
+  }
+
+  /// writelist: a result leaves the system (atom result).
+  void writeOut(const Obj& value) {
+    emit(trace::Primitive::kWrite, atom(), {record(value)});
+  }
+
+  Obj cons(const Obj& head, const Obj& tail) {
+    const Obj result = fresh(clampShape(head.n + tail.n + 1),
+                             clampShape(head.p + tail.p + (head.n > 1)));
+    emit(trace::Primitive::kCons, record(result),
+         {record(head), record(tail)});
+    return result;
+  }
+
+  /// cons whose head is an atom (plain list cell prepend).
+  Obj consAtom(const Obj& tail) {
+    const Obj result = fresh(clampShape(tail.n + 1), tail.p);
+    emit(trace::Primitive::kCons, record(result), {atom(), record(tail)});
+    return result;
+  }
+
+  /// cons whose result is a pre-named cell (chain construction over a
+  /// minted fingerprint block; nothing fresh is created here).
+  void consTo(const Obj& head, const Obj& tail, const Obj& result) {
+    emit(trace::Primitive::kCons, record(result),
+         {record(head), record(tail)});
+  }
+
+  /// consTo with an atom head.
+  void consAtomTo(const Obj& tail, const Obj& result) {
+    emit(trace::Primitive::kCons, record(result), {atom(), record(tail)});
+  }
+
+  /// car that yields a known list child.
+  void carList(const Obj& arg, const Obj& result) {
+    emit(trace::Primitive::kCar, record(result), {record(arg)});
+  }
+
+  /// car that yields an atom.
+  void carAtom(const Obj& arg) {
+    emit(trace::Primitive::kCar, atom(), {record(arg)});
+  }
+
+  /// cdr to the known next cell.
+  void cdrTo(const Obj& arg, const Obj& result) {
+    emit(trace::Primitive::kCdr, record(result), {record(arg)});
+  }
+
+  /// cdr off the end of a chain (nil result).
+  void cdrNil(const Obj& arg) {
+    emit(trace::Primitive::kCdr, atom(), {record(arg)});
+  }
+
+  void rplaca(const Obj& target, const Obj& value) {
+    emit(trace::Primitive::kRplaca, record(target),
+         {record(target), record(value)});
+  }
+
+  void rplacd(const Obj& target, const Obj& value) {
+    emit(trace::Primitive::kRplacd, record(target),
+         {record(target), record(value)});
+  }
+
+  /// atom/null predicate (atom result).
+  void predicate(trace::Primitive p, const Obj& arg) {
+    emit(p, atom(), {record(arg)});
+  }
+
+  void equal(const Obj& a, const Obj& b) {
+    emit(trace::Primitive::kEqual, atom(), {record(a), record(b)});
+  }
+
+  Obj append2(const Obj& a, const Obj& b) {
+    const Obj result =
+        fresh(clampShape(a.n + b.n), clampShape(a.p + b.p));
+    emit(trace::Primitive::kAppend, record(result), {record(a), record(b)});
+    return result;
+  }
+
+  // --- function texture ---------------------------------------------
+
+  void enterFunction(std::uint32_t id, std::uint8_t argCount) {
+    trace::Event event;
+    event.kind = trace::EventKind::kFunctionEnter;
+    event.functionId = id;
+    event.argCount = argCount;
+    sink_->append(event);
+    ++stats_.events;
+    ++stats_.functionCalls;
+    callStack_.push_back(id);
+    if (depth() > stats_.maxCallDepth) stats_.maxCallDepth = depth();
+  }
+
+  void exitFunction() {
+    if (callStack_.empty()) {
+      throw support::Error("family generator: function exit without enter");
+    }
+    trace::Event event;
+    event.kind = trace::EventKind::kFunctionExit;
+    event.functionId = callStack_.back();
+    sink_->append(event);
+    ++stats_.events;
+    callStack_.pop_back();
+  }
+
+  /// Exit every open frame (end of generation).
+  void unwindAll() {
+    while (!callStack_.empty()) exitFunction();
+  }
+
+ private:
+  static trace::ObjectRecord atom() { return trace::ObjectRecord{}; }
+
+  static std::uint32_t clampShape(std::uint32_t value) {
+    // Shapes feed LPT entry sizing; keep them in the few-hundreds so a
+    // single pathological object cannot dominate a table statistic.
+    return value > 400 ? 400 : value;
+  }
+
+  static trace::ObjectRecord record(const Obj& obj) {
+    trace::ObjectRecord rec;
+    rec.fingerprint = obj.fp;
+    rec.n = obj.n;
+    rec.p = obj.p;
+    rec.isList = true;
+    return rec;
+  }
+
+  void emit(trace::Primitive primitive, const trace::ObjectRecord& result,
+            std::initializer_list<trace::ObjectRecord> args) {
+    if (done()) return;
+    scratch_.kind = trace::EventKind::kPrimitive;
+    scratch_.primitive = primitive;
+    scratch_.result = result;
+    scratch_.args.assign(args.begin(), args.end());
+    bool chained = false;
+    for (const trace::ObjectRecord& arg : scratch_.args) {
+      if (!arg.isList) continue;
+      ++stats_.listArgs;
+      stats_.sumN += arg.n;
+      stats_.sumP += arg.p;
+      if (lastResultIsList_ && arg.fingerprint == lastResultFp_) {
+        chained = true;
+      }
+    }
+    if (chained) {
+      if (primitive == trace::Primitive::kCar) ++stats_.carChained;
+      if (primitive == trace::Primitive::kCdr) ++stats_.cdrChained;
+    }
+    sink_->append(scratch_);
+    ++stats_.events;
+    ++stats_.primitives;
+    ++stats_.perPrimitive[static_cast<std::size_t>(primitive)];
+    lastResultFp_ = result.fingerprint;
+    lastResultIsList_ = result.isList;
+  }
+
+  EventSink* sink_;
+  std::uint64_t scale_;
+  support::Rng rng_;
+  FamilyStats stats_;
+  std::vector<std::uint32_t> callStack_;
+  std::uint64_t nextFp_ = 1;
+  std::uint64_t lastResultFp_ = 0;
+  bool lastResultIsList_ = false;
+  trace::Event scratch_;
+};
+
+}  // namespace small::workloads::families::detail

@@ -1,0 +1,191 @@
+#include "workloads/families/family.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "support/error.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+
+namespace small::workloads::families {
+
+std::uint32_t TraceEventSink::internFunction(std::string_view name) {
+  return trace_->internFunction(name);
+}
+
+void TraceEventSink::append(const trace::Event& event) {
+  trace_->append(event);
+}
+
+std::uint32_t BinaryWriterSink::internFunction(std::string_view name) {
+  return writer_->internFunction(name);
+}
+
+void BinaryWriterSink::append(const trace::Event& event) {
+  writer_->append(event);
+}
+
+TextStreamSink::TextStreamSink(std::ostream& out,
+                               const std::string& traceName)
+    : out_(&out) {
+  trace::saveTextHeader(out, traceName);
+}
+
+std::uint32_t TextStreamSink::internFunction(std::string_view name) {
+  // Same dedup/id-order contract as Trace::internFunction: the table is
+  // a handful of family role names, so the linear scan is free.
+  for (std::size_t i = 0; i < functionNames_.size(); ++i) {
+    if (functionNames_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  functionNames_.emplace_back(name);
+  return static_cast<std::uint32_t>(functionNames_.size() - 1);
+}
+
+void TextStreamSink::append(const trace::Event& event) {
+  static const std::string kNoName;
+  if (event.kind == trace::EventKind::kPrimitive) {
+    trace::saveTextEvent(*out_, event, kNoName);
+    return;
+  }
+  if (event.functionId >= functionNames_.size()) {
+    throw support::Error("family text sink: unknown function id " +
+                         std::to_string(event.functionId));
+  }
+  trace::saveTextEvent(*out_, event, functionNames_[event.functionId]);
+}
+
+const char* familyName(FamilyKind kind) {
+  switch (kind) {
+    case FamilyKind::kAgentLoop: return "agent-loop";
+    case FamilyKind::kThunkHeavy: return "thunk-heavy";
+    case FamilyKind::kSessionChurn: return "session-churn";
+  }
+  return "?";
+}
+
+std::optional<FamilyKind> familyFromName(std::string_view name) {
+  for (const FamilyKind kind : kAllFamilies) {
+    if (name == familyName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<Knob> familyKnobs(FamilyKind kind, FamilyConfig& config) {
+  switch (kind) {
+    case FamilyKind::kAgentLoop:
+      return {
+          {"--env-entries", "live environment bindings (1..100000)", 1,
+           100000, &config.agentLoop.envEntries, nullptr},
+          {"--mutate-prob", "per-turn rebind probability (0..1)", 0.0, 1.0,
+           nullptr, &config.agentLoop.mutateProb},
+          {"--burst-prob", "per-turn growth-burst probability (0..1)", 0.0,
+           1.0, nullptr, &config.agentLoop.burstProb},
+          {"--burst-length", "bindings added per burst (1..100000)", 1,
+           100000, &config.agentLoop.burstLength, nullptr},
+      };
+    case FamilyKind::kThunkHeavy:
+      return {
+          {"--chain-depth", "cdr-chain depth per thunk (4..10000)", 4,
+           10000, &config.thunkHeavy.chainDepth, nullptr},
+          {"--pending-thunks", "max outstanding suspensions (1..1000000)",
+           1, 1000000, &config.thunkHeavy.pendingThunks, nullptr},
+          {"--forced-fraction", "fraction of thunks ever forced (0..1)",
+           0.0, 1.0, nullptr, &config.thunkHeavy.forcedFraction},
+      };
+    case FamilyKind::kSessionChurn:
+      return {
+          {"--live-sessions", "concurrently live sessions (1..1000000)", 1,
+           1000000, &config.sessionChurn.liveSessions, nullptr},
+          {"--session-ops", "probe primitives per session (1..100000)", 1,
+           100000, &config.sessionChurn.sessionOps, nullptr},
+          {"--env-bindings", "bindings built at session start (1..64)", 1,
+           64, &config.sessionChurn.envBindings, nullptr},
+      };
+  }
+  return {};
+}
+
+MixExpectation familyExpectation(FamilyKind kind) {
+  // Center points measured at default knobs over several seeds; the
+  // tolerances absorb seed and scale noise down to ~10^4 primitives.
+  // A family drifting outside this envelope is a behavior change the
+  // statistics-sanity tests are meant to catch.
+  switch (kind) {
+    case FamilyKind::kAgentLoop:
+      return {0.24, 0.58, 0.05, 0.06, 0.97, 0.63, 0.08};
+    case FamilyKind::kThunkHeavy:
+      return {0.10, 0.86, 0.02, 0.06, 1.00, 0.87, 0.08};
+    case FamilyKind::kSessionChurn:
+      return {0.19, 0.33, 0.22, 0.06, 0.03, 0.34, 0.08};
+  }
+  return {};
+}
+
+double FamilyStats::carChainRate() const {
+  const std::uint64_t cars =
+      perPrimitive[static_cast<std::size_t>(trace::Primitive::kCar)];
+  return cars == 0 ? 0.0
+                   : static_cast<double>(carChained) /
+                         static_cast<double>(cars);
+}
+
+double FamilyStats::cdrChainRate() const {
+  const std::uint64_t cdrs =
+      perPrimitive[static_cast<std::size_t>(trace::Primitive::kCdr)];
+  return cdrs == 0 ? 0.0
+                   : static_cast<double>(cdrChained) /
+                         static_cast<double>(cdrs);
+}
+
+namespace detail {
+// Defined in the per-family translation units.
+std::unique_ptr<Family> makeAgentLoop(const FamilyConfig& config);
+std::unique_ptr<Family> makeThunkHeavy(const FamilyConfig& config);
+std::unique_ptr<Family> makeSessionChurn(const FamilyConfig& config);
+}  // namespace detail
+
+std::unique_ptr<Family> makeFamily(FamilyKind kind,
+                                   const FamilyConfig& config) {
+  if (config.scale < kMinScale || config.scale > kMaxScale) {
+    throw support::Error(
+        "family scale " + std::to_string(config.scale) +
+        " out of range [" + std::to_string(kMinScale) + ", " +
+        std::to_string(kMaxScale) + "]");
+  }
+  // The knob table doubles as the validity spec: a config someone built
+  // by hand gets the same range checks the CLI enforces.
+  FamilyConfig probe = config;
+  for (const Knob& knob : familyKnobs(kind, probe)) {
+    if (knob.count != nullptr) {
+      const auto value = static_cast<double>(*knob.count);
+      if (value < knob.min || value > knob.max) {
+        throw support::Error(std::string("family knob ") + knob.flag +
+                             " out of range");
+      }
+    } else {
+      if (*knob.real < knob.min || *knob.real > knob.max) {
+        throw support::Error(std::string("family knob ") + knob.flag +
+                             " out of range");
+      }
+    }
+  }
+  switch (kind) {
+    case FamilyKind::kAgentLoop: return detail::makeAgentLoop(config);
+    case FamilyKind::kThunkHeavy: return detail::makeThunkHeavy(config);
+    case FamilyKind::kSessionChurn: return detail::makeSessionChurn(config);
+  }
+  throw support::Error("unknown family kind");
+}
+
+trace::Trace generateTrace(FamilyKind kind, const FamilyConfig& config,
+                           FamilyStats* stats) {
+  trace::Trace trace;
+  trace.name = std::string(familyName(kind)) + "-s" +
+               std::to_string(config.seed);
+  TraceEventSink sink(trace);
+  const FamilyStats result = makeFamily(kind, config)->generate(sink);
+  if (stats != nullptr) *stats = result;
+  return trace;
+}
+
+}  // namespace small::workloads::families

@@ -1,0 +1,261 @@
+// Scenario workload families: modern access patterns as streaming trace
+// emitters.
+//
+// The calibrated generator (trace/synthetic.hpp) reproduces the thesis'
+// five workload *distributions*; the families here model three modern
+// *scenarios* whose structure the paper could not have measured, to ask
+// how far off-distribution the Chapter 5 LPT conclusions hold:
+//
+//   agent-loop     one persistent environment, read-eval-mutate cycles:
+//                  tool-call-like a-list lookups (deep chained cdr/car
+//                  walks over a long-lived spine), result construction,
+//                  rplacd churn on recent bindings, and bursty
+//                  environment growth.
+//   thunk-heavy    call-by-need shape: suspensions accumulate as deeply
+//                  nested cdr-chains that are built cheaply, go cold,
+//                  and are forced late — long chained walks that revisit
+//                  structure far older than anything a strict evaluator
+//                  would touch.
+//   session-churn  many short-lived environments at a high request
+//                  rate: each session builds a small structure, probes
+//                  it briefly, and drops it — allocation-heavy, shallow,
+//                  with almost no long-lived state.
+//
+// Each family is a deterministic function of (scale, seed, knobs) that
+// *streams* its events into an EventSink in O(knobs) resident memory —
+// never O(scale) — so the same generator reaches 10^3 primitives for a
+// unit test and 10^8-10^9 through trace::BinaryWriter for the scale axis
+// (tools/trace_gen), with byte-identical output for a given config
+// whichever sink receives it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace small::trace {
+class BinaryWriter;
+}  // namespace small::trace
+
+namespace small::workloads::families {
+
+/// Where generated events go. The three implementations below cover the
+/// in-memory, binary-streaming, and text-streaming cases; generators are
+/// sink-agnostic so equality across sinks is a file-compare test, not a
+/// code path.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Intern a function name, returning its id (Trace::internFunction
+  /// semantics: dedup by value, ids in first-use order).
+  virtual std::uint32_t internFunction(std::string_view name) = 0;
+  /// Emit one event. Function events reference an interned id.
+  virtual void append(const trace::Event& event) = 0;
+};
+
+/// Collects events into an in-memory Trace (small scales: tests, bench
+/// sweeps, service rosters).
+class TraceEventSink final : public EventSink {
+ public:
+  explicit TraceEventSink(trace::Trace& trace) : trace_(&trace) {}
+  std::uint32_t internFunction(std::string_view name) override;
+  void append(const trace::Event& event) override;
+
+ private:
+  trace::Trace* trace_;
+};
+
+/// Streams events into an SMTR file via trace::BinaryWriter (the 10^8+
+/// path; O(flush buffer) memory).
+class BinaryWriterSink final : public EventSink {
+ public:
+  explicit BinaryWriterSink(trace::BinaryWriter& writer) : writer_(&writer) {}
+  std::uint32_t internFunction(std::string_view name) override;
+  void append(const trace::Event& event) override;
+
+ private:
+  trace::BinaryWriter* writer_;
+};
+
+/// Streams events as the line-oriented text format (trace/io.hpp) —
+/// trace_gen --format text. Writes the `# name` header on construction
+/// and keeps its own name table for function events.
+class TextStreamSink final : public EventSink {
+ public:
+  TextStreamSink(std::ostream& out, const std::string& traceName);
+  std::uint32_t internFunction(std::string_view name) override;
+  void append(const trace::Event& event) override;
+
+ private:
+  std::ostream* out_;
+  std::vector<std::string> functionNames_;
+};
+
+enum class FamilyKind : std::uint8_t {
+  kAgentLoop,
+  kThunkHeavy,
+  kSessionChurn,
+};
+
+inline constexpr FamilyKind kAllFamilies[] = {
+    FamilyKind::kAgentLoop,
+    FamilyKind::kThunkHeavy,
+    FamilyKind::kSessionChurn,
+};
+
+/// CLI name of the family ("agent-loop", "thunk-heavy", "session-churn").
+const char* familyName(FamilyKind kind);
+std::optional<FamilyKind> familyFromName(std::string_view name);
+
+/// agent-loop texture. The persistent environment is a bounded ring of
+/// `envEntries` bindings; each turn walks the spine (chained cdr with
+/// interleaved car probes), evaluates by consing a result structure,
+/// and with `mutateProb` rebinds a recent entry via rplacd. With
+/// `burstProb` per turn the environment grows by `burstLength`
+/// prepended bindings (tool output entering the a-list), evicting the
+/// oldest so residency stays bounded.
+struct AgentLoopKnobs {
+  std::uint64_t envEntries = 96;   ///< live environment bindings
+  double mutateProb = 0.35;        ///< per-turn rebind probability
+  double burstProb = 0.02;         ///< per-turn growth-burst probability
+  std::uint64_t burstLength = 48;  ///< bindings added per burst
+};
+
+/// thunk-heavy texture. Up to `pendingThunks` suspensions are alive at
+/// once; building one emits a few cheap conses, forcing one walks its
+/// full `chainDepth`-deep cdr chain (chained) plus a car per cell.
+/// `forcedFraction` of thunks are eventually forced; the rest are
+/// dropped unevaluated (speculative suspensions that never mattered).
+struct ThunkHeavyKnobs {
+  std::uint64_t chainDepth = 160;     ///< cdr-chain depth per thunk
+  std::uint64_t pendingThunks = 384;  ///< max outstanding suspensions
+  double forcedFraction = 0.65;       ///< thunks ever forced
+};
+
+/// session-churn texture. `liveSessions` concurrent sessions; each is
+/// born (reads a request, conses `envBindings` bindings), serves
+/// `sessionOps` shallow probes (car/cdr/predicates over its own small
+/// structure), and dies, dropping everything it built.
+struct SessionChurnKnobs {
+  std::uint64_t liveSessions = 64;  ///< concurrently live sessions
+  std::uint64_t sessionOps = 40;    ///< probe primitives per session
+  std::uint64_t envBindings = 6;    ///< bindings built at session start
+};
+
+/// Full generator configuration. `scale` is the exact number of
+/// primitive events emitted (function enter/exit records ride on top).
+struct FamilyConfig {
+  std::uint64_t scale = 100000;
+  std::uint64_t seed = 1;
+  AgentLoopKnobs agentLoop;
+  ThunkHeavyKnobs thunkHeavy;
+  SessionChurnKnobs sessionChurn;
+};
+
+inline constexpr std::uint64_t kMinScale = 1000;
+/// BinaryWriter streams, so the format ceiling is disk space; this cap
+/// (10^10) only guards against typo'd scales running for days.
+inline constexpr std::uint64_t kMaxScale = 10000000000ull;
+
+/// One CLI-tunable knob: flag spelling, help text, and a pointer into a
+/// FamilyConfig. Exactly one of `count`/`real` is non-null; `min`/`max`
+/// bound the accepted value (inclusive, in the pointee's domain).
+struct Knob {
+  const char* flag;
+  const char* help;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint64_t* count = nullptr;
+  double* real = nullptr;
+};
+
+/// The knob table for `kind`, with pointers into `config` — the single
+/// source of truth trace_gen parses per-family flags from.
+std::vector<Knob> familyKnobs(FamilyKind kind, FamilyConfig& config);
+
+/// Summary statistics accumulated while generating (the generator-side
+/// mirror of what trace::preprocess + Trace::content would recompute,
+/// maintained in O(1) so they exist even when the trace only ever lived
+/// in a spill file).
+struct FamilyStats {
+  std::uint64_t primitives = 0;
+  std::uint64_t events = 0;  ///< primitives + enters + exits
+  std::uint64_t perPrimitive[trace::kPrimitiveCount] = {};
+  std::uint64_t functionCalls = 0;  ///< enter events
+  std::uint32_t maxCallDepth = 0;
+  /// car/cdr calls whose list argument is the previous primitive's
+  /// list result (the Preprocessor's chained flag).
+  std::uint64_t carChained = 0;
+  std::uint64_t cdrChained = 0;
+  std::uint64_t objectsCreated = 0;    ///< fresh fingerprints minted
+  std::uint64_t liveObjectsPeak = 0;   ///< generator-pool high-water mark
+  /// Shape sums over list-valued arguments (means approximate Table 3.1's
+  /// n and p for the family).
+  std::uint64_t listArgs = 0;
+  std::uint64_t sumN = 0;
+  std::uint64_t sumP = 0;
+
+  double primitiveFrac(trace::Primitive p) const {
+    return primitives == 0 ? 0.0
+                           : static_cast<double>(
+                                 perPrimitive[static_cast<std::size_t>(p)]) /
+                                 static_cast<double>(primitives);
+  }
+  double carChainRate() const;
+  double cdrChainRate() const;
+  double meanN() const {
+    return listArgs == 0
+               ? 0.0
+               : static_cast<double>(sumN) / static_cast<double>(listArgs);
+  }
+  double meanP() const {
+    return listArgs == 0
+               ? 0.0
+               : static_cast<double>(sumP) / static_cast<double>(listArgs);
+  }
+};
+
+/// Declared primitive-mix / chaining envelope for a family at default
+/// knobs — what the family *promises* about its texture, pinned by the
+/// statistics-sanity tests across seeds.
+struct MixExpectation {
+  double carFrac = 0.0;
+  double cdrFrac = 0.0;
+  double consFrac = 0.0;
+  double mixTolerance = 0.0;  ///< absolute tolerance on each fraction
+  double carChainRate = 0.0;
+  double cdrChainRate = 0.0;
+  double chainTolerance = 0.0;
+};
+MixExpectation familyExpectation(FamilyKind kind);
+
+/// A configured generator. generate() streams one complete, balanced
+/// trace (every function enter matched by an exit) of exactly
+/// config.scale primitive events into `sink` and returns the summary;
+/// the same (kind, config) always produces the same event sequence.
+class Family {
+ public:
+  virtual ~Family() = default;
+  virtual FamilyKind kind() const = 0;
+  const char* name() const { return familyName(kind()); }
+  virtual FamilyStats generate(EventSink& sink) = 0;
+};
+
+/// Construct the generator for `kind`. Throws support::Error when
+/// config.scale is outside [kMinScale, kMaxScale] or a knob is zero
+/// where the family needs it nonzero.
+std::unique_ptr<Family> makeFamily(FamilyKind kind,
+                                   const FamilyConfig& config);
+
+/// Convenience for small scales: generate into an in-memory Trace named
+/// "<family>-s<seed>". The 10^8+ path goes through BinaryWriterSink.
+trace::Trace generateTrace(FamilyKind kind, const FamilyConfig& config,
+                           FamilyStats* stats = nullptr);
+
+}  // namespace small::workloads::families

@@ -1,0 +1,144 @@
+// session-churn: many short-lived environments at a high request rate.
+//
+// liveSessions sessions are alive at once; a scheduler visits them in
+// randomized order, a few primitives per visit, so their accesses
+// interleave the way concurrent request handling does. A session is
+// born by reading its request and consing a handful of bindings, serves
+// sessionOps shallow probes over its own small structure (car/cdr
+// pairs, predicates, the odd rplaca and two-step cdr walk), then writes
+// its response and dies, dropping everything it built — the generator
+// forgets the objects, so residency is liveSessions * envBindings
+// regardless of scale, and the trace is dominated by allocation and
+// young, shallow accesses: the opposite pole from agent-loop's
+// long-lived context.
+//
+// Function frames open and close within a single visit (`serve`) or
+// birth (`open-session`), never across visits, so the global enter/exit
+// stream stays balanced despite the interleaving.
+#include <vector>
+
+#include "workloads/families/emitter.hpp"
+#include "workloads/families/family.hpp"
+
+namespace small::workloads::families::detail {
+
+namespace {
+
+struct Session {
+  std::vector<Obj> objs;        // everything this session built
+  std::uint64_t opsLeft = 0;    // probe budget until it dies
+};
+
+class SessionChurn final : public Family {
+ public:
+  explicit SessionChurn(const FamilyConfig& config) : config_(config) {}
+
+  FamilyKind kind() const override { return FamilyKind::kSessionChurn; }
+
+  FamilyStats generate(EventSink& sink) override {
+    Emitter e(sink, config_);
+    const SessionChurnKnobs& k = config_.sessionChurn;
+    const std::uint32_t openFn = sink.internFunction("open-session");
+    const std::uint32_t serveFn = sink.internFunction("serve");
+    const std::uint32_t closeFn = sink.internFunction("close-session");
+
+    std::vector<Session> sessions(
+        static_cast<std::size_t>(k.liveSessions));
+    for (Session& session : sessions) {
+      if (e.done()) break;
+      birth(e, openFn, session, k);
+    }
+
+    while (!e.done()) {
+      Session& session =
+          sessions[e.rng().below(sessions.size())];
+      e.enterFunction(serveFn, 1);
+      const std::uint64_t ops = 1 + e.rng().below(4);
+      for (std::uint64_t i = 0; i < ops && !e.done(); ++i) {
+        probe(e, session);
+        if (session.opsLeft > 0) --session.opsLeft;
+      }
+      e.exitFunction();
+      if (session.opsLeft == 0 && !e.done()) {
+        e.enterFunction(closeFn, 1);
+        e.writeOut(session.objs.back());
+        e.exitFunction();
+        session.objs.clear();
+        birth(e, openFn, session, k);
+      }
+    }
+    e.unwindAll();
+    return e.finish();
+  }
+
+ private:
+  void birth(Emitter& e, std::uint32_t openFn, Session& session,
+             const SessionChurnKnobs& k) {
+    e.enterFunction(openFn, 1);
+    Obj request = e.read(4 + e.rng().below(10), 1);
+    session.objs.push_back(request);
+    Obj env = request;
+    for (std::uint64_t i = 0; i < k.envBindings && !e.done(); ++i) {
+      env = e.consAtom(env);
+      session.objs.push_back(env);
+    }
+    session.opsLeft = config_.sessionChurn.sessionOps;
+    e.exitFunction();
+    // Steady-state residency: every live session holds its request plus
+    // envBindings cells (transient growth adds a few more).
+    e.noteLive((k.envBindings + 1) * k.liveSessions);
+  }
+
+  void probe(Emitter& e, Session& session) {
+    if (session.objs.empty()) return;
+    // By value: the grow branch reallocates session.objs.
+    const Obj obj = session.objs[e.rng().below(session.objs.size())];
+    const double roll = e.rng().uniform();
+    if (roll < 0.30) {
+      // Short chained walk toward the request (cells were consed onto
+      // each other, so "previous" objects are the cdr chain).
+      const std::size_t at = indexOf(session, obj);
+      if (at >= 1) {
+        e.cdrTo(session.objs[at], session.objs[at - 1]);
+        if (at >= 2 && e.rng().chance(0.6)) {
+          e.cdrTo(session.objs[at - 1], session.objs[at - 2]);
+        }
+      } else {
+        e.cdrNil(obj);
+      }
+    } else if (roll < 0.55) {
+      e.carAtom(obj);
+    } else if (roll < 0.70) {
+      Obj grown = e.consAtom(obj);
+      session.objs.push_back(grown);
+      if (session.objs.size() > 24) {
+        session.objs.erase(session.objs.begin());
+      }
+    } else if (roll < 0.80) {
+      e.predicate(e.rng().chance(0.5) ? trace::Primitive::kNull
+                                      : trace::Primitive::kAtom,
+                  obj);
+    } else if (roll < 0.90) {
+      e.equal(obj, session.objs.front());
+    } else {
+      e.rplaca(obj, session.objs.front());
+    }
+  }
+
+  static std::size_t indexOf(const Session& session, const Obj& obj) {
+    for (std::size_t i = 0; i < session.objs.size(); ++i) {
+      if (session.objs[i].fp == obj.fp) return i;
+    }
+    return 0;
+  }
+
+  FamilyConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Family> makeSessionChurn(const FamilyConfig& config) {
+  return std::make_unique<SessionChurn>(config);
+}
+
+}  // namespace small::workloads::families::detail

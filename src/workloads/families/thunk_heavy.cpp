@@ -1,0 +1,149 @@
+// thunk-heavy: call-by-need shape — build cheap, force late, walk deep.
+//
+// A suspension is a chainDepth-deep cdr chain that exists from the
+// moment its head cell is consed but is only ever *traversed* when the
+// thunk is forced. The generator names a chain's cells arithmetically
+// (a minted fingerprint block: cell i = base + i, shape n = depth - i),
+// so a pending thunk costs 16 bytes of generator state no matter how
+// deep the chain — the whole point of the family is that forcing
+// revisits structure that has long gone cold, and the pending ring is
+// drained oldest-first to maximize that coldness.
+//
+// Per step the generator either builds a new suspension (a read plus a
+// few conses inside a `suspend` frame) or retires the oldest pending
+// one: with probability forcedFraction it is forced — a `force` frame
+// around a full chained cdr walk with occasional car probes and a null
+// check at the end — otherwise it is discarded unevaluated (one atom
+// check; speculation that never mattered).
+#include <deque>
+
+#include "workloads/families/emitter.hpp"
+#include "workloads/families/family.hpp"
+
+namespace small::workloads::families::detail {
+
+namespace {
+
+struct Thunk {
+  std::uint64_t baseFp = 0;
+  std::uint32_t depth = 0;
+};
+
+class ThunkHeavy final : public Family {
+ public:
+  explicit ThunkHeavy(const FamilyConfig& config) : config_(config) {}
+
+  FamilyKind kind() const override { return FamilyKind::kThunkHeavy; }
+
+  FamilyStats generate(EventSink& sink) override {
+    Emitter e(sink, config_);
+    const ThunkHeavyKnobs& k = config_.thunkHeavy;
+    const std::uint32_t suspendFn = sink.internFunction("suspend");
+    const std::uint32_t forceFn = sink.internFunction("force");
+    const std::uint32_t discardFn = sink.internFunction("discard");
+
+    std::deque<Thunk> pending;
+    std::uint64_t liveCells = 0;
+
+    while (!e.done()) {
+      // Retire when the ring is full, or (once seeded) at a rate that
+      // balances building; build otherwise.
+      const bool full = pending.size() >= k.pendingThunks;
+      const bool retire =
+          full || (pending.size() > k.pendingThunks / 2 &&
+                   e.rng().chance(0.5));
+      if (retire && !pending.empty()) {
+        const Thunk thunk = pending.front();
+        pending.pop_front();
+        liveCells -= thunk.depth;
+        if (e.rng().chance(k.forcedFraction)) {
+          force(e, forceFn, thunk, pending, liveCells, 3);
+        } else {
+          e.enterFunction(discardFn, 1);
+          e.predicate(trace::Primitive::kAtom, cell(thunk, 0));
+          e.exitFunction();
+        }
+      } else {
+        pending.push_back(build(e, suspendFn, k));
+        liveCells += pending.back().depth;
+        e.noteLive(liveCells);
+      }
+    }
+    e.unwindAll();
+    return e.finish();
+  }
+
+ private:
+  /// Cell i of a thunk's chain: fingerprint base + i, n shrinking down
+  /// the spine (capped so shapes stay in the few-hundreds), flat shape
+  /// (p stays 0 on a pure cdr chain).
+  static Obj cell(const Thunk& thunk, std::uint32_t i) {
+    const std::uint32_t left = thunk.depth - i;
+    return Obj{thunk.baseFp + i, left > 400 ? 400 : left, 0};
+  }
+
+  Thunk build(Emitter& e, std::uint32_t suspendFn,
+              const ThunkHeavyKnobs& k) {
+    // Depth in [chainDepth/2, 3*chainDepth/2): mean chainDepth.
+    const std::uint64_t depth =
+        k.chainDepth / 2 + 1 + e.rng().below(k.chainDepth);
+    Thunk thunk{0, static_cast<std::uint32_t>(depth)};
+    thunk.baseFp = e.mintBlock(depth);
+    e.enterFunction(suspendFn, 2);
+    // Delayed construction: only the first few cells are materially
+    // consed now; the tail exists but stays untouched until forced.
+    const Obj payload = e.read(3 + e.rng().below(6), 1);
+    const std::uint32_t eager =
+        static_cast<std::uint32_t>(2 + e.rng().below(3));
+    for (std::uint32_t i = 0; i < eager && !e.done(); ++i) {
+      const std::uint32_t j = eager - 1 - i;  // cons inside-out
+      if (j + 1 >= thunk.depth) continue;
+      if (j == 0) {
+        e.consTo(payload, cell(thunk, 1), cell(thunk, 0));
+      } else {
+        e.consAtomTo(cell(thunk, j + 1), cell(thunk, j));
+      }
+    }
+    e.exitFunction();
+    return thunk;
+  }
+
+  void force(Emitter& e, std::uint32_t forceFn, const Thunk& thunk,
+             std::deque<Thunk>& pending, std::uint64_t& liveCells,
+             int nestBudget) {
+    e.enterFunction(forceFn, 1);
+    // Full chained walk; a car probe every few cells reads the element
+    // (and, because car's atom result breaks the cdr chain, keeps the
+    // cdr chain rate below 1 without extra machinery).
+    for (std::uint32_t i = 0; i + 1 < thunk.depth && !e.done(); ++i) {
+      e.cdrTo(cell(thunk, i), cell(thunk, i + 1));
+      if (e.rng().chance(0.12)) e.carAtom(cell(thunk, i + 1));
+      // A value mid-chain can itself be a suspension: demand the oldest
+      // pending thunk right here, nested inside this force frame.
+      if (nestBudget > 0 && !pending.empty() && e.rng().chance(0.01)) {
+        const Thunk inner = pending.front();
+        pending.pop_front();
+        liveCells -= inner.depth;
+        force(e, forceFn, inner, pending, liveCells, nestBudget - 1);
+      }
+    }
+    if (!e.done()) {
+      e.cdrNil(cell(thunk, thunk.depth - 1));
+      e.predicate(trace::Primitive::kNull, cell(thunk, thunk.depth - 1));
+      if (e.rng().chance(0.25)) {
+        e.writeOut(cell(thunk, 0));
+      }
+    }
+    e.exitFunction();
+  }
+
+  FamilyConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Family> makeThunkHeavy(const FamilyConfig& config) {
+  return std::make_unique<ThunkHeavy>(config);
+}
+
+}  // namespace small::workloads::families::detail

@@ -42,6 +42,7 @@ class BenchArtifacts : public ::testing::TestWithParam<const char*> {
   std::string benchPath() const {
     const std::string name = GetParam();
     if (name == "fig5_1_2_lpt_size") return FIG5_BENCH;
+    if (name == "workload_scale") return WORKLOAD_BENCH;
     return GC_BENCH;
   }
   std::string benchName() const { return GetParam(); }
@@ -162,6 +163,20 @@ TEST_P(BenchArtifacts, UnknownFlagRejected) {
 
 INSTANTIATE_TEST_SUITE_P(Benches, BenchArtifacts,
                          ::testing::Values("fig5_1_2_lpt_size",
-                                           "gc_comparison"));
+                                           "gc_comparison",
+                                           "workload_scale"));
+
+// workload_scale's own numeric flags go through the same strict parser
+// as --jobs; malformed values must be usage errors, not silent clamps.
+TEST(WorkloadScaleFlags, InvalidScaleAndSeedRejected) {
+  const std::string bench = WORKLOAD_BENCH;
+  for (const char* bad :
+       {"--scale 0", "--scale -5", "--scale 12x", "--scale 1e",
+        "--scale 999", "--seed 0", "--seed nope", "--seed 1e3.5"}) {
+    EXPECT_EQ(runCommand(bench + " --quick " + bad + " > /dev/null 2>&1"),
+              2)
+        << bad << " must exit 2";
+  }
+}
 
 }  // namespace

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Byte-identical differential gate for the 21 table/figure bench texts.
+# Byte-identical differential gate for the 22 table/figure bench texts.
 #
 # Runs every table/figure bench from BUILD_DIR (default: build) with its
 # golden arguments and diffs stdout against bench/goldens/<name>.txt.
 # Any drift fails the gate; a refactor that is supposed to be behavior-
-# preserving must leave all 21 texts untouched. Benches whose numbers
+# preserving must leave all 22 texts untouched. Benches whose numbers
 # legitimately change (a bugfix altering modeled behavior) must regenerate
 # their goldens in the same commit:
 #
@@ -61,6 +61,7 @@ runs=(
   "table5_4_lpt_vs_cache|table5_4_lpt_vs_cache.sweep|--sweep"
   "table5_5_param_sensitivity|table5_5_param_sensitivity|"
   "traversal_hit_rate|traversal_hit_rate|"
+  "workload_scale|workload_scale|--quick"
 )
 
 fail=0

@@ -1,0 +1,267 @@
+// trace_gen — stream a scenario workload family straight to a trace
+// file at any scale.
+//
+//   trace_gen --family F --scale N --out FILE [options] [family knobs]
+//
+//   --family agent-loop|thunk-heavy|session-churn
+//   --scale N          primitive events to emit (accepts 1e8 forms)
+//   --out FILE         output path (atomic: temp file + rename)
+//   --format binary|text   SMTR (default) or the line-oriented text form
+//   --seed N           generator seed (default 1)
+//   --replay           after writing, mmap the output and replay it
+//                      through the SMALL machine (binary format only)
+//   --knobs            list the chosen family's knobs and exit
+//
+// The binary path generates through trace::BinaryWriter, so peak memory
+// is O(flush buffer) no matter the scale — a 10^9-primitive SMTR trace
+// streams to disk without ever existing in memory, and --replay then
+// closes the loop (generate -> mmap -> incremental preprocess -> replay)
+// with the same O(batch) bound, which CI asserts under a hard address-
+// space ceiling. Every numeric argument is parsed strictly
+// (support/parse.hpp): 0 where a positive value is required, signs,
+// overflow, non-integral scales, and trailing garbage all exit 2.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#else
+#include <process.h>
+#define getpid _getpid
+#endif
+
+#include "small/machine_replay.hpp"
+#include "support/error.hpp"
+#include "support/parse.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "workloads/families/family.hpp"
+
+namespace {
+
+using namespace small;
+namespace fam = workloads::families;
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage: trace_gen --family F --scale N --out FILE\n"
+      "                 [--format binary|text] [--seed N] [--replay]\n"
+      "                 [--knobs] [family knobs]\n"
+      "families: agent-loop, thunk-heavy, session-churn\n"
+      "--knobs lists the chosen family's tunable knobs; --replay mmaps\n"
+      "the written binary trace and replays it through the SMALL\n"
+      "machine (O(batch) memory end to end).\n",
+      out);
+  return out == stdout ? 0 : 2;
+}
+
+[[noreturn]] void badValue(const char* flag, const char* text) {
+  std::fprintf(stderr, "trace_gen: bad value '%s' for %s\n", text, flag);
+  usage(stderr);
+  std::exit(2);
+}
+
+void printStats(const fam::FamilyStats& stats) {
+  std::printf("primitives: %llu (events %llu, function calls %llu, max "
+              "depth %u)\n",
+              (unsigned long long)stats.primitives,
+              (unsigned long long)stats.events,
+              (unsigned long long)stats.functionCalls,
+              stats.maxCallDepth);
+  std::printf("objects: %llu created, %llu peak live in generator\n",
+              (unsigned long long)stats.objectsCreated,
+              (unsigned long long)stats.liveObjectsPeak);
+  std::printf("mix:");
+  for (std::size_t i = 0; i < trace::kPrimitiveCount; ++i) {
+    if (stats.perPrimitive[i] == 0) continue;
+    std::printf(" %s=%.3f",
+                trace::primitiveName(static_cast<trace::Primitive>(i)),
+                stats.primitiveFrac(static_cast<trace::Primitive>(i)));
+  }
+  std::printf("\nchaining: car %.3f, cdr %.3f; mean shape n %.1f p %.1f\n",
+              stats.carChainRate(), stats.cdrChainRate(), stats.meanN(),
+              stats.meanP());
+}
+
+int replayOutput(const std::string& path) {
+  const trace::MappedTrace mapped = trace::MappedTrace::open(path);
+  core::ReplayConfig config;
+  const core::ReplayResult result = core::replayMappedTrace(config, mapped);
+  std::printf("replay: %llu primitives, %llu function calls, %u residual "
+              "entries (%s backend)\n",
+              (unsigned long long)result.primitives,
+              (unsigned long long)result.functionCalls,
+              result.residualEntries, result.backend.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* familyArg = nullptr;
+  const char* scaleArg = nullptr;
+  const char* seedArg = nullptr;
+  const char* outArg = nullptr;
+  const char* formatArg = nullptr;
+  bool replay = false;
+  bool listKnobs = false;
+
+  fam::FamilyConfig config;
+  // First pass: find --family so the knob table exists for the second.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) return usage(stdout);
+    if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
+      familyArg = argv[i + 1];
+    }
+  }
+  if (familyArg == nullptr) {
+    std::fputs("trace_gen: --family is required\n", stderr);
+    return usage(stderr);
+  }
+  const auto kind = fam::familyFromName(familyArg);
+  if (!kind) {
+    std::fprintf(stderr, "trace_gen: unknown family '%s'\n", familyArg);
+    return usage(stderr);
+  }
+  std::vector<fam::Knob> knobs = fam::familyKnobs(*kind, config);
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto takeValue = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_gen: %s requires a value\n", arg);
+        usage(stderr);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--family") == 0) {
+      takeValue();  // consumed in the first pass
+    } else if (std::strcmp(arg, "--scale") == 0) {
+      scaleArg = takeValue();
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      seedArg = takeValue();
+    } else if (std::strcmp(arg, "--out") == 0) {
+      outArg = takeValue();
+    } else if (std::strcmp(arg, "--format") == 0) {
+      formatArg = takeValue();
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      replay = true;
+    } else if (std::strcmp(arg, "--knobs") == 0) {
+      listKnobs = true;
+    } else {
+      bool matched = false;
+      for (const fam::Knob& knob : knobs) {
+        if (std::strcmp(arg, knob.flag) != 0) continue;
+        const char* text = takeValue();
+        if (knob.count != nullptr) {
+          if (!support::parseCount(
+                  text, static_cast<std::uint64_t>(knob.min),
+                  static_cast<std::uint64_t>(knob.max), knob.count)) {
+            badValue(knob.flag, text);
+          }
+        } else {
+          if (!support::parseDoubleIn(text, knob.min, knob.max,
+                                      knob.real)) {
+            badValue(knob.flag, text);
+          }
+        }
+        matched = true;
+        break;
+      }
+      if (!matched) {
+        std::fprintf(stderr, "trace_gen: unrecognized argument '%s'\n",
+                     arg);
+        return usage(stderr);
+      }
+    }
+  }
+
+  if (listKnobs) {
+    std::printf("%s knobs:\n", fam::familyName(*kind));
+    for (const fam::Knob& knob : knobs) {
+      std::printf("  %-18s %s\n", knob.flag, knob.help);
+    }
+    return 0;
+  }
+
+  if (scaleArg == nullptr || outArg == nullptr) {
+    std::fputs("trace_gen: --scale and --out are required\n", stderr);
+    return usage(stderr);
+  }
+  if (!support::parseCount(scaleArg, fam::kMinScale, fam::kMaxScale,
+                           &config.scale)) {
+    badValue("--scale", scaleArg);
+  }
+  if (seedArg != nullptr &&
+      !support::parseCount(seedArg, 1, ~0ull, &config.seed)) {
+    badValue("--seed", seedArg);
+  }
+  bool binary = true;
+  if (formatArg != nullptr) {
+    if (std::strcmp(formatArg, "text") == 0) {
+      binary = false;
+    } else if (std::strcmp(formatArg, "binary") != 0) {
+      badValue("--format", formatArg);
+    }
+  }
+  if (replay && !binary) {
+    std::fputs("trace_gen: --replay requires --format binary\n", stderr);
+    return usage(stderr);
+  }
+
+  const std::string out = outArg;
+  const std::string traceName = std::string(fam::familyName(*kind)) +
+                                "-s" + std::to_string(config.seed);
+  try {
+    const auto family = fam::makeFamily(*kind, config);
+    fam::FamilyStats stats;
+    if (binary) {
+      trace::BinaryWriter writer(out, traceName);
+      fam::BinaryWriterSink sink(writer);
+      stats = family->generate(sink);
+      writer.finish();
+    } else {
+      // Same atomic contract as the BinaryWriter / trace_convert: the
+      // destination is only ever absent, its old content, or complete.
+      const std::string tmp =
+          out + ".tmp." +
+          std::to_string(static_cast<long long>(::getpid()));
+      {
+        std::ofstream stream(tmp);
+        if (!stream) {
+          throw support::Error("trace_gen: cannot open for write: " + tmp);
+        }
+        try {
+          fam::TextStreamSink sink(stream, traceName);
+          stats = family->generate(sink);
+          stream.flush();
+          if (!stream) {
+            throw support::Error("trace_gen: write failed: " + tmp);
+          }
+        } catch (...) {
+          stream.close();
+          std::remove(tmp.c_str());
+          throw;
+        }
+      }
+      if (std::rename(tmp.c_str(), out.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw support::Error("trace_gen: cannot rename " + tmp + " to " +
+                             out);
+      }
+    }
+    std::printf("%s: %s, scale %llu, seed %llu -> %s\n",
+                fam::familyName(*kind), binary ? "binary" : "text",
+                (unsigned long long)config.scale,
+                (unsigned long long)config.seed, out.c_str());
+    printStats(stats);
+    if (replay) return replayOutput(out);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trace_gen: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
