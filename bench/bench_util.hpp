@@ -22,6 +22,7 @@
 #include "obs/contrib.hpp"
 #include "obs/report.hpp"
 #include "obs/sweep.hpp"
+#include "obs/timeseries.hpp"
 #include "small/simulator.hpp"
 #include "support/parallel.hpp"
 #include "support/parse.hpp"
@@ -107,6 +108,10 @@ class BenchRun {
       }
       if (std::strcmp(arg, "--trace-out") == 0) {
         tracePath_ = takeValue("--trace-out");
+        continue;
+      }
+      if (std::strcmp(arg, "--telemetry-out") == 0) {
+        telemetryPath_ = takeValue("--telemetry-out");
         continue;
       }
       if (std::strcmp(arg, "--trace-format") == 0) {
@@ -248,6 +253,17 @@ class BenchRun {
     return !metricsPath_.empty() || !tracePath_.empty();
   }
 
+  /// True when sampling the telemetry plane has a consumer: the JSONL
+  /// stream (`--telemetry-out`) or the Chrome trace's counter tracks
+  /// (`--trace-out`). Undecorated runs sample nothing.
+  bool telemetryEnabled() const {
+    return !telemetryPath_.empty() || !tracePath_.empty();
+  }
+
+  /// The bench's merged telemetry document. Benches append per-producer
+  /// TelemetryBuffers in id order (the determinism contract).
+  obs::TelemetryDoc& telemetry() { return telemetry_; }
+
   obs::BenchReport& report() { return report_; }
   obs::Registry& registry() { return report_.registry(); }
 
@@ -268,11 +284,14 @@ class BenchRun {
   int finish(int exitCode = 0) {
     bool ok = true;
     if (!metricsPath_.empty()) ok = report_.writeTo(metricsPath_) && ok;
+    if (!telemetryPath_.empty()) {
+      ok = telemetry_.writeTo(telemetryPath_, name_) && ok;
+    }
     if (!tracePath_.empty()) {
       std::vector<const obs::TraceSink*> sinks;
       sinks.push_back(&sink_);
       sinks.insert(sinks.end(), extraSinks_.begin(), extraSinks_.end());
-      ok = obs::writeChromeTrace(tracePath_, sinks) && ok;
+      ok = obs::writeChromeTrace(tracePath_, sinks, &telemetry_) && ok;
     }
     if (!ok && exitCode == 0) return 1;
     return exitCode;
@@ -309,7 +328,8 @@ class BenchRun {
   void usage(std::FILE* out) const {
     std::fprintf(out,
                  "usage: %s [--jobs N] [--metrics-out FILE] "
-                 "[--trace-out FILE] [--trace-format text|binary]",
+                 "[--trace-out FILE] [--telemetry-out FILE] "
+                 "[--trace-format text|binary]",
                  name_.c_str());
     for (const FlagSpec& spec : flags_) {
       std::fprintf(out, spec.takesValue ? " [%s VALUE]" : " [%s]",
@@ -324,10 +344,12 @@ class BenchRun {
   std::vector<std::pair<std::string, std::string>> values_;
   std::string metricsPath_;
   std::string tracePath_;
+  std::string telemetryPath_;
   int jobs_ = support::hardwareJobs();
   TraceRoundTrip roundTrip_ = TraceRoundTrip::kDirect;
   obs::BenchReport report_;
   obs::TraceSink sink_;
+  obs::TelemetryDoc telemetry_;
   std::vector<const obs::TraceSink*> extraSinks_;
 };
 

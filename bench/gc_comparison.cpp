@@ -20,6 +20,7 @@
 // its backend and collector; scripts are shared read-only), so they fan out
 // through support::runSweep behind --jobs N. Tables are emitted from
 // id-ordered slots — byte-identical output at any job count.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -74,9 +75,13 @@ int main(int argc, char** argv) {
 
   // Each collector run owns its task id's shard: GcStats and heap
   // activity merge into the metrics report, and attachObs streams one
-  // "gc" span per collection cycle into the shard's trace lane.
+  // "gc" span per collection cycle into the shard's trace lane. With
+  // telemetry on, each run additionally records its pause and live-cell
+  // timelines into its own buffer (one per task id, folded in id order
+  // below — the same byte-determinism discipline as the shards).
   obs::ShardSet runShards(traces.size() * kPerTrace, bench.obsEnabled());
   std::vector<gc::ScriptResult> runs(traces.size() * kPerTrace);
+  std::vector<obs::TelemetryBuffer> runTelemetry(traces.size() * kPerTrace);
   obs::runIndexedObs(
       traces.size() * kPerTrace, jobs, runShards, [&](std::size_t id) {
         const std::size_t t = id / kPerTrace;
@@ -89,7 +94,16 @@ int main(int argc, char** argv) {
             gc::makeCollector(policy, *backend, collectorOptions);
         collector->attachObs(runShards.registryAt(id),
                              runShards.sinkAt(id));
-        runs[id] = gc::runScript(*collector, scripts[t]);
+        if (bench.telemetryEnabled()) {
+          runTelemetry[id].enable(traces[t].name + "/" +
+                                  gc::policyName(policy) + "/" +
+                                  heap::heapBackendName(kind));
+        }
+        // ~64 live-cell samples per run regardless of script length.
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(1, scripts[t].ops.size() / 64);
+        runs[id] =
+            gc::runScript(*collector, scripts[t], &runTelemetry[id], stride);
         if (obs::Registry* r = runShards.registryAt(id)) {
           obs::contributeGcStats(*r, runs[id].stats);
           obs::contributeHeapStats(*r, backend->stats());
@@ -97,6 +111,9 @@ int main(int argc, char** argv) {
       });
   bench.collectShards(baselineShards);
   bench.collectShards(runShards);
+  for (const obs::TelemetryBuffer& buffer : runTelemetry) {
+    bench.telemetry().append(buffer);
+  }
 
   // Both accounting schemes report through the shared obs::Registry
   // vocabulary (obs/names.hpp): the LPT baseline's LptStats and each
@@ -171,6 +188,46 @@ int main(int argc, char** argv) {
       "exactly; mark-sweep\npays tracing per collection, semispace copies "
       "only live cells but moves them,\ndeferred RC trades pauses for "
       "mutator barrier work (§4.3.2).");
+
+  // Pause-time distributions per (collector × backend), merged bucket-wise
+  // over the trace suite — the ROADMAP item 5 prerequisite: a serving
+  // system is judged on its pause tail, not throughput alone. All values
+  // are deterministic heap-touch units, so this table is golden-gated and
+  // byte-identical at any --jobs.
+  support::TextTable pauseTable({"Collector", "Backend", "Pauses", "Max",
+                                 "p99", "p90", "p50", "Mean"});
+  for (std::size_t c = 0; c < kPerTrace; ++c) {
+    const char* backend =
+        heap::heapBackendName(heap::kAllHeapBackendKinds[c % kBackendCount]);
+    const char* collector = gc::policyName(
+        gc::kAllCollectorPolicies[c / kBackendCount]);
+    support::Histogram merged;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const gc::ScriptResult& run = runs[t * kPerTrace + c];
+      for (const auto& [value, count] : run.pauseTouchUnits.buckets()) {
+        merged.add(value, count);
+      }
+    }
+    // Every run ends in a final full collection, so the histogram is
+    // never empty; the guard keeps degenerate configs printable.
+    const auto q = [&merged](double quantile) -> std::uint64_t {
+      return merged.total() == 0
+                 ? 0
+                 : static_cast<std::uint64_t>(merged.quantile(quantile));
+    };
+    pauseTable.addRow({collector, backend, std::to_string(merged.total()),
+                       std::to_string(q(1.0)), std::to_string(q(0.99)),
+                       std::to_string(q(0.90)), std::to_string(q(0.50)),
+                       support::formatDouble(merged.mean(), 1)});
+    const std::string key = std::string(collector) + "." + backend;
+    bench.report().addFigure("gc.pause.max." + key, q(1.0));
+    bench.report().addFigure("gc.pause.p99." + key, q(0.99));
+  }
+  std::puts(
+      "\nPause distribution per collector x backend (touch units, all "
+      "traces merged):");
+  std::fputs(pauseTable.render().c_str(), stdout);
+
   // Key figures: per (collector × backend) cost totals summed over the
   // trace suite — the regression-trackable shape of this comparison.
   for (std::size_t c = 0; c < kPerTrace; ++c) {

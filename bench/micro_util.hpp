@@ -1,8 +1,11 @@
 // Shared main() for the google-benchmark micro suites, replacing
 // benchmark_main so the micros speak the same artifact protocol as the
 // table/figure benches:
-//   * `--metrics-out FILE` / `--trace-out FILE` are stripped before
-//     benchmark::Initialize and produce a bench_report / Chrome trace;
+//   * `--metrics-out FILE` / `--trace-out FILE` / `--telemetry-out FILE`
+//     are stripped before benchmark::Initialize and produce a
+//     bench_report / Chrome trace / telemetry snapshot file (the micros
+//     have no epoch producers, so the telemetry file is header-only —
+//     but the flag surface stays uniform across every bench);
 //   * anything google-benchmark does not recognize either is reported by
 //     ReportUnrecognizedArguments and the process exits nonzero — no
 //     silently ignored flags.
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 
 namespace small::benchutil {
 
@@ -38,6 +42,7 @@ inline obs::TraceSink& microSink() {
 inline int microMain(const char* benchName, int argc, char** argv) {
   std::string metricsPath;
   std::string tracePath;
+  std::string telemetryPath;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -52,6 +57,8 @@ inline int microMain(const char* benchName, int argc, char** argv) {
       metricsPath = takeValue("--metrics-out");
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       tracePath = takeValue("--trace-out");
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0) {
+      telemetryPath = takeValue("--telemetry-out");
     } else {
       rest.push_back(argv[i]);
     }
@@ -79,6 +86,9 @@ inline int microMain(const char* benchName, int argc, char** argv) {
   }
   if (!tracePath.empty()) {
     ok = obs::writeChromeTrace(tracePath, {&microSink()}) && ok;
+  }
+  if (!telemetryPath.empty()) {
+    ok = obs::TelemetryDoc().writeTo(telemetryPath, benchName) && ok;
   }
   return ok ? 0 : 1;
 }

@@ -137,6 +137,13 @@ int main(int argc, char** argv) {
 
   multilisp::ServiceConfig config;
   config.shardCount = static_cast<std::uint32_t>(shards);
+  // Telemetry plane (--telemetry-out / --trace-out): sample each
+  // session's queue depth, held refs and publish totals every 512
+  // primitives on the deterministic epoch clock, plus per-shard
+  // contention and replay-rate perf tracks. Like --jobs, the stride is
+  // fixed — never a config knob — so telemetry bytes are comparable
+  // across runs.
+  config.telemetryEvery = bench.telemetryEnabled() ? 512 : 0;
   bench.report().setConfig("scale", scale);
 
   // --- tenant roster (the fixed work; concurrency never changes it) ---
@@ -189,6 +196,7 @@ int main(int argc, char** argv) {
   };
   std::vector<PerfPoint> perf;
   std::string firstMetrics;
+  std::string firstTelemetry;
   multilisp::ServiceResult last;
   obs::ShardSet firstShards(static_cast<std::size_t>(tenants + shards));
   int exitCode = 0;
@@ -218,6 +226,27 @@ int main(int argc, char** argv) {
     } else if (metrics != firstMetrics) {
       std::fprintf(stderr,
                    "service_throughput: deterministic metrics diverged "
+                   "between %d and %d sessions\n",
+                   points[0], sessions);
+      exitCode = 1;
+    }
+
+    // The determinism contract extended to the time axis: the epoch-plane
+    // telemetry series (session buffers folded in id order) must render
+    // to the same bytes at every concurrency point.
+    obs::TelemetryDoc pointTelemetry;
+    for (const multilisp::SessionStats& s : result.sessions) {
+      pointTelemetry.append(s.telemetry);
+    }
+    const std::string telemetrySeries = pointTelemetry.renderSeriesLines();
+    if (p == 0) {
+      firstTelemetry = telemetrySeries;
+      for (const multilisp::SessionStats& s : result.sessions) {
+        bench.telemetry().append(s.telemetry);
+      }
+    } else if (telemetrySeries != firstTelemetry) {
+      std::fprintf(stderr,
+                   "service_throughput: telemetry series diverged "
                    "between %d and %d sessions\n",
                    points[0], sessions);
       exitCode = 1;

@@ -105,14 +105,30 @@ int main(int argc, char** argv) {
   for (const auto& f : famPres) entries.push_back({&f, false});
 
   // --- Fig 5.1 analogue: knees ---
+  // With telemetry on, the unconstrained run also records each trace's
+  // lpt.occupancy timeline (~96 samples on the primitive epoch clock) —
+  // the knee *emergence*: where in the trace the working set grows, not
+  // just its peak. One buffer per entry, appended in id order below.
+  std::vector<obs::TelemetryBuffer> kneeTelemetry(entries.size());
+  if (bench.telemetryEnabled()) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      kneeTelemetry[i].enable(entries[i].pre->name + "/knee");
+    }
+  }
   const std::vector<std::uint32_t> knees = support::runSweep<std::uint32_t>(
       entries.size(), jobs, [&](std::size_t id) {
         core::SimConfig big;
         big.tableSize = 1u << 18;
         big.seed = 17;
-        return core::simulateTrace(big, entries[id].pre->pre)
+        const std::uint64_t stride = std::max<std::uint64_t>(
+            1, entries[id].pre->pre.primitiveCount / 96);
+        return core::simulateTrace(big, entries[id].pre->pre,
+                                   &kneeTelemetry[id], stride)
             .peakOccupancy;
       });
+  for (const obs::TelemetryBuffer& buffer : kneeTelemetry) {
+    bench.telemetry().append(buffer);
+  }
 
   constexpr double kFractions[] = {0.25, 0.5, 0.75, 1.0, 1.25};
   constexpr std::size_t kFractionCount = std::size(kFractions);

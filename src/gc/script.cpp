@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/names.hpp"
+#include "obs/snapshot.hpp"
 #include "support/rng.hpp"
 
 namespace small::gc {
@@ -122,6 +124,12 @@ Script scriptFromTrace(const trace::PreprocessedTrace& trace,
 }
 
 ScriptResult runScript(Collector& collector, const Script& script) {
+  return runScript(collector, script, nullptr, 0);
+}
+
+ScriptResult runScript(Collector& collector, const Script& script,
+                       obs::TelemetryBuffer* telemetry,
+                       std::uint64_t sampleEvery) {
   using CellRef = Collector::CellRef;
   collector.resizeRoots(script.slots);
   const auto rootWordOr = [&](std::uint16_t slot, HeapWord fallback) {
@@ -129,8 +137,29 @@ ScriptResult runScript(Collector& collector, const Script& script) {
     return cell == Collector::kNull ? fallback : HeapWord::pointer(cell);
   };
 
+  ScriptResult result;
+  // The op index is the deterministic epoch clock; the final collection
+  // lands at epoch ops.size(), strictly after every in-run safepoint.
+  obs::Snapshotter snap(telemetry, sampleEvery);
+  snap.watchValue(obs::names::kGcLiveCells, [&collector] {
+    return static_cast<double>(collector.liveCells());
+  });
+  const auto collectNow = [&](std::uint64_t epoch) {
+    const std::uint64_t before = collector.stats().totalPause;
+    collector.collect();
+    const std::uint64_t pause = collector.stats().totalPause - before;
+    result.pauseTouchUnits.add(static_cast<std::int64_t>(pause));
+    if (telemetry != nullptr && telemetry->enabled()) {
+      telemetry->sample(obs::names::kGcPause, epoch,
+                        static_cast<double>(pause));
+    }
+  };
+
+  std::uint64_t epoch = 0;
   for (const ScriptOp& op : script.ops) {
-    if (collector.shouldCollect()) collector.collect();
+    if (collector.shouldCollect()) collectNow(epoch);
+    snap.advanceTo(epoch);
+    ++epoch;
     switch (op.kind) {
       case ScriptOp::Kind::kNewList: {
         CellRef spine = Collector::kNull;
@@ -186,9 +215,9 @@ ScriptResult runScript(Collector& collector, const Script& script) {
         break;
     }
   }
-  collector.collect();
+  collectNow(epoch);
+  snap.finish(epoch);
 
-  ScriptResult result;
   result.collectorName = collector.name();
   result.finalLiveCells = collector.liveCells();
   result.rootReachable = collector.rootReachability();

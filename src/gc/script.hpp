@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "gc/collector.hpp"
+#include "obs/timeseries.hpp"
+#include "support/stats.hpp"
 #include "trace/preprocess.hpp"
 
 namespace small::gc {
@@ -95,6 +97,13 @@ struct ScriptResult {
   /// fingerprint compared across collectors and against the LPT baseline.
   std::vector<std::uint64_t> rootReachable;
   GcStats stats;
+  /// Per-collection pause costs in touch units (one histogram entry per
+  /// collect(), including the final full collection). Deterministic —
+  /// pauses are heap/table-touch deltas, never wall clock — and merges
+  /// bucket-wise across runs like every obs histogram, so gc_comparison
+  /// can aggregate a collector×backend distribution over its traces and
+  /// report max/p99 pause figures (ROADMAP item 5's prerequisite).
+  support::Histogram pauseTouchUnits;
 };
 
 /// Replay `script` on `collector` (which must be freshly constructed over
@@ -102,5 +111,14 @@ struct ScriptResult {
 /// the collector asks, then a final full collection so finalLiveCells is
 /// exactly the root-reachable set.
 ScriptResult runScript(Collector& collector, const Script& script);
+
+/// Same, recording time-resolved telemetry into `telemetry` (which may be
+/// null/disabled — then identical to the plain overload): a `gc.pause`
+/// series with one sample per collection at its op-index epoch, plus
+/// `gc.live_cells` sampled every `sampleEvery` ops. All deterministic
+/// (the op index is the epoch clock).
+ScriptResult runScript(Collector& collector, const Script& script,
+                       obs::TelemetryBuffer* telemetry,
+                       std::uint64_t sampleEvery);
 
 }  // namespace small::gc

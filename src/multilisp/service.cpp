@@ -3,6 +3,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/names.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/session.hpp"
@@ -53,6 +56,10 @@ class ServiceRun {
               0x5e551044c0ffee11ull));
       sessions_.back().home =
           lpt_.homeShard(static_cast<std::uint64_t>(i));
+      if (config.telemetryEvery > 0) {
+        sessions_.back().stats.telemetry.enable("session/" +
+                                                std::to_string(i));
+      }
     }
   }
 
@@ -127,9 +134,55 @@ class ServiceRun {
     SessionState& s = sessions_[i];
     core::ReplayConfig replay = config_.replay;
     replay.seed = support::deriveTaskSeed(config_.replay.seed, i);
+
+    // Deterministic telemetry plane: snapshot the session's own state on
+    // the primitive-count epoch clock. Everything watched is a pure
+    // function of the session's op sequence, so the sampled series obey
+    // the same any-concurrency byte contract as SessionStats.
+    obs::Snapshotter snap(&s.stats.telemetry, config_.telemetryEvery);
+    snap.watchValue(obs::names::kSvcQueueDepth, [&s] {
+      return static_cast<double>(s.queue.pendingUpdates());
+    });
+    snap.watchValue(obs::names::kSvcHeldRefs, [&s] {
+      return static_cast<double>(s.held.size());
+    });
+    snap.watchCounter(obs::names::kSvcPublished, &s.stats.published);
+    snap.watchCounter(obs::names::kSvcRefCopies, &s.stats.refCopies);
+
+    // Perf plane (schedule-dependent, Chrome trace only): the session's
+    // observed replay rate, and — for sessions whose id maps one-to-one
+    // onto a shard (i < shardCount; distinct homes by construction) —
+    // the home shard's cumulative contended acquisitions. Restricting to
+    // one sampler per shard keeps the tracks non-duplicated.
+    const bool telemetryOn =
+        config_.telemetryEvery > 0 && s.stats.telemetry.enabled();
+    const bool sampleShard =
+        telemetryOn && i < static_cast<std::size_t>(config_.shardCount);
+    const std::uint64_t startUs = telemetryOn ? obs::wallMicrosNow() : 0;
+    std::uint64_t nextPerf = 0;
+
     core::ReplayHook hook;
     hook.everyPrimitives = config_.publishEvery;
-    hook.onPrimitives = [&](std::uint64_t) { tick(s); };
+    hook.onPrimitives = [&](std::uint64_t total) {
+      tick(s);
+      if (!telemetryOn) return;
+      snap.advanceTo(total);
+      if (total < nextPerf) return;
+      if (sampleShard) {
+        s.stats.telemetry.samplePerf(
+            obs::names::kSvcShardContention,
+            static_cast<double>(lpt_.contended(s.home)));
+      }
+      const std::uint64_t elapsedUs = obs::wallMicrosNow() - startUs;
+      if (elapsedUs > 0) {
+        s.stats.telemetry.samplePerf(
+            obs::names::kSvcReplayRate,
+            static_cast<double>(total) * 1e6 /
+                static_cast<double>(elapsedUs));
+      }
+      nextPerf =
+          (total / config_.telemetryEvery + 1) * config_.telemetryEvery;
+    };
     if (source.mapped != nullptr) {
       s.stats.replay = core::replayMappedTrace(replay, *source.mapped,
                                                config_.mappedBatch, hook);
@@ -146,6 +199,9 @@ class ServiceRun {
     }
     flushQueue(s);
     s.stats.queue = s.queue.stats();
+    // Final deterministic sample at the session's last epoch: queue and
+    // working set drained to zero, totals at their end-of-run values.
+    snap.finish(s.stats.replay.primitives);
   }
 
   /// One service tick, between trace events: publish a fresh object,

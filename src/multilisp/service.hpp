@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "multilisp/combining.hpp"
+#include "obs/timeseries.hpp"
 #include "small/machine_replay.hpp"
 #include "small/sharded_lpt.hpp"
 #include "support/rng.hpp"
@@ -67,6 +68,14 @@ struct ServiceConfig {
   std::uint32_t splitBurst = 18;
   /// Batch size for SMTR-mapped session sources.
   std::size_t mappedBatch = 1024;
+  /// Telemetry sampling stride in primitives (0 = telemetry off). When
+  /// set, each session snapshots its deterministic series (queue depth,
+  /// held refs, published objects) every `telemetryEvery` primitives —
+  /// epochs and values are pure functions of (session id, trace, seed),
+  /// extending the determinism contract to the time axis — and records
+  /// schedule-dependent perf counter tracks (home-shard contention,
+  /// observed replay rate) on the same stride.
+  std::uint64_t telemetryEvery = 0;
   /// Per-session replay: session i derives its seed as
   /// deriveTaskSeed(replay.seed, i).
   core::ReplayConfig replay;
@@ -89,6 +98,10 @@ struct SessionStats {
   std::uint64_t indirections = 0;
   QueueStats queue;
   support::Histogram queueDepths;
+  /// Time-resolved samples (telemetryEvery > 0): deterministic epoch
+  /// series plus perf counter tracks, labeled "session/<id>". Consumers
+  /// append these to a TelemetryDoc in id order.
+  obs::TelemetryBuffer telemetry;
 };
 
 struct ServiceResult {

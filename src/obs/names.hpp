@@ -42,6 +42,9 @@ inline constexpr char kLptStackBitMessages[] = "lpt.stack_bit_messages";
 inline constexpr char kLptSettledLazyFrees[] = "lpt.settled_lazy_frees";
 inline constexpr char kLptLifetimeMaxCounts[] = "lpt.lifetime_max_counts";
 inline constexpr char kLptPeakOccupancy[] = "lpt.occupancy.peak";
+// Telemetry series (obs/timeseries.hpp): instantaneous in-use entry
+// count sampled on the deterministic epoch plane.
+inline constexpr char kLptOccupancy[] = "lpt.occupancy";
 inline constexpr char kLptHits[] = "lpt.hits";
 inline constexpr char kLptMisses[] = "lpt.misses";
 
@@ -78,6 +81,10 @@ inline constexpr char kGcZctHighWater[] = "gc.zct_occupancy.max";
 inline constexpr char kGcMaxPause[] = "gc.pause.max";
 inline constexpr char kGcTotalPause[] = "gc.pause.total";
 inline constexpr char kGcPauseHistogram[] = "gc.pause.touch_units";
+// Telemetry series: per-collection pause cost (epoch = script op index)
+// and the live-cell count sampled between collections.
+inline constexpr char kGcPause[] = "gc.pause";
+inline constexpr char kGcLiveCells[] = "gc.live_cells";
 
 // --- interpreter / emulator dispatch ---
 inline constexpr char kLispPrimPrefix[] = "lisp.prim.";  // + primitive name
@@ -118,12 +125,22 @@ inline constexpr char kSvcQueueCombined[] = "svc.queue.updates_combined";
 inline constexpr char kSvcQueueMessages[] = "svc.queue.messages_sent";
 inline constexpr char kSvcQueueFlushes[] = "svc.queue.flushes";
 inline constexpr char kSvcQueueDepths[] = "svc.queue.depth_at_flush";
+// Telemetry series (deterministic plane): sampled at tick epochs —
+// pure functions of (session id, trace, seed) per the service's
+// deterministic-plane contract.
+inline constexpr char kSvcQueueDepth[] = "svc.queue.depth";
+inline constexpr char kSvcHeldRefs[] = "svc.held_refs";
 // The schedule-dependent family: lock traffic on the sharded LPT.
 // Perf plane only (stdout / --perf-out), like the sim.throughput rates.
 inline constexpr char kSvcLockAcquisitions[] = "svc.lock.acquisitions";
 inline constexpr char kSvcLockContended[] = "svc.lock.contended";
 inline constexpr char kSvcLockContendedPerShard[] =
     "svc.lock.contended_per_shard";
+// Telemetry counter tracks (perf plane, --trace-out only): cumulative
+// contended acquisitions of a session's home shard, and the session's
+// observed replay rate.
+inline constexpr char kSvcShardContention[] = "svc.shard.contention";
+inline constexpr char kSvcReplayRate[] = "svc.replay.primitives_per_sec";
 
 // --- simulator throughput (micro-suite only) ---
 // Wall-clock-derived rates, recorded as maxima (best observed rate).

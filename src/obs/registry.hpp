@@ -35,10 +35,15 @@ namespace small::obs {
 class Registry;
 
 /// Monotone counter handle (sum-merged). Plain increment, no lookup.
+/// A default-constructed (unbound) handle is a no-op on every operation,
+/// like the null TraceSink fast path — instrumented code may hold handles
+/// unconditionally and only bind them when obs is enabled.
 class Counter {
  public:
   Counter() = default;
-  void add(std::uint64_t n = 1) { *slot_ += n; }
+  void add(std::uint64_t n = 1) {
+    if (slot_ != nullptr) *slot_ += n;
+  }
   std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
 
  private:
@@ -47,12 +52,12 @@ class Counter {
   std::uint64_t* slot_ = nullptr;
 };
 
-/// High-water-mark handle (max-merged).
+/// High-water-mark handle (max-merged). Unbound handles no-op.
 class Max {
  public:
   Max() = default;
   void record(std::uint64_t v) {
-    if (v > *slot_) *slot_ = v;
+    if (slot_ != nullptr && v > *slot_) *slot_ = v;
   }
   std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
 
@@ -62,11 +67,13 @@ class Max {
   std::uint64_t* slot_ = nullptr;
 };
 
-/// Additive double handle (sum-merged).
+/// Additive double handle (sum-merged). Unbound handles no-op.
 class Gauge {
  public:
   Gauge() = default;
-  void add(double v) { *slot_ += v; }
+  void add(double v) {
+    if (slot_ != nullptr) *slot_ += v;
+  }
   double value() const { return slot_ != nullptr ? *slot_ : 0.0; }
 
  private:

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "obs/timeseries.hpp"
 
 namespace small::obs {
 
@@ -85,6 +86,18 @@ bool BenchReport::writeTo(const std::string& path) const {
 bool writeChromeTrace(const std::string& path,
                       const std::vector<const TraceSink*>& sinks) {
   return writeFile(path, exportChromeTrace(sinks), "trace");
+}
+
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<const TraceSink*>& sinks,
+                      const TelemetryDoc* doc) {
+  std::string out;
+  out += "[";
+  bool first = true;
+  appendChromeSpanEvents(sinks, &first, out);
+  if (doc != nullptr) appendChromeCounterEvents(*doc, &first, out);
+  out += "]\n";
+  return writeFile(path, out, "trace");
 }
 
 }  // namespace small::obs

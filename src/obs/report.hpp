@@ -80,4 +80,13 @@ class BenchReport {
 bool writeChromeTrace(const std::string& path,
                       const std::vector<const TraceSink*>& sinks);
 
+class TelemetryDoc;
+
+/// Same, with the telemetry planes appended as "ph":"C" counter events
+/// after the span events (obs/timeseries.hpp documents the track
+/// layout). `doc` may be null for span-only traces.
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<const TraceSink*>& sinks,
+                      const TelemetryDoc* doc);
+
 }  // namespace small::obs

@@ -1,0 +1,72 @@
+#include "obs/snapshot.hpp"
+
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace small::obs {
+
+Snapshotter::Snapshotter(TelemetryBuffer* buffer, std::uint64_t every)
+    : buffer_(buffer), every_(every == 0 ? 1 : every) {}
+
+void Snapshotter::watchCounter(std::string series,
+                               const std::uint64_t* value) {
+  watches_.push_back(
+      {std::move(series), [value] { return static_cast<double>(*value); }});
+}
+
+void Snapshotter::watchGauge(std::string series, const double* value) {
+  watches_.push_back({std::move(series), [value] { return *value; }});
+}
+
+void Snapshotter::watchValue(std::string series,
+                             std::function<double()> provider) {
+  watches_.push_back({std::move(series), std::move(provider)});
+}
+
+void Snapshotter::watchRegistryCounter(std::string series,
+                                       const Registry* registry,
+                                       std::string metric) {
+  watches_.push_back({std::move(series),
+                      [registry, metric = std::move(metric)] {
+                        return static_cast<double>(
+                            registry->counterValue(metric));
+                      }});
+}
+
+void Snapshotter::watchRegistryMax(std::string series,
+                                   const Registry* registry,
+                                   std::string metric) {
+  watches_.push_back({std::move(series),
+                      [registry, metric = std::move(metric)] {
+                        return static_cast<double>(
+                            registry->maxValue(metric));
+                      }});
+}
+
+void Snapshotter::sampleAll(std::uint64_t epoch) {
+  for (const Watch& watch : watches_) {
+    buffer_->sample(watch.series, epoch, watch.read());
+  }
+  lastSampled_ = epoch;
+  sampledAny_ = true;
+}
+
+void Snapshotter::advanceTo(std::uint64_t epoch) {
+  if (buffer_ == nullptr || !buffer_->enabled()) return;
+  if (epoch < nextEpoch_) return;
+  sampleAll(epoch);
+  // Next bucket boundary strictly after `epoch`, aligned to the stride so
+  // sampling epochs depend only on the event stream, not on how often the
+  // producer happens to call advanceTo.
+  nextEpoch_ = (epoch / every_ + 1) * every_;
+}
+
+void Snapshotter::finish(std::uint64_t epoch) {
+  if (buffer_ == nullptr || !buffer_->enabled()) return;
+  if (sampledAny_ && epoch == lastSampled_) return;
+  sampleAll(epoch);
+  nextEpoch_ = (epoch / every_ + 1) * every_;
+}
+
+}  // namespace small::obs

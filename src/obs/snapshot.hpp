@@ -1,0 +1,76 @@
+// Deterministic epoch snapshots: a Snapshotter watches a set of live
+// metric sources and samples them into a TelemetryBuffer every `every`
+// epochs as the producer's epoch counter advances.
+//
+// The epoch counter is whatever the producer already counts
+// deterministically — primitives replayed (service sessions, the
+// simulator), script ops applied (GC runs). advanceTo(epoch) samples at
+// most once per crossed `every`-sized bucket, *at the actual epoch
+// reached*, so series epochs are strictly increasing and a pure function
+// of the producer's event stream — never of thread scheduling.
+//
+// Three watch flavors:
+//   * watchCounter — a plain uint64 field of a stats struct (the common
+//     production case: SessionStats members, GcStats members);
+//   * watchGauge   — same for a double field;
+//   * watchValue   — an arbitrary provider callback (queue depths, live
+//     heap cells, derived rates);
+//   * watchRegistryCounter / watchRegistryMax — a named metric of a live
+//     Registry, for producers that already report through one.
+// All watches read their source at sample time; the Snapshotter stores
+// pointers, so sources must outlive it.
+//
+// A Snapshotter over a disabled TelemetryBuffer never samples (the
+// buffer's own early-out), so producers can instrument unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace small::obs {
+
+class Registry;
+
+class Snapshotter {
+ public:
+  /// Sample every `every` epochs (clamped to >= 1) into `buffer`.
+  Snapshotter(TelemetryBuffer* buffer, std::uint64_t every);
+
+  void watchCounter(std::string series, const std::uint64_t* value);
+  void watchGauge(std::string series, const double* value);
+  void watchValue(std::string series, std::function<double()> provider);
+  void watchRegistryCounter(std::string series, const Registry* registry,
+                            std::string metric);
+  void watchRegistryMax(std::string series, const Registry* registry,
+                        std::string metric);
+
+  /// Advance the epoch clock. Samples all watches once if `epoch` crossed
+  /// into a new bucket since the last sample; otherwise a cheap compare.
+  /// Epochs must not decrease.
+  void advanceTo(std::uint64_t epoch);
+
+  /// Take an unconditional final sample at `epoch` (end of run), unless
+  /// that epoch was already sampled.
+  void finish(std::uint64_t epoch);
+
+ private:
+  void sampleAll(std::uint64_t epoch);
+
+  TelemetryBuffer* buffer_;
+  std::uint64_t every_;
+  std::uint64_t nextEpoch_ = 0;      ///< first epoch of the next bucket
+  std::uint64_t lastSampled_ = 0;
+  bool sampledAny_ = false;
+
+  struct Watch {
+    std::string series;
+    std::function<double()> read;
+  };
+  std::vector<Watch> watches_;
+};
+
+}  // namespace small::obs

@@ -74,10 +74,8 @@ PhaseTimer::~PhaseTimer() {
   }
 }
 
-std::string exportChromeTrace(const std::vector<const TraceSink*>& sinks) {
-  std::string out;
-  out += "[";
-  bool first = true;
+void appendChromeSpanEvents(const std::vector<const TraceSink*>& sinks,
+                            bool* first, std::string& out) {
   for (const TraceSink* sink : sinks) {
     if (sink == nullptr) continue;
     for (const TraceEvent& event : sink->events()) {
@@ -93,11 +91,18 @@ std::string exportChromeTrace(const std::vector<const TraceSink*>& sinks) {
       args.set("cost_units", JsonValue::makeUint(event.costUnits));
       args.set("depth", JsonValue::makeUint(event.depth));
       line.set("args", std::move(args));
-      if (!first) out += ",\n";
-      first = false;
+      if (!*first) out += ",\n";
+      *first = false;
       out += line.dump();
     }
   }
+}
+
+std::string exportChromeTrace(const std::vector<const TraceSink*>& sinks) {
+  std::string out;
+  out += "[";
+  bool first = true;
+  appendChromeSpanEvents(sinks, &first, out);
   out += "]\n";
   return out;
 }

@@ -127,4 +127,11 @@ class PhaseTimer {
 std::string exportChromeTrace(
     const std::vector<const TraceSink*>& sinks);
 
+/// Append the sinks' span events ("ph":"X") to `out` without the
+/// surrounding array, ",\n"-separating from whatever `out` already holds
+/// (`*first` tracks that). Lets composite exporters interleave other
+/// event phases (obs/timeseries.hpp's counter tracks) in one document.
+void appendChromeSpanEvents(const std::vector<const TraceSink*>& sinks,
+                            bool* first, std::string& out);
+
 }  // namespace small::obs

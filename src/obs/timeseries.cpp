@@ -1,0 +1,174 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace small::obs {
+
+void TelemetryBuffer::enable(std::string source) {
+  enabled_ = true;
+  source_ = std::move(source);
+}
+
+namespace {
+
+// Series/track lookup is linear on purpose: producers sample a handful of
+// distinct names, and insertion order is the export order (determinism).
+template <typename T>
+T& seriesNamed(std::vector<T>& all, const std::string& name,
+               const std::string& source) {
+  for (T& s : all) {
+    if (s.name == name) return s;
+  }
+  all.push_back(T{});
+  all.back().name = name;
+  all.back().source = source;
+  return all.back();
+}
+
+// Sample values are doubles but usually carry integral counter readings;
+// print those as integers ("550", not "5.5e+02") and fall back to the
+// shared shortest-round-trip formatting otherwise. Deterministic either way.
+std::string formatSampleValue(double v) {
+  const auto asInt = static_cast<long long>(v);
+  if (static_cast<double>(asInt) == v && v > -9.0e15 && v < 9.0e15) {
+    return JsonValue::makeInt(asInt).dump();
+  }
+  return formatJsonDouble(v);
+}
+
+}  // namespace
+
+void TelemetryBuffer::sample(const std::string& series, std::uint64_t epoch,
+                             double value) {
+  if (!enabled_) return;
+  TelemetrySeries& s = seriesNamed(series_, series, source_);
+  // Strictly-increasing epochs per series: a re-sample at the same epoch
+  // overwrites (last write wins) so producers may refresh the current
+  // bucket without violating the monotone contract report_lint enforces.
+  if (!s.samples.empty() && s.samples.back().epoch == epoch) {
+    s.samples.back().value = value;
+    return;
+  }
+  s.samples.push_back({epoch, value});
+}
+
+void TelemetryBuffer::samplePerf(const std::string& track, double value) {
+  if (!enabled_) return;
+  CounterTrack& t = seriesNamed(tracks_, track, source_);
+  t.samples.push_back({wallMicrosNow(), value});
+}
+
+void TelemetryDoc::append(const TelemetryBuffer& buffer) {
+  if (!buffer.enabled() || buffer.empty()) return;
+  for (const TelemetrySeries& s : buffer.series()) series_.push_back(s);
+  for (const CounterTrack& t : buffer.tracks()) tracks_.push_back(t);
+}
+
+std::string TelemetryDoc::renderSeriesLines() const {
+  std::string out;
+  for (const TelemetrySeries& s : series_) {
+    out += "{\"type\":\"series\",\"plane\":\"epoch\",\"name\":";
+    out += jsonQuote(s.name);
+    out += ",\"source\":";
+    out += jsonQuote(s.source);
+    out += ",\"samples\":[";
+    bool first = true;
+    for (const TelemetrySample& sample : s.samples) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('[');
+      out += JsonValue::makeUint(sample.epoch).dump();
+      out.push_back(',');
+      out += formatSampleValue(sample.value);
+      out.push_back(']');
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string TelemetryDoc::render(const std::string& bench) const {
+  std::string out;
+  out += "{\"type\":\"telemetry\",\"version\":";
+  out += JsonValue::makeInt(kTelemetryVersion).dump();
+  out += ",\"bench\":";
+  out += jsonQuote(bench);
+  out += ",\"series\":";
+  out += JsonValue::makeUint(series_.size()).dump();
+  out += "}\n";
+  out += renderSeriesLines();
+  return out;
+}
+
+bool TelemetryDoc::writeTo(const std::string& path,
+                           const std::string& bench) const {
+  const std::string content = render(bench);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr,
+                 "ERROR: cannot open telemetry file '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  const bool ok = written == content.size() && std::fclose(file) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "ERROR: short write to telemetry file '%s'\n",
+                 path.c_str());
+  }
+  return ok;
+}
+
+namespace {
+
+// One "ph":"C" event per sample. Perfetto keys counter tracks on
+// (pid, name), so the producer label rides inside the name — each
+// session/run gets its own scrubable track.
+void appendCounterEvent(const std::string& name, const std::string& source,
+                        const char* category, int pid, std::uint64_t ts,
+                        double value, bool* first, std::string& out) {
+  JsonValue line = JsonValue::makeObject();
+  std::string trackName = name;
+  if (!source.empty()) {
+    trackName += " [";
+    trackName += source;
+    trackName += "]";
+  }
+  line.set("name", JsonValue::makeString(std::move(trackName)));
+  line.set("cat", JsonValue::makeString(category));
+  line.set("ph", JsonValue::makeString("C"));
+  line.set("ts", JsonValue::makeUint(ts));
+  line.set("pid", JsonValue::makeInt(pid));
+  JsonValue args = JsonValue::makeObject();
+  args.set("value", JsonValue::makeDouble(value));
+  line.set("args", std::move(args));
+  if (!*first) out += ",\n";
+  *first = false;
+  out += line.dump();
+}
+
+}  // namespace
+
+void appendChromeCounterEvents(const TelemetryDoc& doc, bool* first,
+                               std::string& out) {
+  // Perf tracks share pid 1 with the span timeline (same wall clock);
+  // deterministic series live on pid 2 where ts is the epoch counter.
+  for (const CounterTrack& track : doc.tracks()) {
+    for (const CounterSample& sample : track.samples) {
+      appendCounterEvent(track.name, track.source, "telemetry.perf", 1,
+                         sample.wallUs, sample.value, first, out);
+    }
+  }
+  for (const TelemetrySeries& series : doc.series()) {
+    for (const TelemetrySample& sample : series.samples) {
+      appendCounterEvent(series.name, series.source, "telemetry.epoch", 2,
+                         sample.epoch, sample.value, first, out);
+    }
+  }
+}
+
+}  // namespace small::obs

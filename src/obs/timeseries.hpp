@@ -1,0 +1,145 @@
+// The time-resolved telemetry plane: per-producer sample buffers keyed by
+// a deterministic epoch counter, merged in id order, exported as a
+// versioned JSONL stream and as Perfetto counter tracks.
+//
+// Every obs artifact before this file was end-of-run: one merged registry
+// per bench. Telemetry adds the time axis, on the same two-plane
+// discipline the rest of the repo uses:
+//
+//   * deterministic plane — samples keyed by an *epoch* counter (events /
+//     primitives processed, never wall clock). Each producer (a sweep
+//     task, a service session, a collector run) owns one TelemetryBuffer;
+//     its samples are a pure function of (producer, trace, seed), and the
+//     buffers are folded into a TelemetryDoc strictly in producer id
+//     order — so `--telemetry-out` bytes are identical at any `--jobs`
+//     or `--sessions` count, exactly like obs::ShardSet's registry merge.
+//   * perf plane — wall-clock-stamped counter samples (lock contention,
+//     observed throughput). Schedule-dependent by nature; these reach
+//     only the Chrome trace (`--trace-out`), never the deterministic
+//     JSONL stream.
+//
+// Both planes load in Perfetto as scrubable counter tracks ("ph":"C"):
+// perf tracks on the wall-clock timeline (pid 1, next to the spans), and
+// deterministic series on a second process (pid 2) whose "timestamps"
+// are epochs — scrubbing it walks the run by primitives processed.
+//
+// A default-constructed TelemetryBuffer is disabled and every record call
+// is a cheap early-out, mirroring the null TraceSink fast path: benches
+// enable buffers only behind --telemetry-out / --trace-out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace small::obs {
+
+/// --telemetry-out stream version (the "version" member of the header
+/// line). Bump when the line shapes below change incompatibly.
+inline constexpr int kTelemetryVersion = 1;
+
+/// One deterministic sample: the epoch it was taken at plus the value.
+struct TelemetrySample {
+  std::uint64_t epoch = 0;
+  double value = 0.0;
+};
+
+/// A named deterministic series from one producer. `name` is a canonical
+/// obs metric name (obs/names.hpp conventions — report_lint --telemetry
+/// checks the subsystem prefix); `source` labels the producer
+/// ("session/3", "Lyra/mark-sweep/two-pointer", ...). Epochs within a
+/// series are strictly increasing.
+struct TelemetrySeries {
+  std::string name;
+  std::string source;
+  std::vector<TelemetrySample> samples;
+};
+
+/// One wall-clock counter sample (perf plane, Chrome trace only).
+struct CounterSample {
+  std::uint64_t wallUs = 0;
+  double value = 0.0;
+};
+
+/// A named perf-plane counter track from one producer.
+struct CounterTrack {
+  std::string name;
+  std::string source;
+  std::vector<CounterSample> samples;
+};
+
+/// Per-producer telemetry shard. Producers record into their own buffer
+/// with no locking (the ShardSet discipline); the owning bench appends
+/// buffers to its TelemetryDoc in id order after the join.
+class TelemetryBuffer {
+ public:
+  /// Disabled: every sample call is a no-op (one branch).
+  TelemetryBuffer() = default;
+
+  /// Arm the buffer and name its producer.
+  void enable(std::string source);
+  bool enabled() const { return enabled_; }
+  const std::string& source() const { return source_; }
+
+  /// Deterministic plane: record `value` for `series` at `epoch`.
+  /// Samples for one series must arrive in strictly increasing epoch
+  /// order (the exporter and report_lint --telemetry both enforce it).
+  void sample(const std::string& series, std::uint64_t epoch, double value);
+
+  /// Perf plane: record a wall-clock-stamped counter sample. Reaches
+  /// only the Chrome trace exporter.
+  void samplePerf(const std::string& track, double value);
+
+  const std::vector<TelemetrySeries>& series() const { return series_; }
+  const std::vector<CounterTrack>& tracks() const { return tracks_; }
+  bool empty() const { return series_.empty() && tracks_.empty(); }
+
+ private:
+  bool enabled_ = false;
+  std::string source_;
+  std::vector<TelemetrySeries> series_;  ///< insertion order
+  std::vector<CounterTrack> tracks_;
+};
+
+/// The merged telemetry document a bench exports. Buffers are appended
+/// in producer id order; the deterministic series therefore render
+/// byte-identically at any concurrency, while the perf tracks are
+/// explicitly schedule-dependent.
+class TelemetryDoc {
+ public:
+  /// Fold `buffer`'s series and tracks in (copies; the producer may
+  /// still own the buffer). Disabled/empty buffers append nothing.
+  void append(const TelemetryBuffer& buffer);
+
+  const std::vector<TelemetrySeries>& series() const { return series_; }
+  const std::vector<CounterTrack>& tracks() const { return tracks_; }
+  bool empty() const { return series_.empty() && tracks_.empty(); }
+
+  /// The deterministic JSONL stream, without the header line:
+  ///   {"type":"series","plane":"epoch","name":...,"source":...,
+  ///    "samples":[[epoch,value],...]}
+  /// One line per series, in append order. This is the byte-diffed
+  /// payload of the determinism contract.
+  std::string renderSeriesLines() const;
+
+  /// The full --telemetry-out document: versioned header naming the
+  /// bench, then renderSeriesLines().
+  std::string render(const std::string& bench) const;
+
+  /// Write `render(bench)` to `path`; false (stderr message) on failure.
+  bool writeTo(const std::string& path, const std::string& bench) const;
+
+ private:
+  std::vector<TelemetrySeries> series_;
+  std::vector<CounterTrack> tracks_;
+};
+
+/// Render the telemetry planes as Chrome trace-event counter events
+/// ("ph":"C"), appended to `out` (events separated/preceded by ",\n"
+/// when `out` already holds events — the caller owns the surrounding
+/// array). Perf tracks land on pid 1 with wall-clock ts; deterministic
+/// series land on pid 2 with their epoch as ts.
+void appendChromeCounterEvents(const TelemetryDoc& doc, bool* first,
+                               std::string& out);
+
+}  // namespace small::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/names.hpp"
+
 // Compile with -DSMALL_SIM_VERIFY to enable exhaustive invariant checking
 // after every simulated event: stack items must reference live entries,
 // the EP-side reference table must agree with the stack, and every entry's
@@ -96,6 +98,8 @@ SimResult Simulator::run() {
     }
   }
 
+  if (telemetrySnap_ != nullptr) telemetrySnap_->finish(primitives_);
+
   SimResult result;
   result.lptStats = lp_.lpt().stats();
   result.lpStats = lp_.stats();
@@ -161,10 +165,22 @@ void Simulator::verifyStackRefs(const char* where) {
   }
 }
 #endif
+void Simulator::attachTelemetry(obs::TelemetryBuffer* buffer,
+                                std::uint64_t every) {
+  if (buffer == nullptr || !buffer->enabled()) return;
+  telemetrySnap_ = std::make_unique<obs::Snapshotter>(buffer, every);
+  telemetrySnap_->watchValue(obs::names::kLptOccupancy, [this] {
+    return static_cast<double>(lp_.lpt().inUseCount());
+  });
+}
+
 void Simulator::sampleOccupancy() {
   const std::uint32_t inUse = lp_.lpt().inUseCount();
   peakOccupancy_ = std::max(peakOccupancy_, inUse);
   occupancy_.add(inUse);
+  // primitives_ already counts this primitive, so the telemetry epoch
+  // clock is the number of primitives fully simulated.
+  if (telemetrySnap_ != nullptr) telemetrySnap_->advanceTo(primitives_);
 }
 
 void Simulator::releaseItem(const StackItem& item) {
@@ -473,6 +489,15 @@ void Simulator::onPrimitive(const PreprocessedEvent& event) {
 SimResult simulateTrace(const SimConfig& config,
                         const trace::PreprocessedTrace& trace) {
   Simulator simulator(config, trace);
+  return simulator.run();
+}
+
+SimResult simulateTrace(const SimConfig& config,
+                        const trace::PreprocessedTrace& trace,
+                        obs::TelemetryBuffer* telemetry,
+                        std::uint64_t every) {
+  Simulator simulator(config, trace);
+  simulator.attachTelemetry(telemetry, every);
   return simulator.run();
 }
 

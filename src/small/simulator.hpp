@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/lru_cache.hpp"
+#include "obs/snapshot.hpp"
 #include "small/config.hpp"
 #include "small/list_processor.hpp"
 #include "support/stats.hpp"
@@ -56,6 +57,11 @@ struct SimResult {
 class Simulator {
  public:
   Simulator(const SimConfig& config, const trace::PreprocessedTrace& trace);
+
+  /// Record an `lpt.occupancy` telemetry series into `buffer` every
+  /// `every` primitives (epoch = primitives simulated — deterministic).
+  /// Call before run(); a null/disabled buffer keeps the run untouched.
+  void attachTelemetry(obs::TelemetryBuffer* buffer, std::uint64_t every);
 
   SimResult run();
 
@@ -113,10 +119,18 @@ class Simulator {
   support::RunningStats occupancy_;
   std::uint64_t primitives_ = 0;
   std::uint64_t functionCalls_ = 0;
+  std::unique_ptr<obs::Snapshotter> telemetrySnap_;
 };
 
 /// Convenience: preprocess-and-simulate with the given config.
 SimResult simulateTrace(const SimConfig& config,
                         const trace::PreprocessedTrace& trace);
+
+/// Same, with an occupancy telemetry series sampled every `every`
+/// primitives into `telemetry` (see Simulator::attachTelemetry).
+SimResult simulateTrace(const SimConfig& config,
+                        const trace::PreprocessedTrace& trace,
+                        obs::TelemetryBuffer* telemetry,
+                        std::uint64_t every);
 
 }  // namespace small::core

@@ -117,17 +117,83 @@ TEST_P(BenchArtifacts, ChromeTraceLoads) {
       << error.message;
   ASSERT_TRUE(trace.isArray());
   ASSERT_FALSE(trace.items().empty());
+  // The trace interleaves "X" duration spans with "C" telemetry counter
+  // samples (dur/tid are span-only; counters carry args.value instead).
+  std::size_t counterEvents = 0;
   for (const JsonValue& event : trace.items()) {
     ASSERT_TRUE(event.isObject());
     ASSERT_NE(event.find("name"), nullptr);
     EXPECT_TRUE(event.find("name")->isString());
     ASSERT_NE(event.find("ph"), nullptr);
-    EXPECT_EQ(event.find("ph")->stringValue(), "X");
+    const std::string ph = event.find("ph")->stringValue();
     ASSERT_NE(event.find("ts"), nullptr);
     EXPECT_TRUE(event.find("ts")->isInt());
-    ASSERT_NE(event.find("dur"), nullptr);
     ASSERT_NE(event.find("pid"), nullptr);
-    ASSERT_NE(event.find("tid"), nullptr);
+    if (ph == "C") {
+      ++counterEvents;
+      const JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("value"), nullptr);
+      EXPECT_TRUE(args->find("value")->isNumber());
+    } else {
+      EXPECT_EQ(ph, "X");
+      ASSERT_NE(event.find("dur"), nullptr);
+      ASSERT_NE(event.find("tid"), nullptr);
+    }
+  }
+  // --trace-out switches the telemetry plane on, so every bench that
+  // wires a Snapshotter must land counter tracks in its trace.
+  if (benchName() != "fig5_1_2_lpt_size") {
+    EXPECT_GT(counterEvents, 0u)
+        << benchName() << " trace carries no telemetry counter events";
+  }
+}
+
+TEST_P(BenchArtifacts, TelemetryIdenticalAcrossJobCounts) {
+  const std::string tel1 = tempPath(benchName() + ".tel.j1.jsonl");
+  const std::string tel4 = tempPath(benchName() + ".tel.j4.jsonl");
+  ASSERT_EQ(runCommand(benchPath() + " --quick --jobs 1 --telemetry-out " +
+                       tel1 + " > /dev/null"),
+            0);
+  ASSERT_EQ(runCommand(benchPath() + " --quick --jobs 4 --telemetry-out " +
+                       tel4 + " > /dev/null"),
+            0);
+  const std::string bytes1 = slurp(tel1);
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, slurp(tel4))
+      << "--telemetry-out differs between --jobs 1 and --jobs 4";
+
+  // Header first, then only deterministic epoch-plane series whose
+  // epochs strictly increase — the wall-clock perf plane must never
+  // reach this file (it would break the byte diff above).
+  std::istringstream lines(bytes1);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    JsonValue value;
+    JsonError error;
+    ASSERT_TRUE(parseJson(line, &value, &error))
+        << "line " << lineNo << ": " << error.message;
+    if (lineNo == 1) {
+      EXPECT_EQ(value.find("type")->stringValue(), "telemetry");
+      EXPECT_EQ(value.find("bench")->stringValue(), benchName());
+      EXPECT_EQ(value.find("version")->intValue(), 1);
+      continue;
+    }
+    ASSERT_EQ(value.find("type")->stringValue(), "series");
+    EXPECT_EQ(value.find("plane")->stringValue(), "epoch");
+    const JsonValue* samples = value.find("samples");
+    ASSERT_NE(samples, nullptr);
+    std::int64_t last = -1;
+    for (const JsonValue& pair : samples->items()) {
+      ASSERT_EQ(pair.items().size(), 2u);
+      EXPECT_GT(pair.items()[0].intValue(), last);
+      last = pair.items()[0].intValue();
+    }
+  }
+  if (benchName() != "fig5_1_2_lpt_size") {
+    EXPECT_GT(lineNo, 1u) << "telemetry file should carry series lines";
   }
 }
 
@@ -165,6 +231,35 @@ INSTANTIATE_TEST_SUITE_P(Benches, BenchArtifacts,
                          ::testing::Values("fig5_1_2_lpt_size",
                                            "gc_comparison",
                                            "workload_scale"));
+
+// The service bench replicates its deterministic workload per session,
+// and each session's telemetry buffer is folded in session-id order — so
+// the telemetry bytes must be identical at any --sessions and --jobs
+// count (the tentpole acceptance check, here against the real binary).
+TEST(ServiceTelemetry, IdenticalAcrossSessionAndJobCounts) {
+  const std::string bench = SERVICE_BENCH;
+  const std::string s1 = tempPath("service.tel.s1.jsonl");
+  const std::string s4 = tempPath("service.tel.s4.jsonl");
+  const std::string s4j4 = tempPath("service.tel.s4j4.jsonl");
+  ASSERT_EQ(runCommand(bench + " --quick --sessions 1 --telemetry-out " +
+                       s1 + " > /dev/null"),
+            0);
+  ASSERT_EQ(runCommand(bench + " --quick --sessions 4 --telemetry-out " +
+                       s4 + " > /dev/null"),
+            0);
+  ASSERT_EQ(runCommand(bench +
+                       " --quick --sessions 4 --jobs 4 --telemetry-out " +
+                       s4j4 + " > /dev/null"),
+            0);
+  const std::string bytes = slurp(s1);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_NE(bytes.find("\"type\":\"series\""), std::string::npos)
+      << "service telemetry should carry per-session series";
+  EXPECT_EQ(bytes, slurp(s4))
+      << "service telemetry differs between --sessions 1 and 4";
+  EXPECT_EQ(bytes, slurp(s4j4))
+      << "service telemetry differs between --jobs 1 and 4";
+}
 
 // workload_scale's own numeric flags go through the same strict parser
 // as --jobs; malformed values must be usage errors, not silent clamps.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -11,8 +12,10 @@
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/span.hpp"
 #include "obs/sweep.hpp"
+#include "obs/timeseries.hpp"
 
 namespace {
 
@@ -136,6 +139,150 @@ TEST(ObsRegistry, HistogramJsonRoundTrip) {
                 static_cast<std::uint64_t>(bucket.items()[1].intValue()));
   }
   EXPECT_EQ(rebuilt.buckets(), hist.buckets());
+}
+
+// Regression: default-constructed (unbound) handles used to dereference
+// their null slot on the first add/record. They must no-op like the null
+// TraceSink fast path, so instrumented code can hold handles
+// unconditionally and only bind them when obs is enabled.
+TEST(ObsRegistry, UnboundHandlesNoop) {
+  obs::Counter counter;
+  obs::Max max;
+  obs::Gauge gauge;
+  counter.add();
+  counter.add(17);
+  max.record(42);
+  gauge.add(2.5);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(max.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(ObsTelemetry, DisabledBufferDropsSamples) {
+  obs::TelemetryBuffer buffer;
+  buffer.sample("gc.pause", 10, 3.0);
+  buffer.samplePerf("svc.rate", 1.0);
+  EXPECT_FALSE(buffer.enabled());
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(ObsTelemetry, SameEpochResampleOverwrites) {
+  obs::TelemetryBuffer buffer;
+  buffer.enable("task/0");
+  buffer.sample("gc.pause", 5, 1.0);
+  buffer.sample("gc.pause", 5, 2.0);
+  buffer.sample("gc.pause", 9, 3.0);
+  ASSERT_EQ(buffer.series().size(), 1u);
+  const obs::TelemetrySeries& series = buffer.series()[0];
+  ASSERT_EQ(series.samples.size(), 2u);
+  EXPECT_EQ(series.samples[0].epoch, 5u);
+  EXPECT_EQ(series.samples[0].value, 2.0);
+  EXPECT_EQ(series.samples[1].epoch, 9u);
+}
+
+// Snapshotter sampling epochs are a pure function of the epoch stream:
+// aligned to `every`-sized buckets regardless of how often advanceTo is
+// called, with finish() always stamping the final state once.
+TEST(ObsTelemetry, SnapshotterAlignsToStride) {
+  obs::TelemetryBuffer buffer;
+  buffer.enable("task/0");
+  std::uint64_t counter = 0;
+  obs::Snapshotter snap(&buffer, 10);
+  snap.watchCounter("gc.live_cells", &counter);
+  for (std::uint64_t epoch = 0; epoch < 25; ++epoch) {
+    counter = epoch * 2;
+    snap.advanceTo(epoch);
+  }
+  counter = 999;
+  snap.finish(24);
+  ASSERT_EQ(buffer.series().size(), 1u);
+  const obs::TelemetrySeries& series = buffer.series()[0];
+  // Sampled at 0, 10, 20 (bucket starts) and once more at finish(24).
+  ASSERT_EQ(series.samples.size(), 4u);
+  EXPECT_EQ(series.samples[0].epoch, 0u);
+  EXPECT_EQ(series.samples[1].epoch, 10u);
+  EXPECT_EQ(series.samples[1].value, 20.0);
+  EXPECT_EQ(series.samples[2].epoch, 20u);
+  EXPECT_EQ(series.samples[3].epoch, 24u);
+  EXPECT_EQ(series.samples[3].value, 999.0);
+}
+
+TEST(ObsTelemetry, SnapshotterFinishDedupesLastEpoch) {
+  obs::TelemetryBuffer buffer;
+  buffer.enable("task/0");
+  std::uint64_t counter = 7;
+  obs::Snapshotter snap(&buffer, 5);
+  snap.watchCounter("gc.live_cells", &counter);
+  snap.advanceTo(15);
+  snap.finish(15);  // already sampled at 15 — no duplicate
+  ASSERT_EQ(buffer.series().size(), 1u);
+  EXPECT_EQ(buffer.series()[0].samples.size(), 1u);
+}
+
+TEST(ObsTelemetry, DocRenderIsDeterministicAndParses) {
+  obs::TelemetryBuffer a;
+  a.enable("task/0");
+  a.sample("gc.pause", 3, 550.0);
+  a.sample("gc.pause", 7, 1.5);
+  obs::TelemetryBuffer b;
+  b.enable("task/1");
+  b.sample("lpt.occupancy", 2, 4.0);
+
+  obs::TelemetryDoc doc;
+  doc.append(a);
+  doc.append(b);
+  const std::string text = doc.render("unit_test");
+  obs::TelemetryDoc doc2;
+  doc2.append(a);
+  doc2.append(b);
+  EXPECT_EQ(text, doc2.render("unit_test"));
+
+  // Integral values print as integers ("550"), not exponent notation.
+  EXPECT_NE(text.find("[3,550]"), std::string::npos) << text;
+  EXPECT_NE(text.find("[7,1.5]"), std::string::npos) << text;
+
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    obs::JsonValue value;
+    obs::JsonError error;
+    ASSERT_TRUE(obs::parseJson(line, &value, &error))
+        << "line " << lineNo << ": " << error.message;
+    if (lineNo == 1) {
+      EXPECT_EQ(value.find("type")->stringValue(), "telemetry");
+      EXPECT_EQ(value.find("version")->intValue(), obs::kTelemetryVersion);
+      EXPECT_EQ(value.find("series")->intValue(), 2);
+    } else {
+      EXPECT_EQ(value.find("type")->stringValue(), "series");
+      EXPECT_EQ(value.find("plane")->stringValue(), "epoch");
+    }
+  }
+  EXPECT_EQ(lineNo, 3u);
+}
+
+TEST(ObsTelemetry, ChromeCounterEventsCarryEpochAndValue) {
+  obs::TelemetryBuffer buffer;
+  buffer.enable("session/0");
+  buffer.sample("svc.queue.depth", 512, 7.0);
+  obs::TelemetryDoc doc;
+  doc.append(buffer);
+  std::string out = "[";
+  bool first = true;
+  obs::appendChromeCounterEvents(doc, &first, out);
+  out += "]";
+  obs::JsonValue trace;
+  obs::JsonError error;
+  ASSERT_TRUE(obs::parseJson(out, &trace, &error)) << error.message;
+  ASSERT_EQ(trace.items().size(), 1u);
+  const obs::JsonValue& event = trace.items()[0];
+  EXPECT_EQ(event.find("ph")->stringValue(), "C");
+  EXPECT_EQ(event.find("name")->stringValue(),
+            "svc.queue.depth [session/0]");
+  EXPECT_EQ(event.find("cat")->stringValue(), "telemetry.epoch");
+  EXPECT_EQ(event.find("ts")->intValue(), 512);
+  EXPECT_EQ(event.find("args")->find("value")->numberValue(), 7.0);
 }
 
 TEST(ObsSpan, NullSinkIsNoop) {

@@ -1,19 +1,26 @@
 // report_lint — validate obs artifacts against the checked-in schema.
 //
 //   report_lint --schema tools/bench_report.schema.json
-//       [--chrome-trace] FILE...
+//       [--chrome-trace | --telemetry] FILE...
 //
-// Without --chrome-trace each FILE is a --metrics-out JSONL report: every
+// Without a mode flag each FILE is a --metrics-out JSONL report: every
 // line must parse as a JSON object, the first line must be the
 // bench_report header, and each line must satisfy the schema selected by
 // its "type" member. With --chrome-trace each FILE is a --trace-out
-// Chrome trace-event JSON array and every event is validated against
-// traceEventSchema (the ph/ts/dur/pid/tid contract Perfetto loads).
+// Chrome trace-event JSON array; each event is validated against
+// traceEventSchema ("ph":"X" spans) or counterEventSchema ("ph":"C"
+// counter samples), dispatched on its ph member. With --telemetry each
+// FILE is a --telemetry-out snapshot file: a telemetry header line then
+// one series line per timeline, validated against telemetrySchemas, with
+// strictly monotone epochs and metric names drawn from the
+// telemetryNamePrefixes vocabulary.
 //
 // The validator implements the subset of JSON Schema the checked-in file
 // uses — type, const, minimum, required, properties, items — which keeps
 // it dependency-free (obs/json is the only JSON code in the repo).
-// Exit: 0 all files valid, 1 any violation, 2 usage/schema error.
+// Exit: 0 all files valid, 1 any content violation, 2 usage/schema error
+// or (--telemetry) a file too malformed to be a telemetry document at
+// all — parse failures, wrong/missing header, non-object lines.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +30,7 @@
 
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 
 namespace {
 
@@ -176,7 +184,8 @@ int lintMetricsFile(const std::string& path, const JsonValue& lineSchemas) {
   return violations == 0 ? 0 : 1;
 }
 
-int lintChromeTrace(const std::string& path, const JsonValue& eventSchema) {
+int lintChromeTrace(const std::string& path, const JsonValue& spanSchema,
+                    const JsonValue* counterSchema) {
   std::string text;
   if (!readFile(path, &text)) {
     std::fprintf(stderr, "report_lint: cannot read %s\n", path.c_str());
@@ -197,8 +206,15 @@ int lintChromeTrace(const std::string& path, const JsonValue& eventSchema) {
   }
   int violations = 0;
   for (std::size_t i = 0; i < value.items().size(); ++i) {
+    const JsonValue& event = value.items()[i];
+    // Dispatch on ph: "C" counter samples (telemetry tracks) have no
+    // dur/tid; everything else must be a complete "X" span.
+    const JsonValue* ph =
+        event.isObject() ? event.find("ph") : nullptr;
+    const bool isCounter = counterSchema != nullptr && ph != nullptr &&
+                           ph->isString() && ph->stringValue() == "C";
     std::vector<std::string> errors;
-    validateSchema(value.items()[i], eventSchema,
+    validateSchema(event, isCounter ? *counterSchema : spanSchema,
                    "event[" + std::to_string(i) + "]", &errors);
     for (const std::string& e : errors) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(), e.c_str());
@@ -208,10 +224,172 @@ int lintChromeTrace(const std::string& path, const JsonValue& eventSchema) {
   return violations == 0 ? 0 : 1;
 }
 
+/// Does `name` start with one of the schema's telemetryNamePrefixes?
+bool knownTelemetryName(const std::string& name, const JsonValue& prefixes) {
+  for (const JsonValue& prefix : prefixes.items()) {
+    if (!prefix.isString()) continue;
+    const std::string& p = prefix.stringValue();
+    if (name.size() > p.size() && name.compare(0, p.size(), p) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Telemetry files carry the deterministic snapshot plane that CI
+// byte-diffs across --jobs/--sessions, so damage is graded: a file that
+// is not a telemetry document at all (unparseable lines, missing or
+// foreign header) exits 2, while well-formed lines that break the
+// content contract — non-monotone epochs, names outside the
+// telemetryNamePrefixes vocabulary, a header series count that disagrees
+// with the body — exit 1 like every other lint violation.
+int lintTelemetryFile(const std::string& path, const JsonValue& schemas,
+                      const JsonValue& prefixes) {
+  const JsonValue* headerSchema = schemas.find("telemetry");
+  const JsonValue* seriesSchema = schemas.find("series");
+  if (headerSchema == nullptr || seriesSchema == nullptr) {
+    std::fprintf(stderr,
+                 "report_lint: telemetrySchemas must define both "
+                 "\"telemetry\" and \"series\"\n");
+    return 2;
+  }
+  std::string text;
+  if (!readFile(path, &text)) {
+    std::fprintf(stderr, "report_lint: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  int structural = 0;
+  int violations = 0;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  bool sawHeader = false;
+  std::int64_t declaredSeries = -1;
+  std::size_t seriesSeen = 0;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    JsonValue value;
+    JsonError error;
+    if (!parseJson(line, &value, &error)) {
+      std::fprintf(stderr, "%s:%zu: JSON parse error: %s\n", path.c_str(),
+                   lineNo, error.message.c_str());
+      ++structural;
+      continue;
+    }
+    const JsonValue* type =
+        value.isObject() ? value.find("type") : nullptr;
+    if (type == nullptr || !type->isString()) {
+      std::fprintf(stderr,
+                   "%s:%zu: line is not an object with a string "
+                   "\"type\"\n", path.c_str(), lineNo);
+      ++structural;
+      continue;
+    }
+    if (!sawHeader) {
+      if (type->stringValue() != "telemetry") {
+        std::fprintf(stderr,
+                     "%s:%zu: first line must be the telemetry header, "
+                     "got type \"%s\"\n", path.c_str(), lineNo,
+                     type->stringValue().c_str());
+        ++structural;
+        continue;
+      }
+      sawHeader = true;
+      std::vector<std::string> errors;
+      validateSchema(value, *headerSchema, "line", &errors);
+      for (const std::string& e : errors) {
+        std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineNo,
+                     e.c_str());
+        ++structural;
+      }
+      const JsonValue* version = value.find("version");
+      if (version != nullptr && version->isInt() &&
+          version->intValue() != small::obs::kTelemetryVersion) {
+        std::fprintf(stderr,
+                     "%s:%zu: telemetry version %lld does not match this "
+                     "tool's version %d\n", path.c_str(), lineNo,
+                     static_cast<long long>(version->intValue()),
+                     small::obs::kTelemetryVersion);
+        ++structural;
+      }
+      const JsonValue* count = value.find("series");
+      if (count != nullptr && count->isInt()) {
+        declaredSeries = count->intValue();
+      }
+      continue;
+    }
+    if (type->stringValue() != "series") {
+      std::fprintf(stderr, "%s:%zu: unknown line type \"%s\"\n",
+                   path.c_str(), lineNo, type->stringValue().c_str());
+      ++structural;
+      continue;
+    }
+    ++seriesSeen;
+    std::vector<std::string> errors;
+    validateSchema(value, *seriesSchema, "line", &errors);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineNo,
+                   e.c_str());
+      ++violations;
+    }
+    const JsonValue* name = value.find("name");
+    if (name != nullptr && name->isString() &&
+        !knownTelemetryName(name->stringValue(), prefixes)) {
+      std::fprintf(stderr,
+                   "%s:%zu: metric name \"%s\" outside the known "
+                   "telemetry vocabulary\n", path.c_str(), lineNo,
+                   name->stringValue().c_str());
+      ++violations;
+    }
+    const JsonValue* samples = value.find("samples");
+    if (samples != nullptr && samples->isArray()) {
+      bool haveLast = false;
+      std::uint64_t lastEpoch = 0;
+      for (std::size_t i = 0; i < samples->items().size(); ++i) {
+        const JsonValue& pair = samples->items()[i];
+        if (!pair.isArray() || pair.items().size() != 2 ||
+            !pair.items()[0].isInt() || !pair.items()[1].isNumber()) {
+          std::fprintf(stderr,
+                       "%s:%zu: sample[%zu] is not an [epoch, value] "
+                       "pair\n", path.c_str(), lineNo, i);
+          ++violations;
+          continue;
+        }
+        const std::uint64_t epoch =
+            static_cast<std::uint64_t>(pair.items()[0].intValue());
+        if (haveLast && epoch <= lastEpoch) {
+          std::fprintf(stderr,
+                       "%s:%zu: sample[%zu] epoch %llu not strictly "
+                       "greater than %llu\n", path.c_str(), lineNo, i,
+                       static_cast<unsigned long long>(epoch),
+                       static_cast<unsigned long long>(lastEpoch));
+          ++violations;
+        }
+        haveLast = true;
+        lastEpoch = epoch;
+      }
+    }
+  }
+  if (!sawHeader) {
+    std::fprintf(stderr, "%s: no telemetry header line\n", path.c_str());
+    ++structural;
+  } else if (declaredSeries >= 0 &&
+             static_cast<std::size_t>(declaredSeries) != seriesSeen) {
+    std::fprintf(stderr,
+                 "%s: header declares %lld series but file has %zu\n",
+                 path.c_str(), static_cast<long long>(declaredSeries),
+                 seriesSeen);
+    ++violations;
+  }
+  if (structural != 0) return 2;
+  return violations == 0 ? 0 : 1;
+}
+
 void usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: report_lint --schema SCHEMA.json [--chrome-trace] "
-               "FILE...\n");
+               "usage: report_lint --schema SCHEMA.json "
+               "[--chrome-trace | --telemetry] FILE...\n");
 }
 
 }  // namespace
@@ -219,12 +397,15 @@ void usage(std::FILE* out) {
 int main(int argc, char** argv) {
   std::string schemaPath;
   bool chromeTrace = false;
+  bool telemetry = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
       schemaPath = argv[++i];
     } else if (std::strcmp(argv[i], "--chrome-trace") == 0) {
       chromeTrace = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage(stdout);
       return 0;
@@ -237,7 +418,7 @@ int main(int argc, char** argv) {
       files.push_back(argv[i]);
     }
   }
-  if (schemaPath.empty() || files.empty()) {
+  if (schemaPath.empty() || files.empty() || (chromeTrace && telemetry)) {
     usage(stderr);
     return 2;
   }
@@ -263,13 +444,29 @@ int main(int argc, char** argv) {
                  schemaPath.c_str());
     return 2;
   }
+  const JsonValue* counterSchema = schema.find("counterEventSchema");
+  const JsonValue* telemetrySchemas = schema.find("telemetrySchemas");
+  const JsonValue* namePrefixes = schema.find("telemetryNamePrefixes");
+  if (telemetry &&
+      (telemetrySchemas == nullptr || namePrefixes == nullptr ||
+       !namePrefixes->isArray())) {
+    std::fprintf(stderr,
+                 "%s: missing telemetrySchemas/telemetryNamePrefixes\n",
+                 schemaPath.c_str());
+    return 2;
+  }
 
   int rc = 0;
   for (const std::string& file : files) {
-    const int fileRc = chromeTrace
-                           ? lintChromeTrace(file, *eventSchema)
-                           : lintMetricsFile(file, *lineSchemas);
-    if (fileRc != 0) rc = 1;
+    int fileRc;
+    if (telemetry) {
+      fileRc = lintTelemetryFile(file, *telemetrySchemas, *namePrefixes);
+    } else if (chromeTrace) {
+      fileRc = lintChromeTrace(file, *eventSchema, counterSchema);
+    } else {
+      fileRc = lintMetricsFile(file, *lineSchemas);
+    }
+    if (fileRc > rc) rc = fileRc;
   }
   if (rc == 0) {
     std::printf("report_lint: %zu file(s) OK\n", files.size());

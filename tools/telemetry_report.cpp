@@ -1,0 +1,227 @@
+// telemetry_report — terminal triage for --telemetry-out files.
+//
+//   telemetry_report FILE...
+//
+// Folds each telemetry snapshot file into one row per series: sample
+// count, min/mean/max/p99 of the sampled values, and an ASCII sparkline
+// of the timeline in epoch order, downsampled to a fixed width. Reads
+// the same versioned JSONL the benches emit and report_lint --telemetry
+// validates; a version this tool does not understand is refused rather
+// than silently misread.
+//
+// Exit: 0 all files folded, 1 any file unreadable or malformed, 2 usage.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/timeseries.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using small::obs::JsonError;
+using small::obs::JsonValue;
+using small::obs::parseJson;
+
+// Sparkline width and its ASCII intensity ramp (lowest..highest value).
+constexpr std::size_t kSparkWidth = 40;
+constexpr const char kSparkRamp[] = " .:-=+*#%";
+
+bool readFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// "550" for integral values, one decimal otherwise — matches how the
+/// series mix integral counter readings with derived rates.
+std::string formatValue(double v) {
+  const auto asInt = static_cast<long long>(v);
+  if (static_cast<double>(asInt) == v && std::fabs(v) < 9.0e15) {
+    return std::to_string(asInt);
+  }
+  return small::support::formatDouble(v, 1);
+}
+
+/// Nearest-rank quantile over a sorted copy (the support::Histogram
+/// convention: smallest value with >= q of the mass at or below it).
+double quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  return sorted[rank == 0 ? 0 : std::min(rank - 1, n - 1)];
+}
+
+/// Downsample `values` (epoch order) to kSparkWidth bins, each drawn as
+/// the ramp character for its bin mean scaled into the series' range.
+std::string sparkline(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  const std::size_t width = std::min(kSparkWidth, n);
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  constexpr std::size_t kLevels = sizeof(kSparkRamp) - 2;  // NUL + base
+  std::string out;
+  for (std::size_t b = 0; b < width; ++b) {
+    const std::size_t begin = b * n / width;
+    const std::size_t end = std::max(begin + 1, (b + 1) * n / width);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    const double mean = sum / static_cast<double>(end - begin);
+    const std::size_t level =
+        hi == lo ? kLevels / 2
+                 : static_cast<std::size_t>(
+                       std::lround((mean - lo) / (hi - lo) *
+                                   static_cast<double>(kLevels)));
+    out.push_back(kSparkRamp[std::min(level, kLevels)]);
+  }
+  return out;
+}
+
+int foldFile(const std::string& path) {
+  std::string text;
+  if (!readFile(path, &text)) {
+    std::fprintf(stderr, "telemetry_report: cannot read %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  bool sawHeader = false;
+  std::string bench;
+  small::support::TextTable table(
+      {"Series", "Source", "N", "Min", "Mean", "Max", "p99", "Timeline"});
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    JsonValue value;
+    JsonError error;
+    if (!parseJson(line, &value, &error)) {
+      std::fprintf(stderr, "%s:%zu: JSON parse error: %s\n", path.c_str(),
+                   lineNo, error.message.c_str());
+      return 1;
+    }
+    const JsonValue* type =
+        value.isObject() ? value.find("type") : nullptr;
+    if (type == nullptr || !type->isString()) {
+      std::fprintf(stderr,
+                   "%s:%zu: line is not an object with a string "
+                   "\"type\"\n", path.c_str(), lineNo);
+      return 1;
+    }
+    if (!sawHeader) {
+      if (type->stringValue() != "telemetry") {
+        std::fprintf(stderr,
+                     "%s:%zu: first line must be the telemetry header\n",
+                     path.c_str(), lineNo);
+        return 1;
+      }
+      const JsonValue* version = value.find("version");
+      if (version == nullptr || !version->isInt() ||
+          version->intValue() != small::obs::kTelemetryVersion) {
+        std::fprintf(stderr,
+                     "%s:%zu: unsupported telemetry version (this tool "
+                     "reads version %d)\n", path.c_str(), lineNo,
+                     small::obs::kTelemetryVersion);
+        return 1;
+      }
+      if (const JsonValue* b = value.find("bench")) {
+        if (b->isString()) bench = b->stringValue();
+      }
+      sawHeader = true;
+      continue;
+    }
+    if (type->stringValue() != "series") {
+      std::fprintf(stderr, "%s:%zu: unknown line type \"%s\"\n",
+                   path.c_str(), lineNo, type->stringValue().c_str());
+      return 1;
+    }
+    const JsonValue* name = value.find("name");
+    const JsonValue* source = value.find("source");
+    const JsonValue* samples = value.find("samples");
+    if (name == nullptr || !name->isString() || source == nullptr ||
+        !source->isString() || samples == nullptr || !samples->isArray()) {
+      std::fprintf(stderr, "%s:%zu: malformed series line\n", path.c_str(),
+                   lineNo);
+      return 1;
+    }
+    std::vector<double> values;
+    values.reserve(samples->items().size());
+    for (const JsonValue& pair : samples->items()) {
+      if (!pair.isArray() || pair.items().size() != 2 ||
+          !pair.items()[1].isNumber()) {
+        std::fprintf(stderr,
+                     "%s:%zu: sample is not an [epoch, value] pair\n",
+                     path.c_str(), lineNo);
+        return 1;
+      }
+      values.push_back(pair.items()[1].numberValue());
+    }
+    if (values.empty()) {
+      table.addRow({name->stringValue(), source->stringValue(), "0", "-",
+                    "-", "-", "-", ""});
+      continue;
+    }
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    table.addRow(
+        {name->stringValue(), source->stringValue(),
+         std::to_string(values.size()),
+         formatValue(*std::min_element(values.begin(), values.end())),
+         small::support::formatDouble(
+             sum / static_cast<double>(values.size()), 1),
+         formatValue(*std::max_element(values.begin(), values.end())),
+         formatValue(quantile(values, 0.99)), sparkline(values)});
+  }
+  if (!sawHeader) {
+    std::fprintf(stderr, "%s: no telemetry header line\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s — bench %s, %zu series (timeline: '%c' low .. '%c' "
+              "high, %zu-wide)\n",
+              path.c_str(), bench.empty() ? "?" : bench.c_str(),
+              table.rowCount(), kSparkRamp[0],
+              kSparkRamp[sizeof(kSparkRamp) - 2], kSparkWidth);
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: telemetry_report FILE...\n");
+      return 0;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "telemetry_report: unrecognized argument "
+                   "'%s'\n", argv[i]);
+      return 2;
+    }
+    files.push_back(argv[i]);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: telemetry_report FILE...\n");
+    return 2;
+  }
+  int rc = 0;
+  bool first = true;
+  for (const std::string& file : files) {
+    if (!first) std::printf("\n");
+    first = false;
+    if (foldFile(file) != 0) rc = 1;
+  }
+  return rc;
+}
