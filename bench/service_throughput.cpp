@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "gc/gc.hpp"
 #include "multilisp/service.hpp"
 #include "workloads/families/family.hpp"
 #include "obs/contrib.hpp"
@@ -120,6 +121,7 @@ int main(int argc, char** argv) {
        {"--tenants", true},
        {"--shards", true},
        {"--roster", true},
+       {"--gc", true},
        // Concurrency and perf-artifact path shape execution, not the
        // experiment: keep them out of the deterministic report config.
        {"--sessions", true, false},
@@ -135,8 +137,26 @@ int main(int argc, char** argv) {
   const RosterMix mix = static_cast<RosterMix>(
       bench.choiceValue("--roster", 0, {"paper", "modern", "mixed"}));
 
+  // Per-session heap reclamation (the machine-side collector policies;
+  // the service-layer weighting protocol is unaffected). Part of the
+  // experiment, so it lands in the deterministic report config.
+  const gc::Policy gcPolicy = [&] {
+    switch (bench.choiceValue(
+        "--gc", 0, {"none", "marksweep", "generational", "incremental"})) {
+      case 1: return gc::Policy::kMarkSweep;
+      case 2: return gc::Policy::kGenerational;
+      case 3: return gc::Policy::kIncremental;
+      default: return gc::Policy::kNone;
+    }
+  }();
+
   multilisp::ServiceConfig config;
   config.shardCount = static_cast<std::uint32_t>(shards);
+  config.replay.machine.gcPolicy = gcPolicy;
+  if (gcPolicy != gc::Policy::kNone) {
+    // Low enough that even --quick tenants genuinely collect.
+    config.replay.machine.gcTriggerCells = quick ? 512 : 4096;
+  }
   // Telemetry plane (--telemetry-out / --trace-out): sample each
   // session's queue depth, held refs and publish totals every 512
   // primitives on the deterministic epoch clock, plus per-shard

@@ -16,12 +16,19 @@ const char* policyName(Policy policy) {
       return "semispace";
     case Policy::kDeferredRc:
       return "deferred-rc";
+    case Policy::kGenerational:
+      return "generational";
+    case Policy::kIncremental:
+      return "incremental";
   }
   return "unknown";
 }
 
 std::uint64_t Collector::reachableFrom(CellRef cell) const {
   if (cell == kNull) return 0;
+  // The fingerprint walk is read-only; restoring the stats snapshot keeps
+  // reported backend activity identical whether or not it was taken.
+  const heap::HeapStats statsBefore = heap_.stats();
   std::unordered_set<CellRef> seen;
   std::vector<CellRef> work{cell};
   seen.insert(cell);
@@ -35,6 +42,7 @@ std::uint64_t Collector::reachableFrom(CellRef cell) const {
       }
     }
   }
+  heap_.restoreStats(statsBefore);
   return seen.size();
 }
 
@@ -55,6 +63,10 @@ std::unique_ptr<Collector> makeCollector(Policy policy,
       return makeSemispaceCollector(heap, options);
     case Policy::kDeferredRc:
       return makeDeferredRcCollector(heap, options);
+    case Policy::kGenerational:
+      return makeGenerationalCollector(heap, options);
+    case Policy::kIncremental:
+      return makeIncrementalCollector(heap, options);
     case Policy::kNone:
       break;
   }

@@ -31,6 +31,7 @@
 #include "obs/names.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "support/stats.hpp"
 
 namespace small::gc {
 
@@ -42,7 +43,9 @@ class Collector {
   struct Options {
     /// Collect when the live registry reaches this size (and at least a
     /// quarter of it was allocated since the last collection, so a large
-    /// stable live set does not thrash).
+    /// stable live set does not thrash). Clamped to >= 4 at construction:
+    /// 0 would fire at every safepoint and anything below 4 zeroes the
+    /// quarter-growth thrash guard through integer division.
     std::uint64_t triggerLiveCells = 4096;
     /// Deferred-RC only: zero-count-table bound; exceeding it forces a
     /// collection at the next safepoint.
@@ -51,10 +54,18 @@ class Collector {
     /// backstop as part of every collection (what makes the final live set
     /// agree with the tracing collectors and Lpt::recoverCycles).
     bool cycleRecovery = true;
+    /// Generational only: nursery bound that arms a minor collection.
+    /// 0 derives triggerLiveCells / 4.
+    std::uint64_t nurseryCells = 0;
+    /// Incremental only: touch-unit budget of one collect() slice (the
+    /// bounded safepoint pause).
+    std::uint64_t stepBudget = 2048;
   };
 
   Collector(heap::HeapBackend& heap, Options options)
-      : heap_(heap), options_(options) {}
+      : heap_(heap), options_(options) {
+    if (options_.triggerLiveCells < 4) options_.triggerLiveCells = 4;
+  }
   virtual ~Collector() = default;
 
   Collector(const Collector&) = delete;
@@ -96,7 +107,9 @@ class Collector {
   // --- collection ---
 
   /// Should the mutator pause for a collection at this safepoint?
-  bool shouldCollect() const {
+  /// (Virtual: the generational collector adds a nursery bound, the
+  /// incremental collector stays true while a cycle is in flight.)
+  virtual bool shouldCollect() const {
     if (pendingCollect_) return true;
     return cells_.size() >= options_.triggerLiveCells &&
            allocsSinceCollect_ * 4 >= options_.triggerLiveCells;
@@ -144,7 +157,25 @@ class Collector {
     }
     pendingCollect_ = false;
     allocsSinceCollect_ = 0;
+    pauseSlices_.add(static_cast<std::int64_t>(pause));
     return reclaimed;
+  }
+
+  /// Collect until the live set is exactly the root-reachable set. For
+  /// the stop-the-world collectors this is one collect(); the generational
+  /// collector forces a major collection, the incremental one drives a
+  /// complete fresh cycle in bounded slices (each slice still lands in
+  /// pauses() individually).
+  virtual std::uint64_t collectFull() { return collect(); }
+
+  /// One bounded collection step of at most `budgetTouches` touch units;
+  /// returns true when no cycle remains in flight. Collectors without
+  /// incremental machinery run a full collection (their pauses are
+  /// indivisible — that is exactly the comparison).
+  virtual bool collectStep(std::uint64_t budgetTouches) {
+    (void)budgetTouches;
+    collect();
+    return true;
   }
 
   // --- introspection ---
@@ -155,9 +186,15 @@ class Collector {
   const GcStats& stats() const { return stats_; }
   const heap::HeapBackend& heap() const { return heap_; }
 
+  /// Every collect() call's pause in touch units — one histogram entry
+  /// per safepoint pause, so an incremental run's distribution is its
+  /// per-slice pauses rather than whole-cycle sums.
+  const support::Histogram& pauses() const { return pauseSlices_; }
+
   /// Cells reachable from `cell` through stored pointer words. Walks the
-  /// backend's virtual car/cdr, so it perturbs the backend's read
-  /// counters — snapshot stats first when reporting.
+  /// backend's virtual car/cdr but restores the backend's stats block
+  /// afterwards, so taking the fingerprint never perturbs reported
+  /// HeapStats or pause figures.
   std::uint64_t reachableFrom(CellRef cell) const;
 
   /// reachableFrom for every root slot, in slot order (the live-set
@@ -186,6 +223,7 @@ class Collector {
   obs::TraceSink* obsSink_ = nullptr;
   bool pendingCollect_ = false;
   std::uint64_t allocsSinceCollect_ = 0;
+  support::Histogram pauseSlices_;
 };
 
 std::unique_ptr<Collector> makeMarkSweepCollector(
@@ -193,6 +231,10 @@ std::unique_ptr<Collector> makeMarkSweepCollector(
 std::unique_ptr<Collector> makeSemispaceCollector(
     heap::HeapBackend& heap, const Collector::Options& options);
 std::unique_ptr<Collector> makeDeferredRcCollector(
+    heap::HeapBackend& heap, const Collector::Options& options);
+std::unique_ptr<Collector> makeGenerationalCollector(
+    heap::HeapBackend& heap, const Collector::Options& options);
+std::unique_ptr<Collector> makeIncrementalCollector(
     heap::HeapBackend& heap, const Collector::Options& options);
 
 /// Factory over the collector policies (kNone is not a collector).

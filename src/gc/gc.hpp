@@ -26,17 +26,21 @@ namespace small::gc {
 /// reference counting (the SMALL machine's eager frees); the other values
 /// select a collector.
 enum class Policy : std::uint8_t {
-  kNone,        ///< refcount-driven eager frees (the LP baseline)
-  kMarkSweep,   ///< stop-the-world mark-sweep
-  kSemispace,   ///< semispace copying with address forwarding
-  kDeferredRc,  ///< deferred reference counting with a bounded ZCT
+  kNone,          ///< refcount-driven eager frees (the LP baseline)
+  kMarkSweep,     ///< stop-the-world mark-sweep
+  kSemispace,     ///< semispace copying with address forwarding
+  kDeferredRc,    ///< deferred reference counting with a bounded ZCT
+  kGenerational,  ///< nursery + remembered set, periodic full collections
+  kIncremental,   ///< tri-color SATB mark-sweep in bounded pause slices
 };
 
 const char* policyName(Policy policy);
 
-/// The three collector policies (kNone is the baseline, not a collector).
+/// The five collector policies (kNone is the baseline, not a collector).
+/// The new entries append so existing report/golden row order is stable.
 inline constexpr Policy kAllCollectorPolicies[] = {
-    Policy::kMarkSweep, Policy::kSemispace, Policy::kDeferredRc};
+    Policy::kMarkSweep, Policy::kSemispace, Policy::kDeferredRc,
+    Policy::kGenerational, Policy::kIncremental};
 
 /// Collection and cost counters, maintained by every collector (and by the
 /// SMALL machine's scavenger). Pauses are in simulated heap-touch cost
@@ -53,6 +57,10 @@ struct GcStats {
   std::uint64_t zctHighWater = 0;    ///< max zero-count-table occupancy
   std::uint64_t maxPause = 0;        ///< costliest single collection
   std::uint64_t totalPause = 0;      ///< sum of per-collection pauses
+  std::uint64_t minorCollections = 0;  ///< generational: nursery-only cycles
+  std::uint64_t cellsPromoted = 0;     ///< generational: nursery survivors
+  std::uint64_t fullCycles = 0;  ///< incremental: completed mark-sweep cycles
+                                 ///< (collections counts bounded slices)
 };
 
 }  // namespace small::gc

@@ -1,0 +1,212 @@
+// Generational collector: a nursery of recently-registered cells, a
+// remembered set maintained by the setCar/setCdr write barrier, minor
+// collections that trace only the nursery (entering through young roots
+// and the young fields of remembered old cells), and periodic major
+// collections that restore the exact root-reachable live set.
+//
+// The registry is kept partitioned by insertion order: cells_[0,
+// youngStart_) are the old generation, cells_[youngStart_, end) the
+// nursery. A minor collection compacts nursery survivors in place and
+// then advances youngStart_ past them — promotion is one pointer move,
+// and the registry stays insertion-ordered so downstream reports remain
+// deterministic.
+//
+// Soundness of the minor collection rests on the barrier invariant:
+// every old→young pointer's source cell is in the remembered set. The
+// mutator only creates such an edge through setCar/setCdr (cons cells
+// are born young, so a fresh cell's own fields can only make
+// young→anything edges), and the barrier records the source whenever an
+// old cell receives a young pointer. Old cells and anything they keep
+// alive are conservatively retained until the next major collection —
+// that float is the price of not tracing the old generation, and the
+// periodic major collection (or collectFull()) pays it back.
+#include <unordered_set>
+
+#include "gc/collector.hpp"
+
+namespace small::gc {
+namespace {
+
+class GenerationalCollector final : public Collector {
+ public:
+  GenerationalCollector(heap::HeapBackend& heap, const Options& options)
+      : Collector(heap, options),
+        nurseryLimit_(options.nurseryCells != 0
+                          ? options.nurseryCells
+                          : options_.triggerLiveCells / 4) {
+    if (nurseryLimit_ == 0) nurseryLimit_ = 1;
+  }
+
+  const char* name() const override { return "generational"; }
+
+  void setCar(CellRef cell, heap::HeapWord value) override {
+    barrier(cell, value);
+    heap_.setCar(cell, value);
+  }
+  void setCdr(CellRef cell, heap::HeapWord value) override {
+    barrier(cell, value);
+    heap_.setCdr(cell, value);
+  }
+
+  bool shouldCollect() const override {
+    if (Collector::shouldCollect()) return true;
+    return youngCount() >= nurseryLimit_;
+  }
+
+  std::uint64_t collectFull() override {
+    forceMajor_ = true;
+    const std::uint64_t reclaimed = collect();
+    forceMajor_ = false;
+    return reclaimed;
+  }
+
+ protected:
+  void onAllocate(CellRef cell, heap::HeapWord car,
+                  heap::HeapWord cdr) override {
+    (void)car;
+    (void)cdr;
+    ++stats_.tableTouches;
+    youngSet_.insert(cell);
+  }
+
+  std::uint64_t doCollect() override {
+    // A minor collection cannot shrink the old generation, so when the
+    // nursery is empty (or enough has been promoted since the last full
+    // trace) only a major collection makes progress.
+    if (forceMajor_ || youngCount() == 0 ||
+        promotedSinceMajor_ >= options_.triggerLiveCells) {
+      return collectMajor();
+    }
+    return collectMinor();
+  }
+
+ private:
+  std::uint64_t youngCount() const { return cells_.size() - youngStart_; }
+
+  /// Remember `cell` if this store creates an old→young edge.
+  void barrier(CellRef cell, heap::HeapWord value) {
+    ++stats_.barrierOps;
+    if (!value.isPointer()) return;
+    ++stats_.tableTouches;
+    if (youngSet_.count(cell) != 0) return;  // young source: traced anyway
+    ++stats_.tableTouches;
+    if (youngSet_.count(value.payload) == 0) return;  // old→old edge
+    ++stats_.tableTouches;
+    if (rememberedSet_.insert(cell).second) remembered_.push_back(cell);
+  }
+
+  std::uint64_t collectMinor() {
+    // Mark: reachability restricted to the nursery. Old cells terminate
+    // the trace — they are conservatively live, and any young cell they
+    // reference is reachable through a remembered cell's fields.
+    std::unordered_set<CellRef> marked;
+    std::vector<CellRef> work;
+    const auto visit = [&](CellRef cell) {
+      ++stats_.tableTouches;
+      if (youngSet_.count(cell) == 0) return;  // old generation: stop
+      ++stats_.tableTouches;
+      if (marked.insert(cell).second) work.push_back(cell);
+    };
+    for (const CellRef root : roots_) {
+      if (root == kNull) continue;
+      visit(root);
+    }
+    for (const CellRef cell : remembered_) {
+      ++stats_.cellsTraced;
+      for (const heap::HeapWord word : {heap_.car(cell), heap_.cdr(cell)}) {
+        if (word.isPointer()) visit(word.payload);
+      }
+    }
+    while (!work.empty()) {
+      const CellRef cell = work.back();
+      work.pop_back();
+      ++stats_.cellsTraced;
+      for (const heap::HeapWord word : {heap_.car(cell), heap_.cdr(cell)}) {
+        if (word.isPointer()) visit(word.payload);
+      }
+    }
+
+    // Sweep the nursery only, compacting survivors in place; survivors
+    // are thereby promoted (youngStart_ moves past them).
+    std::uint64_t reclaimed = 0;
+    std::size_t out = youngStart_;
+    for (std::size_t i = youngStart_; i < cells_.size(); ++i) {
+      const CellRef cell = cells_[i];
+      ++stats_.tableTouches;
+      if (marked.count(cell) != 0) {
+        cells_[out++] = cell;
+      } else {
+        heap_.free(cell);
+        ++reclaimed;
+      }
+      youngSet_.erase(cell);
+    }
+    const std::uint64_t promoted = out - youngStart_;
+    cells_.resize(out);
+    youngStart_ = cells_.size();
+    promotedSinceMajor_ += promoted;
+    stats_.cellsPromoted += promoted;
+    ++stats_.minorCollections;
+    remembered_.clear();
+    rememberedSet_.clear();
+    return reclaimed;
+  }
+
+  std::uint64_t collectMajor() {
+    // Full stop-the-world mark-sweep over the whole registry; afterwards
+    // everything surviving is old and the remembered set is empty.
+    std::unordered_set<CellRef> marked;
+    std::vector<CellRef> work;
+    for (const CellRef root : roots_) {
+      if (root == kNull) continue;
+      ++stats_.tableTouches;
+      if (marked.insert(root).second) work.push_back(root);
+    }
+    while (!work.empty()) {
+      const CellRef cell = work.back();
+      work.pop_back();
+      ++stats_.cellsTraced;
+      for (const heap::HeapWord word : {heap_.car(cell), heap_.cdr(cell)}) {
+        if (!word.isPointer()) continue;
+        ++stats_.tableTouches;
+        if (marked.insert(word.payload).second) work.push_back(word.payload);
+      }
+    }
+
+    std::uint64_t reclaimed = 0;
+    std::size_t out = 0;
+    for (const CellRef cell : cells_) {
+      ++stats_.tableTouches;
+      if (marked.count(cell) != 0) {
+        cells_[out++] = cell;
+      } else {
+        heap_.free(cell);
+        ++reclaimed;
+      }
+    }
+    cells_.resize(out);
+    youngStart_ = cells_.size();
+    youngSet_.clear();
+    remembered_.clear();
+    rememberedSet_.clear();
+    promotedSinceMajor_ = 0;
+    return reclaimed;
+  }
+
+  std::uint64_t nurseryLimit_;
+  std::size_t youngStart_ = 0;  ///< cells_[youngStart_..) is the nursery
+  std::unordered_set<CellRef> youngSet_;
+  std::vector<CellRef> remembered_;  ///< old cells holding young pointers
+  std::unordered_set<CellRef> rememberedSet_;
+  std::uint64_t promotedSinceMajor_ = 0;
+  bool forceMajor_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Collector> makeGenerationalCollector(
+    heap::HeapBackend& heap, const Collector::Options& options) {
+  return std::make_unique<GenerationalCollector>(heap, options);
+}
+
+}  // namespace small::gc

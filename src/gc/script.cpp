@@ -144,11 +144,14 @@ ScriptResult runScript(Collector& collector, const Script& script,
   snap.watchValue(obs::names::kGcLiveCells, [&collector] {
     return static_cast<double>(collector.liveCells());
   });
-  const auto collectNow = [&](std::uint64_t epoch) {
+  const auto collectNow = [&](std::uint64_t epoch, bool full) {
     const std::uint64_t before = collector.stats().totalPause;
-    collector.collect();
+    if (full) {
+      collector.collectFull();
+    } else {
+      collector.collect();
+    }
     const std::uint64_t pause = collector.stats().totalPause - before;
-    result.pauseTouchUnits.add(static_cast<std::int64_t>(pause));
     if (telemetry != nullptr && telemetry->enabled()) {
       telemetry->sample(obs::names::kGcPause, epoch,
                         static_cast<double>(pause));
@@ -157,7 +160,7 @@ ScriptResult runScript(Collector& collector, const Script& script,
 
   std::uint64_t epoch = 0;
   for (const ScriptOp& op : script.ops) {
-    if (collector.shouldCollect()) collectNow(epoch);
+    if (collector.shouldCollect()) collectNow(epoch, /*full=*/false);
     snap.advanceTo(epoch);
     ++epoch;
     switch (op.kind) {
@@ -215,13 +218,20 @@ ScriptResult runScript(Collector& collector, const Script& script,
         break;
     }
   }
-  collectNow(epoch);
+  // Final collection is a FULL one: the generational collector forces a
+  // major cycle and the incremental collector finishes any in-flight
+  // cycle and runs a fresh complete one, so finalLiveCells is the exact
+  // root-reachable set for every policy (the differential contract).
+  collectNow(epoch, /*full=*/true);
   snap.finish(epoch);
 
   result.collectorName = collector.name();
   result.finalLiveCells = collector.liveCells();
   result.rootReachable = collector.rootReachability();
   result.stats = collector.stats();
+  // One histogram entry per collect() slice (not per safepoint), so an
+  // incremental run's distribution is its bounded per-slice pauses.
+  result.pauseTouchUnits = collector.pauses();
   return result;
 }
 

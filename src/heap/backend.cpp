@@ -48,6 +48,96 @@ sexpr::NodeRef HeapBackend::decode(sexpr::Arena& arena, HeapWord root) const {
   throw Error("HeapBackend: unreachable word tag");
 }
 
+// ---------------------------------------------------------------------------
+// Resumable collection driver: one tri-color mark/sweep loop over the
+// per-representation gcVisit/gcTraceOne/gcSweepAt bodies. The stop-the-
+// world collectGarbage is the degenerate single unbounded slice, with
+// stats identical to the pre-driver per-backend implementations.
+// ---------------------------------------------------------------------------
+
+HeapBackend::CollectResult HeapBackend::collectGarbage(
+    const std::vector<HeapWord>& roots) {
+  gcBegin(roots, /*youngOnly=*/false);
+  CollectResult result;
+  gcStep(0, result);
+  return result;
+}
+
+void HeapBackend::gcBegin(const std::vector<HeapWord>& roots, bool youngOnly) {
+  if (gcPhase_ != GcPhase::kIdle) {
+    throw Error("HeapBackend::gcBegin: collection cycle already active");
+  }
+  if (youngOnly && !youngTracking_) {
+    throw Error("HeapBackend::gcBegin: young cycle without young tracking");
+  }
+  gcMarked_.assign(cellsAllocated(), false);
+  gcGray_.clear();
+  gcYoungOnly_ = youngOnly;
+  gcSweepCursor_ = 0;
+  gcYoungSweepPos_ = 0;
+  // The root scan is atomic (the root file is small): it is what makes
+  // the SATB snapshot well-defined for the incremental driver.
+  gcPhase_ = GcPhase::kMark;
+  for (const HeapWord& root : roots) {
+    if (root.isPointer()) gcVisit(root.payload);
+  }
+  if (youngOnly) {
+    for (const CellRef target : remembered_) gcVisit(target);
+  }
+}
+
+bool HeapBackend::gcStep(std::uint64_t touchBudget, CollectResult& result) {
+  if (gcPhase_ == GcPhase::kIdle) return true;
+  const std::uint64_t touchesBefore = stats_.touches();
+  const auto overBudget = [&] {
+    return touchBudget != 0 && stats_.touches() - touchesBefore >= touchBudget;
+  };
+
+  if (gcPhase_ == GcPhase::kMark) {
+    while (!gcGray_.empty() && !overBudget()) {
+      const CellRef cell = gcGray_.back();
+      gcGray_.pop_back();
+      gcTraceOne(cell, result);
+    }
+    if (!gcGray_.empty()) return false;  // slice exhausted mid-mark
+    gcPhase_ = GcPhase::kSweep;
+  }
+
+  if (gcYoungOnly_) {
+    // Young sweep: only the cells recorded since the last promotion, in
+    // allocation order (pair heads precede their partner slots, so an
+    // unmarked pair is freed head-first and the partner skips as freed).
+    while (gcYoungSweepPos_ < youngList_.size() && !overBudget()) {
+      gcSweepAt(youngList_[gcYoungSweepPos_++], result);
+    }
+    if (gcYoungSweepPos_ < youngList_.size()) return false;
+  } else {
+    // Full sweep: ascend the cell store up to the cycle's snapshot
+    // extent; cells allocated mid-cycle beyond it are implicitly black.
+    while (gcSweepCursor_ < gcMarked_.size() && !overBudget()) {
+      gcSweepAt(gcSweepCursor_++, result);
+    }
+    if (gcSweepCursor_ < gcMarked_.size()) return false;
+  }
+
+  // Cycle complete: survivors of any cycle are promoted out of the
+  // nursery (a full cycle restores the exact live set; a young cycle
+  // promoted exactly its survivors).
+  if (youngTracking_) gcPromote();
+  gcMarked_.clear();
+  gcGray_.clear();
+  gcPhase_ = GcPhase::kIdle;
+  return true;
+}
+
+HeapBackend::CollectResult HeapBackend::collectYoung(
+    const std::vector<HeapWord>& roots) {
+  gcBegin(roots, /*youngOnly=*/true);
+  CollectResult result;
+  gcStep(0, result);
+  return result;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -63,6 +153,7 @@ class TwoPointerBackend final : public HeapBackend {
     ++stats_.allocs;
     stats_.writes += 2;
     noteAlloc(1);
+    gcNoteAlloc(cell, 1);
     return cell;
   }
 
@@ -91,10 +182,14 @@ class TwoPointerBackend final : public HeapBackend {
     return heap_.cdr(cell);
   }
   void setCar(CellRef cell, HeapWord value) override {
+    if (gcMarking()) gcShadeWord(heap_.car(cell));
+    if (value.isPointer() && !isYoung(cell)) gcRemember(value.payload);
     ++stats_.writes;
     heap_.setCar(cell, value);
   }
   void setCdr(CellRef cell, HeapWord value) override {
+    if (gcMarking()) gcShadeWord(heap_.cdr(cell));
+    if (value.isPointer() && !isYoung(cell)) gcRemember(value.payload);
     ++stats_.writes;
     heap_.setCdr(cell, value);
   }
@@ -105,6 +200,10 @@ class TwoPointerBackend final : public HeapBackend {
     ++stats_.reads;   // one cell fetch yields both words
     ++stats_.writes;  // free-list insertion
     noteFree(1);
+    // The destroyed cell's words escape to the owner's table: keep their
+    // targets in an in-flight cycle's snapshot.
+    gcShadeWord(halves.car);
+    gcShadeWord(halves.cdr);
     return {halves.car, halves.cdr};
   }
 
@@ -115,48 +214,18 @@ class TwoPointerBackend final : public HeapBackend {
 
   HeapWord encode(const sexpr::Arena& arena, sexpr::NodeRef root) override {
     const std::uint64_t before = heap_.cellsLive();
+    // encode allocates internally (and may reuse freed refs): observe
+    // every fresh cell so it can be young-recorded / allocated black.
+    encodeScratch_.clear();
+    heap_.setAllocSink(&encodeScratch_);
     const HeapWord word = heap_.encode(arena, root);
+    heap_.setAllocSink(nullptr);
+    for (const CellRef cell : encodeScratch_) gcNoteAlloc(cell, 1);
     const std::uint64_t delta = heap_.cellsLive() - before;
     stats_.allocs += delta;
     stats_.writes += 2 * delta;
     noteAlloc(delta);
     return word;
-  }
-
-  CollectResult collectGarbage(const std::vector<HeapWord>& roots) override {
-    // Mark: one cell fetch yields both words of each traced cell.
-    std::vector<bool> marked(heap_.cellsAllocated(), false);
-    std::vector<CellRef> work;
-    const auto visit = [&](CellRef cell) {
-      if (!marked[cell]) {
-        marked[cell] = true;
-        work.push_back(cell);
-      }
-    };
-    for (const HeapWord& root : roots) {
-      if (root.isPointer()) visit(root.payload);
-    }
-    CollectResult result;
-    while (!work.empty()) {
-      const CellRef cell = work.back();
-      work.pop_back();
-      ++result.traced;
-      stats_.reads += 2;
-      if (heap_.car(cell).isPointer()) visit(heap_.car(cell).payload);
-      if (heap_.cdr(cell).isPointer()) visit(heap_.cdr(cell).payload);
-    }
-    // Sweep: a linear scan of the cell store; a read per occupied cell
-    // examined, a free-list write per cell reclaimed.
-    for (CellRef cell = 0; cell < marked.size(); ++cell) {
-      if (heap_.isFree(cell)) continue;
-      ++stats_.reads;
-      if (marked[cell]) continue;
-      heap_.free(cell);
-      ++stats_.writes;
-      noteFree(1);
-      ++result.reclaimed;
-    }
-    return result;
   }
 
   std::uint64_t cellsAllocated() const override {
@@ -166,8 +235,40 @@ class TwoPointerBackend final : public HeapBackend {
   /// The wrapped representation, for the abstraction-overhead bench.
   TwoPointerHeap& raw() { return heap_; }
 
+ protected:
+  void gcVisit(CellRef cell) override {
+    if (cell >= gcMarked_.size()) return;  // post-snapshot: implicitly black
+    if (heap_.isFree(cell)) return;        // stale gray/shade target
+    if (gcYoungOnly() && !isYoung(cell)) return;
+    if (!gcMarked_[cell]) {
+      gcMarked_[cell] = true;
+      gcGray_.push_back(cell);
+    }
+  }
+
+  void gcTraceOne(CellRef cell, CollectResult& result) override {
+    if (heap_.isFree(cell)) return;  // freed after it went gray
+    ++result.traced;
+    // One cell fetch yields both words of each traced cell.
+    stats_.reads += 2;
+    if (heap_.car(cell).isPointer()) gcVisit(heap_.car(cell).payload);
+    if (heap_.cdr(cell).isPointer()) gcVisit(heap_.cdr(cell).payload);
+  }
+
+  void gcSweepAt(CellRef cell, CollectResult& result) override {
+    // A read per occupied cell examined, a free-list write per reclaim.
+    if (heap_.isFree(cell)) return;
+    ++stats_.reads;
+    if (gcMarked_[cell]) return;
+    heap_.free(cell);
+    ++stats_.writes;
+    noteFree(1);
+    ++result.reclaimed;
+  }
+
  private:
   TwoPointerHeap heap_;
+  std::vector<CellRef> encodeScratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -190,12 +291,14 @@ class CdrCodedBackend final : public HeapBackend {
       const CellRef cell = allocSingle();
       cells_[cell] = Cell{toCdr(car), CdrCode::kNil, false};
       ++stats_.writes;
+      gcNoteAlloc(cell, 1);
       return cell;
     }
     const CellRef cell = allocPair();
     cells_[cell] = Cell{toCdr(car), CdrCode::kNormal, false};
     cells_[cell + 1] = Cell{toCdr(cdr), CdrCode::kError, false};
     stats_.writes += 2;
+    gcNoteAlloc(cell, 2);
     return cell;
   }
 
@@ -273,6 +376,10 @@ class CdrCodedBackend final : public HeapBackend {
 
   void setCar(CellRef cell, HeapWord value) override {
     const CellRef c = resolve(cell);
+    if (gcMarking() && at(c).car.isPointer()) {
+      gcShadeWord(HeapWord::pointer(at(c).car.payload));
+    }
+    if (value.isPointer() && !isYoung(c)) gcRemember(value.payload);
     ++stats_.writes;
     at(c).car = toCdr(value);
   }
@@ -282,6 +389,10 @@ class CdrCodedBackend final : public HeapBackend {
     Cell& slot = at(c);
     switch (slot.code) {
       case CdrCode::kNormal:
+        if (gcMarking() && at(c + 1).car.isPointer()) {
+          gcShadeWord(HeapWord::pointer(at(c + 1).car.payload));
+        }
+        if (value.isPointer() && !isYoung(c)) gcRemember(value.payload);
         ++stats_.writes;
         at(c + 1).car = toCdr(value);
         return;
@@ -293,6 +404,9 @@ class CdrCodedBackend final : public HeapBackend {
         // invisible pointer (§2.3.3.1). A kNext predecessor's old implicit
         // successor is orphaned from *this* cons — its ownership already
         // lives with whoever holds the old cdr value.
+        if (slot.code == CdrCode::kNext) {
+          gcShadeWord(HeapWord::pointer(c + 1));  // the orphaned successor
+        }
         const CellRef fresh = allocPair();
         ++stats_.reads;
         cells_[fresh] = Cell{cells_[c].car, CdrCode::kNormal, false};
@@ -300,6 +414,8 @@ class CdrCodedBackend final : public HeapBackend {
         cells_[c].car = CdrWord::invisible(fresh);
         stats_.writes += 3;
         ++invisibles_;
+        gcNoteAlloc(fresh, 2);
+        if (!isYoung(c)) gcRemember(fresh);  // old cell now forwards here
         return;
       }
     }
@@ -333,6 +449,10 @@ class CdrCodedBackend final : public HeapBackend {
       case CdrCode::kError:
         throw SimulationError("CdrCodedBackend: split of a cdr-error cell");
     }
+    // The destroyed cell's words escape to the owner's table: keep their
+    // targets in an in-flight cycle's snapshot.
+    gcShadeWord(carWord);
+    gcShadeWord(cdrWord);
     return {carWord, cdrWord};
   }
 
@@ -392,93 +512,94 @@ class CdrCodedBackend final : public HeapBackend {
     stats_.allocs += heads.size();
     stats_.writes += laid;
     noteAlloc(laid);
+    gcNoteAlloc(start, laid);
     return HeapWord::pointer(start);
-  }
-
-  CollectResult collectGarbage(const std::vector<HeapWord>& roots) override {
-    // Mark. Invisible forwarding chains are marked as part of the object
-    // that forwards through them (they die together, they live together);
-    // a cdr-normal head marks its cdr-error partner; a cdr-next cell's
-    // implicit successor is part of the same run and traces as a cell of
-    // its own.
-    std::vector<bool> marked(cells_.size(), false);
-    std::vector<CellRef> work;
-    const auto visit = [&](CellRef cell) {
-      while (!marked[cell] && cells_[cell].car.tag == CdrWord::Tag::kInvisible) {
-        marked[cell] = true;
-        ++stats_.reads;
-        cell = cells_[cell].car.payload;
-      }
-      if (!marked[cell]) {
-        marked[cell] = true;
-        work.push_back(cell);
-      }
-    };
-    for (const HeapWord& root : roots) {
-      if (root.isPointer()) visit(root.payload);
-    }
-    CollectResult result;
-    while (!work.empty()) {
-      const CellRef cell = work.back();
-      work.pop_back();
-      ++result.traced;
-      const Cell& slot = cells_[cell];
-      ++stats_.reads;
-      if (slot.car.isPointer()) visit(slot.car.payload);
-      switch (slot.code) {
-        case CdrCode::kNext:
-          visit(cell + 1);
-          break;
-        case CdrCode::kNil:
-          break;
-        case CdrCode::kNormal: {
-          marked[cell + 1] = true;
-          ++stats_.reads;
-          const CdrWord tail = cells_[cell + 1].car;
-          if (tail.isPointer()) visit(tail.payload);
-          break;
-        }
-        case CdrCode::kError:
-          throw SimulationError(
-              "CdrCodedBackend: collectGarbage traced into a cdr-error "
-              "cell");
-      }
-    }
-    // Sweep ascending. An unmarked cdr-normal head takes its partner with
-    // it (freePair), so a directly encountered live-looking cdr-error cell
-    // means the store is corrupt.
-    for (CellRef cell = 0; cell < marked.size(); ++cell) {
-      const Cell& slot = cells_[cell];
-      if (slot.free) continue;
-      ++stats_.reads;
-      if (marked[cell]) continue;
-      if (slot.car.tag == CdrWord::Tag::kInvisible) {
-        freeSingle(cell);
-        ++result.reclaimed;
-        continue;
-      }
-      switch (slot.code) {
-        case CdrCode::kNext:
-        case CdrCode::kNil:
-          freeSingle(cell);
-          ++result.reclaimed;
-          break;
-        case CdrCode::kNormal:
-          freePair(cell);
-          result.reclaimed += 2;
-          break;
-        case CdrCode::kError:
-          throw SimulationError(
-              "CdrCodedBackend: collectGarbage swept an orphaned cdr-error "
-              "cell");
-      }
-    }
-    return result;
   }
 
   std::uint64_t cellsAllocated() const override { return cells_.size(); }
 
   std::uint64_t invisibleCount() const { return invisibles_; }
+
+ protected:
+  // Invisible forwarding chains are marked as part of the object that
+  // forwards through them (they die together, they live together); a
+  // cdr-normal head marks its cdr-error partner; a cdr-next cell's
+  // implicit successor is part of the same run and traces as a cell of
+  // its own.
+  void gcVisit(CellRef cell) override {
+    while (true) {
+      if (cell >= gcMarked_.size()) return;  // post-snapshot: black
+      if (cells_[cell].free) return;         // stale gray/shade target
+      if (gcYoungOnly() && !isYoung(cell)) return;
+      if (gcMarked_[cell]) return;
+      if (cells_[cell].car.tag == CdrWord::Tag::kInvisible) {
+        gcMarked_[cell] = true;
+        ++stats_.reads;
+        cell = cells_[cell].car.payload;
+        continue;
+      }
+      gcMarked_[cell] = true;
+      gcGray_.push_back(cell);
+      return;
+    }
+  }
+
+  void gcTraceOne(CellRef cell, CollectResult& result) override {
+    if (cells_[cell].free) return;  // freed after it went gray
+    ++result.traced;
+    const Cell& slot = cells_[cell];
+    ++stats_.reads;
+    if (slot.car.isPointer()) gcVisit(slot.car.payload);
+    switch (slot.code) {
+      case CdrCode::kNext:
+        gcVisit(cell + 1);
+        break;
+      case CdrCode::kNil:
+        break;
+      case CdrCode::kNormal: {
+        if (cell + 1 < gcMarked_.size()) gcMarked_[cell + 1] = true;
+        ++stats_.reads;
+        const CdrWord tail = cells_[cell + 1].car;
+        if (tail.isPointer()) gcVisit(tail.payload);
+        break;
+      }
+      case CdrCode::kError:
+        throw SimulationError(
+            "CdrCodedBackend: collectGarbage traced into a cdr-error "
+            "cell");
+    }
+  }
+
+  // Sweep one position. An unmarked cdr-normal head takes its partner
+  // with it (freePair), so a directly encountered live-looking cdr-error
+  // cell means the store is corrupt (a young sweep visits heads before
+  // partners, so partners are always freed or marked by then).
+  void gcSweepAt(CellRef cell, CollectResult& result) override {
+    const Cell& slot = cells_[cell];
+    if (slot.free) return;
+    ++stats_.reads;
+    if (gcMarked_[cell]) return;
+    if (slot.car.tag == CdrWord::Tag::kInvisible) {
+      freeSingle(cell);
+      ++result.reclaimed;
+      return;
+    }
+    switch (slot.code) {
+      case CdrCode::kNext:
+      case CdrCode::kNil:
+        freeSingle(cell);
+        ++result.reclaimed;
+        break;
+      case CdrCode::kNormal:
+        freePair(cell);
+        result.reclaimed += 2;
+        break;
+      case CdrCode::kError:
+        throw SimulationError(
+            "CdrCodedBackend: collectGarbage swept an orphaned cdr-error "
+            "cell");
+    }
+  }
 
  private:
   struct Cell {
@@ -652,12 +773,14 @@ class LinkedVectorBackend final : public HeapBackend {
       const CellRef ref = allocSingle();
       elements_[ref] = Element{Tag::kCdrNil, car};
       ++stats_.writes;
+      gcNoteAlloc(ref, 1);
       return ref;
     }
     const CellRef ref = allocPair();
     elements_[ref] = Element{Tag::kCdrCell, car};
     elements_[ref + 1] = Element{Tag::kCdrSlot, cdr};
     stats_.writes += 2;
+    gcNoteAlloc(ref, 2);
     return ref;
   }
 
@@ -752,6 +875,8 @@ class LinkedVectorBackend final : public HeapBackend {
 
   void setCar(CellRef cell, HeapWord value) override {
     const CellRef ref = resolve(cell);
+    if (gcMarking()) gcShadeWord(at(ref).value);
+    if (value.isPointer() && !isYoung(ref)) gcRemember(value.payload);
     ++stats_.writes;
     at(ref).value = value;
   }
@@ -761,6 +886,8 @@ class LinkedVectorBackend final : public HeapBackend {
     Element& element = at(ref);
     switch (element.tag) {
       case Tag::kCdrCell:
+        if (gcMarking()) gcShadeWord(at(ref + 1).value);
+        if (value.isPointer() && !isYoung(ref)) gcRemember(value.payload);
         ++stats_.writes;
         at(ref + 1).value = value;
         return;
@@ -768,6 +895,9 @@ class LinkedVectorBackend final : public HeapBackend {
       case Tag::kCdrNil: {
         // The exception case: copy out to an explicit-cdr pair elsewhere
         // and leave an indirection element behind.
+        if (element.tag == Tag::kNext) {
+          gcShadeWord(HeapWord::pointer(ref + 1));  // orphaned successor
+        }
         const CellRef fresh = allocPair();
         ++stats_.reads;
         elements_[fresh] = Element{Tag::kCdrCell, elements_[ref].value};
@@ -776,6 +906,8 @@ class LinkedVectorBackend final : public HeapBackend {
             Element{Tag::kIndirect, HeapWord::pointer(fresh)};
         stats_.writes += 3;
         ++indirections_;
+        gcNoteAlloc(fresh, 2);
+        if (!isYoung(ref)) gcRemember(fresh);  // old cell now forwards here
         return;
       }
       case Tag::kCdrSlot:
@@ -817,6 +949,10 @@ class LinkedVectorBackend final : public HeapBackend {
         throw SimulationError(
             "LinkedVectorBackend: split of a non-cons element");
     }
+    // The destroyed element's words escape to the owner's table: keep
+    // their targets in an in-flight cycle's snapshot.
+    gcShadeWord(carWord);
+    gcShadeWord(cdrWord);
     return {carWord, cdrWord};
   }
 
@@ -875,6 +1011,7 @@ class LinkedVectorBackend final : public HeapBackend {
       if (last) {
         if (properList) {
           element.tag = Tag::kCdrNil;
+          gcNoteAlloc(ref, 1);
         } else {
           element.tag = Tag::kCdrCell;
           Element& slot = elements_[ref + 1];
@@ -883,9 +1020,11 @@ class LinkedVectorBackend final : public HeapBackend {
           ++stats_.writes;
           noteAlloc(1);
           ++slotInCurrentVector_;
+          gcNoteAlloc(ref, 2);
         }
       } else if (slotInCurrentVector_ <= vectorSize_ - 2) {
         element.tag = Tag::kNext;  // successor fits in this vector
+        gcNoteAlloc(ref, 1);
       } else {
         // Successor would land on the vector's last slot, where *its*
         // adjacent slot could not follow: continue through an
@@ -900,99 +1039,99 @@ class LinkedVectorBackend final : public HeapBackend {
         stats_.writes += 2;
         noteAlloc(1);
         ++indirections_;
+        gcNoteAlloc(ref, 2);  // the element and its indirection slot
       }
     }
     return HeapWord::pointer(first);
-  }
-
-  CollectResult collectGarbage(const std::vector<HeapWord>& roots) override {
-    // Mark, with the same shape discipline as freeObject: indirection
-    // chains mark with the object forwarding through them, a kCdrCell
-    // head marks its cdr slot, a kNext element's successor is the next
-    // slot of the same run.
-    std::vector<bool> marked(elements_.size(), false);
-    std::vector<CellRef> work;
-    const auto visit = [&](CellRef ref) {
-      while (!marked[ref] && elements_[ref].tag == Tag::kIndirect) {
-        marked[ref] = true;
-        ++stats_.reads;
-        ref = elements_[ref].value.payload;
-      }
-      if (!marked[ref]) {
-        marked[ref] = true;
-        work.push_back(ref);
-      }
-    };
-    for (const HeapWord& root : roots) {
-      if (root.isPointer()) visit(root.payload);
-    }
-    CollectResult result;
-    while (!work.empty()) {
-      const CellRef ref = work.back();
-      work.pop_back();
-      ++result.traced;
-      const Element& element = elements_[ref];
-      ++stats_.reads;
-      if (element.value.isPointer()) visit(element.value.payload);
-      switch (element.tag) {
-        case Tag::kNext:
-          visit(ref + 1);
-          break;
-        case Tag::kCdrNil:
-          break;
-        case Tag::kCdrCell: {
-          marked[ref + 1] = true;
-          ++stats_.reads;
-          const HeapWord tail = elements_[ref + 1].value;
-          if (tail.isPointer()) visit(tail.payload);
-          break;
-        }
-        case Tag::kCdrSlot:
-        case Tag::kIndirect:
-        case Tag::kUnused:
-          throw SimulationError(
-              "LinkedVectorBackend: collectGarbage traced a non-cons "
-              "element");
-      }
-    }
-    // Sweep ascending over the element store. An unmarked kCdrCell head
-    // frees its pair with the usual adjacent-pair bookkeeping; a directly
-    // encountered unmarked cdr slot means its head vanished without it.
-    for (CellRef ref = 0; ref < marked.size(); ++ref) {
-      const Element& element = elements_[ref];
-      if (element.tag == Tag::kUnused) continue;
-      ++stats_.reads;
-      if (marked[ref]) continue;
-      switch (element.tag) {
-        case Tag::kNext:
-        case Tag::kCdrNil:
-        case Tag::kIndirect:
-          freeSlot(ref);
-          ++result.reclaimed;
-          break;
-        case Tag::kCdrCell:
-          freeSlot(ref + 1);
-          freeSlot(ref);
-          freePairs_.push_back(ref);
-          freeSingles_.pop_back();
-          freeSingles_.pop_back();
-          result.reclaimed += 2;
-          break;
-        case Tag::kCdrSlot:
-          throw SimulationError(
-              "LinkedVectorBackend: collectGarbage swept an orphaned cdr "
-              "slot");
-        case Tag::kUnused:
-          break;
-      }
-    }
-    return result;
   }
 
   std::uint64_t cellsAllocated() const override { return elements_.size(); }
 
   std::uint64_t indirectionCount() const { return indirections_; }
   std::uint64_t vectorsAllocated() const { return vectors_; }
+
+ protected:
+  // Mark, with the same shape discipline as freeObject: indirection
+  // chains mark with the object forwarding through them, a kCdrCell
+  // head marks its cdr slot, a kNext element's successor is the next
+  // slot of the same run.
+  void gcVisit(CellRef ref) override {
+    while (true) {
+      if (ref >= gcMarked_.size()) return;  // post-snapshot: black
+      if (elements_[ref].tag == Tag::kUnused) return;  // stale ref
+      if (gcYoungOnly() && !isYoung(ref)) return;
+      if (gcMarked_[ref]) return;
+      if (elements_[ref].tag == Tag::kIndirect) {
+        gcMarked_[ref] = true;
+        ++stats_.reads;
+        ref = elements_[ref].value.payload;
+        continue;
+      }
+      gcMarked_[ref] = true;
+      gcGray_.push_back(ref);
+      return;
+    }
+  }
+
+  void gcTraceOne(CellRef ref, CollectResult& result) override {
+    if (elements_[ref].tag == Tag::kUnused) return;  // freed while gray
+    ++result.traced;
+    const Element& element = elements_[ref];
+    ++stats_.reads;
+    if (element.value.isPointer()) gcVisit(element.value.payload);
+    switch (element.tag) {
+      case Tag::kNext:
+        gcVisit(ref + 1);
+        break;
+      case Tag::kCdrNil:
+        break;
+      case Tag::kCdrCell: {
+        if (ref + 1 < gcMarked_.size()) gcMarked_[ref + 1] = true;
+        ++stats_.reads;
+        const HeapWord tail = elements_[ref + 1].value;
+        if (tail.isPointer()) gcVisit(tail.payload);
+        break;
+      }
+      case Tag::kCdrSlot:
+      case Tag::kIndirect:
+      case Tag::kUnused:
+        throw SimulationError(
+            "LinkedVectorBackend: collectGarbage traced a non-cons "
+            "element");
+    }
+  }
+
+  // Sweep one element-store position. An unmarked kCdrCell head frees
+  // its pair with the usual adjacent-pair bookkeeping; a directly
+  // encountered unmarked cdr slot means its head vanished without it.
+  void gcSweepAt(CellRef ref, CollectResult& result) override {
+    const Element& element = elements_[ref];
+    if (element.tag == Tag::kUnused) return;
+    ++stats_.reads;
+    if (gcMarked_[ref]) return;
+    switch (element.tag) {
+      case Tag::kNext:
+      case Tag::kCdrNil:
+      case Tag::kIndirect:
+        freeSlot(ref);
+        ++result.reclaimed;
+        break;
+      case Tag::kCdrCell:
+        freeSlot(ref + 1);
+        freeSlot(ref);
+        freePairs_.push_back(ref);
+        freeSingles_.pop_back();
+        freeSingles_.pop_back();
+        result.reclaimed += 2;
+        break;
+      case Tag::kCdrSlot:
+        throw SimulationError(
+            "LinkedVectorBackend: collectGarbage swept an orphaned cdr "
+            "slot");
+      case Tag::kUnused:
+        break;
+    }
+  }
 
  private:
   enum class Tag : std::uint8_t {

@@ -99,7 +99,48 @@ class HeapBackend {
   /// their pair head — so reads/writes land in stats() with the same
   /// touch accounting as mutator activity. Used by SmallMachine when
   /// Config::gcPolicy defers its refcount-driven frees to a collector.
-  virtual CollectResult collectGarbage(const std::vector<HeapWord>& roots) = 0;
+  /// Equivalent to gcBegin() + one unbounded gcStep().
+  CollectResult collectGarbage(const std::vector<HeapWord>& roots);
+
+  // --- resumable collection driver ---
+  //
+  // The same mark-sweep as collectGarbage, but startable and then driven
+  // in bounded touch-unit slices with the mutator running between slices
+  // (SmallMachine's incremental policy). Between gcBegin and the final
+  // gcStep the backend is in an active cycle: allocations are recorded
+  // black (they survive the cycle), split() shades its result words and
+  // setCar/setCdr shade overwritten pointers — the snapshot-at-the-
+  // beginning invariant — so everything live at gcBegin or allocated
+  // since survives. Garbage dying mid-cycle floats to the next cycle.
+
+  /// Start a collection cycle from the given roots. `youngOnly` restricts
+  /// the cycle to cells recorded since the last promotion (requires
+  /// setYoungTracking(true)); old cells terminate the trace and the sweep
+  /// visits only young cells. Throws if a cycle is already active.
+  void gcBegin(const std::vector<HeapWord>& roots, bool youngOnly = false);
+
+  /// Run one slice of at most `touchBudget` heap touches (0 = unbounded);
+  /// accumulates into `result`. Returns true when the cycle completed.
+  bool gcStep(std::uint64_t touchBudget, CollectResult& result);
+
+  /// Is a collection cycle in flight?
+  bool gcActive() const { return gcPhase_ != GcPhase::kIdle; }
+
+  // --- generational support ---
+
+  /// Record subsequently allocated cells as "young" so collectYoung can
+  /// sweep just them. Every completed collection (young or full)
+  /// promotes: the young record and remembered set are cleared.
+  void setYoungTracking(bool enabled) { youngTracking_ = enabled; }
+
+  /// Cell slots recorded young since the last promotion (an allocation
+  /// count, the minor-collection trigger).
+  std::uint64_t youngCells() const { return youngList_.size(); }
+
+  /// Synchronous minor collection: trace roots and the remembered set
+  /// into the young generation only, sweep only young cells, promote the
+  /// survivors. Old cells are conservatively live until collectGarbage.
+  CollectResult collectYoung(const std::vector<HeapWord>& roots);
 
   /// Rebuild an s-expression from heap structure. Implemented once over
   /// the virtual car/cdr so every backend's decode pays its own touch
@@ -112,6 +153,10 @@ class HeapBackend {
   std::uint64_t cellsLive() const { return stats_.liveCells; }
 
   const HeapStats& stats() const { return stats_; }
+  /// Restore a previously captured stats block. Lets read-only diagnostic
+  /// walks (the collector's live-set fingerprint) run over the virtual
+  /// car/cdr without perturbing reported reads or pause figures.
+  void restoreStats(const HeapStats& snapshot) const { stats_ = snapshot; }
   void resetStats() {
     const std::uint64_t live = stats_.liveCells;
     stats_ = HeapStats{};
@@ -131,7 +176,108 @@ class HeapBackend {
     stats_.liveCells -= cells;
   }
 
+  // --- collection SPI (the per-representation mark/trace/sweep bodies;
+  //     the base class owns the driver loop and tri-color state) ---
+
+  /// Mark `cell` and push it gray, chasing forwarding chains (invisible
+  /// pointers, indirection elements) with the representation's touch
+  /// accounting. Must return without effect for refs beyond the cycle's
+  /// mark-table snapshot (implicitly black), freed cells (a stale gray or
+  /// shaded ref), and — in a young-only cycle — old cells.
+  virtual void gcVisit(CellRef cell) = 0;
+
+  /// Trace one gray cell's children through gcVisit, with stats identical
+  /// to the stop-the-world trace. Must return without effect if the cell
+  /// was freed after it went gray.
+  virtual void gcTraceOne(CellRef cell, CollectResult& result) = 0;
+
+  /// Sweep one cell-store position: skip freed or marked, free the rest.
+  /// Stats identical to one iteration of the stop-the-world sweep.
+  virtual void gcSweepAt(CellRef cell, CollectResult& result) = 0;
+
+  // --- helpers the backends call at their mutation points ---
+
+  /// Record `slots` freshly allocated cells starting at `head` (a cons,
+  /// an adjacent pair, or one encoded-run element each): young-records
+  /// them, and during an active cycle marks them black (a reused ref
+  /// must not be swept; refs beyond the mark-table snapshot already
+  /// are). During marking the head also goes gray so stored pointers
+  /// get traced.
+  void gcNoteAlloc(CellRef head, std::uint64_t slots) {
+    if (youngTracking_) {
+      for (std::uint64_t i = 0; i < slots; ++i) {
+        const CellRef ref = head + i;
+        if (ref >= youngFlag_.size()) youngFlag_.resize(ref + 1, false);
+        youngFlag_[ref] = true;
+        youngList_.push_back(ref);
+      }
+    }
+    if (gcPhase_ == GcPhase::kIdle) return;
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      if (head + i < gcMarked_.size()) gcMarked_[head + i] = true;
+    }
+    if (gcPhase_ == GcPhase::kMark && head < gcMarked_.size()) {
+      gcGray_.push_back(head);
+    }
+  }
+
+  /// SATB shade: a pointer word is being overwritten or its holding cell
+  /// destroyed (split); keep its target in the snapshot's live set.
+  void gcShadeWord(HeapWord word) {
+    if (gcPhase_ != GcPhase::kMark || !word.isPointer()) return;
+    gcVisit(word.payload);
+  }
+
+  /// Is the mark phase active (for backends that must read the old value
+  /// of a field only when a shade would consume it)?
+  bool gcMarking() const { return gcPhase_ == GcPhase::kMark; }
+
+  /// Young membership (O(1) flag test).
+  bool isYoung(CellRef cell) const {
+    return cell < youngFlag_.size() && youngFlag_[cell];
+  }
+
+  /// Remembered-set entry: `target` is a young cell newly referenced
+  /// from an old cell; minor collections treat it as a root. (Targets,
+  /// not sources, are remembered: old cells are then never traced, and
+  /// an overwritten old→young edge merely floats its target one minor
+  /// cycle.) No-op unless young tracking is on.
+  void gcRemember(CellRef target) {
+    if (!youngTracking_ || !isYoung(target)) return;
+    if (target >= rememberedFlag_.size()) {
+      rememberedFlag_.resize(target + 1, false);
+    }
+    if (rememberedFlag_[target]) return;
+    rememberedFlag_[target] = true;
+    remembered_.push_back(target);
+  }
+
+  bool gcYoungOnly() const { return gcYoungOnly_; }
+
+  std::vector<bool> gcMarked_;       ///< cycle mark table (snapshot-sized)
+  std::vector<CellRef> gcGray_;      ///< marked, children not yet traced
+
   mutable HeapStats stats_;
+
+ private:
+  enum class GcPhase : std::uint8_t { kIdle, kMark, kSweep };
+
+  void gcPromote() {
+    youngList_.clear();
+    youngFlag_.clear();
+    remembered_.clear();
+    rememberedFlag_.clear();
+  }
+
+  GcPhase gcPhase_ = GcPhase::kIdle;
+  bool gcYoungOnly_ = false;
+  CellRef gcSweepCursor_ = 0;        ///< full sweep: next cell-store position
+  std::size_t gcYoungSweepPos_ = 0;  ///< young sweep: next youngList_ index
+  bool youngTracking_ = false;
+  std::vector<CellRef> youngList_;   ///< young refs in allocation order
+  std::vector<bool> youngFlag_;
+  std::vector<CellRef> remembered_;  ///< young cells referenced from old ones
+  std::vector<bool> rememberedFlag_;
 };
 
 /// The selectable representations.

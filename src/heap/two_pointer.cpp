@@ -24,9 +24,11 @@ TwoPointerHeap::CellRef TwoPointerHeap::allocate(HeapWord car, HeapWord cdr) {
     const CellRef cell = freeList_.back();
     freeList_.pop_back();
     at(cell) = Cell{car, cdr, false};
+    if (allocSink_ != nullptr) allocSink_->push_back(cell);
     return cell;
   }
   cells_.push_back(Cell{car, cdr, false});
+  if (allocSink_ != nullptr) allocSink_->push_back(cells_.size() - 1);
   return cells_.size() - 1;
 }
 

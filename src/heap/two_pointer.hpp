@@ -62,6 +62,12 @@ class TwoPointerHeap {
   /// throw, so a collector enumerating the cell store needs this test.)
   bool isFree(CellRef cell) const;
 
+  /// Observe every allocation (including encode's internal ones) by
+  /// appending the fresh CellRef to `sink`; nullptr detaches. Lets a
+  /// wrapping backend young-record or allocate-black cells that encode
+  /// reuses from the free list mid-collection-cycle.
+  void setAllocSink(std::vector<CellRef>* sink) { allocSink_ = sink; }
+
  private:
   struct Cell {
     HeapWord car;
@@ -74,6 +80,7 @@ class TwoPointerHeap {
 
   std::vector<Cell> cells_;
   std::vector<CellRef> freeList_;  // LIFO: most recently freed reused first
+  std::vector<CellRef>* allocSink_ = nullptr;
 };
 
 }  // namespace small::heap

@@ -149,6 +149,33 @@ class ServiceRun {
     snap.watchCounter(obs::names::kSvcPublished, &s.stats.published);
     snap.watchCounter(obs::names::kSvcRefCopies, &s.stats.refCopies);
 
+    // GC pause series: collection timing is a pure function of the
+    // session's own op sequence and machine config, so the sampled pause
+    // deltas (and running max slice) stay on the deterministic plane —
+    // this is where kIncremental's bounded safepoint slices become
+    // visible in --telemetry-out. The machine lives inside the replay
+    // call; the last-seen totals persist for the final post-replay
+    // sample (snap.finish runs after the machine is gone).
+    const core::SmallMachine* machine = nullptr;
+    std::uint64_t gcPauseTotal = 0;
+    std::uint64_t gcPauseMax = 0;
+    std::uint64_t gcPauseSampled = 0;
+    snap.watchValue(obs::names::kGcPause, [&] {
+      if (machine != nullptr) {
+        gcPauseTotal = machine->gcStats().totalPause;
+      }
+      const double delta =
+          static_cast<double>(gcPauseTotal - gcPauseSampled);
+      gcPauseSampled = gcPauseTotal;
+      return delta;
+    });
+    snap.watchValue(obs::names::kGcMaxPause, [&] {
+      if (machine != nullptr) {
+        gcPauseMax = machine->gcStats().maxPause;
+      }
+      return static_cast<double>(gcPauseMax);
+    });
+
     // Perf plane (schedule-dependent, Chrome trace only): the session's
     // observed replay rate, and — for sessions whose id maps one-to-one
     // onto a shard (i < shardCount; distinct homes by construction) —
@@ -163,6 +190,9 @@ class ServiceRun {
 
     core::ReplayHook hook;
     hook.everyPrimitives = config_.publishEvery;
+    hook.onMachineReady = [&machine](const core::SmallMachine& m) {
+      machine = &m;
+    };
     hook.onPrimitives = [&](std::uint64_t total) {
       tick(s);
       if (!telemetryOn) return;
@@ -191,6 +221,7 @@ class ServiceRun {
     } else {
       throw SimulationError("service: session source has no trace");
     }
+    machine = nullptr;  // destroyed with the replay; totals cached above
     // Shutdown: retire the whole working set and drain the queue, so the
     // session's entire outstanding weight is returned before it joins.
     while (!s.held.empty()) {

@@ -71,6 +71,9 @@ inline void contributeGcStats(Registry& registry, const gc::GcStats& stats) {
   registry.add(names::kGcDeferredDecrements, stats.deferredDecrements);
   registry.add(names::kGcZctOverflows, stats.zctOverflows);
   registry.recordMax(names::kGcZctHighWater, stats.zctHighWater);
+  registry.add(names::kGcMinorCollections, stats.minorCollections);
+  registry.add(names::kGcCellsPromoted, stats.cellsPromoted);
+  registry.add(names::kGcFullCycles, stats.fullCycles);
   registry.recordMax(names::kGcMaxPause, stats.maxPause);
   registry.add(names::kGcTotalPause, stats.totalPause);
 }

@@ -78,6 +78,9 @@ inline constexpr char kGcTableTouches[] = "gc.table_touches";
 inline constexpr char kGcDeferredDecrements[] = "gc.deferred_decrements";
 inline constexpr char kGcZctOverflows[] = "gc.zct_overflows";
 inline constexpr char kGcZctHighWater[] = "gc.zct_occupancy.max";
+inline constexpr char kGcMinorCollections[] = "gc.minor_collections";
+inline constexpr char kGcCellsPromoted[] = "gc.cells_promoted";
+inline constexpr char kGcFullCycles[] = "gc.full_cycles";
 inline constexpr char kGcMaxPause[] = "gc.pause.max";
 inline constexpr char kGcTotalPause[] = "gc.pause.total";
 inline constexpr char kGcPauseHistogram[] = "gc.pause.touch_units";

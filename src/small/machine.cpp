@@ -14,11 +14,25 @@ SmallMachine::SmallMachine(Config config)
   if (config_.tableSize == 0) {
     throw SimulationError("SmallMachine: zero-sized table");
   }
-  if (config_.gcPolicy != gc::Policy::kNone &&
-      config_.gcPolicy != gc::Policy::kMarkSweep) {
-    throw support::Error(
-        "SmallMachine: only kNone/kMarkSweep run in-machine; drive "
-        "semispace and deferred-rc with the gc/script harness");
+  switch (config_.gcPolicy) {
+    case gc::Policy::kNone:
+    case gc::Policy::kMarkSweep:
+    case gc::Policy::kIncremental:
+      break;
+    case gc::Policy::kGenerational:
+      heap_->setYoungTracking(true);
+      break;
+    default:
+      throw support::Error(
+          "SmallMachine: kSemispace/kDeferredRc relocate or re-register "
+          "cells and cannot run under the LPT's pinned address words; "
+          "drive them with the gc/script harness");
+  }
+  // Degenerate triggers: 0 would collect at every safepoint, and
+  // anything below 4 turns the /4-derived quarter-growth guard and minor
+  // trigger into 0 by integer division.
+  if (usesCollector() && config_.gcTriggerCells < 4) {
+    config_.gcTriggerCells = 4;
   }
   entries_.resize(config_.tableSize);
   freeStack_.reserve(config_.tableSize);
@@ -113,7 +127,7 @@ void SmallMachine::freeEntry(std::uint32_t id) {
 }
 
 void SmallMachine::queueHeapFree(HeapWord word) {
-  if (config_.gcPolicy == gc::Policy::kMarkSweep) {
+  if (usesCollector()) {
     // The structure is simply dropped; the collector finds it by not
     // finding it (unreachable from the table's address words).
     return;
@@ -133,8 +147,24 @@ void SmallMachine::queueHeapFree(HeapWord word) {
   }
 }
 
+bool SmallMachine::usesCollector() const {
+  return config_.gcPolicy == gc::Policy::kMarkSweep ||
+         config_.gcPolicy == gc::Policy::kGenerational ||
+         config_.gcPolicy == gc::Policy::kIncremental;
+}
+
 void SmallMachine::serviceAllHeapFrees() {
-  if (config_.gcPolicy == gc::Policy::kMarkSweep) {
+  if (config_.gcPolicy == gc::Policy::kIncremental) {
+    // The bounded-pause contract holds even for the shutdown sweep:
+    // finish any in-flight cycle, then run one fresh complete cycle
+    // (current roots, so everything dropped since is reclaimed), all in
+    // gcStepBudget-sized slices.
+    while (heap_->gcActive()) collectHeapStep(config_.gcStepBudget);
+    while (!collectHeapStep(config_.gcStepBudget)) {
+    }
+    return;
+  }
+  if (usesCollector()) {
     collectHeapGarbage();
     return;
   }
@@ -145,20 +175,19 @@ void SmallMachine::serviceAllHeapFrees() {
   }
 }
 
-std::uint64_t SmallMachine::collectHeapGarbage() {
-  // Every live heap object is owned by exactly one unsplit in-use entry's
-  // address word (split transfers ownership of the halves to fresh
-  // entries, merge transfers it back), so those words are the complete
-  // root set.
+std::vector<HeapWord> SmallMachine::heapRoots() const {
   std::vector<HeapWord> roots;
   for (const Entry& e : entries_) {
     if (e.inUse && !e.hasFields && e.addr.isPointer()) {
       roots.push_back(e.addr);
     }
   }
-  const std::uint64_t touchesBefore = heap_->stats().touches();
-  const heap::HeapBackend::CollectResult result =
-      heap_->collectGarbage(roots);
+  return roots;
+}
+
+void SmallMachine::recordCollection(
+    const heap::HeapBackend::CollectResult& result,
+    std::uint64_t touchesBefore) {
   const std::uint64_t pause = heap_->stats().touches() - touchesBefore;
   ++gcStats_.collections;
   gcStats_.cellsReclaimed += result.reclaimed;
@@ -166,16 +195,91 @@ std::uint64_t SmallMachine::collectHeapGarbage() {
   gcStats_.heapTouches += pause;
   gcStats_.totalPause += pause;
   if (pause > gcStats_.maxPause) gcStats_.maxPause = pause;
+}
+
+std::uint64_t SmallMachine::collectHeapGarbage() {
+  std::uint64_t reclaimed = 0;
+  if (heap_->gcActive()) {
+    // Finish the in-flight incremental cycle (counted as one unbounded
+    // slice) so the fresh collection below traces current liveness
+    // rather than the stale mark snapshot.
+    const std::uint64_t touchesBefore = heap_->stats().touches();
+    heap::HeapBackend::CollectResult finish;
+    heap_->gcStep(0, finish);
+    recordCollection(finish, touchesBefore);
+    ++gcStats_.fullCycles;
+    reclaimed += finish.reclaimed;
+  }
+  const std::vector<HeapWord> roots = heapRoots();
+  const std::uint64_t touchesBefore = heap_->stats().touches();
+  const heap::HeapBackend::CollectResult result =
+      heap_->collectGarbage(roots);
+  recordCollection(result, touchesBefore);
+  if (config_.gcPolicy == gc::Policy::kIncremental) ++gcStats_.fullCycles;
   gcFloorLive_ = heap_->cellsLive();
+  return reclaimed + result.reclaimed;
+}
+
+std::uint64_t SmallMachine::collectHeapMinor() {
+  const std::vector<HeapWord> roots = heapRoots();
+  const std::uint64_t youngBefore = heap_->youngCells();
+  const std::uint64_t touchesBefore = heap_->stats().touches();
+  const heap::HeapBackend::CollectResult result =
+      heap_->collectYoung(roots);
+  recordCollection(result, touchesBefore);
+  ++gcStats_.minorCollections;
+  // Young cells the cycle did not reclaim were promoted (an upper bound:
+  // young cells the machine already freed through split are skipped by
+  // the sweep and counted here too).
+  gcStats_.cellsPromoted += youngBefore - result.reclaimed;
   return result.reclaimed;
 }
 
+bool SmallMachine::collectHeapStep(std::uint64_t touchBudget) {
+  const std::uint64_t touchesBefore = heap_->stats().touches();
+  if (!heap_->gcActive()) {
+    // The root scan is part of the first slice's pause.
+    heap_->gcBegin(heapRoots());
+  }
+  heap::HeapBackend::CollectResult result;
+  const bool done = heap_->gcStep(touchBudget, result);
+  recordCollection(result, touchesBefore);
+  if (done) {
+    ++gcStats_.fullCycles;
+    gcFloorLive_ = heap_->cellsLive();
+  }
+  return done;
+}
+
 void SmallMachine::maybeCollectHeap() {
-  if (config_.gcPolicy != gc::Policy::kMarkSweep) return;
   const std::uint64_t live = heap_->cellsLive();
-  if (live < config_.gcTriggerCells) return;
-  if (live < gcFloorLive_ + config_.gcTriggerCells / 4) return;
-  collectHeapGarbage();
+  // Full collections arm on occupancy, with an anti-thrash guard: wait
+  // for a quarter-trigger of growth past the last collection's floor.
+  const bool fullArmed = live >= config_.gcTriggerCells &&
+                         live >= gcFloorLive_ + config_.gcTriggerCells / 4;
+  switch (config_.gcPolicy) {
+    case gc::Policy::kMarkSweep:
+      if (fullArmed) collectHeapGarbage();
+      return;
+    case gc::Policy::kGenerational:
+      // Minor collections run on nursery fill; occasional full
+      // collections reclaim what floated into the old generation.
+      if (fullArmed) {
+        collectHeapGarbage();
+      } else if (heap_->youngCells() >= config_.gcTriggerCells / 4) {
+        collectHeapMinor();
+      }
+      return;
+    case gc::Policy::kIncremental:
+      // One bounded slice per safepoint while a cycle is in flight;
+      // otherwise arm a new cycle on the full-collection trigger.
+      if (heap_->gcActive() || fullArmed) {
+        collectHeapStep(config_.gcStepBudget);
+      }
+      return;
+    default:
+      return;
+  }
 }
 
 bool SmallMachine::ensureFree(std::uint32_t needed) {

@@ -59,17 +59,32 @@ class SmallMachine {
     heap::HeapBackendKind heapBackend = heap::HeapBackendKind::kTwoPointer;
     heap::HeapBackendOptions heapOptions;
     /// Heap reclamation discipline. kNone is the paper's machine: counts
-    /// reaching zero queue eager heap frees (§4.3.3.1). kMarkSweep drops
-    /// those frees and instead runs HeapBackend::collectGarbage from the
-    /// table's address words at operation-boundary safepoints once
-    /// cellsLive reaches gcTriggerCells (counters in gcStats()). The
-    /// relocating and registry-based collectors (kSemispace, kDeferredRc)
-    /// cannot run under the LPT's pinned address words — drive them with
-    /// the standalone gc/script harness instead; selecting them here
-    /// throws.
+    /// reaching zero queue eager heap frees (§4.3.3.1). The collector
+    /// policies drop those frees and reclaim from the table's address
+    /// words at operation-boundary safepoints instead (counters in
+    /// gcStats()):
+    ///   - kMarkSweep: stop-the-world HeapBackend::collectGarbage once
+    ///     cellsLive reaches gcTriggerCells.
+    ///   - kGenerational: minor collections (HeapBackend::collectYoung)
+    ///     once gcTriggerCells/4 cells have been allocated since the last
+    ///     promotion, full collections on the kMarkSweep trigger.
+    ///   - kIncremental: a cycle is armed on the kMarkSweep trigger, then
+    ///     advanced one gcStepBudget-bounded slice per safepoint until it
+    ///     completes — no pause exceeds the slice budget.
+    /// The relocating and registry-based collectors (kSemispace,
+    /// kDeferredRc) cannot run under the LPT's pinned address words —
+    /// drive them with the standalone gc/script harness instead;
+    /// selecting them here throws.
     gc::Policy gcPolicy = gc::Policy::kNone;
-    /// Physical-cell occupancy that arms a collection (kMarkSweep only).
+    /// Physical-cell occupancy that arms a full collection. Values below
+    /// 4 are clamped to 4: 0 would fire a collection at every safepoint,
+    /// and anything smaller than 4 zeroes the quarter-growth anti-thrash
+    /// guard (and the kGenerational minor trigger) by integer division.
     std::uint64_t gcTriggerCells = 4096;
+    /// kIncremental: heap-touch budget of one safepoint collection slice
+    /// (the bounded-pause knob). 0 runs each armed cycle to completion at
+    /// one safepoint, degenerating to stop-the-world.
+    std::uint64_t gcStepBudget = 2048;
   };
 
   /// Representation-independent event counters: these depend only on the
@@ -134,19 +149,35 @@ class SmallMachine {
   /// Fig 4.8 tests; normally triggered by table pressure).
   std::uint64_t compress(bool all);
 
-  /// Drain the heap free queue completely (under kMarkSweep, where no
-  /// frees are queued, this runs a full collection instead — the
-  /// shutdown-time "everything not in the table is garbage" sweep).
+  /// Drain the heap free queue completely (under the collector policies,
+  /// where no frees are queued, this runs a full collection instead —
+  /// the shutdown-time "everything not in the table is garbage" sweep).
   void serviceAllHeapFrees();
 
-  /// Run one heap collection now, regardless of the trigger: mark from
-  /// the in-use entries' address words, sweep the rest of the cell store.
-  /// Returns physical cells reclaimed.
+  /// Run one full heap collection now, regardless of the trigger: mark
+  /// from the in-use entries' address words, sweep the rest of the cell
+  /// store. An in-flight incremental cycle is finished (unbounded) first
+  /// so the fresh collection sees current liveness, not a stale
+  /// snapshot. Returns physical cells reclaimed.
   std::uint64_t collectHeapGarbage();
 
-  /// Collection counters (kMarkSweep). Kept apart from Stats: collection
-  /// timing depends on *physical* occupancy, which differs per backend,
-  /// while Stats must stay backend-invariant.
+  /// Run one minor collection now (kGenerational): trace the table's
+  /// address words and the remembered set into the young cells only,
+  /// sweep only those, promote the survivors. Returns cells reclaimed.
+  std::uint64_t collectHeapMinor();
+
+  /// Advance an incremental collection by one slice of at most
+  /// `touchBudget` heap touches (0 = unbounded), starting a cycle from
+  /// the table's address words if none is active. Returns true when the
+  /// cycle completed. maybeCollectHeap drives this with
+  /// Config::gcStepBudget under kIncremental.
+  bool collectHeapStep(std::uint64_t touchBudget);
+
+  /// Collection counters (collector policies). Kept apart from Stats:
+  /// collection timing depends on *physical* occupancy, which differs
+  /// per backend, while Stats must stay backend-invariant. Under
+  /// kIncremental, `collections` counts slices and each pause sample is
+  /// one slice; `fullCycles` counts completed cycles.
   const gc::GcStats& gcStats() const { return gcStats_; }
 
   /// Render the in-use LPT entries in the style of Fig 4.9's tables
@@ -193,10 +224,24 @@ class SmallMachine {
 
   void queueHeapFree(heap::HeapWord word);
 
-  /// Operation-boundary safepoint: collect if armed. Only called where no
-  /// transient heap words are held outside the table (end of readList /
-  /// release / modify), so the table's address words are a complete root
-  /// set.
+  /// Does the configured policy reclaim by collection (dropping queued
+  /// frees) rather than by the §4.3.3.1 free queue?
+  bool usesCollector() const;
+
+  /// The complete heap root set: every in-use unsplit entry's address
+  /// word (split transfers ownership of the halves to fresh entries,
+  /// merge transfers it back).
+  std::vector<heap::HeapWord> heapRoots() const;
+
+  /// Fold one collection's activity into gcStats_ (pause = heap-touch
+  /// delta since `touchesBefore`).
+  void recordCollection(const heap::HeapBackend::CollectResult& result,
+                        std::uint64_t touchesBefore);
+
+  /// Operation-boundary safepoint: collect (or advance a slice) if
+  /// armed. Only called where no transient heap words are held outside
+  /// the table (end of readList / release / modify), so the table's
+  /// address words are a complete root set.
   void maybeCollectHeap();
 
   std::uint32_t externalRefs(std::uint32_t id) const;

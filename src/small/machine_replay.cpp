@@ -42,6 +42,9 @@ class Replayer {
   explicit Replayer(const ReplayConfig& config,
                     const ReplayHook* hook = nullptr)
       : config_(config), rng_(config.seed), machine_(config.machine) {
+    if (hook != nullptr && hook->onMachineReady) {
+      hook->onMachineReady(machine_);
+    }
     if (hook != nullptr && hook->everyPrimitives > 0 && hook->onPrimitives) {
       hook_ = hook;
     }

@@ -71,12 +71,16 @@ struct ReplayResult {
 /// Periodic callback out of a replay run — the service mode's sessions
 /// use it to interleave shard traffic with trace-driven interpreter work.
 /// `onPrimitives(total)` fires after every `everyPrimitives`-th primitive
-/// (never with everyPrimitives == 0). The hook runs strictly between
-/// events and never touches the replayer's RNG, so a hooked replay's
-/// ReplayResult is bit-identical to the unhooked one.
+/// (never with everyPrimitives == 0). `onMachineReady` fires once, before
+/// the first event, with a reference valid until the replay call returns
+/// — callers stash it to sample machine-side state (gc pause counters)
+/// from inside onPrimitives. The hook runs strictly between events and
+/// never touches the replayer's RNG, so a hooked replay's ReplayResult is
+/// bit-identical to the unhooked one.
 struct ReplayHook {
   std::uint64_t everyPrimitives = 0;
   std::function<void(std::uint64_t)> onPrimitives;
+  std::function<void(const SmallMachine&)> onMachineReady;
 };
 
 /// Replay a preprocessed trace through a SmallMachine configured per

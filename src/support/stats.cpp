@@ -75,9 +75,10 @@ double Histogram::cumulativeFraction(std::int64_t value) const {
 }
 
 std::int64_t Histogram::quantile(double q) const {
-  if (total_ == 0 || q <= 0.0 || q > 1.0) {
-    throw Error("Histogram::quantile: empty histogram or q out of (0,1]");
+  if (q <= 0.0 || q > 1.0) {
+    throw Error("Histogram::quantile: q out of (0,1]");
   }
+  if (total_ == 0) return 0;
   const auto target = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(total_)));
   std::uint64_t seen = 0;

@@ -52,6 +52,8 @@ class Histogram {
   double cumulativeFraction(std::int64_t value) const;
 
   /// Smallest value v such that cumulativeFraction(v) >= q, for q in (0,1].
+  /// An empty histogram has every quantile 0 (a run that never collected
+  /// reports a well-defined zero pause); q outside (0,1] throws.
   std::int64_t quantile(double q) const;
 
   const std::map<std::int64_t, std::uint64_t>& buckets() const {

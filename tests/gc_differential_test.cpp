@@ -128,49 +128,122 @@ TEST(LptBaseline, SettleLazyFreesPerformsDeferredDecrements) {
   EXPECT_EQ(lpt.settleLazyFrees(), 0u);  // idempotent once settled
 }
 
-TEST(MachineGc, MarkSweepReplayMatchesRefcountReplay) {
+TEST(MachineGc, CollectorReplaysMatchRefcountReplay) {
   // The machine's logical behaviour is reclamation-independent: replaying
-  // the same trace with the mark-sweep scavenger must produce exactly the
-  // eager-refcount machine counters, on every heap backend, while actually
-  // collecting.
+  // the same trace with any in-machine scavenger (stop-the-world,
+  // generational, incremental) must produce exactly the eager-refcount
+  // machine counters, on every heap backend, while actually collecting.
   support::Rng rng(7);
   const trace::PreprocessedTrace pre =
       trace::preprocess(trace::generate(trace::slangProfile(0.05), rng));
 
+  const gc::Policy policies[] = {gc::Policy::kMarkSweep,
+                                 gc::Policy::kGenerational,
+                                 gc::Policy::kIncremental};
   for (const heap::HeapBackendKind kind : heap::kAllHeapBackendKinds) {
     core::ReplayConfig config;
     config.seed = 21;
     config.machine.heapBackend = kind;
     const core::ReplayResult eager = core::replayTrace(config, pre);
+    EXPECT_EQ(eager.gcStats.collections, 0u);
 
-    config.machine.gcPolicy = gc::Policy::kMarkSweep;
-    config.machine.gcTriggerCells = 512;
-    const core::ReplayResult collected = core::replayTrace(config, pre);
+    for (const gc::Policy policy : policies) {
+      config.machine.gcPolicy = policy;
+      config.machine.gcTriggerCells = 512;
+      const core::ReplayResult collected = core::replayTrace(config, pre);
 
-    const std::string label = heap::heapBackendName(kind);
-    EXPECT_EQ(collected.machine.gets, eager.machine.gets) << label;
-    EXPECT_EQ(collected.machine.frees, eager.machine.frees) << label;
-    EXPECT_EQ(collected.machine.splits, eager.machine.splits) << label;
-    EXPECT_EQ(collected.machine.merges, eager.machine.merges) << label;
-    EXPECT_EQ(collected.machine.hits, eager.machine.hits) << label;
-    EXPECT_EQ(collected.residualEntries, eager.residualEntries) << label;
-    EXPECT_EQ(collected.primitives, eager.primitives) << label;
-    // ... while the scavenger genuinely ran and reclaimed something.
-    EXPECT_GT(collected.gcStats.collections, 0u) << label;
-    EXPECT_GT(collected.gcStats.cellsReclaimed, 0u) << label;
-    EXPECT_EQ(eager.gcStats.collections, 0u) << label;
+      const std::string label = std::string(heap::heapBackendName(kind)) +
+                                "/" + gc::policyName(policy);
+      EXPECT_EQ(collected.machine.gets, eager.machine.gets) << label;
+      EXPECT_EQ(collected.machine.frees, eager.machine.frees) << label;
+      EXPECT_EQ(collected.machine.splits, eager.machine.splits) << label;
+      EXPECT_EQ(collected.machine.merges, eager.machine.merges) << label;
+      EXPECT_EQ(collected.machine.hits, eager.machine.hits) << label;
+      EXPECT_EQ(collected.residualEntries, eager.residualEntries) << label;
+      EXPECT_EQ(collected.primitives, eager.primitives) << label;
+      // ... while the scavenger genuinely ran and reclaimed something.
+      EXPECT_GT(collected.gcStats.collections, 0u) << label;
+      EXPECT_GT(collected.gcStats.cellsReclaimed, 0u) << label;
+      if (policy == gc::Policy::kGenerational) {
+        EXPECT_GT(collected.gcStats.minorCollections, 0u) << label;
+      }
+      if (policy == gc::Policy::kIncremental) {
+        EXPECT_GT(collected.gcStats.fullCycles, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(MachineGc, IncrementalBoundsSafepointPauses) {
+  // The point of kIncremental: with a touch-unit slice budget, no
+  // safepoint pause (including the shutdown sweep's slices) exceeds
+  // budget + one trace/sweep unit of overshoot — far below the
+  // stop-the-world collector's pauses on the same trace.
+  support::Rng rng(7);
+  const trace::PreprocessedTrace pre =
+      trace::preprocess(trace::generate(trace::slangProfile(0.05), rng));
+
+  core::ReplayConfig config;
+  config.seed = 21;
+  config.machine.gcPolicy = gc::Policy::kMarkSweep;
+  config.machine.gcTriggerCells = 512;
+  const core::ReplayResult stw = core::replayTrace(config, pre);
+  ASSERT_GT(stw.gcStats.collections, 0u);
+
+  config.machine.gcPolicy = gc::Policy::kIncremental;
+  config.machine.gcStepBudget = 256;
+  const core::ReplayResult inc = core::replayTrace(config, pre);
+  EXPECT_GT(inc.gcStats.fullCycles, 0u);
+  // Cycles genuinely ran in multiple bounded slices.
+  EXPECT_GT(inc.gcStats.collections, inc.gcStats.fullCycles);
+  EXPECT_LT(inc.gcStats.maxPause, stw.gcStats.maxPause);
+  EXPECT_LE(inc.gcStats.maxPause, config.machine.gcStepBudget + 64);
+}
+
+TEST(MachineGc, DegenerateTriggerClampedToFour) {
+  // gcTriggerCells = 0 would arm a collection at every safepoint (and
+  // zero the /4-derived anti-thrash guard and minor trigger); the machine
+  // clamps anything below 4 up to 4, so 0 and 4 replay identically.
+  support::Rng rng(9);
+  const trace::PreprocessedTrace pre =
+      trace::preprocess(trace::generate(trace::pearlProfile(0.5), rng));
+
+  for (const gc::Policy policy :
+       {gc::Policy::kMarkSweep, gc::Policy::kGenerational}) {
+    core::ReplayConfig config;
+    config.seed = 3;
+    config.machine.gcPolicy = policy;
+    config.machine.gcTriggerCells = 0;
+    const core::ReplayResult degenerate = core::replayTrace(config, pre);
+    config.machine.gcTriggerCells = 4;
+    const core::ReplayResult clamped = core::replayTrace(config, pre);
+
+    const std::string label = gc::policyName(policy);
+    EXPECT_EQ(degenerate.gcStats.collections, clamped.gcStats.collections)
+        << label;
+    EXPECT_EQ(degenerate.gcStats.totalPause, clamped.gcStats.totalPause)
+        << label;
+    EXPECT_EQ(degenerate.gcStats.cellsReclaimed,
+              clamped.gcStats.cellsReclaimed)
+        << label;
+    EXPECT_GT(degenerate.gcStats.collections, 0u) << label;
   }
 }
 
 TEST(MachineGc, RejectsMovingCollectors) {
   // The LPT pins heap addresses in its entries, so the machine only
-  // supports the non-moving scavenger; the moving policies are for the
-  // standalone collector harness.
+  // supports the non-moving scavengers; the relocating/registry-based
+  // policies are for the standalone collector harness.
   core::SmallMachine::Config config;
   config.gcPolicy = gc::Policy::kSemispace;
   EXPECT_THROW(core::SmallMachine{config}, support::Error);
   config.gcPolicy = gc::Policy::kDeferredRc;
   EXPECT_THROW(core::SmallMachine{config}, support::Error);
+  // The non-moving additions construct fine.
+  config.gcPolicy = gc::Policy::kGenerational;
+  core::SmallMachine generational{config};
+  config.gcPolicy = gc::Policy::kIncremental;
+  core::SmallMachine incremental{config};
 }
 
 }  // namespace

@@ -163,8 +163,62 @@ TEST(GcPolicy, NamesAndFactory) {
   EXPECT_STREQ(policyName(Policy::kMarkSweep), "mark-sweep");
   EXPECT_STREQ(policyName(Policy::kSemispace), "semispace");
   EXPECT_STREQ(policyName(Policy::kDeferredRc), "deferred-rc");
+  EXPECT_STREQ(policyName(Policy::kGenerational), "generational");
+  EXPECT_STREQ(policyName(Policy::kIncremental), "incremental");
   const auto backend = heap::makeHeapBackend(heap::HeapBackendKind::kTwoPointer);
   EXPECT_THROW(makeCollector(Policy::kNone, *backend, {}), support::Error);
+}
+
+TEST(GcPolicy, DegenerateTriggerClampedToFour) {
+  // triggerLiveCells = 0 would make shouldCollect fire at every
+  // safepoint (and zero the quarter-growth re-arm guard); the Options
+  // constructor clamps anything below 4 up to 4.
+  const auto backend =
+      heap::makeHeapBackend(heap::HeapBackendKind::kTwoPointer);
+  Collector::Options options;
+  options.triggerLiveCells = 0;
+  const auto collector =
+      makeCollector(Policy::kMarkSweep, *backend, options);
+  EXPECT_FALSE(collector->shouldCollect());
+  collector->resizeRoots(1);
+  collector->setRoot(0, collector->cons(sym(1), HeapWord::nil()));
+  // One live cell: below the clamped trigger of 4, still quiet.
+  EXPECT_FALSE(collector->shouldCollect());
+  for (int i = 0; i < 3; ++i) collector->cons(sym(2), HeapWord::nil());
+  EXPECT_TRUE(collector->shouldCollect());
+}
+
+TEST(GcPolicy, ReachabilityFingerprintDoesNotPerturbStats) {
+  // reachableFrom / rootReachability are pure observers: the BFS walks
+  // the heap through the stats-counting accessors, so the collector must
+  // snapshot and restore the backend counters around it — otherwise
+  // taking the live-set fingerprint would shift every later pause
+  // measurement (pauses are heap-touch deltas).
+  const auto backend =
+      heap::makeHeapBackend(heap::HeapBackendKind::kTwoPointer);
+  const auto collector = makeCollector(Policy::kMarkSweep, *backend, {});
+  collector->resizeRoots(1);
+  Collector::CellRef tail = collector->cons(sym(1), HeapWord::nil());
+  for (int i = 0; i < 7; ++i) {
+    tail = collector->cons(sym(1), HeapWord::pointer(tail));
+  }
+  collector->setRoot(0, tail);
+
+  const heap::HeapStats heapBefore = backend->stats();
+  const GcStats gcBefore = collector->stats();
+  const std::vector<std::uint64_t> reach = collector->rootReachability();
+  ASSERT_EQ(reach.size(), 1u);
+  EXPECT_EQ(reach[0], 8u);
+
+  const heap::HeapStats& heapAfter = backend->stats();
+  EXPECT_EQ(heapAfter.reads, heapBefore.reads);
+  EXPECT_EQ(heapAfter.writes, heapBefore.writes);
+  EXPECT_EQ(heapAfter.allocs, heapBefore.allocs);
+  EXPECT_EQ(heapAfter.frees, heapBefore.frees);
+  const GcStats& gcAfter = collector->stats();
+  EXPECT_EQ(gcAfter.heapTouches, gcBefore.heapTouches);
+  EXPECT_EQ(gcAfter.tableTouches, gcBefore.tableTouches);
+  EXPECT_EQ(gcAfter.collections, gcBefore.collections);
 }
 
 TEST(Semispace, ForwardsRootsWhenCellsMove) {

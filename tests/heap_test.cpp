@@ -546,6 +546,84 @@ TEST_P(BackendContract, StatsTrackTouches) {
             heap->stats().reads + heap->stats().writes);
 }
 
+TEST_P(BackendContract, IncrementalStepsMatchStopTheWorldLiveSet) {
+  const auto heap = make();
+  const HeapWord live = heap->encode(arena, read("(a (b c) d)"));
+  heap->encode(arena, read("(x y z)"));  // garbage
+  heap->gcBegin({live});
+  HeapBackend::CollectResult result;
+  std::uint64_t slices = 0;
+  while (!heap->gcStep(4, result)) ++slices;
+  EXPECT_GT(slices, 0u) << heap->name();  // genuinely ran in bounded slices
+  EXPECT_GT(result.reclaimed, 0u) << heap->name();
+  EXPECT_EQ(show(heap->decode(arena, live)), "(a (b c) d)") << heap->name();
+  // The sliced cycle left exactly the stop-the-world live set: a full
+  // pass right after finds nothing further to reclaim.
+  EXPECT_EQ(heap->collectGarbage({live}).reclaimed, 0u) << heap->name();
+}
+
+TEST_P(BackendContract, RememberedSetKeepsOldToYoungEdgeLive) {
+  const auto heap = make();
+  heap->setYoungTracking(true);
+  const HeapWord old = heap->encode(arena, read("(a b)"));
+  heap->collectGarbage({old});  // completed cycle: promotes, clears young
+  EXPECT_EQ(heap->youngCells(), 0u) << heap->name();
+  const HeapWord young = heap->encode(arena, read("(c d)"));
+  heap->encode(arena, read("(x)"));  // young garbage
+  EXPECT_GT(heap->youngCells(), 0u) << heap->name();
+  // Store the young structure into the old cell. The minor trace never
+  // enters old cells, so without the write barrier's remembered set the
+  // young list would be unreachable and swept.
+  heap->setCdr(old.payload, young);
+  const auto minor = heap->collectYoung({old});
+  EXPECT_GT(minor.reclaimed, 0u) << heap->name();  // the (x) garbage
+  EXPECT_EQ(show(heap->decode(arena, old)), "(a c d)") << heap->name();
+  // A full pass reclaims the displaced (b) tail but nothing the minor
+  // cycle promoted.
+  heap->collectGarbage({old});
+  EXPECT_EQ(show(heap->decode(arena, old)), "(a c d)") << heap->name();
+}
+
+TEST_P(BackendContract, MinorCollectionTreatsOldGenerationAsLive) {
+  const auto heap = make();
+  heap->setYoungTracking(true);
+  const HeapWord oldLive = heap->encode(arena, read("(a b)"));
+  const HeapWord oldDead = heap->encode(arena, read("(x y)"));
+  heap->collectGarbage({oldLive, oldDead});  // promote both
+  heap->encode(arena, read("(q)"));          // young garbage
+  // oldDead is unreachable from the minor roots, but a minor cycle only
+  // sweeps young cells: the old garbage floats to the next full pass.
+  const auto minor = heap->collectYoung({oldLive});
+  EXPECT_GT(minor.reclaimed, 0u) << heap->name();
+  EXPECT_EQ(show(heap->decode(arena, oldDead)), "(x y)") << heap->name();
+  const auto full = heap->collectGarbage({oldLive});
+  EXPECT_GT(full.reclaimed, 0u) << heap->name();
+  EXPECT_EQ(show(heap->decode(arena, oldLive)), "(a b)") << heap->name();
+}
+
+TEST_P(BackendContract, SatbBarrierSavesPointerStoredIntoBlackCell) {
+  const auto heap = make();
+  // R -> A -> W: the only path to W runs through A's cdr.
+  const HeapWord w = heap->encode(arena, read("(w)"));
+  const auto aCell = heap->merge(heap->encode(arena, read("a")), w);
+  const auto rCell =
+      heap->merge(heap->encode(arena, read("r")), HeapWord::pointer(aCell));
+  const HeapWord root = HeapWord::pointer(rCell);
+  heap->gcBegin({root});
+  // One touch of budget traces exactly the root cell, leaving it black
+  // with A gray.
+  HeapBackend::CollectResult result;
+  ASSERT_FALSE(heap->gcStep(1, result)) << heap->name();
+  // Mutator runs mid-cycle: sever the only already-visible path to W,
+  // then store W into the black root cell. Without the shade-on-
+  // overwrite barrier the collector would never reach W and sweep it.
+  heap->setCdr(aCell, HeapWord::nil());
+  heap->setCar(rCell, w);
+  while (!heap->gcStep(4, result)) {
+  }
+  EXPECT_EQ(show(heap->decode(arena, root)), "((w) a)") << heap->name();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendContract, ::testing::ValuesIn(kAllHeapBackendKinds),
     [](const ::testing::TestParamInfo<HeapBackendKind>& info) {

@@ -92,12 +92,12 @@ TEST_F(SmallVmTest, ShutdownDrainsMachine) {
   EXPECT_EQ(lastHeapAfterShutdown, 0u);
 }
 
-TEST_F(SmallVmTest, MarkSweepScavengerPreservesProgramOutput) {
+TEST_F(SmallVmTest, ScavengerPoliciesPreserveProgramOutput) {
   // Build and drop three 40-cons chains through a 24-entry table, so
   // endo-structure is compressed into real heap cells and each dropped
   // chain becomes heap garbage. Run once with eager refcount-driven
-  // frees, once with the mark-sweep scavenger: output identical, and the
-  // scavenger genuinely collected.
+  // frees, then once per in-machine scavenger policy: output identical,
+  // and each scavenger genuinely collected.
   const char* source = R"(
     (def build (lambda (m)
       (prog (acc n)
@@ -122,16 +122,25 @@ TEST_F(SmallVmTest, MarkSweepScavengerPreservesProgramOutput) {
   ASSERT_EQ(reference.size(), 3u);
   EXPECT_EQ(eager.gcStats().collections, 0u);
 
-  options.machine.gcPolicy = gc::Policy::kMarkSweep;
-  options.machine.gcTriggerCells = 16;  // collect often in a small run
-  SmallEmulator scavenged(arena, symbols, options);
-  scavenged.run(program);
-  EXPECT_EQ(scavenged.output(), reference);
-  EXPECT_GT(scavenged.gcStats().collections, 0u);
-  EXPECT_GT(scavenged.gcStats().cellsReclaimed, 0u);
-  scavenged.shutdown();
-  EXPECT_EQ(scavenged.machine().entriesInUse(), 0u);
-  EXPECT_EQ(scavenged.machine().heapCellsLive(), 0u);
+  for (const gc::Policy policy :
+       {gc::Policy::kMarkSweep, gc::Policy::kGenerational,
+        gc::Policy::kIncremental}) {
+    options.machine.gcPolicy = policy;
+    options.machine.gcTriggerCells = 16;  // collect often in a small run
+    options.machine.gcStepBudget = 64;    // several slices per cycle
+    SmallEmulator scavenged(arena, symbols, options);
+    scavenged.run(program);
+    EXPECT_EQ(scavenged.output(), reference) << gc::policyName(policy);
+    EXPECT_GT(scavenged.gcStats().collections, 0u)
+        << gc::policyName(policy);
+    EXPECT_GT(scavenged.gcStats().cellsReclaimed, 0u)
+        << gc::policyName(policy);
+    scavenged.shutdown();
+    EXPECT_EQ(scavenged.machine().entriesInUse(), 0u)
+        << gc::policyName(policy);
+    EXPECT_EQ(scavenged.machine().heapCellsLive(), 0u)
+        << gc::policyName(policy);
+  }
 }
 
 TEST_F(SmallVmTest, OutputSnapshotsAtWriteTime) {
